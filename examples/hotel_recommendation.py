@@ -1,0 +1,81 @@
+"""Hotel shortlist: the paper's motivating scenario (§I).
+
+A booking site holds thousands of hotels scored on price, rating, and
+distance to destination. User preferences are unknown linear utilities,
+so the site wants a *small shortlist* such that every user finds a hotel
+close to her personal top-k — exactly the k-RMS problem. Prices and
+availability change constantly (the fully dynamic part): rooms sell out
+(deletions), new offers appear (insertions), and price updates are a
+delete + insert.
+
+The script simulates a day of inventory churn and shows that the
+shortlist (a) stays small, (b) keeps the 2-regret ratio low for every
+simulated visitor, and (c) is maintained in sub-millisecond time per
+inventory event.
+
+Run:  python examples/hotel_recommendation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Database, FDRMS, k_regret_ratio
+
+
+def make_hotels(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Hotels as (cheapness, rating, closeness) — higher is better."""
+    price = rng.gamma(4.0, 60.0, n)                      # $ per night
+    cheapness = 1.0 - np.clip(price / price.max(), 0, 1)
+    rating = np.clip(rng.normal(3.9, 0.7, n), 1.0, 5.0) / 5.0
+    distance_km = rng.exponential(4.0, n)
+    closeness = np.exp(-distance_km / 5.0)
+    # Better hotels cost more: couple rating and price mildly so the
+    # skyline is realistic (nontrivial but not everything).
+    rating = np.clip(0.7 * rating + 0.3 * (1.0 - cheapness), 0.0, 1.0)
+    return np.column_stack([cheapness, rating, closeness])
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    hotels = make_hotels(5000, rng)
+    db = Database(hotels)
+
+    # Shortlist of 8 hotels, robust against every user's top-2 choice.
+    shortlist = FDRMS(db, k=2, r=8, eps=0.03, m_max=1024, seed=3)
+    print(f"initial shortlist ({len(shortlist.result())} hotels): "
+          f"{shortlist.result()}")
+
+    # A day of churn: 2,000 inventory events.
+    sold_out, new_offers, t_total = 0, 0, 0.0
+    for _ in range(2000):
+        t0 = time.perf_counter()
+        if rng.random() < 0.5 and len(db) > 100:
+            alive = db.ids()
+            shortlist.delete(int(alive[rng.integers(alive.size)]))
+            sold_out += 1
+        else:
+            shortlist.insert(make_hotels(1, rng)[0])
+            new_offers += 1
+        t_total += time.perf_counter() - t0
+    print(f"processed {sold_out} sell-outs + {new_offers} new offers "
+          f"at {1000 * t_total / 2000:.3f} ms/event")
+
+    # Serve 10 visitors with random preference vectors; each should find
+    # a shortlist hotel within a few percent of her true #2 hotel.
+    print("\nvisitor check (2-regret ratio of the shortlist):")
+    q = shortlist.result_points()
+    worst = 0.0
+    for visitor in range(10):
+        u = rng.random(3)
+        u /= np.linalg.norm(u)
+        rr = k_regret_ratio(u, db.points(), q, k=2)
+        worst = max(worst, rr)
+        print(f"  visitor {visitor}: prefs={np.round(u, 2)}  "
+              f"regret={rr:.4f}")
+    print(f"worst of 10 visitors: {worst:.4f}")
+    assert worst < 0.2, "shortlist quality degraded unexpectedly"
+
+
+if __name__ == "__main__":
+    main()

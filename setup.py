@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. This shim
+lets ``python setup.py develop`` (or ``pip install -e . --no-use-pep517``)
+install the package the legacy way. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

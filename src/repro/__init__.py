@@ -1,0 +1,55 @@
+"""repro — reproduction of "A Fully Dynamic Algorithm for k-Regret
+Minimizing Sets" (Wang, Li, Wong, Tan; ICDE 2021).
+
+Public API tour
+---------------
+* :class:`repro.Database` — the fully-dynamic database ``P_t``.
+* :class:`repro.FDRMS` — the paper's contribution: maintain a
+  ``RMS(k, r)`` result under arbitrary insertions and deletions.
+* :class:`repro.RegretEvaluator` / :func:`repro.max_k_regret_ratio_sampled`
+  — measure solution quality (``mrr_k``).
+* :mod:`repro.baselines` — every static algorithm the paper compares
+  against (GREEDY, GEOGREEDY, DMM, ε-KERNEL, HS, SPHERE, CUBE, ...).
+* :mod:`repro.data` — synthetic generators (Indep/AntiCor), simulated
+  real-world datasets, and the paper's dynamic workload protocol.
+* :mod:`repro.bench` — the experiment harness regenerating the paper's
+  tables and figures.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Database, FDRMS
+>>> rng = np.random.default_rng(0)
+>>> db = Database(rng.random((500, 4)))
+>>> algo = FDRMS(db, k=1, r=10, eps=0.01, m_max=256, seed=0)
+>>> len(algo.result()) <= 10
+True
+"""
+
+from repro.core import (
+    FDRMS,
+    ApproxTopKIndex,
+    RegretEvaluator,
+    StableSetCover,
+    k_regret_ratio,
+    max_k_regret_ratio_sampled,
+    max_regret_ratio_lp,
+)
+from repro.data import Database, DynamicWorkload, Operation, make_paper_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FDRMS",
+    "ApproxTopKIndex",
+    "StableSetCover",
+    "RegretEvaluator",
+    "k_regret_ratio",
+    "max_k_regret_ratio_sampled",
+    "max_regret_ratio_lp",
+    "Database",
+    "Operation",
+    "DynamicWorkload",
+    "make_paper_workload",
+    "__version__",
+]

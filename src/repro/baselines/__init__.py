@@ -1,0 +1,52 @@
+"""Static k-RMS baselines from the paper's evaluation (§IV-A).
+
+Every algorithm takes an ``(n, d)`` point matrix (typically the current
+skyline — k-RMS results are skyline subsets) and a size constraint ``r``
+and returns row indices of the selected tuples. None of them supports
+updates: the experiment harness re-runs them whenever the skyline
+changes, exactly as the paper's protocol does.
+
+========================  ==========================================
+:func:`greedy`            GREEDY, 1-RMS greedy heuristic [22]
+:func:`greedy_star`       GREEDY*, randomized greedy for k > 1 [11]
+:func:`geo_greedy`        GEOGREEDY, hull-restricted greedy [23]
+:func:`dmm_rrms`          DMM-RRMS, discretized matrix min-max [4]
+:func:`dmm_greedy`        DMM-GREEDY, greedy on the DMM matrix [4]
+:func:`eps_kernel`        ε-KERNEL coreset selection [2, 3, 10]
+:func:`hitting_set`       HS, hitting-set based min-size k-RMS [3]
+:func:`sphere`            SPHERE, ε-kernel + greedy hybrid [32]
+:func:`cube`              CUBE, the original bounded heuristic [22]
+:func:`dp2d`              interval DP for d = 2 (optimality oracle)
+:func:`brute_force_rms`   exhaustive search (tests only)
+========================  ==========================================
+"""
+
+from repro.baselines.greedy import greedy
+from repro.baselines.greedy_star import greedy_star
+from repro.baselines.geogreedy import geo_greedy
+from repro.baselines.dmm import dmm_greedy, dmm_rrms
+from repro.baselines.eps_kernel import eps_kernel
+from repro.baselines.hitting_set import hitting_set
+from repro.baselines.sphere import sphere
+from repro.baselines.cube import cube
+from repro.baselines.dp2d import brute_force_rms, dp2d
+from repro.baselines.arm import arm_greedy, average_regret
+from repro.baselines.rrr import rank_regret, rrr_greedy
+
+__all__ = [
+    "arm_greedy",
+    "average_regret",
+    "rank_regret",
+    "rrr_greedy",
+    "greedy",
+    "greedy_star",
+    "geo_greedy",
+    "dmm_rrms",
+    "dmm_greedy",
+    "eps_kernel",
+    "hitting_set",
+    "sphere",
+    "cube",
+    "dp2d",
+    "brute_force_rms",
+]

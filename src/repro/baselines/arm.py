@@ -1,0 +1,88 @@
+"""ARM — average regret minimization (extension, paper §V).
+
+The paper's related work (§V) discusses the *average regret
+minimization* problem [26, 28, 35]: instead of minimizing the maximum
+k-regret ratio over all utilities, minimize its **average** under a
+distribution of users. It is a different objective with different
+winners (ARM tolerates a few very unhappy users if the bulk is happy),
+included here as the optional extension DESIGN.md lists.
+
+Average regret is monotone and supermodular-free in general, but the
+sampled objective ``mean_u rr_k(u, Q)`` is monotone decreasing and the
+greedy that maximizes marginal decrease is the standard approach
+(Zeighami & Wong [35]); with a fixed utility sample it is exactly
+lazy-evaluable and fast in vectorized form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.sampling import sample_utilities
+from repro.utils import (
+    as_point_matrix,
+    check_k,
+    check_size_constraint,
+    resolve_rng,
+)
+
+
+def average_regret(points_p, points_q, k: int = 1, *, n_samples: int = 10_000,
+                   seed=None, utilities=None) -> float:
+    """Sampled average k-regret ratio of ``Q`` over ``P``."""
+    p = as_point_matrix(points_p, name="points_p")
+    q = as_point_matrix(points_q, name="points_q")
+    k = check_k(k)
+    if utilities is None:
+        utilities = sample_utilities(n_samples, p.shape[1], seed=seed)
+    sp = p @ utilities.T
+    n = p.shape[0]
+    kk = min(k, n)
+    kth = np.partition(sp, n - kk, axis=0)[n - kk]
+    best = (q @ utilities.T).max(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rr = 1.0 - np.divide(best, kth, out=np.ones_like(best), where=kth > 0)
+    rr[kth <= 0] = 0.0
+    return float(np.clip(rr, 0.0, 1.0).mean())
+
+
+def arm_greedy(points, r: int, k: int = 1, *, n_samples: int = 10_000,
+               seed=None) -> np.ndarray:
+    """Greedy average-regret minimization: r rows of ``points``.
+
+    At each step adds the tuple with the largest marginal decrease of
+    the sampled average regret — the unified greedy of [26]/[35] on a
+    fixed utility sample.
+    """
+    pts = as_point_matrix(points)
+    n, d = pts.shape
+    r = check_size_constraint(r)
+    k = check_k(k)
+    if r >= n:
+        return np.arange(n, dtype=np.intp)
+    rng = resolve_rng(seed)
+    utils = np.vstack([np.eye(d), sample_utilities(n_samples, d, seed=rng)])
+    scores = pts @ utils.T                              # (n, m)
+    kk = min(k, n)
+    kth = np.partition(scores, n - kk, axis=0)[n - kk]
+    kth_safe = np.where(kth > 0, kth, 1.0)
+
+    first = int(np.argmax(pts.sum(axis=1)))
+    selected = [first]
+    chosen = np.zeros(n, dtype=bool)
+    chosen[first] = True
+    best_q = scores[first].copy()
+    for _ in range(r - 1):
+        # Marginal objective for each candidate: mean regret after add.
+        post = np.maximum(scores, best_q[None, :])      # (n, m)
+        post_rr = np.maximum(0.0, 1.0 - post / kth_safe[None, :]).mean(axis=1)
+        post_rr[chosen] = np.inf
+        winner = int(np.argmin(post_rr))
+        if np.isinf(post_rr[winner]):
+            break
+        chosen[winner] = True
+        selected.append(winner)
+        np.maximum(best_q, scores[winner], out=best_q)
+        if np.maximum(0.0, 1.0 - best_q / kth_safe).mean() <= 1e-12:
+            break
+    return np.asarray(selected, dtype=np.intp)

@@ -1,0 +1,168 @@
+"""Exact algorithms for small instances: 2-d interval DP + brute force.
+
+For ``d = 2``, 1-RMS is solvable optimally (the "type 1" dynamic
+programs of [4], [10], [11]): only upper-convex-hull vertices matter,
+and they have a natural angular order, so choosing ``r`` of them is an
+interval problem. Utility directions are parametrized by
+``u(θ) = (cos θ, sin θ)``; the angle axis is discretized on the exact
+*critical angles* (where two tuples swap rank) refined with a uniform
+grid, which pins the worst-case regret to grid resolution.
+
+The DP partitions angles by their *owner* — the tuple that is top-1
+there. Angles owned left of the first chosen vertex are covered by it
+(prefix cost), angles between two consecutive chosen vertices by the
+better of the two (gap cost), and angles right of the last chosen vertex
+by it (suffix cost). On a 2-d upper hull the best chosen tuple for an
+angle is always one of its two angular neighbours, so this decomposition
+is exact.
+
+``brute_force_rms`` enumerates all size-``r`` subsets against a shared
+evaluation oracle — usable only for tiny inputs, it serves the test
+suite as an optimality reference for *any* d and k.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.geometry.hull import extreme_points
+from repro.utils import as_point_matrix, check_k, check_size_constraint
+
+
+def _angle_grid(pts: np.ndarray, resolution: int) -> np.ndarray:
+    """Critical angles (pairwise rank swaps) plus a uniform refinement."""
+    n = pts.shape[0]
+    crit: list[float] = [0.0, np.pi / 2]
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = pts[i, 0] - pts[j, 0]
+            dy = pts[i, 1] - pts[j, 1]
+            # <u, p_i> = <u, p_j> with u = (cos θ, sin θ):
+            # cosθ·dx + sinθ·dy = 0  →  θ = atan2(-dx, dy).
+            if dx != 0.0 or dy != 0.0:
+                theta = float(np.arctan2(-dx, dy))
+                if 0.0 <= theta <= np.pi / 2:
+                    crit.append(theta)
+    grid = np.linspace(0.0, np.pi / 2, resolution)
+    return np.unique(np.concatenate([np.asarray(crit), grid]))
+
+
+def dp2d(points, r: int, *, resolution: int = 512) -> np.ndarray:
+    """Optimal (to angle-grid resolution) 1-RMS for 2-d data.
+
+    Returns row indices of the chosen subset, ``|result| <= r``.
+    """
+    pts = as_point_matrix(points)
+    if pts.shape[1] != 2:
+        raise ValueError(f"dp2d requires d = 2, got d = {pts.shape[1]}")
+    r = check_size_constraint(r)
+    n = pts.shape[0]
+    if r >= n:
+        return np.arange(n, dtype=np.intp)
+    hull = extreme_points(pts)
+    if hull.size <= r:
+        return hull
+    cand = pts[hull]
+    thetas = _angle_grid(cand, resolution)
+    dirs = np.stack([np.cos(thetas), np.sin(thetas)], axis=1)
+    scores = dirs @ cand.T                       # (a, c)
+    top = scores.max(axis=1)
+    top_safe = np.where(top > 0, top, 1.0)
+    reg = np.maximum(0.0, 1.0 - scores / top_safe[:, None])  # (a, c)
+    c = cand.shape[0]
+    # Angular order: on an upper hull, descending x equals ascending peak
+    # angle. Owners are expressed in that order.
+    order = np.argsort(-cand[:, 0], kind="stable")
+    rank = np.empty(c, dtype=np.intp)
+    rank[order] = np.arange(c)
+    reg = reg[:, order]
+    owner = rank[np.argmax(scores, axis=1)]      # order-index of top-1
+
+    INF = float("inf")
+    prefix = np.empty(c)
+    suffix = np.empty(c)
+    for i in range(c):
+        left = owner < i
+        prefix[i] = reg[left, i].max() if left.any() else 0.0
+        right = owner > i
+        suffix[i] = reg[right, i].max() if right.any() else 0.0
+    gap = np.zeros((c, c))
+    for i in range(c):
+        for j in range(i + 1, c):
+            mid = (owner > i) & (owner < j)
+            if mid.any():
+                gap[i, j] = float(np.minimum(reg[mid, i], reg[mid, j]).max())
+
+    dp = np.full((c, r + 1), INF)
+    parent = np.full((c, r + 1), -1, dtype=np.intp)
+    dp[:, 1] = prefix
+    for count in range(2, r + 1):
+        for j in range(c):
+            for i in range(j):
+                val = max(dp[i, count - 1], gap[i, j])
+                if val < dp[j, count]:
+                    dp[j, count] = val
+                    parent[j, count] = i
+    final = np.minimum.reduce([
+        np.maximum(dp[:, cnt], suffix) for cnt in range(1, r + 1)
+    ])
+    best_j = int(np.argmin(final))
+    best_cnt = 1 + int(np.argmin(
+        [max(dp[best_j, cnt], suffix[best_j]) for cnt in range(1, r + 1)]))
+    chosen = [best_j]
+    cur, cnt = best_j, best_cnt
+    while cnt > 1 and parent[cur, cnt] >= 0:
+        cur = int(parent[cur, cnt])
+        cnt -= 1
+        chosen.append(cur)
+    chosen_rows = hull[order[np.asarray(sorted(set(chosen)), dtype=np.intp)]]
+    return np.sort(chosen_rows)
+
+
+def brute_force_rms(points, r: int, k: int = 1, *, evaluator=None,
+                    candidates=None) -> tuple[np.ndarray, float]:
+    """Exhaustive optimal RMS(k, r) for tiny inputs (test oracle).
+
+    Parameters
+    ----------
+    evaluator : callable(points_p, points_q, k) -> float, optional
+        Quality oracle; defaults to the exact LP for ``k = 1`` and the
+        sampled estimator otherwise.
+    candidates : array of row indices, optional
+        Search space restriction (defaults to all rows).
+
+    Returns ``(indices, mrr)`` of the best subset found.
+    """
+    pts = as_point_matrix(points)
+    r = check_size_constraint(r)
+    k = check_k(k)
+    n = pts.shape[0]
+    if candidates is None:
+        candidates = np.arange(n, dtype=np.intp)
+    else:
+        candidates = np.asarray(candidates, dtype=np.intp)
+    if evaluator is None:
+        if k == 1:
+            from repro.core.regret import max_regret_ratio_lp
+
+            def evaluator(p, q, _k):
+                return max_regret_ratio_lp(p, q)
+        else:
+            from repro.core.regret import max_k_regret_ratio_sampled
+
+            def evaluator(p, q, kk):
+                return max_k_regret_ratio_sampled(p, q, kk, n_samples=20_000,
+                                                  seed=0)
+    best_idx: tuple[int, ...] | None = None
+    best_val = float("inf")
+    size = min(r, candidates.size)
+    for combo in itertools.combinations(range(candidates.size), size):
+        rows = candidates[list(combo)]
+        val = evaluator(pts, pts[rows], k)
+        if val < best_val:
+            best_val = val
+            best_idx = tuple(int(x) for x in rows)
+    assert best_idx is not None
+    return np.asarray(best_idx, dtype=np.intp), float(best_val)

@@ -1,0 +1,39 @@
+"""GEOGREEDY — geometry-accelerated greedy (Peng & Wong [23]).
+
+GEOGREEDY produces the same selections as GREEDY but prunes the
+candidate pool to the *happy points*: tuples that are vertices of the
+upper convex hull in some nonnegative direction, because only those can
+ever be the unique top-1 tuple of a linear utility. The witness-search
+loop is then identical to GREEDY's LP loop over the reduced pool.
+
+The paper observes that GEOGREEDY matches GREEDY's quality on
+low-dimensional data but cannot scale past ``d ≈ 7`` because computing
+happy points degrades; our implementation inherits exactly that
+behaviour through :func:`repro.geometry.hull.extreme_points` (exact
+qhull up to ``d = 7``, directional probing beyond).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.greedy import greedy
+from repro.geometry.hull import extreme_points
+from repro.utils import as_point_matrix, check_size_constraint
+
+
+def geo_greedy(points, r: int, *, method: str = "lp", n_samples: int = 20_000,
+               seed=None) -> np.ndarray:
+    """Select ``r`` row indices via hull-restricted greedy.
+
+    Parameters mirror :func:`repro.baselines.greedy`; the returned
+    indices refer to rows of ``points`` (not of the reduced pool).
+    """
+    pts = as_point_matrix(points)
+    r = check_size_constraint(r)
+    happy = extreme_points(pts, seed=seed)
+    if happy.size <= r:
+        return happy
+    local = greedy(pts[happy], r, method=method, n_samples=n_samples,
+                   seed=seed)
+    return happy[local]

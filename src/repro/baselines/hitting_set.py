@@ -1,0 +1,95 @@
+"""HS — hitting-set based k-RMS (Agarwal et al. [3]).
+
+Sample a dense set of utility directions; for a trial error ε, each
+direction ``u_i`` defines the constraint set
+``T_i = {j : s_ij >= (1 - ε) · ω_k(u_i, P)}`` of tuples that would
+satisfy a user with utility ``u_i``. A subset ``Q`` with
+``mrr_k(Q) <= ε`` (on the sample) is exactly a *hitting set* of the
+``T_i``; greedy hitting (equivalently greedy set cover on the dual)
+finds one within a log factor of optimal. HS is min-size, so — per the
+paper's adaptation (§IV-A) — we binary search the smallest ε whose
+greedy hitting set fits in ``r`` tuples.
+
+Note the paper's observation for ``k > 1``: the constraint sets must be
+built over *all* tuples, not only the skyline, because ``ω_k`` is a
+rank-k score; pass the full database accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.sampling import sample_utilities
+from repro.utils import (
+    as_point_matrix,
+    check_k,
+    check_size_constraint,
+    resolve_rng,
+)
+
+
+def _greedy_hitting(ok: np.ndarray, r: int) -> np.ndarray | None:
+    """Greedy hitting set on boolean matrix ``ok[i, j]`` (dir i hit by j).
+
+    Returns at most ``r`` tuple indices or None when ``r`` is exceeded.
+    """
+    m = ok.shape[0]
+    covered = np.zeros(m, dtype=bool)
+    selected: list[int] = []
+    while not covered.all():
+        gains = ok[~covered].sum(axis=0)
+        j = int(np.argmax(gains))
+        if gains[j] == 0:
+            return None
+        selected.append(j)
+        covered |= ok[:, j]
+        if len(selected) > r:
+            return None
+    return np.asarray(selected, dtype=np.intp)
+
+
+def hitting_set(points, r: int, k: int = 1, *, n_samples: int = 4_000,
+                seed=None, tol: float = 1e-4) -> np.ndarray:
+    """Select at most ``r`` rows via ε-binary-search over greedy hitting.
+
+    Parameters
+    ----------
+    points : (n, d) array
+        Candidate pool (full database for ``k > 1``).
+    r, k : int
+        Size constraint and rank parameter.
+    n_samples : int
+        Number of sampled utility constraints.
+    tol : float
+        Binary-search resolution on ε.
+    """
+    pts = as_point_matrix(points)
+    r = check_size_constraint(r)
+    k = check_k(k)
+    n, d = pts.shape
+    if r >= n:
+        return np.arange(n, dtype=np.intp)
+    rng = resolve_rng(seed)
+    dirs = np.vstack([np.eye(d), sample_utilities(n_samples, d, seed=rng)])
+    scores = dirs @ pts.T                         # (m, n)
+    kk = min(k, n)
+    kth = -np.partition(-scores, kk - 1, axis=1)[:, kk - 1]   # ω_k per dir
+    kth_safe = np.where(kth > 0, kth, 0.0)
+
+    lo, hi = 0.0, 1.0
+    best: np.ndarray | None = None
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        ok = scores >= (1.0 - mid) * kth_safe[:, None]
+        sol = _greedy_hitting(ok, r)
+        if sol is not None:
+            best = sol
+            hi = mid
+        else:
+            lo = mid
+    if best is None:
+        ok = scores >= (1.0 - hi) * kth_safe[:, None]
+        best = _greedy_hitting(ok, r)
+    if best is None:  # pragma: no cover - ε→1 makes every tuple hit all
+        best = np.arange(min(r, n), dtype=np.intp)
+    return np.sort(best).astype(np.intp)

@@ -1,0 +1,78 @@
+"""RRR — rank-regret representative (extension, paper §V).
+
+Asudeh et al. [5] define regret by *rank* instead of score: the
+rank-regret of ``Q`` for utility ``u`` is the rank (in ``P``) of the
+best tuple of ``Q``; a *rank-regret representative* keeps that rank at
+most ``k`` for every utility. The difference matters on heavy-tailed
+score distributions, where a tiny score gap can hide many ranks.
+
+The paper discusses RRR as a related-but-different formulation (§V);
+this module provides a sampled implementation so users can compare both
+notions on the same data:
+
+* :func:`rank_regret` — max rank of ``Q``'s best tuple over sampled
+  utilities;
+* :func:`rrr_greedy` — greedy set-cover construction: each tuple covers
+  the sampled utilities where it ranks within k; covering all utilities
+  yields a (sampled) rank-regret ≤ k representative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.sampling import sample_utilities
+from repro.utils import as_point_matrix, check_k, resolve_rng
+
+
+def rank_regret(points_p, points_q, *, n_samples: int = 5_000, seed=None,
+                utilities=None) -> int:
+    """Maximum (sampled) rank of ``Q``'s best tuple within ``P``.
+
+    Rank 1 means: for every sampled utility, ``Q`` contains the top
+    tuple of ``P``. Lower is better; at most ``|P|``.
+    """
+    p = as_point_matrix(points_p, name="points_p")
+    q = as_point_matrix(points_q, name="points_q")
+    if utilities is None:
+        utilities = sample_utilities(n_samples, p.shape[1], seed=seed)
+    sp = utilities @ p.T                     # (m, n)
+    sq_best = (utilities @ q.T).max(axis=1)  # (m,)
+    # Rank of Q's best score among P's scores (1-based): number of P
+    # tuples scoring strictly higher, plus one.
+    higher = (sp > sq_best[:, None] + 1e-12).sum(axis=1)
+    return int(higher.max()) + 1
+
+
+def rrr_greedy(points, r: int, k: int = 1, *, n_samples: int = 5_000,
+               seed=None) -> np.ndarray:
+    """Greedy rank-regret representative of at most ``r`` tuples.
+
+    Covers sampled utilities with tuples ranking within ``k`` there.
+    If ``r`` tuples cannot cover every sampled utility at rank ``k``
+    (rank-regret ≤ k is infeasible at this size), the best-effort cover
+    is returned; check with :func:`rank_regret`.
+    """
+    pts = as_point_matrix(points)
+    n, d = pts.shape
+    k = check_k(k)
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    if r >= n:
+        return np.arange(n, dtype=np.intp)
+    rng = resolve_rng(seed)
+    utils = np.vstack([np.eye(d), sample_utilities(n_samples, d, seed=rng)])
+    scores = utils @ pts.T                   # (m, n)
+    kk = min(k, n)
+    kth = -np.partition(-scores, kk - 1, axis=1)[:, kk - 1]
+    ok = scores >= kth[:, None] - 1e-12      # tuple ranks within k at u
+    covered = np.zeros(ok.shape[0], dtype=bool)
+    selected: list[int] = []
+    while not covered.all() and len(selected) < r:
+        gains = ok[~covered].sum(axis=0)
+        j = int(np.argmax(gains))
+        if gains[j] == 0:  # pragma: no cover - k >= 1 makes rows coverable
+            break
+        selected.append(j)
+        covered |= ok[:, j]
+    return np.asarray(sorted(selected), dtype=np.intp)

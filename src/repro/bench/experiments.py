@@ -1,0 +1,126 @@
+"""Per-figure experiment drivers (§IV-B).
+
+Each function reproduces one sweep of the paper's evaluation at a
+configurable scale and returns a mapping suitable for tabular printing
+with :func:`format_series_table`. The benchmark scripts under
+``benchmarks/`` call these with laptop-scale defaults; EXPERIMENTS.md
+records shapes against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.bench.adapters import make_adapter
+from repro.bench.harness import RunResult, run_workload
+from repro.core.regret import RegretEvaluator
+from repro.data.workload import make_paper_workload
+
+
+def _run_one(name: str, points, k: int, r: int, *, seed, eval_samples,
+             estimate=True, n_snapshots=10, **extra) -> RunResult:
+    workload = make_paper_workload(points, seed=seed, n_snapshots=n_snapshots)
+    adapter = make_adapter(name, workload.initial, k, r, seed=seed,
+                           estimate=estimate, **extra)
+    evaluator = RegretEvaluator(points.shape[1], n_samples=eval_samples,
+                                seed=seed + 1 if isinstance(seed, int) else seed)
+    return run_workload(adapter, workload, evaluator, k)
+
+
+def experiment_epsilon_sweep(points, *, k: int = 1, r: int = 50,
+                             eps_values: Iterable[float] = (
+                                 0.0001, 0.0032, 0.0064, 0.0128, 0.0256, 0.0512),
+                             m_max: int = 1024, seed: int = 7,
+                             eval_samples: int = 20_000,
+                             n_snapshots: int = 10) -> dict[float, RunResult]:
+    """Fig. 5: FD-RMS update time and mrr as ε varies."""
+    out: dict[float, RunResult] = {}
+    for eps in eps_values:
+        out[float(eps)] = _run_one("FD-RMS", points, k, r, seed=seed,
+                                   eval_samples=eval_samples, eps=float(eps),
+                                   m_max=m_max, n_snapshots=n_snapshots)
+    return out
+
+
+def experiment_vary_r(points, algorithms: Iterable[str], *,
+                      r_values: Iterable[int] = (10, 25, 50, 75, 100),
+                      k: int = 1, seed: int = 7,
+                      eval_samples: int = 20_000,
+                      fdrms_eps: float = 0.02,
+                      m_max: int = 1024,
+                      n_snapshots: int = 10) -> dict[str, dict[int, RunResult]]:
+    """Fig. 6: update time and mrr as the result size r varies."""
+    out: dict[str, dict[int, RunResult]] = {}
+    for name in algorithms:
+        series: dict[int, RunResult] = {}
+        for r in r_values:
+            extra = {"eps": fdrms_eps, "m_max": m_max} if name == "FD-RMS" else {}
+            series[int(r)] = _run_one(name, points, k, int(r), seed=seed,
+                                      eval_samples=eval_samples,
+                                      n_snapshots=n_snapshots, **extra)
+        out[name] = series
+    return out
+
+
+def experiment_vary_k(points, algorithms: Iterable[str], *,
+                      k_values: Iterable[int] = (1, 2, 3, 4, 5),
+                      r: int = 10, seed: int = 7,
+                      eval_samples: int = 20_000,
+                      fdrms_eps: float = 0.02,
+                      m_max: int = 1024,
+                      n_snapshots: int = 10) -> dict[str, dict[int, RunResult]]:
+    """Fig. 7: update time and mrr as the rank parameter k varies."""
+    out: dict[str, dict[int, RunResult]] = {}
+    for name in algorithms:
+        series: dict[int, RunResult] = {}
+        for k in k_values:
+            extra = {"eps": fdrms_eps, "m_max": m_max} if name == "FD-RMS" else {}
+            series[int(k)] = _run_one(name, points, int(k), r, seed=seed,
+                                      eval_samples=eval_samples,
+                                      n_snapshots=n_snapshots, **extra)
+        out[name] = series
+    return out
+
+
+def experiment_scalability(make_points, algorithms: Iterable[str],
+                           sweep_values: Iterable, *, k: int = 1, r: int = 50,
+                           seed: int = 7, eval_samples: int = 20_000,
+                           fdrms_eps: float = 0.02,
+                           m_max: int = 1024,
+                           n_snapshots: int = 10) -> dict[str, dict]:
+    """Fig. 8: sweeps over d or n; ``make_points(value)`` builds the data."""
+    out: dict[str, dict] = {}
+    for name in algorithms:
+        series: dict = {}
+        for value in sweep_values:
+            points = make_points(value)
+            extra = {"eps": fdrms_eps, "m_max": m_max} if name == "FD-RMS" else {}
+            series[value] = _run_one(name, points, k, r, seed=seed,
+                                     eval_samples=eval_samples,
+                                     n_snapshots=n_snapshots, **extra)
+        out[name] = series
+    return out
+
+
+def format_series_table(series: Mapping[str, Mapping], *, x_label: str,
+                        metric: str = "avg_update_ms",
+                        fmt: str = "{:>10.3f}") -> str:
+    """Render nested run results as a paper-style text table.
+
+    Rows are algorithms, columns the swept parameter; ``metric`` is any
+    :class:`RunResult` property name (``avg_update_ms``, ``mean_mrr``).
+    """
+    xs = sorted({x for inner in series.values() for x in inner})
+    labels = [f"{x_label}={x}" for x in xs]
+    width = max(10, max(len(lbl) for lbl in labels))
+    header = f"{'algorithm':>12} | " + " ".join(f"{lbl:>{width}}" for lbl in labels)
+    lines = [header, "-" * len(header)]
+    for name, inner in series.items():
+        cells = []
+        for x in xs:
+            if x in inner:
+                cells.append(f"{fmt.format(getattr(inner[x], metric)):>{width}}")
+            else:
+                cells.append(" " * width)
+        lines.append(f"{name:>12} | " + " ".join(cells))
+    return "\n".join(lines)

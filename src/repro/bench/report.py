@@ -1,0 +1,80 @@
+"""Markdown report generation from run results.
+
+Turns :class:`repro.bench.harness.RunResult` collections into a
+self-contained markdown document: a comparison table, per-snapshot
+quality traces, and speedup factors against a chosen reference — the
+artifact a practitioner attaches to a ticket after running
+``python -m repro compare``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.bench.harness import RunResult
+
+
+def comparison_table(results: Sequence[RunResult], *,
+                     reference: str | None = None) -> str:
+    """Markdown table of update time / quality across algorithms.
+
+    ``reference`` names the algorithm whose update time anchors the
+    speedup column (default: the slowest).
+    """
+    if not results:
+        raise ValueError("no results to report")
+    by_name = {res.algorithm: res for res in results}
+    if reference is None:
+        reference = max(by_name, key=lambda n: by_name[n].avg_update_ms)
+    if reference not in by_name:
+        raise KeyError(f"reference {reference!r} not among results")
+    ref_ms = by_name[reference].avg_update_ms
+    lines = [
+        "| algorithm | avg update (ms) | speedup | mean mrr | max mrr |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    for res in sorted(results, key=lambda r: r.avg_update_ms):
+        speedup = ref_ms / res.avg_update_ms if res.avg_update_ms > 0 \
+            else float("inf")
+        lines.append(
+            f"| {res.algorithm} | {res.avg_update_ms:.3f} "
+            f"| {speedup:,.1f}x | {res.mean_mrr:.4f} | {res.max_mrr:.4f} |")
+    return "\n".join(lines)
+
+
+def quality_trace(result: RunResult) -> str:
+    """Markdown table of the per-snapshot quality trajectory."""
+    lines = [
+        f"**{result.algorithm}** — {result.n_operations} operations, "
+        f"{result.avg_update_ms:.3f} ms/op average",
+        "",
+        "| after op | db size | result size | mrr |",
+        "|---:|---:|---:|---:|",
+    ]
+    for snap in result.snapshots:
+        lines.append(f"| {snap.op_index} | {snap.db_size} "
+                     f"| {snap.result_size} | {snap.mrr:.4f} |")
+    return "\n".join(lines)
+
+
+def full_report(results: Sequence[RunResult], *, title: str,
+                context: Mapping[str, object] | None = None,
+                reference: str | None = None) -> str:
+    """Complete markdown report: header, context, comparison, traces."""
+    parts = [f"# {title}", ""]
+    if context:
+        parts.append("## Setup")
+        parts.append("")
+        for key, value in context.items():
+            parts.append(f"* **{key}**: {value}")
+        parts.append("")
+    parts.append("## Comparison")
+    parts.append("")
+    parts.append(comparison_table(results, reference=reference))
+    parts.append("")
+    parts.append("## Quality traces")
+    for res in results:
+        parts.append("")
+        parts.append(quality_trace(res))
+    parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``     dataset statistics (Table I style) for a named dataset.
+``run``       replay a dynamic workload with one algorithm; report
+              average update time and mrr at snapshots.
+``compare``   run several algorithms on the same workload side by side.
+``minsize``   print the ε ↦ |Q| trade-off curve.
+
+All commands generate their data via :mod:`repro.data` (named datasets:
+BB, AQ, CT, Movie, Indep, AntiCor) so no files are required; ``--n``
+controls the scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("dataset", help="BB | AQ | CT | Movie | Indep | AntiCor")
+    p.add_argument("--n", type=int, default=2000, help="dataset size")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _load(args) -> np.ndarray:
+    from repro.data import make_dataset
+    return make_dataset(args.dataset, n=args.n, seed=args.seed)
+
+
+def cmd_stats(args) -> int:
+    from repro.skyline import skyline_indices
+    pts = _load(args)
+    sky = skyline_indices(pts).size
+    print(f"dataset={args.dataset} n={pts.shape[0]} d={pts.shape[1]} "
+          f"#skyline={sky} ({sky / pts.shape[0]:.2%})")
+    return 0
+
+
+def _run_algorithms(args, names: list[str]) -> int:
+    from repro.bench import make_adapter, run_workload
+    from repro.core.regret import RegretEvaluator
+    from repro.data import make_paper_workload
+    pts = _load(args)
+    workload = make_paper_workload(pts, seed=args.seed + 1,
+                                   n_snapshots=args.snapshots)
+    evaluator = RegretEvaluator(pts.shape[1], n_samples=args.eval_samples,
+                                seed=args.seed + 2)
+    print(f"workload: {workload.n_operations} ops on {args.dataset} "
+          f"(n={pts.shape[0]}, d={pts.shape[1]}), RMS(k={args.k}, r={args.r})")
+    print(f"{'algorithm':>12} {'avg update (ms)':>16} {'mean mrr':>10} "
+          f"{'max mrr':>10}")
+    results = []
+    for name in names:
+        extra = {}
+        if name == "FD-RMS":
+            extra = {"eps": args.eps, "m_max": args.m_max}
+        adapter = make_adapter(name, workload.initial, args.k, args.r,
+                               seed=args.seed + 3, **extra)
+        res = run_workload(adapter, workload, evaluator, args.k)
+        results.append(res)
+        print(f"{name:>12} {res.avg_update_ms:>16.3f} {res.mean_mrr:>10.4f} "
+              f"{res.max_mrr:>10.4f}")
+    report_path = getattr(args, "report", None)
+    if report_path:
+        from repro.bench.report import full_report
+        context = {"dataset": args.dataset, "n": pts.shape[0],
+                   "d": pts.shape[1], "k": args.k, "r": args.r,
+                   "operations": workload.n_operations,
+                   "evaluation utilities": args.eval_samples}
+        text = full_report(results, title=f"k-RMS comparison on "
+                                          f"{args.dataset}", context=context)
+        from pathlib import Path
+        Path(report_path).write_text(text)
+        print(f"\nmarkdown report written to {report_path}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    return _run_algorithms(args, [args.algorithm])
+
+
+def cmd_compare(args) -> int:
+    return _run_algorithms(args, args.algorithms)
+
+
+def cmd_minsize(args) -> int:
+    from repro.core.minsize import min_size_curve
+    pts = _load(args)
+    eps_values = [float(x) for x in args.eps_values.split(",")]
+    curve = min_size_curve(pts, eps_values, k=args.k,
+                           n_samples=args.eval_samples, seed=args.seed + 2)
+    print(f"{'eps':>8} {'|Q|':>6}")
+    for eps in sorted(curve, reverse=True):
+        print(f"{eps:>8.4f} {curve[eps]:>6}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FD-RMS reproduction CLI (ICDE 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="dataset statistics (Table I)")
+    _add_common(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    def add_run_opts(p):
+        _add_common(p)
+        p.add_argument("--k", type=int, default=1)
+        p.add_argument("--r", type=int, default=20)
+        p.add_argument("--eps", type=float, default=0.02,
+                       help="FD-RMS top-k approximation factor")
+        p.add_argument("--m-max", type=int, default=1024, dest="m_max")
+        p.add_argument("--snapshots", type=int, default=5)
+        p.add_argument("--eval-samples", type=int, default=10_000,
+                       dest="eval_samples")
+        p.add_argument("--report", default=None,
+                       help="write a markdown report to this path")
+
+    p_run = sub.add_parser("run", help="replay one algorithm on a workload")
+    add_run_opts(p_run)
+    p_run.add_argument("--algorithm", default="FD-RMS",
+                       help="FD-RMS | Greedy | Sphere | HS | ... (see bench)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare algorithms side by side")
+    add_run_opts(p_cmp)
+    p_cmp.add_argument("--algorithms", nargs="+",
+                       default=["FD-RMS", "Sphere", "HS"])
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_ms = sub.add_parser("minsize", help="epsilon vs |Q| trade-off curve")
+    _add_common(p_ms)
+    p_ms.add_argument("--k", type=int, default=1)
+    p_ms.add_argument("--eps-values", default="0.2,0.1,0.05,0.02,0.01",
+                      dest="eps_values")
+    p_ms.add_argument("--eval-samples", type=int, default=3000,
+                      dest="eval_samples")
+    p_ms.set_defaults(func=cmd_minsize)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The paper's contribution: FD-RMS and its dynamic set-cover machinery."""
+
+from repro.core.topk import ApproxTopKIndex, MembershipDelta
+from repro.core.set_cover import StableSetCover
+from repro.core.fdrms import FDRMS
+from repro.core.regret import (
+    k_regret_ratio,
+    max_k_regret_ratio_sampled,
+    max_regret_ratio_lp,
+    RegretEvaluator,
+)
+from repro.core.minsize import min_size_curve, min_size_rms
+from repro.core.tuning import suggest_epsilon
+
+__all__ = [
+    "ApproxTopKIndex",
+    "MembershipDelta",
+    "StableSetCover",
+    "FDRMS",
+    "k_regret_ratio",
+    "max_k_regret_ratio_sampled",
+    "max_regret_ratio_lp",
+    "RegretEvaluator",
+    "min_size_rms",
+    "min_size_curve",
+    "suggest_epsilon",
+]

@@ -1,0 +1,297 @@
+"""FD-RMS: the fully-dynamic k-RMS algorithm (Algorithms 2–4).
+
+The pipeline, per §III of the paper:
+
+1. Draw ``M`` utility vectors (the first ``d`` are the standard basis,
+   the rest uniform on ``U``) and maintain each one's ε-approximate
+   top-k set ``Φ_{k,ε}(u_i, P_t)`` (:class:`repro.core.ApproxTopKIndex`).
+2. Build the set system ``Σ = (U, S)`` over the first ``m`` utilities:
+   ``S(p) = {u_i : i < m, p ∈ Φ_{k,ε}(u_i, P_t)}``.
+3. Maintain a *stable* set-cover solution ``C`` on ``Σ``
+   (:class:`repro.core.StableSetCover`); the k-RMS result is
+   ``Q_t = {p : S(p) ∈ C}``.
+4. Keep ``|C| = r`` by growing/shrinking the active prefix ``m``
+   (Algorithm 4, UPDATEM).
+
+INITIALIZATION (Algorithm 2) binary-searches ``m ∈ [r, M]`` so the
+greedy cover has exactly ``r`` sets; UPDATE (Algorithm 3) translates the
+membership deltas produced by the top-k maintainer into the set
+operations ``σ`` of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.set_cover import StableSetCover
+from repro.core.topk import ADD, REMOVE, ApproxTopKIndex, MembershipDelta
+from repro.data.database import Database
+from repro.geometry.sampling import sample_utilities_with_basis
+from repro.utils import check_epsilon, check_k, check_size_constraint
+
+
+class FDRMS:
+    """Fully-dynamic maintenance of a ``RMS(k, r)`` result.
+
+    Parameters
+    ----------
+    db : Database
+        The dynamic database ``P_0``; all further updates must go through
+        :meth:`insert` / :meth:`delete` of this object.
+    k : int
+        Rank parameter (``k = 1`` is the classic r-regret query).
+    r : int
+        Result size constraint (``r >= d``).
+    eps : float
+        Approximation factor ε of the top-k sets. Larger ε → denser set
+        system → more utility vectors needed → better quality, more work
+        (see Fig. 5 of the paper and ``benchmarks/bench_fig5_epsilon.py``).
+    m_max : int
+        Upper bound ``M`` on the number of utility vectors (``M > r``).
+    seed : int | numpy.random.Generator | None
+        Randomness for the utility sample.
+
+    Attributes
+    ----------
+    m : int
+        Current number of active utility vectors.
+    """
+
+    def __init__(self, db: Database, k: int, r: int, eps: float, *,
+                 m_max: int = 1024, seed=None) -> None:
+        self._db = db
+        self._k = check_k(k)
+        self._r = check_size_constraint(r, db.d)
+        self._eps = check_epsilon(eps)
+        if m_max <= r:
+            raise ValueError(f"m_max must exceed r, got m_max={m_max}, r={r}")
+        self._m_max = int(m_max)
+        utilities = sample_utilities_with_basis(self._m_max, db.d, seed=seed)
+        self._topk = ApproxTopKIndex(db, utilities, self._k, self._eps)
+        self._cover = StableSetCover()
+        self._m = self._r
+        self._stats = {"inserts": 0, "deletes": 0, "deltas": 0,
+                       "m_changes": 0, "cover_rebuilds": 0}
+        if len(db) > 0:
+            self._m = self._initialize()
+            self._update_m()
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def r(self) -> int:
+        return self._r
+
+    @property
+    def eps(self) -> float:
+        return self._eps
+
+    @property
+    def m(self) -> int:
+        """Number of active utility vectors (Algorithm 4 adjusts this)."""
+        return self._m
+
+    @property
+    def m_max(self) -> int:
+        return self._m_max
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    def statistics(self) -> dict[str, int]:
+        """Maintenance counters (operations, deltas, m changes, ...).
+
+        ``stabilize_steps`` exposes the cumulative STABILIZE work of the
+        underlying set cover — the quantity bounded by Lemma 2.
+        """
+        out = dict(self._stats)
+        out["stabilize_steps"] = self._cover.stabilize_steps
+        out["m"] = self._m
+        return out
+
+    def result(self) -> list[int]:
+        """Current k-RMS result ``Q_t`` as sorted tuple ids."""
+        return sorted(self._cover.solution())
+
+    def result_points(self) -> np.ndarray:
+        """Current result as an ``(|Q_t|, d)`` matrix."""
+        ids = self.result()
+        if not ids:
+            return np.empty((0, self._db.d))
+        return self._db.points(ids)
+
+    # ------------------------------------------------------------------
+    # Updates (Algorithm 3)
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        """Process ``Δ_t = <p, +>``; returns the new tuple id."""
+        fresh_start = len(self._db) == 0
+        pid, deltas = self._topk.insert(point)
+        self._stats["inserts"] += 1
+        self._stats["deltas"] += len(deltas)
+        if fresh_start:
+            self._rebuild_cover()
+        else:
+            self._apply_deltas(deltas)
+        if self._cover.solution_size() != self._r:
+            self._update_m()
+        return pid
+
+    def delete(self, tuple_id: int) -> None:
+        """Process ``Δ_t = <p, ->``."""
+        deltas = self._topk.delete(tuple_id)
+        self._stats["deletes"] += 1
+        self._stats["deltas"] += len(deltas)
+        if len(self._db) == 0:
+            self._cover = StableSetCover()
+            self._m = self._r
+            return
+        # Additions first so every element keeps a containing set, then
+        # removals of *other* tuples (numerical edge cases), finally the
+        # wholesale removal of S(p) with reassignment (Alg. 3 lines 9-12).
+        adds = [d for d in deltas if d.kind == ADD and d.u_index < self._m]
+        removes = [d for d in deltas if d.kind == REMOVE and d.u_index < self._m
+                   and d.tuple_id != tuple_id]
+        for delta in adds:
+            self._cover.add_to_set(delta.u_index, delta.tuple_id)
+        for delta in removes:
+            self._cover.remove_from_set(delta.u_index, delta.tuple_id)
+        self._cover.remove_set(tuple_id)
+        if self._cover.solution_size() != self._r:
+            self._update_m()
+
+    def verify(self, *, deep: bool = False) -> None:
+        """Self-check all maintained invariants; raises AssertionError.
+
+        Cheap checks (always): the result is a set of alive tuples, the
+        cover is a feasible *stable* cover (Definition 2), the active
+        universe is exactly the prefix ``[0, m)``, and every active
+        utility with a non-empty approximate top-k is covered by the
+        result (the feasibility core of Theorem 2).
+
+        ``deep=True`` additionally recomputes every ``Φ_{k,ε}`` from the
+        raw database (O(M·n)) and compares — the full §II-A membership
+        invariant. Intended for tests and debugging, not hot paths.
+        """
+        result = set(self.result())
+        for pid in result:
+            assert pid in self._db, f"result tuple {pid} not alive"
+        assert self._cover.is_cover(), "cover infeasible"
+        assert self._cover.is_stable(), "cover violates Definition 2"
+        if len(self._db) > 0:
+            assert self._cover.universe == frozenset(range(self._m)), \
+                "active universe is not the prefix [0, m)"
+            for u_idx in range(self._m):
+                members = set(self._topk.members_of(u_idx))
+                assert not members or members & result, \
+                    f"utility {u_idx} uncovered by the result"
+        if not deep:
+            return
+        ids, pts = self._db.snapshot()
+        for u_idx in range(self._m_max):
+            u = self._topk.utility(u_idx)
+            members = set(self._topk.members_of(u_idx))
+            if ids.size == 0:
+                assert members == set()
+                continue
+            scores = pts @ u
+            if ids.size <= self._k:
+                tau = 0.0
+            else:
+                kth = float(np.partition(scores, ids.size - self._k)
+                            [ids.size - self._k])
+                tau = (1.0 - self._eps) * kth
+            expect = {int(ids[row])
+                      for row in np.flatnonzero(scores >= tau - 1e-12)}
+            for pid in members ^ expect:
+                score = float(self._db.point(pid) @ u)
+                assert abs(score - tau) < 1e-9, (
+                    f"membership drift at utility {u_idx}, tuple {pid}")
+
+    def update(self, tuple_id: int, point) -> int:
+        """Process a value update as deletion + insertion (§II-B).
+
+        Returns the new tuple id of the updated tuple (ids are never
+        reused, so the tuple gets a fresh identity).
+        """
+        self.delete(tuple_id)
+        return self.insert(point)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _membership_prefix(self, m: int) -> dict[int, set[int]]:
+        """Set system restricted to the first ``m`` utilities."""
+        sets: dict[int, set[int]] = {}
+        for u_idx in range(m):
+            for pid in self._topk.members_of(u_idx):
+                sets.setdefault(pid, set()).add(u_idx)
+        return sets
+
+    def _initialize(self) -> int:
+        """Algorithm 2: binary search ``m`` so the greedy cover has r sets."""
+        lo, hi = self._r, self._m_max
+        chosen_m: int | None = None
+        fallback: tuple[int, int] | None = None  # (size distance, m)
+        while lo <= hi:
+            m = (lo + hi) // 2
+            cover = StableSetCover()
+            cover.build(self._membership_prefix(m))
+            size = cover.solution_size()
+            dist = abs(size - self._r)
+            if fallback is None or dist < fallback[0] or \
+                    (dist == fallback[0] and m > fallback[1]):
+                fallback = (dist, m)
+            if size == self._r or m == self._m_max:
+                chosen_m = m
+                self._cover = cover
+                break
+            if size < self._r:
+                lo = m + 1
+            else:
+                hi = m - 1
+        if chosen_m is None:
+            chosen_m = fallback[1] if fallback is not None else self._r
+            self._cover = StableSetCover()
+            self._cover.build(self._membership_prefix(chosen_m))
+        return chosen_m
+
+    def _rebuild_cover(self) -> None:
+        """Fresh greedy cover over the active prefix (edge-case path)."""
+        self._stats["cover_rebuilds"] += 1
+        self._cover = StableSetCover()
+        membership = self._membership_prefix(self._m)
+        if membership:
+            self._cover.build(membership)
+
+    def _apply_deltas(self, deltas: list[MembershipDelta]) -> None:
+        """Translate top-k membership deltas into Algorithm 1 operations."""
+        for delta in deltas:
+            if delta.u_index >= self._m:
+                continue
+            if delta.kind == ADD:
+                self._cover.add_to_set(delta.u_index, delta.tuple_id)
+            else:
+                self._cover.remove_from_set(delta.u_index, delta.tuple_id)
+
+    def _update_m(self) -> None:
+        """Algorithm 4: resize the active utility prefix until |C| = r."""
+        m_before = self._m
+        while self._cover.solution_size() < self._r and self._m < self._m_max:
+            u_idx = self._m
+            members = self._topk.members_of(u_idx)
+            if not members:
+                break  # database empty; nothing to cover with
+            self._cover.add_element(u_idx, members)
+            self._m += 1
+        while self._cover.solution_size() > self._r and self._m > self._r:
+            self._m -= 1
+            self._cover.remove_element(self._m)
+        if self._m != m_before:
+            self._stats["m_changes"] += 1

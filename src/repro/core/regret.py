@@ -1,0 +1,152 @@
+"""Regret-ratio computation and estimation.
+
+Implements the quantities of §II-A:
+
+* ``rr_k(u, Q)`` — the k-regret ratio of ``Q`` over ``P`` for one
+  utility vector (:func:`k_regret_ratio`);
+* ``mrr_k(Q) = max_u rr_k(u, Q)`` — estimated over a large random
+  utility sample, exactly as the paper's evaluation does with 500 K test
+  vectors (:func:`max_k_regret_ratio_sampled`, :class:`RegretEvaluator`);
+* an **exact** LP-based ``mrr_1`` for ``k = 1``
+  (:func:`max_regret_ratio_lp`), used by tests to validate the sampled
+  estimator and by the LP-driven baselines.
+
+All sampled estimators are vectorized and batched so that ``n × m``
+score matrices never exceed a bounded memory footprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.hull import extreme_points
+from repro.geometry.lp import worst_case_ratio
+from repro.geometry.sampling import sample_utilities
+from repro.utils import as_point_matrix, check_k, resolve_rng
+
+
+def k_regret_ratio(u, points_p, points_q, k: int = 1) -> float:
+    """Exact ``rr_k(u, Q)`` for a single utility vector.
+
+    ``rr_k(u, Q) = max(0, 1 - ω(u, Q) / ω_k(u, P))``. When ``P`` holds
+    fewer than ``k`` tuples, the k-th best score degrades to the minimum
+    (every tuple is a top-k tuple). A nonpositive ``ω_k`` yields 0 — no
+    utility can regret a score that is not positive.
+    """
+    p = as_point_matrix(points_p, name="points_p")
+    q = as_point_matrix(points_q, name="points_q")
+    u = np.asarray(u, dtype=np.float64).reshape(-1)
+    k = check_k(k)
+    sp = p @ u
+    kth = float(np.partition(sp, -min(k, sp.size))[-min(k, sp.size)])
+    if kth <= 0.0:
+        return 0.0
+    best = float(np.max(q @ u))
+    return float(max(0.0, 1.0 - best / kth))
+
+
+def max_k_regret_ratio_sampled(points_p, points_q, k: int = 1, *,
+                               n_samples: int = 100_000, seed=None,
+                               batch: int = 2048,
+                               utilities=None) -> float:
+    """Monte-Carlo estimate of ``mrr_k(Q)`` over ``n_samples`` utilities.
+
+    This mirrors the paper's measurement protocol (§IV-A): draw a large
+    test set of random utility vectors and report the maximum observed
+    k-regret ratio. Pass ``utilities`` to reuse a fixed test set across
+    snapshots/algorithms (recommended for comparisons).
+    """
+    p = as_point_matrix(points_p, name="points_p")
+    q = as_point_matrix(points_q, name="points_q")
+    if p.shape[1] != q.shape[1]:
+        raise ValueError("points_p and points_q must share dimensionality")
+    k = check_k(k)
+    if utilities is None:
+        utilities = sample_utilities(n_samples, p.shape[1], seed=resolve_rng(seed))
+    else:
+        utilities = np.asarray(utilities, dtype=np.float64)
+    worst = 0.0
+    n = p.shape[0]
+    kk = min(k, n)
+    for start in range(0, utilities.shape[0], batch):
+        block = utilities[start:start + batch]
+        sp = p @ block.T                     # (n, b)
+        kth = np.partition(sp, n - kk, axis=0)[n - kk]
+        best = (q @ block.T).max(axis=0)     # (b,)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rr = 1.0 - np.divide(best, kth, out=np.ones_like(best),
+                                 where=kth > 0)
+        rr[kth <= 0] = 0.0
+        block_worst = float(rr.max(initial=0.0))
+        if block_worst > worst:
+            worst = block_worst
+    return float(np.clip(worst, 0.0, 1.0))
+
+
+def max_regret_ratio_lp(points_p, points_q, *, prefilter: str = "hull",
+                        seed=None) -> float:
+    """Exact ``mrr_1(Q)`` via one LP per candidate tuple (k = 1 only).
+
+    The maximum over utilities of ``1 - ω(u, Q)/ω(u, P)`` equals the
+    maximum over tuples ``p ∈ P`` of the LP value
+    ``max_u {1 - ω(u, Q) : <u, p> = 1, u >= 0}`` — see
+    :func:`repro.geometry.lp.worst_case_ratio`. Since only tuples that
+    are top-1 for some direction can attain the maximum, candidates are
+    pre-filtered to the convex-hull extremes by default
+    (``prefilter='none'`` scans everything; ``'hull'`` is exact).
+    """
+    p = as_point_matrix(points_p, name="points_p")
+    q = as_point_matrix(points_q, name="points_q")
+    if prefilter == "hull":
+        candidates = p[extreme_points(p, seed=seed)]
+    elif prefilter == "none":
+        candidates = p
+    else:
+        raise ValueError(f"unknown prefilter {prefilter!r}")
+    worst = 0.0
+    for row in candidates:
+        value = worst_case_ratio(row, q)
+        if value > worst:
+            worst = value
+    return float(worst)
+
+
+class RegretEvaluator:
+    """A fixed utility test set for consistent ``mrr_k`` comparisons.
+
+    The paper evaluates every recorded result against the *same* 500 K
+    random utility vectors; this class freezes such a test set so that
+    different algorithms and snapshots are measured identically.
+
+    Parameters
+    ----------
+    d : int
+        Dimensionality.
+    n_samples : int
+        Size of the test set (includes the ``d`` basis vectors, which
+        catch single-attribute regret exactly).
+    seed : int | Generator | None
+    """
+
+    def __init__(self, d: int, *, n_samples: int = 100_000, seed=None) -> None:
+        if n_samples < d:
+            raise ValueError(f"n_samples must be >= d, got {n_samples}")
+        rng = resolve_rng(seed)
+        self._utilities = np.vstack([
+            np.eye(d),
+            sample_utilities(n_samples - d, d, seed=rng),
+        ])
+        self._d = d
+
+    @property
+    def utilities(self) -> np.ndarray:
+        return self._utilities
+
+    @property
+    def n_samples(self) -> int:
+        return self._utilities.shape[0]
+
+    def evaluate(self, points_p, points_q, k: int = 1) -> float:
+        """Estimated ``mrr_k`` of ``Q`` over ``P`` on the frozen test set."""
+        return max_k_regret_ratio_sampled(
+            points_p, points_q, k, utilities=self._utilities)

@@ -1,0 +1,392 @@
+"""Dynamic set cover with *stable* solutions (Algorithm 1 of the paper).
+
+A set-cover solution ``C`` assigns every universe element ``u`` to one
+set ``φ(u) ∈ C`` containing it; ``cov(S)`` is the set of elements
+assigned to ``S``. Sets are organized in levels: ``S ∈ L_j`` iff
+``2^j <= |cov(S)| < 2^{j+1}``. The solution is **stable**
+(Definition 2) when
+
+1. every set sits in the level matching its cover size, and
+2. no candidate set ``S ∈ 𝒮`` (in the solution or not) has
+   ``|S ∩ A_j| >= 2^{j+1}`` for any level ``j``, where ``A_j`` is the set
+   of elements assigned at level ``j``.
+
+Theorem 1: any stable solution is ``(2 + 2·log2 m)``-approximate.
+
+This implementation supports the four operations of Algorithm 1 —
+element insertion/removal in the universe and element insertion/removal
+in a candidate set — plus whole-set removal (needed when a tuple is
+deleted). To find Condition-2 violations without scanning all of ``𝒮``,
+it maintains for every candidate set a partition of its member elements
+by their *assignment level* (``_by_level``); any bucket reaching
+``2^{j+1}`` enqueues a violation, and STABILIZE drains the queue
+(lowest level first). A step cap guards the (practically unreached)
+worst case by falling back to a fresh greedy solution, which is stable
+by Lemma 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+
+
+def _level_of(size: int) -> int:
+    """Level index ``j`` with ``2^j <= size < 2^{j+1}`` (size >= 1)."""
+    return size.bit_length() - 1
+
+
+class StableSetCover:
+    """A dynamically maintained, stable set-cover solution.
+
+    Elements and sets are identified by hashable keys (FD-RMS uses
+    integer utility indices and tuple ids). The instance owns the
+    membership relation: mutate it only through the public methods.
+    """
+
+    def __init__(self) -> None:
+        # Membership relation (the set system Σ).
+        self._elem_sets: dict = defaultdict(set)   # elem -> {sid}
+        self._set_elems: dict = defaultdict(set)   # sid  -> {elem}
+        # Solution state.
+        self._phi: dict = {}                       # elem -> sid
+        self._cov: dict = defaultdict(set)         # sid  -> {elem}
+        self._level: dict = {}                     # sid in C -> level j
+        self._elem_level: dict = {}                # elem -> level of φ(elem)
+        # Per-set partition of member elements by assignment level.
+        self._by_level: dict = defaultdict(lambda: defaultdict(set))
+        # Pending Condition-2 checks: heap of (j, sid) + dedup set.
+        self._pending: list = []
+        self._pending_keys: set = set()
+        self.stabilize_steps = 0  # cumulative, for diagnostics/benchmarks
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> frozenset:
+        return frozenset(self._elem_sets.keys())
+
+    def solution(self) -> frozenset:
+        """The sets currently in the cover ``C``."""
+        return frozenset(self._level.keys())
+
+    def solution_size(self) -> int:
+        return len(self._level)
+
+    def cover_of(self, sid) -> frozenset:
+        """``cov(S)`` of a set (empty if not in the solution)."""
+        return frozenset(self._cov.get(sid, frozenset()))
+
+    def assignment(self, elem):
+        """``φ(elem)`` — the covering set of an element."""
+        return self._phi[elem]
+
+    def sets_of(self, elem) -> frozenset:
+        return frozenset(self._elem_sets.get(elem, frozenset()))
+
+    def members(self, sid) -> frozenset:
+        return frozenset(self._set_elems.get(sid, frozenset()))
+
+    # ------------------------------------------------------------------
+    # Bulk (re)construction — GREEDY of Algorithm 1
+    # ------------------------------------------------------------------
+    def build(self, membership: dict) -> None:
+        """Install set system ``membership`` (sid -> iterable of elems)
+        and compute a fresh greedy solution (stable by Lemma 1)."""
+        self._elem_sets = defaultdict(set)
+        self._set_elems = defaultdict(set)
+        for sid, elems in membership.items():
+            for elem in elems:
+                self._elem_sets[elem].add(sid)
+                self._set_elems[sid].add(elem)
+        uncovered = set(self._elem_sets.keys())
+        for elem, sids in self._elem_sets.items():
+            if not sids:
+                raise ValueError(f"element {elem!r} is covered by no set")
+        self._greedy(uncovered)
+
+    def rebuild(self) -> None:
+        """Recompute the solution greedily from the current membership."""
+        self._greedy(set(self._elem_sets.keys()))
+
+    def _greedy(self, uncovered: set) -> None:
+        self._phi = {}
+        self._cov = defaultdict(set)
+        self._level = {}
+        self._elem_level = {}
+        self._by_level = defaultdict(lambda: defaultdict(set))
+        self._pending = []
+        self._pending_keys = set()
+        # Bucket-queue greedy: sets keyed by current uncovered-gain.
+        gain = {sid: len(elems & uncovered) if uncovered else 0
+                for sid, elems in self._set_elems.items()}
+        heap = [(-g, sid) for sid, g in gain.items() if g > 0]
+        heapq.heapify(heap)
+        while uncovered:
+            while heap:
+                neg_g, sid = heapq.heappop(heap)
+                actual = len(self._set_elems[sid] & uncovered)
+                if actual == 0:
+                    continue
+                if actual != -neg_g:
+                    heapq.heappush(heap, (-actual, sid))
+                    continue
+                break
+            else:
+                raise ValueError("greedy failed: some element is uncoverable")
+            won = self._set_elems[sid] & uncovered
+            for elem in won:
+                self._phi[elem] = sid
+                self._cov[sid].add(elem)
+            uncovered -= won
+            j = _level_of(len(self._cov[sid]))
+            self._level[sid] = j
+            for elem in won:
+                self._set_elem_level(elem, j)
+        self._stabilize()
+
+    # ------------------------------------------------------------------
+    # Dynamic operations (the four σ of Algorithm 1 + whole-set removal)
+    # ------------------------------------------------------------------
+    def add_to_set(self, elem, sid) -> None:
+        """σ = (u, S, +): element ``elem`` joins candidate set ``sid``."""
+        if elem not in self._elem_sets:
+            # Membership recorded even for elements outside the universe
+            # view is not supported: callers add elements explicitly.
+            raise KeyError(f"element {elem!r} is not in the universe")
+        if sid in self._elem_sets[elem]:
+            return
+        self._elem_sets[elem].add(sid)
+        self._set_elems[sid].add(elem)
+        lvl = self._elem_level.get(elem)
+        if lvl is not None:
+            bucket = self._by_level[sid][lvl]
+            bucket.add(elem)
+            self._queue_check(sid, lvl)
+        self._stabilize()
+
+    def remove_from_set(self, elem, sid) -> None:
+        """σ = (u, S, -): element ``elem`` leaves candidate set ``sid``.
+
+        If ``elem`` was assigned to ``sid``, it is reassigned to another
+        containing set (which must exist, else :class:`ValueError`).
+        """
+        if sid not in self._elem_sets.get(elem, ()):  # no-op if absent
+            return
+        self._elem_sets[elem].discard(sid)
+        self._set_elems[sid].discard(elem)
+        if not self._set_elems[sid]:
+            del self._set_elems[sid]
+        lvl = self._elem_level.get(elem)
+        if lvl is not None and sid in self._by_level:
+            self._by_level[sid][lvl].discard(elem)
+        if self._phi.get(elem) == sid:
+            self._unassign(elem, sid)
+            self._assign_somewhere(elem)
+        self._stabilize()
+
+    def add_element(self, elem, member_sids) -> None:
+        """σ = (u, U, +): a new element joins the universe.
+
+        ``member_sids`` lists the candidate sets containing it (must be
+        non-empty, otherwise no cover exists).
+        """
+        sids = set(member_sids)
+        if not sids:
+            raise ValueError(f"element {elem!r} must belong to at least one set")
+        if elem in self._elem_sets:
+            raise KeyError(f"element {elem!r} already in the universe")
+        self._elem_sets[elem] = set(sids)
+        for sid in sids:
+            self._set_elems[sid].add(elem)
+        self._assign_somewhere(elem)
+        self._stabilize()
+
+    def remove_element(self, elem) -> None:
+        """σ = (u, U, -): an element leaves the universe entirely."""
+        if elem not in self._elem_sets:
+            raise KeyError(f"element {elem!r} not in the universe")
+        sid = self._phi.get(elem)
+        if sid is not None:
+            self._unassign(elem, sid)
+        for owner in self._elem_sets.pop(elem):
+            self._set_elems[owner].discard(elem)
+            if not self._set_elems[owner]:
+                self._set_elems.pop(owner)
+            if owner in self._by_level:
+                lvl_map = self._by_level[owner]
+                for bucket in lvl_map.values():
+                    bucket.discard(elem)
+        self._elem_level.pop(elem, None)
+        self._stabilize()
+
+    def remove_set(self, sid) -> None:
+        """Remove candidate set ``sid`` (tuple deletion in FD-RMS).
+
+        Every element assigned to it is reassigned; elements merely
+        *containing* it lose the membership.
+        """
+        members = self._set_elems.pop(sid, None)
+        if members is None:
+            return
+        for elem in members:
+            self._elem_sets[elem].discard(sid)
+        self._by_level.pop(sid, None)
+        orphans = list(self._cov.get(sid, ()))
+        if sid in self._cov:
+            del self._cov[sid]
+        self._level.pop(sid, None)
+        for elem in orphans:
+            self._phi.pop(elem, None)
+            old = self._elem_level.pop(elem, None)
+            if old is not None:
+                self._clear_elem_level(elem, old)
+        for elem in orphans:
+            self._assign_somewhere(elem)
+        self._stabilize()
+
+    # ------------------------------------------------------------------
+    # Verification (used by tests; exhaustive, not fast)
+    # ------------------------------------------------------------------
+    def is_cover(self) -> bool:
+        """Every universe element is assigned to a containing set."""
+        for elem, sids in self._elem_sets.items():
+            sid = self._phi.get(elem)
+            if sid is None or sid not in sids:
+                return False
+        return True
+
+    def is_stable(self) -> bool:
+        """Exhaustively check Definition 2 (both conditions)."""
+        for sid, cover in self._cov.items():
+            if not cover:
+                return False
+            if self._level.get(sid) != _level_of(len(cover)):
+                return False
+        assigned_at: dict = defaultdict(set)
+        for elem, sid in self._phi.items():
+            assigned_at[self._level[sid]].add(elem)
+        for j, a_j in assigned_at.items():
+            cap = 2 ** (j + 1)
+            for sid, elems in self._set_elems.items():
+                if len(elems & a_j) >= cap:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _queue_check(self, sid, j) -> None:
+        if len(self._by_level[sid][j]) >= 2 ** (j + 1):
+            key = (j, sid)
+            if key not in self._pending_keys:
+                self._pending_keys.add(key)
+                heapq.heappush(self._pending, key)
+
+    def _set_elem_level(self, elem, new_j) -> None:
+        """Move ``elem``'s assignment level to ``new_j`` in all buckets."""
+        old = self._elem_level.get(elem)
+        if old == new_j:
+            return
+        for sid in self._elem_sets[elem]:
+            lvl_map = self._by_level[sid]
+            if old is not None:
+                lvl_map[old].discard(elem)
+            lvl_map[new_j].add(elem)
+            self._queue_check(sid, new_j)
+        self._elem_level[elem] = new_j
+
+    def _clear_elem_level(self, elem, old_j) -> None:
+        """Drop ``elem`` from the level buckets (it became unassigned)."""
+        for sid in self._elem_sets.get(elem, ()):
+            if sid in self._by_level:
+                self._by_level[sid][old_j].discard(elem)
+
+    def _unassign(self, elem, sid) -> None:
+        """Remove ``elem`` from ``cov(sid)`` and relevel the donor."""
+        self._cov[sid].discard(elem)
+        self._phi.pop(elem, None)
+        old = self._elem_level.pop(elem, None)
+        if old is not None:
+            self._clear_elem_level(elem, old)
+        self._relevel(sid)
+
+    def _assign_somewhere(self, elem) -> None:
+        """Assign ``elem`` to a containing set (RELEVEL included).
+
+        Preference order: the containing set already in ``C`` at the
+        highest level (minimizes churn and keeps |C| small), else any
+        containing set, which then joins ``C`` at level 0.
+        """
+        candidates = self._elem_sets.get(elem)
+        if not candidates:
+            raise ValueError(f"element {elem!r} has no containing set; "
+                             "cover would become infeasible")
+        best, best_level = None, -1
+        for sid in candidates:
+            lvl = self._level.get(sid, -1)
+            if lvl > best_level or (lvl == best_level and best is None):
+                best, best_level = sid, lvl
+        self._phi[elem] = best
+        self._cov[best].add(elem)
+        self._relevel(best)
+
+    def _relevel(self, sid) -> None:
+        """RELEVEL of Algorithm 1: sync ``sid``'s level with |cov|."""
+        size = len(self._cov.get(sid, ()))
+        if size == 0:
+            self._cov.pop(sid, None)
+            self._level.pop(sid, None)
+            return
+        new_j = _level_of(size)
+        old_j = self._level.get(sid)
+        if old_j == new_j:
+            # Elements may still need bucket sync if freshly assigned.
+            for elem in self._cov[sid]:
+                if self._elem_level.get(elem) != new_j:
+                    self._set_elem_level(elem, new_j)
+            return
+        self._level[sid] = new_j
+        for elem in self._cov[sid]:
+            self._set_elem_level(elem, new_j)
+
+    def _stabilize(self) -> None:
+        """STABILIZE of Algorithm 1, violation-queue driven.
+
+        Processes Condition-2 violations lowest level first. A step cap
+        (generous; never hit in our experiments) falls back to a fresh
+        greedy solution, which Lemma 1 guarantees stable.
+        """
+        m = max(1, len(self._elem_sets))
+        cap = 64 + 16 * m * (m.bit_length() + 1)
+        steps = 0
+        while self._pending:
+            key = heapq.heappop(self._pending)
+            self._pending_keys.discard(key)
+            j, sid = key
+            if sid not in self._set_elems:
+                continue
+            bucket = self._by_level[sid][j]
+            if len(bucket) < 2 ** (j + 1):
+                continue
+            steps += 1
+            self.stabilize_steps += 1
+            if steps > cap:  # pragma: no cover - safety valve
+                self.rebuild()
+                return
+            # Absorb S ∩ A_j into cov(S); donors shrink and relevel.
+            for elem in list(bucket):
+                owner = self._phi.get(elem)
+                if owner == sid:
+                    continue
+                if owner is not None:
+                    self._cov[owner].discard(elem)
+                    old = self._elem_level.pop(elem, None)
+                    if old is not None:
+                        self._clear_elem_level(elem, old)
+                    self._phi.pop(elem, None)
+                    self._relevel(owner)
+                self._phi[elem] = sid
+                self._cov[sid].add(elem)
+            self._relevel(sid)

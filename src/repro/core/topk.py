@@ -1,0 +1,320 @@
+"""Maintenance of ε-approximate top-k sets ``Φ_{k,ε}(u_i, P_t)``.
+
+For each sampled utility ``u_i``, FD-RMS tracks the set of tuples whose
+score is at least ``τ_i = (1 - ε) · ω_k(u_i, P_t)`` (§II-A). This module
+keeps those sets current across tuple insertions and deletions using the
+dual-tree of §III-C:
+
+* the **k-d tree** (tuple index) answers exact top-k and score-range
+  queries against the live database;
+* the **cone tree** (utility index) finds, for an inserted tuple, the
+  utilities whose threshold the tuple reaches — all others are untouched.
+
+Membership invariant, for every utility ``i`` and time ``t``::
+
+    members[i] = { p alive : <u_i, p> >= τ_i },  τ_i = (1-ε)·ω_k(u_i, P_t)
+
+with the convention ``τ_i = 0`` while the database holds at most ``k``
+tuples (then everything is a top-k tuple).
+
+Each update returns the exact list of membership changes it caused
+(:class:`MembershipDelta`), which FD-RMS feeds to the dynamic set-cover
+layer as the set operations ``σ`` of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.index.conetree import ConeTree
+from repro.index.kdtree import KDTree
+from repro.utils import check_epsilon, check_k
+
+ADD = "+"
+REMOVE = "-"
+
+
+def _default_index_factory(ids, points, d: int) -> KDTree:
+    """The default tuple index: a k-d tree (possibly empty)."""
+    if len(ids) == 0:
+        return KDTree(d)
+    return KDTree.build(ids, points)
+
+
+@dataclass(frozen=True)
+class MembershipDelta:
+    """One change of ``Φ_{k,ε}(u, P)``: tuple ``pid`` joined/left set ``u``."""
+
+    u_index: int
+    tuple_id: int
+    kind: str  # ADD or REMOVE
+
+
+class _MemberList:
+    """Sorted container of (score, tuple_id) pairs for one utility.
+
+    Ascending by (score, id); supports O(log s) insert/remove, O(1)
+    k-th-largest lookup, and bulk eviction of the low-score prefix.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return any(tid == tuple_id for _, tid in self.entries)
+
+    def add(self, score: float, tuple_id: int) -> None:
+        bisect.insort(self.entries, (score, tuple_id))
+
+    def remove(self, score: float, tuple_id: int) -> None:
+        idx = bisect.bisect_left(self.entries, (score, tuple_id))
+        if idx >= len(self.entries) or self.entries[idx] != (score, tuple_id):
+            raise KeyError(f"({score}, {tuple_id}) not in member list")
+        del self.entries[idx]
+
+    def kth_largest(self, k: int) -> float:
+        """Score of the k-th best member (requires ``len >= k``)."""
+        return self.entries[-k][0]
+
+    def evict_below(self, threshold: float) -> list[tuple[float, int]]:
+        """Drop and return all entries with score < threshold."""
+        idx = bisect.bisect_left(self.entries, (threshold, -1))
+        evicted = self.entries[:idx]
+        del self.entries[:idx]
+        return evicted
+
+    def ids(self) -> list[int]:
+        return [tid for _, tid in self.entries]
+
+
+class ApproxTopKIndex:
+    """Maintains ``Φ_{k,ε}(u_i, P_t)`` for a pool of ``M`` utilities.
+
+    Parameters
+    ----------
+    db : Database
+        The dynamic database; updates must be applied to ``db`` *through*
+        :meth:`insert` / :meth:`delete` of this index (it forwards them),
+        or applied first and then notified — see the two methods.
+    utilities : (M, d) array
+        Unit utility vectors; the pool is fixed for the index lifetime.
+    k : int
+        Rank parameter of the k-RMS query.
+    eps : float
+        Approximation factor ε of the top-k sets.
+    index_factory : callable(ids, points, d) -> tuple index, optional
+        Builds the tuple index TI. The default is the k-d tree; §III-C
+        allows any space-partitioning index with the same interface
+        (``insert`` / ``delete`` / ``top_k`` / ``range_query``), e.g.
+        :class:`repro.index.quadtree.QuadTree`.
+    """
+
+    def __init__(self, db: Database, utilities, k: int, eps: float, *,
+                 index_factory=None) -> None:
+        self._db = db
+        self._u = np.ascontiguousarray(utilities, dtype=np.float64)
+        if self._u.ndim != 2 or self._u.shape[1] != db.d:
+            raise ValueError("utilities must be (M, d) with d matching the database")
+        self._m_total = self._u.shape[0]
+        self._k = check_k(k)
+        self._eps = check_epsilon(eps)
+        self._members: list[_MemberList] = [_MemberList() for _ in range(self._m_total)]
+        self._inverted: dict[int, set[int]] = {}
+        ids, pts = db.snapshot()
+        if index_factory is None:
+            index_factory = _default_index_factory
+        self._kdtree = index_factory(ids, pts, db.d)
+        self._cone = ConeTree(self._u)
+        self._bootstrap(ids, pts)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def eps(self) -> float:
+        return self._eps
+
+    @property
+    def pool_size(self) -> int:
+        """Number of utility vectors in the pool (M)."""
+        return self._m_total
+
+    def utility(self, idx: int) -> np.ndarray:
+        return self._u[idx].copy()
+
+    def members_of(self, u_index: int) -> list[int]:
+        """Tuple ids currently in ``Φ_{k,ε}(u_index, P_t)``."""
+        return self._members[u_index].ids()
+
+    def sets_containing(self, tuple_id: int) -> frozenset[int]:
+        """``S(p)``: utility indices whose approximate top-k holds ``tuple_id``."""
+        return frozenset(self._inverted.get(tuple_id, frozenset()))
+
+    def threshold(self, u_index: int) -> float:
+        """Current ``τ_i`` of utility ``u_index``."""
+        return self._cone.threshold(u_index)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, point) -> tuple[int, list[MembershipDelta]]:
+        """Insert ``point`` into the database; maintain all top-k sets.
+
+        Returns the new tuple id and the membership deltas (the new tuple
+        joining sets, plus any tuples evicted when thresholds rose).
+        """
+        pid = self._db.insert(point)
+        vec = self._db.point(pid)
+        self._kdtree.insert(pid, vec)
+        deltas: list[MembershipDelta] = []
+        n = len(self._db)
+        if n <= self._k:
+            # Everything is a top-k tuple: the new point joins every set
+            # and all thresholds stay at 0.
+            for i in range(self._m_total):
+                self._add_member(i, float(self._u[i] @ vec), pid, deltas)
+            return pid, deltas
+        if n == self._k + 1:
+            # The database just outgrew k: thresholds become meaningful
+            # for the first time; initialize them for every utility.
+            for i in range(self._m_total):
+                self._add_member(i, float(self._u[i] @ vec), pid, deltas)
+                self._refresh_threshold(i, deltas)
+            return pid, deltas
+        for i in self._cone.reached_by(vec):
+            self._add_member(i, float(self._u[i] @ vec), pid, deltas)
+            self._refresh_threshold(i, deltas)
+        return pid, deltas
+
+    def delete(self, tuple_id: int) -> list[MembershipDelta]:
+        """Delete ``tuple_id`` from the database; maintain all top-k sets.
+
+        Only utilities whose approximate top-k holds the tuple are
+        touched (found via the inverted index ``S(p)``). When the tuple
+        was among the exact top-k of a utility, the k-d tree recomputes
+        ``ω_k`` and a range query rebuilds the member set.
+        """
+        vec = self._db.delete(tuple_id)
+        self._kdtree.delete(tuple_id)
+        affected = sorted(self._inverted.get(tuple_id, frozenset()))
+        deltas: list[MembershipDelta] = []
+        for i in affected:
+            score = float(self._u[i] @ vec)
+            was_topk = len(self._db) < self._k or score >= self._kth_member_score(i)
+            self._remove_member(i, score, tuple_id, deltas)
+            if was_topk:
+                self._rebuild_utility(i, deltas)
+        return deltas
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bootstrap(self, ids: np.ndarray, pts: np.ndarray) -> None:
+        """Vectorized initial computation of every ``Φ_{k,ε}``."""
+        n = ids.shape[0]
+        if n == 0:
+            for i in range(self._m_total):
+                self._cone.activate(i, 0.0)
+            return
+        chunk = max(1, int(4_000_000 // max(1, n)))
+        for start in range(0, self._m_total, chunk):
+            block = self._u[start:start + chunk]
+            scores = pts @ block.T  # (n, b)
+            if n <= self._k:
+                taus = np.zeros(block.shape[0])
+            else:
+                kth = np.partition(scores, n - self._k, axis=0)[n - self._k]
+                taus = (1.0 - self._eps) * kth
+            for col in range(block.shape[0]):
+                i = start + col
+                tau = float(taus[col])
+                hit = np.flatnonzero(scores[:, col] >= tau)
+                mlist = self._members[i]
+                for row in hit:
+                    pid = int(ids[row])
+                    mlist.add(float(scores[row, col]), pid)
+                    self._inverted.setdefault(pid, set()).add(i)
+                self._cone.activate(i, tau)
+
+    def _kth_member_score(self, i: int) -> float:
+        """``ω_k(u_i, P)`` read off the member list (members ⊇ top-k)."""
+        mlist = self._members[i]
+        if len(mlist) < self._k:
+            # Member list smaller than k can only happen while n < k,
+            # where τ = 0 and members = all tuples.
+            return mlist.entries[0][0] if mlist.entries else 0.0
+        return mlist.kth_largest(self._k)
+
+    def _add_member(self, i: int, score: float, pid: int,
+                    deltas: list[MembershipDelta]) -> None:
+        self._members[i].add(score, pid)
+        self._inverted.setdefault(pid, set()).add(i)
+        deltas.append(MembershipDelta(i, pid, ADD))
+
+    def _remove_member(self, i: int, score: float, pid: int,
+                       deltas: list[MembershipDelta]) -> None:
+        self._members[i].remove(score, pid)
+        owners = self._inverted.get(pid)
+        if owners is not None:
+            owners.discard(i)
+            if not owners:
+                del self._inverted[pid]
+        deltas.append(MembershipDelta(i, pid, REMOVE))
+
+    def _refresh_threshold(self, i: int, deltas: list[MembershipDelta]) -> None:
+        """Recompute ``τ_i`` from the member list and evict the fallen.
+
+        Valid whenever the member list still contains the exact top-k
+        (always true after additions; deletions of top-k tuples go
+        through :meth:`_rebuild_utility` instead).
+        """
+        if len(self._db) <= self._k:
+            tau = 0.0
+        else:
+            tau = (1.0 - self._eps) * self._kth_member_score(i)
+        for score, pid in self._members[i].evict_below(tau):
+            owners = self._inverted.get(pid)
+            if owners is not None:
+                owners.discard(i)
+                if not owners:
+                    del self._inverted[pid]
+            deltas.append(MembershipDelta(i, pid, REMOVE))
+        self._cone.set_threshold(i, tau)
+
+    def _rebuild_utility(self, i: int, deltas: list[MembershipDelta]) -> None:
+        """Recompute ``Φ_{k,ε}(u_i)`` from the k-d tree after a top-k loss."""
+        u = self._u[i]
+        n = len(self._db)
+        if n == 0:
+            for score, pid in list(self._members[i].entries):
+                self._remove_member(i, score, pid, deltas)
+            self._cone.set_threshold(i, 0.0)
+            return
+        if n <= self._k:
+            tau = 0.0
+        else:
+            _, topk_scores = self._kdtree.top_k(u, self._k)
+            tau = (1.0 - self._eps) * float(topk_scores[-1])
+        current = {pid: score for score, pid in self._members[i].entries}
+        ids, scores = self._kdtree.range_query(u, tau)
+        fresh = {int(pid): float(s) for pid, s in zip(ids, scores)}
+        for pid, score in current.items():
+            if pid not in fresh:
+                self._remove_member(i, score, pid, deltas)
+        for pid, score in fresh.items():
+            if pid not in current:
+                self._add_member(i, score, pid, deltas)
+        self._cone.set_threshold(i, tau)

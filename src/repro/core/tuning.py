@@ -1,0 +1,57 @@
+"""Parameter tuning for FD-RMS (the §III-C protocol).
+
+The paper sets ε per query by trial and error: "by setting ε to the one
+that is slightly lower than ε_{k,r} [the optimal regret, whose upper
+bound can be inferred from practical results], FD-RMS performs better in
+terms of both efficiency and solution quality". :func:`suggest_epsilon`
+automates exactly that: estimate ``ε*_{k,r}`` with one cheap sampled
+greedy run on (a sample of) the data, then return a fixed fraction of
+it. The Fig. 5 sweep (``benchmarks/bench_fig5_epsilon.py``) shows the
+resulting operating point sits on the flat part of the quality curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.greedy_star import greedy_star
+from repro.core.regret import max_k_regret_ratio_sampled
+from repro.utils import as_point_matrix, check_k, resolve_rng
+
+
+def suggest_epsilon(points, k: int, r: int, *, fraction: float = 0.6,
+                    floor: float = 1e-4, cap: float = 0.2,
+                    n_samples: int = 3_000, max_points: int = 4_000,
+                    seed=None) -> float:
+    """Data-driven ε for :class:`repro.core.FDRMS`.
+
+    Estimates the optimal regret ``ε*_{k,r}`` with a sampled greedy
+    selection (GREEDY* degenerates to sampled GREEDY at k = 1) and
+    returns ``fraction`` of the estimate, clamped to ``[floor, cap]``.
+
+    Parameters
+    ----------
+    points : (n, d) array
+        The (initial) database; subsampled to ``max_points`` rows for
+        the estimate.
+    k, r : int
+        The query parameters.
+    fraction : float
+        How far below the estimate to operate (paper: "slightly lower").
+    """
+    pts = as_point_matrix(points)
+    check_k(k)
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = resolve_rng(seed)
+    if pts.shape[0] > max_points:
+        rows = rng.choice(pts.shape[0], size=max_points, replace=False)
+        pts = pts[rows]
+    if r >= pts.shape[0]:
+        return floor
+    idx = greedy_star(pts, r, k=k, n_samples=n_samples, seed=rng)
+    estimate = max_k_regret_ratio_sampled(pts, pts[idx], k,
+                                          n_samples=n_samples, seed=rng)
+    return float(np.clip(fraction * estimate, floor, cap))

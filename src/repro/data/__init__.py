@@ -1,0 +1,42 @@
+"""Datasets: the dynamic database model, generators, and workloads."""
+
+from repro.data.database import Database, Operation, INSERT, DELETE
+from repro.data.synthetic import (
+    independent_points,
+    anticorrelated_points,
+    correlated_points,
+)
+from repro.data.realworld import (
+    bb_like,
+    aq_like,
+    ct_like,
+    movie_like,
+    DATASET_SPECS,
+    make_dataset,
+)
+from repro.data.workload import (
+    DynamicWorkload,
+    make_paper_workload,
+    make_skewed_workload,
+    make_sliding_window_workload,
+)
+
+__all__ = [
+    "Database",
+    "Operation",
+    "INSERT",
+    "DELETE",
+    "independent_points",
+    "anticorrelated_points",
+    "correlated_points",
+    "bb_like",
+    "aq_like",
+    "ct_like",
+    "movie_like",
+    "DATASET_SPECS",
+    "make_dataset",
+    "DynamicWorkload",
+    "make_paper_workload",
+    "make_skewed_workload",
+    "make_sliding_window_workload",
+]

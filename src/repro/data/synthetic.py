@@ -1,0 +1,79 @@
+"""Synthetic dataset generators (Börzsönyi et al. [9]).
+
+The paper's scalability experiments use two families:
+
+* **Indep** — attribute values independent and uniform on ``[0, 1]``;
+* **AntiCor** — anti-correlated attributes: points concentrated around
+  the hyperplane ``Σ x_i = c`` so that being good in one attribute means
+  being bad in others; skylines are large.
+
+Both follow the classic generator of the skyline paper [9]. A correlated
+family is included as well (used by the simulated real-world datasets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_dimension, resolve_rng
+
+
+def independent_points(n: int, d: int, seed=None) -> np.ndarray:
+    """``n`` points uniform on the unit hypercube (the *Indep* family)."""
+    d = check_dimension(d)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = resolve_rng(seed)
+    return rng.random((n, d))
+
+
+def anticorrelated_points(n: int, d: int, seed=None, *,
+                          spread: float = 0.25) -> np.ndarray:
+    """``n`` anti-correlated points (the *AntiCor* family).
+
+    Following [9]: each point's attribute total is drawn from a normal
+    centered at ``d/2``, then split across attributes so that a high
+    value in one dimension forces low values elsewhere. ``spread``
+    controls how tightly points hug the anti-correlation plane (smaller
+    is tighter, hence larger skylines).
+    """
+    d = check_dimension(d)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if spread <= 0:
+        raise ValueError(f"spread must be positive, got {spread}")
+    rng = resolve_rng(seed)
+    out = np.empty((n, d))
+    filled = 0
+    while filled < n:
+        want = n - filled
+        totals = rng.normal(0.5 * d, spread, size=want)
+        # Split each total across d attributes with a Dirichlet draw.
+        shares = rng.dirichlet(np.ones(d), size=want)
+        pts = shares * totals[:, None]
+        ok = ((pts >= 0.0) & (pts <= 1.0)).all(axis=1)
+        good = pts[ok]
+        take = min(good.shape[0], want)
+        out[filled:filled + take] = good[:take]
+        filled += take
+    return out
+
+
+def correlated_points(n: int, d: int, seed=None, *,
+                      correlation: float = 0.7) -> np.ndarray:
+    """``n`` positively correlated points.
+
+    Each point mixes a shared latent "quality" scalar with independent
+    noise: ``x = corr · q + (1 - corr) · e``. High correlation shrinks
+    the skyline (good tuples are good everywhere), mimicking datasets
+    like the basketball statistics of Table I.
+    """
+    d = check_dimension(d)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError(f"correlation must be in [0, 1], got {correlation}")
+    rng = resolve_rng(seed)
+    quality = rng.random((n, 1))
+    noise = rng.random((n, d))
+    return correlation * quality + (1.0 - correlation) * noise

@@ -1,0 +1,195 @@
+"""The paper's fully-dynamic workload protocol (§IV-A).
+
+For each experiment the paper builds a workload from a dataset of ``n``
+tuples as follows:
+
+1. a random 50% becomes the initial database ``P_0``;
+2. the remaining 50% are inserted one by one;
+3. then 50% of all tuples (chosen at random) are deleted one by one;
+4. results are recorded 10 times, after every 10% of the operations.
+
+:class:`DynamicWorkload` captures such a schedule with *pre-assigned*
+tuple ids (the :class:`repro.data.Database` id counter is deterministic:
+the initial tuples take ids ``0..n0-1`` and each insertion takes the next
+id), so the same operation sequence can be replayed against FD-RMS and
+every static baseline identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.database import DELETE, INSERT, Operation
+from repro.utils import as_point_matrix, resolve_rng
+
+
+@dataclass(frozen=True)
+class DynamicWorkload:
+    """An initial database plus a replayable operation sequence.
+
+    Attributes
+    ----------
+    initial : (n0, d) array
+        ``P_0``; its rows receive tuple ids ``0..n0-1``.
+    operations : list of Operation
+        Insertions carry the point (id pre-assigned sequentially after
+        ``n0``); deletions carry the victim id and its point value.
+    snapshots : tuple of int
+        1-based operation counts after which results are recorded
+        (e.g. after 10%, 20%, ... of operations).
+    """
+
+    initial: np.ndarray
+    operations: list[Operation] = field(default_factory=list)
+    snapshots: tuple[int, ...] = ()
+
+    @property
+    def n_operations(self) -> int:
+        return len(self.operations)
+
+    @property
+    def d(self) -> int:
+        return int(self.initial.shape[1])
+
+    def replay(self):
+        """Yield ``(op_index, operation, is_snapshot)`` triples in order."""
+        marks = set(self.snapshots)
+        for idx, op in enumerate(self.operations, start=1):
+            yield idx, op, idx in marks
+
+
+def make_paper_workload(points, *, seed=None, initial_fraction: float = 0.5,
+                        delete_fraction: float = 0.5,
+                        n_snapshots: int = 10) -> DynamicWorkload:
+    """Build the §IV-A workload from a full dataset.
+
+    Parameters
+    ----------
+    points : (n, d) array
+        The complete dataset; rows are shuffled internally.
+    initial_fraction : float
+        Fraction of tuples forming ``P_0`` (paper: 0.5).
+    delete_fraction : float
+        Fraction of all tuples deleted after the insertion phase
+        (paper: 0.5). Victims are drawn uniformly from all tuples.
+    n_snapshots : int
+        Number of evenly spaced recording points (paper: 10).
+    """
+    pts = as_point_matrix(points)
+    n = pts.shape[0]
+    if not 0.0 < initial_fraction < 1.0:
+        raise ValueError("initial_fraction must be in (0, 1)")
+    if not 0.0 < delete_fraction <= 1.0:
+        raise ValueError("delete_fraction must be in (0, 1]")
+    if n_snapshots < 1:
+        raise ValueError("n_snapshots must be >= 1")
+    rng = resolve_rng(seed)
+    order = rng.permutation(n)
+    n0 = max(1, int(round(n * initial_fraction)))
+    init_rows = order[:n0]
+    insert_rows = order[n0:]
+
+    ops: list[Operation] = []
+    next_id = n0
+    for row in insert_rows:
+        ops.append(Operation(INSERT, pts[row].copy(), tuple_id=next_id))
+        next_id += 1
+    # After insertions every tuple id in [0, n) is alive (ids follow the
+    # shuffled order). Delete a random subset, one by one.
+    n_del = min(n, int(round(n * delete_fraction)))
+    victims = rng.choice(n, size=n_del, replace=False)
+    id_to_row = np.empty(n, dtype=np.intp)
+    id_to_row[:n0] = init_rows
+    id_to_row[n0:] = insert_rows
+    for vid in victims:
+        ops.append(Operation(DELETE, pts[id_to_row[vid]].copy(),
+                             tuple_id=int(vid)))
+    total = len(ops)
+    snaps = _snapshot_marks(total, n_snapshots)
+    return DynamicWorkload(initial=pts[init_rows].copy(), operations=ops,
+                           snapshots=snaps)
+
+
+def _snapshot_marks(total: int, n_snapshots: int) -> tuple[int, ...]:
+    if total == 0:
+        return ()
+    return tuple(sorted({max(1, round(total * (i + 1) / n_snapshots))
+                         for i in range(n_snapshots)}))
+
+
+def make_sliding_window_workload(points, *, window: int,
+                                 n_snapshots: int = 10,
+                                 seed=None) -> DynamicWorkload:
+    """A sliding-window stream: each arrival evicts the oldest tuple.
+
+    Classic pattern for sensor/event data (the paper's IoT motivation):
+    the database always holds the ``window`` most recent tuples, so
+    every step past the warm-up is an insertion immediately followed by
+    the deletion of the oldest alive tuple. FD-RMS sees maximal churn —
+    every operation pair touches the top-k structures.
+
+    The first ``window`` rows form ``P_0``; the remaining rows stream in.
+    """
+    pts = as_point_matrix(points)
+    n = pts.shape[0]
+    if not 0 < window < n:
+        raise ValueError(f"window must be in (0, n), got {window} of {n}")
+    if n_snapshots < 1:
+        raise ValueError("n_snapshots must be >= 1")
+    ops: list[Operation] = []
+    next_id = window
+    oldest = 0
+    for row in range(window, n):
+        ops.append(Operation(INSERT, pts[row].copy(), tuple_id=next_id))
+        next_id += 1
+        ops.append(Operation(DELETE, pts[oldest].copy(), tuple_id=oldest))
+        oldest += 1
+    return DynamicWorkload(initial=pts[:window].copy(), operations=ops,
+                           snapshots=_snapshot_marks(len(ops), n_snapshots))
+
+
+def make_skewed_workload(points, *, insert_fraction: float,
+                         n_operations: int, initial_fraction: float = 0.5,
+                         n_snapshots: int = 10, seed=None) -> DynamicWorkload:
+    """A churn stream with a controlled insert/delete mix.
+
+    ``insert_fraction`` = 0.9 models a growing database (IoT onboarding),
+    0.1 a shrinking one (catalog sunset). Deletions pick uniform random
+    alive victims. Insertions recycle rows of ``points`` not currently
+    alive (rows are reused cyclically if the stream outruns the data,
+    receiving fresh tuple ids each time, as the paper's update model
+    prescribes).
+    """
+    pts = as_point_matrix(points)
+    n = pts.shape[0]
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError("insert_fraction must be in [0, 1]")
+    if n_operations < 1:
+        raise ValueError("n_operations must be >= 1")
+    if not 0.0 < initial_fraction < 1.0:
+        raise ValueError("initial_fraction must be in (0, 1)")
+    rng = resolve_rng(seed)
+    n0 = max(1, int(round(n * initial_fraction)))
+    alive: list[int] = list(range(n0))         # tuple ids
+    id_point: dict[int, np.ndarray] = {i: pts[i] for i in range(n0)}
+    next_id = n0
+    next_row = n0
+    ops: list[Operation] = []
+    for _ in range(n_operations):
+        do_insert = rng.random() < insert_fraction or len(alive) <= 1
+        if do_insert:
+            row = next_row % n
+            next_row += 1
+            ops.append(Operation(INSERT, pts[row].copy(), tuple_id=next_id))
+            id_point[next_id] = pts[row]
+            alive.append(next_id)
+            next_id += 1
+        else:
+            pos = int(rng.integers(len(alive)))
+            victim = alive.pop(pos)
+            ops.append(Operation(DELETE, id_point[victim].copy(),
+                                 tuple_id=victim))
+    return DynamicWorkload(initial=pts[:n0].copy(), operations=ops,
+                           snapshots=_snapshot_marks(len(ops), n_snapshots))

@@ -1,0 +1,29 @@
+"""Geometric substrates: utility-space sampling, LPs, convex-hull helpers."""
+
+from repro.geometry.sampling import (
+    sample_utilities,
+    sample_utilities_with_basis,
+    grid_utilities,
+    delta_net_size,
+)
+from repro.geometry.lp import (
+    max_regret_direction,
+    min_size_cover_lp_bound,
+    point_happiness,
+    worst_case_ratio,
+)
+from repro.geometry.hull import extreme_points, directional_argmax, eps_kernel_directions
+
+__all__ = [
+    "sample_utilities",
+    "sample_utilities_with_basis",
+    "grid_utilities",
+    "delta_net_size",
+    "max_regret_direction",
+    "min_size_cover_lp_bound",
+    "point_happiness",
+    "worst_case_ratio",
+    "extreme_points",
+    "directional_argmax",
+    "eps_kernel_directions",
+]

@@ -1,0 +1,139 @@
+"""Convex-hull and extreme-point helpers.
+
+The k-RMS result is always a subset of the skyline, and for ``k = 1`` it
+is a subset of the vertices of the upper convex hull (only hull vertices
+can be the unique top-1 tuple of a linear utility). GEOGREEDY exploits
+this to shrink the candidate pool; the ε-kernel baselines pick directional
+extremes. These helpers implement both, vectorized over numpy, with a
+scipy ``ConvexHull`` fast path when the point count and dimension allow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import as_point_matrix
+from repro.geometry.sampling import grid_utilities, sample_utilities
+
+
+def directional_argmax(points: np.ndarray, directions: np.ndarray) -> np.ndarray:
+    """Indices of the maximum-score point per direction.
+
+    ``points`` is ``(n, d)``, ``directions`` is ``(m, d)``; returns an
+    ``(m,)`` integer array with ``argmax_i <dir_j, p_i>`` per row ``j``.
+    Ties resolve to the lowest index (numpy argmax convention), which is a
+    consistent tie-breaking rule as required by §II-A of the paper.
+    """
+    pts = as_point_matrix(points)
+    dirs = np.asarray(directions, dtype=np.float64)
+    if dirs.ndim == 1:
+        dirs = dirs.reshape(1, -1)
+    if dirs.shape[1] != pts.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: points d={pts.shape[1]}, directions d={dirs.shape[1]}"
+        )
+    scores = dirs @ pts.T
+    return np.argmax(scores, axis=1)
+
+
+def extreme_points(points: np.ndarray, *, n_directions: int = 0, seed=None,
+                   exact: bool | None = None) -> np.ndarray:
+    """Indices of points that are top-1 for some nonnegative direction.
+
+    "Top-1" is *weak*: a point tied with others for the maximum along
+    some direction counts (that makes the result a superset closed under
+    ties, which the RMS algorithms need — any of the tied tuples may be
+    returned by a top-k query).
+
+    Strategy:
+
+    * a cheap directional probe (axes + ``n_directions`` samples, default
+      ``max(500, 100 * d)``) collects certain extremes;
+    * in exact mode (default for ``d <= 7``) the candidate set is first
+      reduced to convex-hull vertices via qhull, then every remaining
+      candidate is certified or rejected with the weak-extremality LP of
+      :func:`repro.geometry.lp.point_happiness`;
+    * for higher dimensions exact certification is skipped (GEOGREEDY's
+      known scalability wall, §IV-B) and the probe result is returned.
+
+    The returned index array is sorted and unique.
+    """
+    pts = as_point_matrix(points)
+    n, d = pts.shape
+    if n == 1:
+        return np.array([0], dtype=np.intp)
+    if exact is None:
+        exact = d <= 7
+
+    if n_directions <= 0:
+        n_directions = max(500, 100 * d)
+    dirs = np.vstack([np.eye(d), sample_utilities(n_directions, d, seed=seed)])
+    certain = set(int(i) for i in directional_argmax(pts, dirs))
+    if not exact:
+        return np.asarray(sorted(certain), dtype=np.intp)
+
+    candidates = _qhull_vertex_candidates(pts)
+    if candidates is None:
+        candidates = np.arange(n, dtype=np.intp)
+    from repro.geometry.lp import point_happiness
+    keep = set(certain)
+    for idx in candidates:
+        idx = int(idx)
+        if idx in keep:
+            continue
+        others = np.delete(pts, idx, axis=0)
+        if point_happiness(pts[idx], others) >= -1e-9:
+            keep.add(idx)
+    return np.asarray(sorted(keep), dtype=np.intp)
+
+
+def _qhull_vertex_candidates(pts: np.ndarray) -> np.ndarray | None:
+    """Convex-hull vertex indices (with an origin anchor), or ``None``.
+
+    The anchor closes the hull from below so purely "negative-direction"
+    structure cannot make interior points vertices; the result is a
+    *superset* of the weakly extreme points up to ties (tied duplicates
+    may be dropped by qhull, which is why callers union the directional
+    probe winners back in).
+    """
+    try:
+        from scipy.spatial import ConvexHull, QhullError
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return None
+    n, d = pts.shape
+    if n <= d + 2:
+        return np.arange(n, dtype=np.intp)
+    lifted = np.vstack([pts, np.zeros((1, d))])
+    try:
+        hull = ConvexHull(lifted)
+    except (QhullError, ValueError):
+        try:
+            hull = ConvexHull(lifted, qhull_options="QJ")
+        except (QhullError, ValueError):
+            return None
+    verts = hull.vertices
+    return np.asarray(sorted(int(v) for v in verts if v < n), dtype=np.intp)
+
+
+def eps_kernel_directions(d: int, eps: float, *, max_directions: int = 200_000,
+                          seed=None) -> np.ndarray:
+    """Direction set whose extremes form an ε-kernel (practical variant).
+
+    Agarwal et al. [2] show that taking the extreme point along each
+    direction of a ``O(sqrt(eps))``-net of the sphere yields an ε-kernel
+    for directional width. We build the net from the deterministic simplex
+    grid when it is small enough, otherwise from a uniform sample of the
+    matching δ-net size, capped at ``max_directions``.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    delta = float(np.sqrt(eps))
+    per_axis = max(1, int(np.ceil(1.0 / delta)))
+    # Grid size is C(per_axis + d - 1, d - 1); compute without overflow.
+    from math import comb
+    grid_size = comb(per_axis + d - 1, d - 1)
+    if grid_size <= max_directions:
+        return grid_utilities(per_axis, d)
+    from repro.geometry.sampling import delta_net_size
+    m = min(max_directions, delta_net_size(delta, d))
+    return np.vstack([np.eye(d), sample_utilities(m, d, seed=seed)])

@@ -1,0 +1,144 @@
+"""Linear programs used by regret computations.
+
+The classic regret LP (Nanongkai et al. [22]) computes, for a candidate
+tuple ``p`` and a selected subset ``Q``, the worst-case 1-regret that ``p``
+inflicts on ``Q``::
+
+    maximize    1 - t
+    subject to  <u, q> <= t      for all q in Q
+                <u, p>  = 1
+                u >= 0
+
+The optimum over all ``p in P`` is exactly ``mrr_1(Q)`` because relaxing
+the "p is the top-1 tuple" constraint can only lower the objective (the
+true top-1 tuple dominates the ratio). :func:`worst_case_ratio` solves one
+such LP; :mod:`repro.core.regret` wraps the max over ``p``.
+
+All LPs are solved with ``scipy.optimize.linprog`` (HiGHS).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.utils import as_point_matrix
+
+
+def worst_case_ratio(p: np.ndarray, points_q: np.ndarray) -> float:
+    """Solve the regret LP for tuple ``p`` against subset ``Q``.
+
+    Returns ``max_u (1 - ω(u, Q))`` subject to ``<u, p> = 1`` and
+    ``u >= 0``, clipped to ``[0, 1]``. A value of 0 means some tuple of
+    ``Q`` scores at least as well as ``p`` in every direction; a value of
+    1 would mean ``Q`` can be arbitrarily bad relative to ``p``.
+
+    Parameters
+    ----------
+    p : (d,) array — the reference tuple.
+    points_q : (|Q|, d) array — the selected subset.
+    """
+    p = np.asarray(p, dtype=np.float64).reshape(-1)
+    q = as_point_matrix(points_q, name="points_q")
+    d = p.shape[0]
+    if q.shape[1] != d:
+        raise ValueError(f"dimension mismatch: p has d={d}, Q has d={q.shape[1]}")
+
+    # Variables: x = (u_1 .. u_d, t); minimize t.
+    c = np.zeros(d + 1)
+    c[-1] = 1.0
+    # <u, q> - t <= 0 for each q.
+    a_ub = np.hstack([q, -np.ones((q.shape[0], 1))])
+    b_ub = np.zeros(q.shape[0])
+    # <u, p> = 1.
+    a_eq = np.hstack([p.reshape(1, -1), np.zeros((1, 1))])
+    b_eq = np.ones(1)
+    bounds = [(0, None)] * d + [(None, None)]
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=bounds, method="highs")
+    if not res.success:
+        # Infeasible <u, p> = 1 happens only when p = 0; regret is then 0.
+        return 0.0
+    return float(np.clip(1.0 - res.fun, 0.0, 1.0))
+
+
+def max_regret_direction(p: np.ndarray, points_q: np.ndarray) -> tuple[float, np.ndarray]:
+    """Like :func:`worst_case_ratio` but also return the maximizing ``u``.
+
+    The returned direction is normalized to unit Euclidean norm (regret
+    ratios are scale-invariant in ``u``). Useful for GEOGREEDY-style
+    algorithms that need a witness utility, and for diagnostics.
+    """
+    p = np.asarray(p, dtype=np.float64).reshape(-1)
+    q = as_point_matrix(points_q, name="points_q")
+    d = p.shape[0]
+    c = np.zeros(d + 1)
+    c[-1] = 1.0
+    a_ub = np.hstack([q, -np.ones((q.shape[0], 1))])
+    b_ub = np.zeros(q.shape[0])
+    a_eq = np.hstack([p.reshape(1, -1), np.zeros((1, 1))])
+    b_eq = np.ones(1)
+    bounds = [(0, None)] * d + [(None, None)]
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=bounds, method="highs")
+    if not res.success:
+        return 0.0, np.full(d, 1.0 / np.sqrt(d))
+    u = np.asarray(res.x[:d], dtype=np.float64)
+    norm = float(np.linalg.norm(u))
+    if norm == 0.0:
+        u = np.full(d, 1.0 / np.sqrt(d))
+    else:
+        u = u / norm
+    return float(np.clip(1.0 - res.fun, 0.0, 1.0)), u
+
+
+def point_happiness(p: np.ndarray, others: np.ndarray) -> float:
+    """Margin by which ``p`` is an extreme point of ``conv(others ∪ {p})``.
+
+    Solves ``max_u <u, p> - max_{q in others} <u, q>`` over ``u >= 0``
+    with ``sum(u) = 1``. Positive values certify that ``p`` is a vertex of
+    the upper hull in some nonnegative direction — the "happy point" test
+    of GEOGREEDY [23]. Nonpositive values mean ``p`` is never the unique
+    top-1 tuple.
+    """
+    p = np.asarray(p, dtype=np.float64).reshape(-1)
+    q = as_point_matrix(others, name="others")
+    d = p.shape[0]
+    # Variables: (u, s); maximize s  s.t.  <u, q> + s <= <u, p> for all q,
+    # sum u = 1, u >= 0.  Minimize -s.
+    c = np.zeros(d + 1)
+    c[-1] = -1.0
+    a_ub = np.hstack([q - p.reshape(1, -1), np.ones((q.shape[0], 1))])
+    b_ub = np.zeros(q.shape[0])
+    a_eq = np.hstack([np.ones((1, d)), np.zeros((1, 1))])
+    b_eq = np.ones(1)
+    bounds = [(0, None)] * d + [(None, None)]
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=bounds, method="highs")
+    if not res.success:
+        return float("-inf")
+    return float(-res.fun)
+
+
+def min_size_cover_lp_bound(membership: np.ndarray) -> float:
+    """LP lower bound on the optimal set-cover size of a 0/1 membership matrix.
+
+    ``membership[i, j] = 1`` iff set ``j`` covers element ``i``. The
+    fractional relaxation ``min sum x_j s.t. membership @ x >= 1`` lower
+    bounds the integral optimum; tests use it to sanity-check the greedy
+    and stable covers against ``OPT``.
+    """
+    mat = np.asarray(membership, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError("membership must be a 2-d 0/1 matrix")
+    n_elems, n_sets = mat.shape
+    if n_elems == 0:
+        return 0.0
+    if (mat.sum(axis=1) == 0).any():
+        raise ValueError("some element is covered by no set; cover infeasible")
+    c = np.ones(n_sets)
+    res = linprog(c, A_ub=-mat, b_ub=-np.ones(n_elems),
+                  bounds=[(0, 1)] * n_sets, method="highs")
+    if not res.success:
+        raise RuntimeError(f"set-cover LP failed: {res.message}")
+    return float(res.fun)

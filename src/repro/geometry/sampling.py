@@ -1,0 +1,129 @@
+"""Sampling utility vectors from the nonnegative unit sphere.
+
+The class of linear utility functions corresponds to the nonnegative
+orthant of the d-dimensional unit sphere,
+``U = {u in R^d_+ : ||u|| = 1}`` (paper §II-A). FD-RMS draws its universe
+of utility vectors from ``U`` (Algorithm 2, line 1): the first ``d``
+vectors are the standard basis of ``R^d_+`` and the rest are uniform
+samples. This module provides those samples plus deterministic grids used
+by the DMM and ε-kernel baselines, and the δ-net size bound used in the
+analysis (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.utils import resolve_rng, check_dimension
+
+
+def sample_utilities(m: int, d: int, seed=None) -> np.ndarray:
+    """Draw ``m`` utility vectors uniformly from ``U``.
+
+    Uniformity on the sphere restricted to the nonnegative orthant is
+    obtained by sampling standard normals and taking absolute values
+    before normalizing; reflecting a spherically symmetric sample into
+    one orthant preserves uniformity within that orthant.
+
+    Returns an ``(m, d)`` array of unit rows.
+    """
+    d = check_dimension(d)
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    if m == 0:
+        return np.empty((0, d), dtype=np.float64)
+    rng = resolve_rng(seed)
+    vecs = np.abs(rng.standard_normal((m, d)))
+    # Degenerate all-zero rows have probability zero but guard anyway.
+    norms = np.linalg.norm(vecs, axis=1, keepdims=True)
+    bad = (norms == 0).reshape(-1)
+    if bad.any():
+        vecs[bad] = 1.0
+        norms = np.linalg.norm(vecs, axis=1, keepdims=True)
+    return vecs / norms
+
+
+def sample_utilities_with_basis(m: int, d: int, seed=None) -> np.ndarray:
+    """Utility sample whose first ``d`` rows are the standard basis.
+
+    Mirrors Algorithm 2, line 1 of the paper: FD-RMS always includes the
+    basis vectors ``e_1 .. e_d`` so the scores along each single attribute
+    are represented, and fills the remaining ``m - d`` rows uniformly.
+    """
+    d = check_dimension(d)
+    if m < d:
+        raise ValueError(f"need m >= d to include the basis, got m={m}, d={d}")
+    basis = np.eye(d, dtype=np.float64)
+    rest = sample_utilities(m - d, d, seed=seed)
+    return np.vstack([basis, rest])
+
+
+def grid_utilities(per_axis: int, d: int) -> np.ndarray:
+    """Deterministic grid of directions covering ``U``.
+
+    Enumerates the simplex grid ``{w in N^d : sum w = per_axis}``,
+    interprets each lattice point as a direction, and normalizes. Used by
+    the DMM baselines (space discretization) and the ε-kernel direction
+    grid. The grid has ``C(per_axis + d - 1, d - 1)`` points, so callers
+    should keep ``per_axis`` modest in high dimensions.
+    """
+    d = check_dimension(d)
+    if per_axis < 1:
+        raise ValueError(f"per_axis must be >= 1, got {per_axis}")
+    rows = []
+    for comp in itertools.combinations(range(per_axis + d - 1), d - 1):
+        prev = -1
+        weights = []
+        for cut in comp:
+            weights.append(cut - prev - 1)
+            prev = cut
+        weights.append(per_axis + d - 2 - prev)
+        rows.append(weights)
+    grid = np.asarray(rows, dtype=np.float64)
+    norms = np.linalg.norm(grid, axis=1, keepdims=True)
+    keep = norms.reshape(-1) > 0
+    return grid[keep] / norms[keep]
+
+
+def delta_net_size(delta: float, d: int) -> int:
+    """Sample size that forms a δ-net of ``U`` with probability >= 1/2.
+
+    Theorem 2 of the paper uses the classical bound: a random sample of
+    ``O(δ^{1-d} · log(1/δ))`` directions is a δ-net of the positive
+    orthant of the unit sphere. The constant is taken as 1, which is the
+    convention the paper's parameter-tuning discussion implies.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    d = check_dimension(d)
+    if d == 1:
+        return 1
+    return max(1, math.ceil(delta ** (1 - d) * math.log(1.0 / delta)))
+
+
+def net_resolution(m: int, d: int) -> float:
+    """Inverse of :func:`delta_net_size`: the δ achieved by ``m`` samples.
+
+    Solves ``m = δ^{1-d} log(1/δ)`` for δ by bisection; this is the
+    ``δ = O(m^{-1/(d-1)})`` quantity in Theorem 2 (log factor included).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    d = check_dimension(d)
+    if d == 1:
+        return 0.0
+    lo, hi = 1e-12, 1.0 - 1e-12
+
+    def needed(delta: float) -> float:
+        return delta ** (1 - d) * math.log(1.0 / delta)
+
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if needed(mid) > m:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,17 @@
+"""Index substrates for the dual-tree top-k maintenance of §III-C.
+
+``KDTree`` is the tuple index (TI): a k-d tree over the database points
+supporting branch-and-bound max-inner-product top-k queries and
+score-range queries under nonnegative utility vectors, with tombstone
+deletions and amortized subtree rebuilds.
+
+``ConeTree`` is the utility index (UI): an angular-partitioning tree over
+the sampled utility vectors that, given a newly inserted point, finds
+every utility whose ε-approximate top-k threshold the point reaches.
+"""
+
+from repro.index.kdtree import KDTree
+from repro.index.conetree import ConeTree
+from repro.index.quadtree import QuadTree
+
+__all__ = ["KDTree", "ConeTree", "QuadTree"]

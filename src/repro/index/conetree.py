@@ -1,0 +1,212 @@
+"""An angular cone tree over utility vectors (utility index UI).
+
+FD-RMS keeps one ε-approximate top-k threshold ``τ_i`` per sampled
+utility vector ``u_i``. When a tuple ``p`` is inserted, only the
+utilities with ``<u_i, p> >= τ_i`` need their top-k sets refreshed.
+The cone tree (Ram & Gray [25], as adapted in §III-C of the paper)
+clusters utilities by direction so whole subtrees can be pruned with the
+classic max-inner-product cone bound:
+
+    max_{u in cone} <u, p>  <=  ||p|| * cos(max(0, angle(c, p) - ω))
+
+where ``c`` is the cone axis and ``ω`` its apex half-angle. A subtree is
+pruned when that bound is below the *minimum* threshold stored in the
+subtree, so the tree maintains ``τ_min`` per node and updates it along
+the leaf-to-root path whenever a threshold changes.
+
+Utilities can also be *deactivated* (FD-RMS only uses the first ``m`` of
+its ``M`` samples); inactive utilities never match and contribute
+``+inf`` to ``τ_min``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_LEAF_CAPACITY = 8
+
+
+class _ConeNode:
+    __slots__ = ("axis_dir", "cos_omega", "sin_omega", "tau_min",
+                 "left", "right", "parent", "members")
+
+    def __init__(self, parent=None) -> None:
+        self.axis_dir: np.ndarray | None = None
+        self.cos_omega = 1.0
+        self.sin_omega = 0.0
+        self.tau_min = np.inf
+        self.left: _ConeNode | None = None
+        self.right: _ConeNode | None = None
+        self.parent: _ConeNode | None = parent
+        self.members: list[int] | None = None  # leaf only
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.members is not None
+
+
+class ConeTree:
+    """Static-structure cone tree with dynamic thresholds and active flags.
+
+    Parameters
+    ----------
+    utilities : (M, d) array of unit vectors
+        The fixed pool of sampled utility vectors. Structure is built
+        once; thresholds and active flags change freely afterwards.
+    leaf_capacity : int
+        Maximum number of utilities per leaf.
+    """
+
+    def __init__(self, utilities, *, leaf_capacity: int = _LEAF_CAPACITY) -> None:
+        utils = np.ascontiguousarray(utilities, dtype=np.float64)
+        if utils.ndim != 2 or utils.shape[0] == 0:
+            raise ValueError("utilities must be a non-empty (M, d) array")
+        norms = np.linalg.norm(utils, axis=1)
+        if not np.allclose(norms, 1.0, atol=1e-8):
+            raise ValueError("utility vectors must be unit-normalized")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        self._u = utils
+        self._m_total = utils.shape[0]
+        self._d = utils.shape[1]
+        self._leaf_capacity = int(leaf_capacity)
+        self._tau = np.full(self._m_total, np.inf)
+        self._active = np.zeros(self._m_total, dtype=bool)
+        self._leaf_of: dict[int, _ConeNode] = {}
+        self._root = self._build(list(range(self._m_total)), None)
+
+    # ------------------------------------------------------------------
+    # Threshold / activity maintenance
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of utility vectors in the pool (active or not)."""
+        return self._m_total
+
+    def threshold(self, idx: int) -> float:
+        """Current threshold of utility ``idx`` (``inf`` while inactive)."""
+        return float(self._tau[idx])
+
+    def is_active(self, idx: int) -> bool:
+        return bool(self._active[idx])
+
+    def set_threshold(self, idx: int, tau: float) -> None:
+        """Set utility ``idx``'s threshold and repair ``τ_min`` upwards."""
+        self._tau[idx] = float(tau)
+        if self._active[idx]:
+            self._bubble_up(self._leaf_of[idx])
+
+    def activate(self, idx: int, tau: float) -> None:
+        """Mark utility ``idx`` active with threshold ``tau``."""
+        self._active[idx] = True
+        self._tau[idx] = float(tau)
+        self._bubble_up(self._leaf_of[idx])
+
+    def deactivate(self, idx: int) -> None:
+        """Mark utility ``idx`` inactive (it will never match queries)."""
+        self._active[idx] = False
+        self._tau[idx] = np.inf
+        self._bubble_up(self._leaf_of[idx])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reached_by(self, point) -> list[int]:
+        """Active utility indices with ``<u_i, point> >= τ_i``.
+
+        This is the insertion-time filter of Algorithm 3: utilities whose
+        ε-approximate top-k set must absorb the new point.
+        """
+        p = np.asarray(point, dtype=np.float64).reshape(-1)
+        if p.shape[0] != self._d:
+            raise ValueError(f"point has d={p.shape[0]}, expected {self._d}")
+        p_norm = float(np.linalg.norm(p))
+        hits: list[int] = []
+        if p_norm == 0.0:
+            # Zero point scores 0 for every utility; it reaches only
+            # thresholds <= 0.
+            for idx in np.flatnonzero(self._active):
+                if self._tau[idx] <= 0.0:
+                    hits.append(int(idx))
+            return hits
+        p_dir = p / p_norm
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.tau_min == np.inf:
+                continue
+            if self._cone_bound(node, p_dir, p_norm) < node.tau_min:
+                continue
+            if node.is_leaf:
+                for idx in node.members:
+                    if self._active[idx] and float(self._u[idx] @ p) >= self._tau[idx]:
+                        hits.append(idx)
+            else:
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+        hits.sort()
+        return hits
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cone_bound(node: _ConeNode, p_dir: np.ndarray, p_norm: float) -> float:
+        """Upper bound of ``<u, p>`` over the node's cone (unit ``u``)."""
+        cos_theta = float(np.clip(node.axis_dir @ p_dir, -1.0, 1.0))
+        # cos(theta - omega) = cos t cos w + sin t sin w, clamped to 1 when
+        # p_dir lies inside the cone (theta <= omega).
+        sin_theta = float(np.sqrt(max(0.0, 1.0 - cos_theta * cos_theta)))
+        if cos_theta >= node.cos_omega:
+            return p_norm
+        cos_gap = cos_theta * node.cos_omega + sin_theta * node.sin_omega
+        return p_norm * cos_gap
+
+    def _build(self, members: list[int], parent) -> _ConeNode:
+        node = _ConeNode(parent)
+        vecs = self._u[members]
+        mean = vecs.mean(axis=0)
+        norm = float(np.linalg.norm(mean))
+        node.axis_dir = mean / norm if norm > 0 else vecs[0]
+        cosines = np.clip(vecs @ node.axis_dir, -1.0, 1.0)
+        cos_w = float(cosines.min())
+        node.cos_omega = cos_w
+        node.sin_omega = float(np.sqrt(max(0.0, 1.0 - cos_w * cos_w)))
+        if len(members) <= self._leaf_capacity:
+            node.members = list(members)
+            for idx in members:
+                self._leaf_of[idx] = node
+            return node
+        # Split around the two most separated members (2-means style seed
+        # selection used by Ram & Gray), assigning by nearer angular seed.
+        far_a = int(np.argmin(cosines))
+        cos_to_a = np.clip(vecs @ vecs[far_a], -1.0, 1.0)
+        far_b = int(np.argmin(cos_to_a))
+        cos_to_b = np.clip(vecs @ vecs[far_b], -1.0, 1.0)
+        go_left = cos_to_a >= cos_to_b
+        left = [m for m, flag in zip(members, go_left) if flag]
+        right = [m for m, flag in zip(members, go_left) if not flag]
+        if not left or not right:
+            node.members = list(members)
+            for idx in members:
+                self._leaf_of[idx] = node
+            return node
+        node.left = self._build(left, node)
+        node.right = self._build(right, node)
+        return node
+
+    def _bubble_up(self, leaf: _ConeNode) -> None:
+        """Recompute ``τ_min`` from ``leaf`` to the root."""
+        node: _ConeNode | None = leaf
+        while node is not None:
+            if node.is_leaf:
+                taus = [self._tau[i] for i in node.members if self._active[i]]
+                node.tau_min = min(taus) if taus else np.inf
+            else:
+                node.tau_min = min(
+                    node.left.tau_min if node.left is not None else np.inf,
+                    node.right.tau_min if node.right is not None else np.inf,
+                )
+            node = node.parent

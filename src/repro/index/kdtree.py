@@ -1,0 +1,324 @@
+"""A dynamic k-d tree with max-inner-product queries (tuple index TI).
+
+The paper's FD-RMS implementation uses a k-d tree over the tuples to
+answer ε-approximate top-k queries and to refresh them after updates
+(§III-C). Because utility vectors are nonnegative, the inner product of
+``u`` with any point inside an axis-aligned box is at most
+``<u, box_max>``; that single bound drives both the best-first top-k
+search and the range (``score >= τ``) search.
+
+Dynamics:
+
+* **insert** descends by the existing splits and pushes the point into a
+  leaf bucket, splitting the bucket at the median of its widest
+  dimension when it overflows.
+* **delete** is by tuple id: the id is removed from its leaf (an id→leaf
+  map makes this O(1) to locate) and alive counters are decremented up
+  the path. A subtree whose alive count falls below half of its total is
+  rebuilt from its alive points, which keeps queries within a constant
+  factor of a freshly built tree (standard amortization).
+
+Bounding boxes are maintained as *covers* (they may be slightly loose
+after deletions until a rebuild); the query bounds stay valid because a
+loose box only weakens pruning, never correctness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.utils import as_point_matrix
+
+_LEAF_CAPACITY = 16
+
+
+class _Node:
+    """One k-d tree node; a leaf when ``axis`` is None."""
+
+    __slots__ = ("axis", "split", "left", "right", "parent",
+                 "box_min", "box_max", "total", "alive", "bucket")
+
+    def __init__(self, parent=None) -> None:
+        self.axis: int | None = None
+        self.split: float = 0.0
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.parent: _Node | None = parent
+        self.box_min: np.ndarray | None = None
+        self.box_max: np.ndarray | None = None
+        self.total = 0
+        self.alive = 0
+        self.bucket: list[int] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.axis is None
+
+
+class KDTree:
+    """Dynamic k-d tree over d-dimensional points keyed by integer ids.
+
+    Parameters
+    ----------
+    d : int
+        Dimensionality.
+    leaf_capacity : int
+        Maximum bucket size before a leaf splits.
+    """
+
+    def __init__(self, d: int, *, leaf_capacity: int = _LEAF_CAPACITY) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if leaf_capacity < 2:
+            raise ValueError(f"leaf_capacity must be >= 2, got {leaf_capacity}")
+        self._d = int(d)
+        self._leaf_capacity = int(leaf_capacity)
+        self._points: dict[int, np.ndarray] = {}
+        self._leaf_of: dict[int, _Node] = {}
+        self._root = _Node()
+
+    # ------------------------------------------------------------------
+    # Construction / updates
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, ids, points, *, leaf_capacity: int = _LEAF_CAPACITY) -> "KDTree":
+        """Bulk-build a tree from aligned ``ids`` and ``points`` arrays."""
+        pts = as_point_matrix(points)
+        ids = np.asarray(list(ids), dtype=np.intp)
+        if ids.shape[0] != pts.shape[0]:
+            raise ValueError("ids and points must have equal length")
+        tree = cls(pts.shape[1], leaf_capacity=leaf_capacity)
+        tree._points = {int(i): pts[row].copy() for row, i in enumerate(ids)}
+        tree._root = tree._build_subtree(list(tree._points.keys()), None)
+        return tree
+
+    def __len__(self) -> int:
+        return self._root.alive
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return tuple_id in self._points
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    def insert(self, tuple_id: int, point) -> None:
+        """Insert a point under ``tuple_id`` (must be fresh)."""
+        if tuple_id in self._points:
+            raise KeyError(f"tuple id {tuple_id} already present")
+        vec = np.asarray(point, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self._d:
+            raise ValueError(f"point has d={vec.shape[0]}, expected {self._d}")
+        self._points[tuple_id] = vec.copy()
+        node = self._root
+        while True:
+            self._absorb_box(node, vec)
+            node.total += 1
+            node.alive += 1
+            if node.is_leaf:
+                break
+            node = node.left if vec[node.axis] <= node.split else node.right
+        node.bucket.append(tuple_id)
+        self._leaf_of[tuple_id] = node
+        if len(node.bucket) > self._leaf_capacity:
+            self._split_leaf(node)
+
+    def delete(self, tuple_id: int) -> None:
+        """Remove ``tuple_id``; rebuilds decayed subtrees opportunistically."""
+        leaf = self._leaf_of.pop(tuple_id, None)
+        if leaf is None:
+            raise KeyError(f"tuple id {tuple_id} not present")
+        del self._points[tuple_id]
+        leaf.bucket.remove(tuple_id)
+        # ``alive`` drops immediately; ``total`` only resets on rebuild, so
+        # the ratio measures decay since the subtree was last built.
+        rebuild_candidate: _Node | None = None
+        node: _Node | None = leaf
+        while node is not None:
+            node.alive -= 1
+            if node.alive * 2 < node.total and node.total > self._leaf_capacity:
+                rebuild_candidate = node  # highest such node wins (found last)
+            node = node.parent
+        if rebuild_candidate is not None:
+            self._rebuild(rebuild_candidate)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_k(self, u, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Best-first top-k by inner product with nonnegative ``u``.
+
+        Returns ``(ids, scores)`` sorted best-first with ties broken
+        toward smaller ids, matching ``Database.top_k``.
+        """
+        u = np.asarray(u, dtype=np.float64).reshape(-1)
+        if u.shape[0] != self._d:
+            raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
+        if k < 1 or self._root.alive == 0:
+            return (np.empty(0, dtype=np.intp), np.empty(0))
+        k = min(int(k), self._root.alive)
+        counter = itertools.count()
+        frontier = [(-self._node_bound(self._root, u), next(counter), self._root)]
+        # Min-heap of (score, -id) keeps the current k best; its root is
+        # the threshold for pruning.
+        best: list[tuple[float, int]] = []
+        while frontier:
+            neg_bound, _, node = heapq.heappop(frontier)
+            if len(best) == k and -neg_bound < best[0][0]:
+                break
+            if node.is_leaf:
+                for tid in node.bucket:
+                    score = float(self._points[tid] @ u)
+                    entry = (score, -tid)
+                    if len(best) < k:
+                        heapq.heappush(best, entry)
+                    elif entry > best[0]:
+                        heapq.heapreplace(best, entry)
+            else:
+                for child in (node.left, node.right):
+                    if child is not None and child.alive > 0:
+                        bound = self._node_bound(child, u)
+                        if len(best) < k or bound >= best[0][0]:
+                            heapq.heappush(frontier, (-bound, next(counter), child))
+        ordered = sorted(best, key=lambda e: (-e[0], -e[1]))
+        ids = np.asarray([-tid for _, tid in ordered], dtype=np.intp)
+        scores = np.asarray([s for s, _ in ordered])
+        return ids, scores
+
+    def range_query(self, u, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+        """All ids with ``<u, p> >= threshold``; returns ``(ids, scores)``.
+
+        Output is sorted by descending score, ties toward smaller id.
+        """
+        u = np.asarray(u, dtype=np.float64).reshape(-1)
+        if u.shape[0] != self._d:
+            raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
+        hits_ids: list[int] = []
+        hits_scores: list[float] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.alive == 0 or self._node_bound(node, u) < threshold:
+                continue
+            if node.is_leaf:
+                for tid in node.bucket:
+                    score = float(self._points[tid] @ u)
+                    if score >= threshold:
+                        hits_ids.append(tid)
+                        hits_scores.append(score)
+            else:
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+        if not hits_ids:
+            return (np.empty(0, dtype=np.intp), np.empty(0))
+        ids = np.asarray(hits_ids, dtype=np.intp)
+        scores = np.asarray(hits_scores)
+        order = np.lexsort((ids, -scores))
+        return ids[order], scores[order]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _node_bound(self, node: _Node, u: np.ndarray) -> float:
+        """Upper bound on ``<u, p>`` over alive points below ``node``."""
+        if node.box_max is None:
+            return -np.inf
+        return float(node.box_max @ u)
+
+    @staticmethod
+    def _absorb_box(node: _Node, vec: np.ndarray) -> None:
+        if node.box_min is None:
+            node.box_min = vec.copy()
+            node.box_max = vec.copy()
+        else:
+            np.minimum(node.box_min, vec, out=node.box_min)
+            np.maximum(node.box_max, vec, out=node.box_max)
+
+    def _build_subtree(self, ids: list[int], parent: _Node | None) -> _Node:
+        node = _Node(parent)
+        node.total = node.alive = len(ids)
+        if ids:
+            pts = np.asarray([self._points[i] for i in ids])
+            node.box_min = pts.min(axis=0)
+            node.box_max = pts.max(axis=0)
+        if len(ids) <= self._leaf_capacity:
+            node.bucket = list(ids)
+            for tid in ids:
+                self._leaf_of[tid] = node
+            return node
+        pts = np.asarray([self._points[i] for i in ids])
+        axis = int(np.argmax(node.box_max - node.box_min))
+        values = pts[:, axis]
+        split = float(np.median(values))
+        left_ids = [tid for tid, v in zip(ids, values) if v <= split]
+        right_ids = [tid for tid, v in zip(ids, values) if v > split]
+        if not left_ids or not right_ids:
+            # All values equal on the widest axis: keep as an oversized
+            # leaf (every split would be degenerate).
+            node.bucket = list(ids)
+            for tid in ids:
+                self._leaf_of[tid] = node
+            return node
+        node.axis = axis
+        node.split = split
+        node.left = self._build_subtree(left_ids, node)
+        node.right = self._build_subtree(right_ids, node)
+        return node
+
+    def _split_leaf(self, leaf: _Node) -> None:
+        ids = leaf.bucket
+        pts = np.asarray([self._points[i] for i in ids])
+        spread = pts.max(axis=0) - pts.min(axis=0)
+        axis = int(np.argmax(spread))
+        if spread[axis] == 0.0:
+            return  # degenerate: defer splitting until points differ
+        split = float(np.median(pts[:, axis]))
+        left_ids = [tid for tid, v in zip(ids, pts[:, axis]) if v <= split]
+        right_ids = [tid for tid, v in zip(ids, pts[:, axis]) if v > split]
+        if not left_ids or not right_ids:
+            return
+        leaf.axis = axis
+        leaf.split = split
+        leaf.bucket = []
+        leaf.left = self._build_subtree(left_ids, leaf)
+        leaf.right = self._build_subtree(right_ids, leaf)
+
+    def _rebuild(self, node: _Node) -> None:
+        """Rebuild ``node`` in place from its alive points."""
+        alive_ids = self._collect_alive(node)
+        fresh = self._build_subtree(alive_ids, node.parent)
+        node.axis = fresh.axis
+        node.split = fresh.split
+        node.left = fresh.left
+        node.right = fresh.right
+        if node.left is not None:
+            node.left.parent = node
+        if node.right is not None:
+            node.right.parent = node
+        node.box_min = fresh.box_min
+        node.box_max = fresh.box_max
+        node.total = fresh.total
+        node.alive = fresh.alive
+        node.bucket = fresh.bucket
+        if node.is_leaf:
+            for tid in node.bucket:
+                self._leaf_of[tid] = node
+
+    def _collect_alive(self, node: _Node) -> list[int]:
+        out: list[int] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur.is_leaf:
+                out.extend(cur.bucket)
+            else:
+                if cur.left is not None:
+                    stack.append(cur.left)
+                if cur.right is not None:
+                    stack.append(cur.right)
+        return out

@@ -1,0 +1,255 @@
+"""A dynamic region quadtree (2^d-ary) as an alternative tuple index.
+
+§III-C of the paper notes that *any* space-partitioning index — "e.g.,
+k-d tree [7] and Quadtree [15]" — can serve as the tuple index TI. This
+module provides the quadtree option with the same interface as
+:class:`repro.index.kdtree.KDTree` (insert / delete / top_k /
+range_query), so the top-k maintainer can be instantiated with either
+(see ``ApproxTopKIndex(index_factory=...)``) and the ablation bench can
+compare them.
+
+Each internal node splits its hyper-rectangle at the center into ``2^d``
+children (children are materialized lazily, only when points land in
+them). Deletions remove points directly and prune empty subtrees; the
+same ``⟨u, box_max⟩`` bound as the k-d tree drives search, since the
+cell rectangles are exact by construction.
+
+Quadtrees degrade combinatorially with dimension (2^d fanout), so the
+default tuple index remains the k-d tree; the quadtree is practical for
+``d <= ~8`` and exists for fidelity and comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.utils import as_point_matrix
+
+_MAX_DEPTH = 24
+_LEAF_CAPACITY = 16
+
+
+class _QNode:
+    __slots__ = ("lo", "hi", "children", "bucket", "alive", "depth")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, depth: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.children: dict[int, _QNode] | None = None  # None while leaf
+        self.bucket: list[int] = []
+        self.alive = 0
+        self.depth = depth
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """Dynamic 2^d-ary region tree over ``[0, bound]^d`` points.
+
+    Parameters
+    ----------
+    d : int
+        Dimensionality (keep small; fanout is 2^d).
+    bound : float
+        Upper bound of the data domain per axis (points are validated
+        against it). The paper's data is normalized to [0, 1].
+    leaf_capacity : int
+        Bucket size before a leaf subdivides.
+    """
+
+    def __init__(self, d: int, *, bound: float = 1.0,
+                 leaf_capacity: int = _LEAF_CAPACITY) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        self._d = int(d)
+        self._bound = float(bound)
+        self._leaf_capacity = int(leaf_capacity)
+        self._points: dict[int, np.ndarray] = {}
+        self._root = _QNode(np.zeros(d), np.full(d, bound), 0)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, ids, points, *, bound: float = 1.0,
+              leaf_capacity: int = _LEAF_CAPACITY) -> "QuadTree":
+        pts = as_point_matrix(points)
+        ids = np.asarray(list(ids), dtype=np.intp)
+        if ids.shape[0] != pts.shape[0]:
+            raise ValueError("ids and points must have equal length")
+        bound = max(bound, float(pts.max(initial=0.0)) or 1.0)
+        tree = cls(pts.shape[1], bound=bound, leaf_capacity=leaf_capacity)
+        for row, tid in enumerate(ids):
+            tree.insert(int(tid), pts[row])
+        return tree
+
+    def __len__(self) -> int:
+        return self._root.alive
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return tuple_id in self._points
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, tuple_id: int, point) -> None:
+        if tuple_id in self._points:
+            raise KeyError(f"tuple id {tuple_id} already present")
+        vec = np.asarray(point, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self._d:
+            raise ValueError(f"point has d={vec.shape[0]}, expected {self._d}")
+        if (vec < 0).any() or (vec > self._bound + 1e-12).any():
+            raise ValueError(f"point outside [0, {self._bound}]^d domain")
+        self._points[tuple_id] = vec.copy()
+        node = self._root
+        while True:
+            node.alive += 1
+            if node.is_leaf:
+                break
+            node = self._child_for(node, vec)
+        node.bucket.append(tuple_id)
+        if len(node.bucket) > self._leaf_capacity and node.depth < _MAX_DEPTH:
+            self._subdivide(node)
+
+    def delete(self, tuple_id: int) -> None:
+        vec = self._points.pop(tuple_id, None)
+        if vec is None:
+            raise KeyError(f"tuple id {tuple_id} not present")
+        node = self._root
+        path = []
+        while True:
+            node.alive -= 1
+            path.append(node)
+            if node.is_leaf:
+                break
+            node = self._child_for(node, vec)
+        node.bucket.remove(tuple_id)
+        # Collapse hollow internal nodes back into leaves.
+        for anc in reversed(path[:-1]):
+            if anc.alive <= self._leaf_capacity and not anc.is_leaf:
+                anc.bucket = self._collect(anc)
+                anc.children = None
+
+    # ------------------------------------------------------------------
+    # Queries (same contracts as KDTree)
+    # ------------------------------------------------------------------
+    def top_k(self, u, k: int) -> tuple[np.ndarray, np.ndarray]:
+        u = np.asarray(u, dtype=np.float64).reshape(-1)
+        if u.shape[0] != self._d:
+            raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
+        if k < 1 or self._root.alive == 0:
+            return (np.empty(0, dtype=np.intp), np.empty(0))
+        k = min(int(k), self._root.alive)
+        counter = itertools.count()
+        frontier = [(-float(self._root.hi @ u), next(counter), self._root)]
+        best: list[tuple[float, int]] = []
+        while frontier:
+            neg_bound, _, node = heapq.heappop(frontier)
+            if len(best) == k and -neg_bound < best[0][0]:
+                break
+            if node.is_leaf:
+                for tid in node.bucket:
+                    entry = (float(self._points[tid] @ u), -tid)
+                    if len(best) < k:
+                        heapq.heappush(best, entry)
+                    elif entry > best[0]:
+                        heapq.heapreplace(best, entry)
+            else:
+                for child in node.children.values():
+                    if child.alive > 0:
+                        bound = float(child.hi @ u)
+                        if len(best) < k or bound >= best[0][0]:
+                            heapq.heappush(frontier,
+                                           (-bound, next(counter), child))
+        ordered = sorted(best, key=lambda e: (-e[0], -e[1]))
+        ids = np.asarray([-tid for _, tid in ordered], dtype=np.intp)
+        scores = np.asarray([s for s, _ in ordered])
+        return ids, scores
+
+    def range_query(self, u, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+        u = np.asarray(u, dtype=np.float64).reshape(-1)
+        if u.shape[0] != self._d:
+            raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
+        hits_ids: list[int] = []
+        hits_scores: list[float] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.alive == 0 or float(node.hi @ u) < threshold:
+                continue
+            if node.is_leaf:
+                for tid in node.bucket:
+                    score = float(self._points[tid] @ u)
+                    if score >= threshold:
+                        hits_ids.append(tid)
+                        hits_scores.append(score)
+            else:
+                stack.extend(node.children.values())
+        if not hits_ids:
+            return (np.empty(0, dtype=np.intp), np.empty(0))
+        ids = np.asarray(hits_ids, dtype=np.intp)
+        scores = np.asarray(hits_scores)
+        order = np.lexsort((ids, -scores))
+        return ids[order], scores[order]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _child_index(self, node: _QNode, vec: np.ndarray) -> int:
+        mid = 0.5 * (node.lo + node.hi)
+        idx = 0
+        for axis in range(self._d):
+            if vec[axis] > mid[axis]:
+                idx |= 1 << axis
+        return idx
+
+    def _child_for(self, node: _QNode, vec: np.ndarray) -> _QNode:
+        idx = self._child_index(node, vec)
+        child = node.children.get(idx)
+        if child is None:
+            mid = 0.5 * (node.lo + node.hi)
+            lo = node.lo.copy()
+            hi = mid.copy()
+            for axis in range(self._d):
+                if idx >> axis & 1:
+                    lo[axis] = mid[axis]
+                    hi[axis] = node.hi[axis]
+            child = _QNode(lo, hi, node.depth + 1)
+            node.children[idx] = child
+        return child
+
+    def _subdivide(self, leaf: _QNode) -> None:
+        ids = leaf.bucket
+        leaf.bucket = []
+        leaf.children = {}
+        for tid in ids:
+            vec = self._points[tid]
+            child = self._child_for(leaf, vec)
+            child.alive += 1
+            child.bucket.append(tid)
+        # Guard against all points identical: if one child got everything
+        # it will re-split on its own insert path (depth-capped).
+
+    def _collect(self, node: _QNode) -> list[int]:
+        out: list[int] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur.is_leaf:
+                out.extend(cur.bucket)
+            else:
+                stack.extend(cur.children.values())
+        return out

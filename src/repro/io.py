@@ -1,0 +1,153 @@
+"""Persistence: save and load databases, workloads, and run results.
+
+A downstream user of the library needs to freeze an experiment — the
+exact database snapshot, the exact operation tape, the measured results
+— and replay or share it later. Everything is stored in ``.npz``
+(arrays) with a small JSON header, no pickling, so files are portable
+and safe to load.
+
+Formats
+-------
+* **database** — one npz with ``ids`` (intp) and ``points`` (float64);
+  reloading preserves tuple ids exactly (including gaps from deletions).
+* **workload** — npz with the initial matrix plus parallel arrays of
+  operation kind/id/point and the snapshot marks.
+* **run result** — JSON (scalars only), suitable for diffing across
+  machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import RunResult, SnapshotRecord
+from repro.data.database import DELETE, INSERT, Database, Operation
+from repro.data.workload import DynamicWorkload
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Database
+# ----------------------------------------------------------------------
+
+def save_database(db: Database, path) -> None:
+    """Save the alive tuples of ``db`` (ids + values) to ``path``."""
+    ids, pts = db.snapshot()
+    np.savez_compressed(path, version=_FORMAT_VERSION, kind="database",
+                        ids=ids, points=pts, d=db.d,
+                        capacity=db.capacity)
+
+
+def load_database(path) -> Database:
+    """Reload a database saved with :func:`save_database`.
+
+    Tuple ids are preserved: ids missing from the stored set (deleted
+    before saving) stay permanently dead in the reloaded instance.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        _check(data, "database")
+        ids = data["ids"].astype(np.intp)
+        pts = data["points"]
+        d = int(data["d"])
+        capacity = int(data["capacity"])
+    db = Database(d=d)
+    cursor = 0
+    alive = set(int(i) for i in ids)
+    row_of = {int(tid): row for row, tid in enumerate(ids)}
+    for tid in range(capacity):
+        if tid in alive:
+            assigned = db.insert(pts[row_of[tid]])
+        else:
+            # Re-create and immediately kill the id to preserve numbering.
+            assigned = db.insert(np.zeros(d))
+            db.delete(assigned)
+        if assigned != tid:  # pragma: no cover - defensive
+            raise RuntimeError(f"id mismatch on reload: {assigned} != {tid}")
+        cursor += 1
+    return db
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+
+def save_workload(workload: DynamicWorkload, path) -> None:
+    """Serialize a workload tape (initial matrix + operations)."""
+    kinds = np.asarray([1 if op.kind == INSERT else 0
+                        for op in workload.operations], dtype=np.int8)
+    ids = np.asarray([op.tuple_id if op.tuple_id is not None else -1
+                      for op in workload.operations], dtype=np.int64)
+    if workload.operations:
+        op_points = np.vstack([op.point for op in workload.operations])
+    else:
+        op_points = np.empty((0, workload.d))
+    np.savez_compressed(path, version=_FORMAT_VERSION, kind="workload",
+                        initial=workload.initial, kinds=kinds, ids=ids,
+                        op_points=op_points,
+                        snapshots=np.asarray(workload.snapshots,
+                                             dtype=np.int64))
+
+
+def load_workload(path) -> DynamicWorkload:
+    """Reload a workload saved with :func:`save_workload`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check(data, "workload")
+        initial = data["initial"]
+        kinds = data["kinds"]
+        ids = data["ids"]
+        op_points = data["op_points"]
+        snapshots = tuple(int(s) for s in data["snapshots"])
+    ops = []
+    for i in range(kinds.shape[0]):
+        kind = INSERT if kinds[i] == 1 else DELETE
+        tid = int(ids[i]) if ids[i] >= 0 else None
+        ops.append(Operation(kind, op_points[i].copy(), tuple_id=tid))
+    return DynamicWorkload(initial=initial, operations=ops,
+                           snapshots=snapshots)
+
+
+# ----------------------------------------------------------------------
+# Run results
+# ----------------------------------------------------------------------
+
+def save_run_result(result: RunResult, path) -> None:
+    """Write a run result as human-diffable JSON."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "kind": "run_result",
+        "algorithm": result.algorithm,
+        "n_operations": result.n_operations,
+        "total_seconds": result.total_seconds,
+        "snapshots": [
+            {"op_index": s.op_index, "result_size": s.result_size,
+             "mrr": s.mrr, "db_size": s.db_size}
+            for s in result.snapshots
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_run_result(path) -> RunResult:
+    """Reload a run result saved with :func:`save_run_result`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "run_result":
+        raise ValueError(f"{path} is not a saved run result")
+    snapshots = [SnapshotRecord(**snap) for snap in payload["snapshots"]]
+    return RunResult(algorithm=payload["algorithm"],
+                     n_operations=payload["n_operations"],
+                     total_seconds=payload["total_seconds"],
+                     snapshots=snapshots)
+
+
+def _check(data, expected_kind: str) -> None:
+    kind = str(data["kind"]) if "kind" in data else "?"
+    if kind != expected_kind:
+        raise ValueError(f"file holds a {kind!r}, expected {expected_kind!r}")
+    version = int(data["version"]) if "version" in data else -1
+    if version > _FORMAT_VERSION:
+        raise ValueError(f"file format v{version} is newer than this "
+                         f"library (v{_FORMAT_VERSION})")

@@ -1,0 +1,6 @@
+"""The skyline operator: static computation and fully-dynamic maintenance."""
+
+from repro.skyline.static import dominates, skyline_mask, skyline_indices
+from repro.skyline.dynamic import DynamicSkyline
+
+__all__ = ["dominates", "skyline_mask", "skyline_indices", "DynamicSkyline"]

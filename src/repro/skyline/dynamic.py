@@ -1,0 +1,165 @@
+"""Fully-dynamic skyline maintenance.
+
+The experimental protocol (§IV-A) re-runs each static baseline only when
+an operation changes the skyline (k-RMS results are skyline subsets, so
+operations on dominated tuples are no-ops for them). This module keeps
+the skyline of a :class:`repro.data.Database` up to date per operation
+and reports whether the operation changed it.
+
+Maintenance logic:
+
+* **Insert p.** If some skyline tuple dominates ``p``, the skyline is
+  unchanged. Otherwise ``p`` joins and every skyline tuple now dominated
+  by ``p`` leaves (those tuples are *retired* — recorded as dominated,
+  since only ``p`` can dominate them among current skyline members).
+* **Delete p.** If ``p`` was not on the skyline, nothing changes.
+  Otherwise every non-skyline tuple whose dominators all disappeared must
+  be promoted. We keep, for each dominated tuple, one *witness* dominator
+  on the skyline; deletion only re-examines tuples whose witness was the
+  deleted tuple, which keeps typical deletions far below O(n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import Database
+
+
+class DynamicSkyline:
+    """Maintains the skyline of a database across insertions/deletions.
+
+    Parameters
+    ----------
+    db : Database
+        The backing database. The skyline of its current contents is
+        computed at construction; afterwards, call :meth:`insert` /
+        :meth:`delete` *after* applying the same operation to ``db``.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._on_skyline: set[int] = set()
+        # witness[tid] = skyline id dominating tid (for dominated tuples).
+        self._witness: dict[int, int] = {}
+        # children[sid] = ids whose witness is sid.
+        self._children: dict[int, set[int]] = {}
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def ids(self) -> frozenset[int]:
+        """Current skyline tuple ids."""
+        return frozenset(self._on_skyline)
+
+    def __len__(self) -> int:
+        return len(self._on_skyline)
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return tuple_id in self._on_skyline
+
+    def points(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, matrix)`` of the skyline tuples, id-sorted."""
+        ids = np.asarray(sorted(self._on_skyline), dtype=np.intp)
+        return ids, self._db.points(ids)
+
+    # ------------------------------------------------------------------
+    # Updates (call after Database.insert / Database.delete)
+    # ------------------------------------------------------------------
+    def insert(self, tuple_id: int) -> bool:
+        """Register an inserted tuple. Returns True iff skyline changed."""
+        p = self._db.point(tuple_id)
+        sky_ids = sorted(self._on_skyline)
+        if sky_ids:
+            sky = self._db.points(sky_ids)
+            dominated_by = (sky >= p).all(axis=1) & (sky > p).any(axis=1)
+            if dominated_by.any():
+                witness = int(sky_ids[int(np.argmax(dominated_by))])
+                self._witness[tuple_id] = witness
+                self._children.setdefault(witness, set()).add(tuple_id)
+                return False
+            # p enters; evict skyline tuples p dominates.
+            beaten = (p >= sky).all(axis=1) & (p > sky).any(axis=1)
+            for row in np.flatnonzero(beaten):
+                loser = int(sky_ids[int(row)])
+                self._demote(loser, witness=tuple_id)
+        self._on_skyline.add(tuple_id)
+        return True
+
+    def delete(self, tuple_id: int) -> bool:
+        """Register a deleted tuple. Returns True iff skyline changed.
+
+        Must be called *after* ``db.delete(tuple_id)``.
+        """
+        if tuple_id not in self._on_skyline:
+            # Dominated tuple: detach from its witness, and hand any
+            # tuples witnessed by it to that witness (dominance is
+            # transitive, so the grand-witness still dominates them).
+            witness = self._witness.pop(tuple_id, None)
+            if witness is not None:
+                self._children.get(witness, set()).discard(tuple_id)
+            children = self._children.pop(tuple_id, set())
+            if children:
+                if witness is None:
+                    raise AssertionError(
+                        "non-skyline tuple with children must have a witness"
+                    )
+                for child in children:
+                    self._witness[child] = witness
+                self._children.setdefault(witness, set()).update(children)
+            return False
+        self._on_skyline.discard(tuple_id)
+        orphans = sorted(self._children.pop(tuple_id, set()))
+        for orphan in orphans:
+            self._witness.pop(orphan, None)
+        # Re-insert orphans in descending sum order so that promoted
+        # orphans can adopt later ones.
+        if orphans:
+            pts = self._db.points(orphans)
+            order = np.argsort(-pts.sum(axis=1), kind="stable")
+            for row in order:
+                self._reclassify(int(orphans[int(row)]))
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _demote(self, loser: int, *, witness: int) -> None:
+        """Move ``loser`` from the skyline to dominated-with-witness."""
+        self._on_skyline.discard(loser)
+        self._witness[loser] = witness
+        self._children.setdefault(witness, set()).add(loser)
+        # Tuples witnessed by the loser stay witnessed by it: the loser is
+        # still alive and still dominates them (domination is transitive
+        # only through alive tuples, and the loser remains alive).
+
+    def _reclassify(self, tuple_id: int) -> None:
+        """Decide skyline membership of an orphaned tuple from scratch."""
+        p = self._db.point(tuple_id)
+        sky_ids = sorted(self._on_skyline)
+        if sky_ids:
+            sky = self._db.points(sky_ids)
+            dominated_by = (sky >= p).all(axis=1) & (sky > p).any(axis=1)
+            if dominated_by.any():
+                witness = int(sky_ids[int(np.argmax(dominated_by))])
+                self._witness[tuple_id] = witness
+                self._children.setdefault(witness, set()).add(tuple_id)
+                return
+            beaten = (p >= sky).all(axis=1) & (p > sky).any(axis=1)
+            for row in np.flatnonzero(beaten):
+                self._demote(int(sky_ids[int(row)]), witness=tuple_id)
+        self._on_skyline.add(tuple_id)
+
+    def _rebuild(self) -> None:
+        """Recompute skyline + witnesses from the database contents."""
+        self._on_skyline.clear()
+        self._witness.clear()
+        self._children.clear()
+        ids, pts = self._db.snapshot()
+        if ids.size == 0:
+            return
+        order = np.argsort(-pts.sum(axis=1), kind="stable")
+        for row in order:
+            self._reclassify(int(ids[int(row)]))

@@ -1,0 +1,90 @@
+"""Static skyline computation (the skyline operator of Börzsönyi et al.).
+
+A tuple ``p`` *dominates* ``q`` iff ``p >= q`` componentwise and
+``p != q`` in at least one attribute (bigger is better — the paper's
+scores are monotone increasing in every attribute). The skyline is the
+set of non-dominated tuples; every k-RMS result is a subset of it, and
+the static baselines recompute whenever it changes.
+
+The implementation is a sort-filter-skyline (SFS) variant: sorting by
+descending attribute sum means a tuple can only be dominated by tuples
+earlier in the order, so one forward pass with a running skyline buffer
+suffices. Comparisons against the buffer are vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import as_point_matrix
+
+
+def dominates(p: np.ndarray, q: np.ndarray, *, tol: float = 0.0) -> bool:
+    """Whether ``p`` dominates ``q`` (componentwise >=, strictly > once).
+
+    ``tol`` loosens the comparison for noisy data: ``p[i] >= q[i] - tol``
+    counts as "as good". The default is exact.
+    """
+    p = np.asarray(p, dtype=np.float64).reshape(-1)
+    q = np.asarray(q, dtype=np.float64).reshape(-1)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return bool((p >= q - tol).all() and (p > q + tol).any())
+
+
+def skyline_mask(points: np.ndarray) -> np.ndarray:
+    """Boolean mask of skyline membership, aligned with ``points`` rows.
+
+    Runs in O(n log n + n·s·d) where ``s`` is the skyline size — fast in
+    practice because most tuples are eliminated by the first few skyline
+    points found in sum order.
+    """
+    pts = as_point_matrix(points)
+    n, d = pts.shape
+    order = np.argsort(-pts.sum(axis=1), kind="stable")
+    # Sum order means a point can only be dominated by points processed
+    # before it (dominance implies a strictly larger attribute sum).
+    # Process candidates in blocks: one broadcasted comparison against
+    # the current skyline buffer per block, then a sequential pass for
+    # the (few) intra-block dominations. Block size adapts so the
+    # (B, size, d) comparison tensors stay within a bounded footprint.
+    buf = np.empty((max(16, n // 8), d))
+    size = 0
+    mask = np.zeros(n, dtype=bool)
+    start = 0
+    while start < n:
+        block_cap = max(8, int(4_000_000 // max(1, size * d)))
+        block = order[start:start + block_cap]
+        start += block.shape[0]
+        cand = pts[block]
+        if size:
+            window = buf[:size]
+            ge = (window[None, :, :] >= cand[:, None, :]).all(axis=2)
+            gt = (window[None, :, :] > cand[:, None, :]).any(axis=2)
+            alive = ~(ge & gt).any(axis=1)
+        else:
+            alive = np.ones(block.shape[0], dtype=bool)
+        size0 = size
+        for row in np.flatnonzero(alive):
+            p = cand[row]
+            if size > size0:
+                # Already cleared against buf[:size0] by the block test;
+                # only intra-block additions remain to check.
+                window = buf[size0:size]
+                dominated = ((window >= p).all(axis=1)
+                             & (window > p).any(axis=1)).any()
+                if dominated:
+                    continue
+            if size == buf.shape[0]:
+                grown = np.empty((2 * size, d))
+                grown[:size] = buf
+                buf = grown
+            buf[size] = p
+            size += 1
+            mask[block[row]] = True
+    return mask
+
+
+def skyline_indices(points: np.ndarray) -> np.ndarray:
+    """Sorted row indices of the skyline of ``points``."""
+    return np.flatnonzero(skyline_mask(points))

@@ -1,0 +1,23 @@
+"""Shared low-level utilities: validation, RNG handling, timing."""
+
+from repro.utils.validation import (
+    as_point_matrix,
+    as_unit_vector,
+    check_dimension,
+    check_epsilon,
+    check_k,
+    check_size_constraint,
+)
+from repro.utils.rng import resolve_rng
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "as_point_matrix",
+    "as_unit_vector",
+    "check_dimension",
+    "check_epsilon",
+    "check_k",
+    "check_size_constraint",
+    "resolve_rng",
+    "Stopwatch",
+]

@@ -1,0 +1,23 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int``, or an existing
+:class:`numpy.random.Generator`; this module centralizes the coercion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def resolve_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing a generator through unchanged lets callers share one stream
+    across components, which keeps experiment runs reproducible end to end.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

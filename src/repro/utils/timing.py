@@ -1,0 +1,65 @@
+"""A tiny stopwatch used by the experiment harness.
+
+``time.perf_counter`` based, supports accumulating named segments so the
+harness can separate e.g. top-k maintenance time from set-cover time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """Accumulates wall-clock time per named segment.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("update"):
+    ...     pass
+    >>> sw.total("update") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = defaultdict(float)
+        self._counts: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager that adds the elapsed time to segment ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self._totals[name] += time.perf_counter() - start
+            self._counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to segment ``name``."""
+        self._totals[name] += float(seconds)
+        self._counts[name] += 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated for segment ``name`` (0.0 if unseen)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of measurements recorded for segment ``name``."""
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement of ``name`` (0.0 if unseen)."""
+        cnt = self._counts.get(name, 0)
+        return self._totals.get(name, 0.0) / cnt if cnt else 0.0
+
+    def segments(self) -> dict[str, float]:
+        """Snapshot of all segment totals."""
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        """Clear all accumulated measurements."""
+        self._totals.clear()
+        self._counts.clear()

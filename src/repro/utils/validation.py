@@ -1,0 +1,90 @@
+"""Input validation helpers shared across the library.
+
+All public entry points of :mod:`repro` funnel their array arguments
+through these helpers so that error messages are consistent and the rest
+of the code can assume clean ``float64`` C-contiguous data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_point_matrix(points, *, name: str = "points") -> np.ndarray:
+    """Coerce ``points`` to a 2-d ``float64`` array of shape ``(n, d)``.
+
+    Raises :class:`ValueError` for empty input, wrong rank, non-finite
+    entries, or negative coordinates (the paper assumes the nonnegative
+    orthant ``R^d_+``).
+    """
+    arr = np.ascontiguousarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-d array, got ndim={arr.ndim}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    if (arr < 0).any():
+        raise ValueError(f"{name} must lie in the nonnegative orthant")
+    return arr
+
+
+def as_unit_vector(u, *, d: int | None = None, name: str = "u") -> np.ndarray:
+    """Coerce ``u`` to a 1-d nonnegative unit vector.
+
+    A zero vector is rejected; any other nonnegative vector is normalized
+    to unit Euclidean norm (the maximum k-regret ratio is scale-invariant,
+    so normalization is safe).
+    """
+    vec = np.ascontiguousarray(u, dtype=np.float64).reshape(-1)
+    if d is not None and vec.shape[0] != d:
+        raise ValueError(f"{name} must have dimension {d}, got {vec.shape[0]}")
+    if not np.isfinite(vec).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    if (vec < 0).any():
+        raise ValueError(f"{name} must be nonnegative")
+    norm = float(np.linalg.norm(vec))
+    if norm == 0.0:
+        raise ValueError(f"{name} must be a nonzero vector")
+    return vec / norm
+
+
+def check_dimension(d: int) -> int:
+    """Validate a dimensionality argument (``d >= 1``)."""
+    d = int(d)
+    if d < 1:
+        raise ValueError(f"dimensionality must be >= 1, got {d}")
+    return d
+
+
+def check_k(k: int) -> int:
+    """Validate the rank parameter ``k`` of a k-RMS query (``k >= 1``)."""
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return k
+
+
+def check_size_constraint(r: int, d: int | None = None) -> int:
+    """Validate the output size constraint ``r``.
+
+    The paper requires ``r >= d`` (Definition 1); we enforce it only when
+    ``d`` is supplied because several baselines are well defined for any
+    ``r >= 1``.
+    """
+    r = int(r)
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    if d is not None and r < d:
+        raise ValueError(f"r must be >= d (paper Definition 1), got r={r}, d={d}")
+    return r
+
+
+def check_epsilon(eps: float, *, name: str = "eps") -> float:
+    """Validate an approximation factor in the open interval (0, 1)."""
+    eps = float(eps)
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"{name} must be in (0, 1), got {eps}")
+    return eps

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20_260_612)
+
+
+@pytest.fixture
+def paper_points() -> np.ndarray:
+    """The 8-tuple 2-d database of Fig. 1 (rows p1..p8)."""
+    return np.array([
+        [0.2, 1.0],   # p1
+        [0.6, 0.8],   # p2
+        [0.7, 0.5],   # p3
+        [1.0, 0.1],   # p4
+        [0.4, 0.3],   # p5
+        [0.2, 0.7],   # p6
+        [0.3, 0.9],   # p7
+        [0.6, 0.6],   # p8
+    ])
+
+
+@pytest.fixture
+def small_cloud(rng) -> np.ndarray:
+    """300 random 4-d points in the unit cube."""
+    return rng.random((300, 4))
+
+
+@pytest.fixture
+def tiny_cloud(rng) -> np.ndarray:
+    """40 random 3-d points (cheap enough for LP-heavy tests)."""
+    return rng.random((40, 3))

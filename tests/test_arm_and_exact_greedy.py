@@ -1,0 +1,95 @@
+"""Tests for the ARM extension and the exact greedy variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import arm_greedy, average_regret, brute_force_rms, greedy
+from repro.core.regret import max_regret_ratio_lp
+from repro.geometry.hull import extreme_points
+
+
+class TestAverageRegret:
+    def test_zero_for_full_set(self, tiny_cloud):
+        assert average_regret(tiny_cloud, tiny_cloud, seed=0) == \
+            pytest.approx(0.0, abs=1e-12)
+
+    def test_bounded(self, tiny_cloud):
+        val = average_regret(tiny_cloud, tiny_cloud[:1], seed=0)
+        assert 0.0 <= val <= 1.0
+
+    def test_below_max_regret(self, tiny_cloud):
+        from repro.core.regret import max_k_regret_ratio_sampled
+        rng = np.random.default_rng(4)
+        utils = rng.random((2000, 3)) + 1e-9
+        utils /= np.linalg.norm(utils, axis=1, keepdims=True)
+        q = tiny_cloud[:3]
+        avg = average_regret(tiny_cloud, q, utilities=utils)
+        mx = max_k_regret_ratio_sampled(tiny_cloud, q, utilities=utils)
+        assert avg <= mx + 1e-12
+
+    def test_monotone_in_q(self, tiny_cloud):
+        rng = np.random.default_rng(5)
+        utils = rng.random((2000, 3)) + 1e-9
+        utils /= np.linalg.norm(utils, axis=1, keepdims=True)
+        small = average_regret(tiny_cloud, tiny_cloud[:2], utilities=utils)
+        large = average_regret(tiny_cloud, tiny_cloud[:10], utilities=utils)
+        assert large <= small + 1e-12
+
+
+class TestArmGreedy:
+    def test_size_and_validity(self, small_cloud):
+        idx = arm_greedy(small_cloud, 8, seed=0, n_samples=2000)
+        assert len(idx) <= 8
+        assert len(set(idx.tolist())) == len(idx)
+
+    def test_beats_random_selection_on_average(self, small_cloud):
+        rng = np.random.default_rng(7)
+        utils = rng.random((5000, 4)) + 1e-9
+        utils /= np.linalg.norm(utils, axis=1, keepdims=True)
+        sel = arm_greedy(small_cloud, 6, seed=1, n_samples=3000)
+        rand = rng.choice(small_cloud.shape[0], size=6, replace=False)
+        a = average_regret(small_cloud, small_cloud[sel], utilities=utils)
+        b = average_regret(small_cloud, small_cloud[rand], utilities=utils)
+        assert a <= b + 1e-9
+
+    def test_k2(self, small_cloud):
+        idx = arm_greedy(small_cloud, 6, k=2, seed=2, n_samples=2000)
+        assert len(idx) <= 6
+
+    def test_arm_differs_from_max_regret_objective(self, rng):
+        """ARM and max-regret greedy may pick different sets; ARM's
+        average must be at least as good, sampled fairly."""
+        pts = rng.random((150, 3))
+        utils = rng.random((5000, 3)) + 1e-9
+        utils /= np.linalg.norm(utils, axis=1, keepdims=True)
+        a_idx = arm_greedy(pts, 5, seed=3, n_samples=4000)
+        g_idx = greedy(pts, 5, method="sample", n_samples=4000, seed=3)
+        a_avg = average_regret(pts, pts[a_idx], utilities=utils)
+        g_avg = average_regret(pts, pts[g_idx], utilities=utils)
+        assert a_avg <= g_avg + 5e-3
+
+
+class TestExactGreedy:
+    def test_close_to_bruteforce(self):
+        rng = np.random.default_rng(13)
+        pts = rng.random((14, 3))
+        sel = greedy(pts, 3, method="exact")
+        val = max_regret_ratio_lp(pts, pts[sel])
+        _, opt = brute_force_rms(pts, 3, candidates=extreme_points(pts))
+        assert val <= opt + 0.1
+
+    def test_no_worse_than_witness_greedy(self):
+        rng = np.random.default_rng(14)
+        pts = rng.random((16, 3))
+        exact = greedy(pts, 4, method="exact")
+        witness = greedy(pts, 4, method="lp")
+        v_exact = max_regret_ratio_lp(pts, pts[exact])
+        v_witness = max_regret_ratio_lp(pts, pts[witness])
+        assert v_exact <= v_witness + 5e-2
+
+    def test_early_stop_at_zero_regret(self):
+        # A dominating point makes regret 0 after one pick.
+        pts = np.vstack([np.full((1, 3), 0.99),
+                         np.random.default_rng(0).random((10, 3)) * 0.5])
+        sel = greedy(pts, 5, method="exact")
+        assert sel.tolist() == [0]

@@ -1,0 +1,68 @@
+"""Hypothesis contract properties shared by the static baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import cube, dmm_greedy, eps_kernel, greedy, sphere
+from repro.core.regret import max_k_regret_ratio_sampled
+
+FAST_BASELINES = [
+    ("greedy-sample", lambda pts, r, seed: greedy(pts, r, method="sample",
+                                                  n_samples=800, seed=seed)),
+    ("dmm-greedy", lambda pts, r, seed: dmm_greedy(pts, r, per_axis=4,
+                                                   seed=seed)),
+    ("sphere", lambda pts, r, seed: sphere(pts, r, seed=seed,
+                                           n_samples=800, n_anchors=200)),
+    ("cube", lambda pts, r, seed: cube(pts, r)),
+]
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(3, 40), r=st.integers(1, 8), seed=st.integers(0, 200))
+@pytest.mark.parametrize("name,fn", FAST_BASELINES,
+                         ids=[n for n, _ in FAST_BASELINES])
+def test_selection_contract(name, fn, n, r, seed):
+    """Every baseline returns valid, unique, in-range indices of size <= r
+    (or everything when r >= n) for arbitrary inputs."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 3)) + 1e-6
+    idx = fn(pts, r, seed)
+    assert len(idx) <= max(r, min(r, n)) or r >= n
+    assert len(set(int(i) for i in idx)) == len(idx)
+    assert all(0 <= int(i) < n for i in idx)
+    if r >= n and name != "geo":
+        assert len(idx) == n
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_greedy_monotone_quality_in_r(seed):
+    """More budget never hurts the sampled greedy's measured regret."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((60, 3)) + 1e-6
+    utils = rng.random((800, 3)) + 1e-9
+    utils /= np.linalg.norm(utils, axis=1, keepdims=True)
+    vals = []
+    for r in (2, 4, 8):
+        idx = greedy(pts, r, method="sample", n_samples=800, seed=seed)
+        vals.append(max_k_regret_ratio_sampled(pts, pts[idx], 1,
+                                               utilities=utils))
+    assert vals[0] >= vals[1] - 1e-9 >= vals[2] - 2e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100), r=st.integers(2, 6))
+def test_selected_subset_regret_consistency(seed, r):
+    """The regret of a selection equals the regret of its point set
+    (index bookkeeping never drifts)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((30, 3)) + 1e-6
+    idx = eps_kernel(pts, r, seed=seed)
+    utils = rng.random((500, 3)) + 1e-9
+    utils /= np.linalg.norm(utils, axis=1, keepdims=True)
+    direct = max_k_regret_ratio_sampled(pts, pts[idx], 1, utilities=utils)
+    copied = max_k_regret_ratio_sampled(pts, pts[idx].copy(), 1,
+                                        utilities=utils)
+    assert direct == copied

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats", "Indep"])
+        assert args.dataset == "Indep"
+        assert args.n == 2000
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "Indep", "--n", "300", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "n=300" in out and "#skyline=" in out
+
+    def test_run_fdrms(self, capsys):
+        rc = main(["run", "Indep", "--n", "200", "--r", "6",
+                   "--m-max", "64", "--eval-samples", "500",
+                   "--snapshots", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FD-RMS" in out and "mean mrr" in out
+
+    def test_run_static(self, capsys):
+        rc = main(["run", "Indep", "--n", "200", "--r", "6",
+                   "--algorithm", "Sphere", "--eval-samples", "500",
+                   "--snapshots", "2"])
+        assert rc == 0
+        assert "Sphere" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "AntiCor", "--n", "200", "--r", "6",
+                   "--m-max", "64", "--eval-samples", "500",
+                   "--snapshots", "2",
+                   "--algorithms", "FD-RMS", "DMM-Greedy"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FD-RMS" in out and "DMM-Greedy" in out
+
+    def test_minsize(self, capsys):
+        rc = main(["minsize", "Indep", "--n", "300",
+                   "--eps-values", "0.3,0.1", "--eval-samples", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0.3000" in out and "0.1000" in out
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            main(["stats", "Nope", "--n", "100"])
+
+    def test_module_entrypoint(self):
+        import subprocess
+        import sys
+        res = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", "Indep", "--n", "200"],
+            capture_output=True, text=True, timeout=120)
+        assert res.returncode == 0
+        assert "#skyline=" in res.stdout

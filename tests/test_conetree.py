@@ -1,0 +1,105 @@
+"""Unit + property tests for the cone tree (utility index UI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.sampling import sample_utilities
+from repro.index.conetree import ConeTree
+
+
+def _brute_reached(utils, taus, active, point):
+    out = []
+    for i in range(utils.shape[0]):
+        if active[i] and float(utils[i] @ point) >= taus[i]:
+            out.append(i)
+    return out
+
+
+class TestConstruction:
+    def test_requires_unit_vectors(self):
+        with pytest.raises(ValueError, match="unit"):
+            ConeTree(np.array([[2.0, 0.0]]))
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            ConeTree(np.empty((0, 3)))
+
+    def test_size(self):
+        utils = sample_utilities(30, 3, seed=0)
+        assert ConeTree(utils).size == 30
+
+
+class TestQueries:
+    def test_inactive_never_matches(self):
+        utils = sample_utilities(10, 3, seed=0)
+        tree = ConeTree(utils)
+        assert tree.reached_by(np.ones(3)) == []
+
+    def test_all_active_zero_threshold_matches_all(self):
+        utils = sample_utilities(10, 3, seed=0)
+        tree = ConeTree(utils)
+        for i in range(10):
+            tree.activate(i, 0.0)
+        assert tree.reached_by(np.full(3, 0.5)) == list(range(10))
+
+    def test_threshold_filters(self, rng):
+        utils = sample_utilities(64, 4, seed=1)
+        tree = ConeTree(utils)
+        taus = 0.5 + 0.5 * rng.random(64)
+        for i in range(64):
+            tree.activate(i, float(taus[i]))
+        p = rng.random(4)
+        expect = _brute_reached(utils, taus, np.ones(64, bool), p)
+        assert tree.reached_by(p) == expect
+
+    def test_set_threshold_updates(self, rng):
+        utils = sample_utilities(32, 3, seed=2)
+        tree = ConeTree(utils)
+        for i in range(32):
+            tree.activate(i, 10.0)   # unreachable
+        p = np.ones(3)
+        assert tree.reached_by(p) == []
+        tree.set_threshold(5, 0.1)
+        assert tree.reached_by(p) == [5]
+
+    def test_deactivate(self, rng):
+        utils = sample_utilities(16, 3, seed=3)
+        tree = ConeTree(utils)
+        for i in range(16):
+            tree.activate(i, 0.0)
+        tree.deactivate(7)
+        assert 7 not in tree.reached_by(np.ones(3))
+        assert not tree.is_active(7)
+
+    def test_zero_point(self):
+        utils = sample_utilities(8, 3, seed=4)
+        tree = ConeTree(utils)
+        for i in range(8):
+            tree.activate(i, 0.0)
+        assert tree.reached_by(np.zeros(3)) == list(range(8))
+        tree.set_threshold(0, 0.5)
+        assert 0 not in tree.reached_by(np.zeros(3))
+
+    def test_wrong_dimension(self):
+        tree = ConeTree(sample_utilities(4, 3, seed=0))
+        with pytest.raises(ValueError):
+            tree.reached_by(np.ones(2))
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=st.integers(1, 50), seed=st.integers(0, 500),
+       frac_active=st.floats(0.0, 1.0))
+def test_reached_by_property(m, seed, frac_active):
+    """Cone-tree results always equal the brute-force filter."""
+    rng = np.random.default_rng(seed)
+    utils = sample_utilities(m, 3, seed=rng)
+    tree = ConeTree(utils, leaf_capacity=3)
+    taus = rng.random(m) * 1.5
+    active = rng.random(m) < frac_active
+    for i in range(m):
+        if active[i]:
+            tree.activate(i, float(taus[i]))
+    p = rng.random(3) * 1.2
+    assert tree.reached_by(p) == _brute_reached(utils, taus, active, p)

@@ -1,0 +1,62 @@
+"""Tests for the 2-d optimal DP and the brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_rms, dp2d, greedy
+from repro.core.regret import max_regret_ratio_lp
+from repro.geometry.hull import extreme_points
+
+
+class TestDp2d:
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            dp2d(rng.random((10, 3)), 3)
+
+    def test_small_hull_returned_whole(self):
+        pts = np.array([[0.1, 0.9], [0.9, 0.1], [0.5, 0.5]])
+        idx = dp2d(pts, 5)
+        assert set(extreme_points(pts).tolist()) <= set(idx.tolist())
+
+    def test_matches_bruteforce_optimum(self, rng):
+        for trial in range(3):
+            pts = np.random.default_rng(trial).random((25, 2))
+            idx = dp2d(pts, 3)
+            mrr_dp = max_regret_ratio_lp(pts, pts[idx])
+            cand = extreme_points(pts)
+            _, mrr_opt = brute_force_rms(pts, 3, candidates=cand)
+            assert mrr_dp <= mrr_opt + 5e-3
+
+    def test_beats_or_matches_greedy(self, rng):
+        pts = rng.random((60, 2))
+        idx_dp = dp2d(pts, 4)
+        idx_g = greedy(pts, 4, method="sample", n_samples=4000, seed=0)
+        m_dp = max_regret_ratio_lp(pts, pts[idx_dp])
+        m_g = max_regret_ratio_lp(pts, pts[idx_g])
+        assert m_dp <= m_g + 5e-3
+
+    def test_size_bound(self, rng):
+        pts = rng.random((80, 2))
+        assert len(dp2d(pts, 5)) <= 5
+
+
+class TestBruteForce:
+    def test_exact_on_paper_example(self, paper_points):
+        idx, val = brute_force_rms(paper_points, 2)
+        # RMS(1, 2): with k = 1 the optimum has small but nonzero regret.
+        assert len(idx) == 2
+        assert 0.0 <= val < 0.3
+
+    def test_candidate_restriction(self, paper_points):
+        idx, _ = brute_force_rms(paper_points, 2, candidates=np.array([0, 3]))
+        assert sorted(idx.tolist()) == [0, 3]
+
+    def test_custom_evaluator(self, paper_points):
+        calls = []
+
+        def fake_eval(p, q, k):
+            calls.append(1)
+            return float(len(q))
+        brute_force_rms(paper_points, 2, evaluator=fake_eval,
+                        candidates=np.array([0, 1, 2]))
+        assert len(calls) == 3

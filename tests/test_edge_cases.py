@@ -1,0 +1,150 @@
+"""Failure-injection and degenerate-input tests across the stack.
+
+Production hardening: one-dimensional data, duplicate tuples, boundary
+coordinates, extreme parameters, and adversarial insert/delete churn on
+the same value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import greedy, sphere
+from repro.core.fdrms import FDRMS
+from repro.core.regret import max_k_regret_ratio_sampled
+from repro.core.topk import ApproxTopKIndex
+from repro.data import Database
+from repro.geometry.sampling import sample_utilities_with_basis
+from repro.skyline import DynamicSkyline, skyline_indices
+
+
+class TestOneDimensional:
+    def test_skyline_is_argmax_set(self):
+        pts = np.array([[0.2], [0.9], [0.9], [0.4]])
+        assert set(skyline_indices(pts).tolist()) == {1, 2}
+
+    def test_fdrms_d1(self):
+        rng = np.random.default_rng(0)
+        db = Database(rng.random((50, 1)))
+        algo = FDRMS(db, 1, 1, 0.05, m_max=8, seed=0)
+        # In d=1 a single tuple (the max) achieves zero regret.
+        result = algo.result()
+        assert len(result) == 1
+        ids, pts = db.snapshot()
+        assert np.isclose(float(db.point(result[0])[0]), pts.max())
+
+    def test_greedy_d1(self):
+        pts = np.array([[0.1], [0.8], [0.5]])
+        sel = greedy(pts, 1, method="sample", seed=0)
+        assert sel.tolist() == [1]
+
+
+class TestDuplicates:
+    def test_fdrms_with_all_identical_points(self):
+        pts = np.tile(np.array([[0.5, 0.5]]), (30, 1))
+        db = Database(pts)
+        algo = FDRMS(db, 1, 2, 0.05, m_max=16, seed=0)
+        assert 1 <= len(algo.result()) <= 3
+        mrr = max_k_regret_ratio_sampled(pts, algo.result_points(),
+                                         n_samples=2000, seed=1)
+        assert mrr == pytest.approx(0.0, abs=1e-12)
+
+    def test_topk_index_duplicates(self):
+        pts = np.tile(np.array([[0.4, 0.6]]), (10, 1))
+        db = Database(pts)
+        utils = sample_utilities_with_basis(6, 2, seed=0)
+        index = ApproxTopKIndex(db, utils, 3, 0.05)
+        # All duplicates tie at ω_k, so all are members everywhere.
+        for i in range(6):
+            assert len(index.members_of(i)) == 10
+        index.delete(0)
+        for i in range(6):
+            assert len(index.members_of(i)) == 9
+
+    def test_skyline_duplicate_churn(self):
+        db = Database(np.array([[0.5, 0.5]]))
+        dyn = DynamicSkyline(db)
+        ids = [0]
+        for _ in range(20):
+            pid = db.insert([0.5, 0.5])
+            dyn.insert(pid)
+            ids.append(pid)
+        assert len(dyn) == len(ids)
+        for pid in ids[:-1]:
+            db.delete(pid)
+            dyn.delete(pid)
+        assert set(dyn.ids) == {ids[-1]}
+
+
+class TestBoundaryValues:
+    def test_zero_points_allowed(self):
+        db = Database(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        algo = FDRMS(db, 1, 2, 0.05, m_max=8, seed=0)
+        assert algo.result() == [1]
+        algo.delete(1)
+        assert algo.result() == [0]
+
+    def test_axis_aligned_points(self):
+        pts = np.vstack([np.eye(3), np.full((1, 3), 0.4)])
+        db = Database(pts)
+        algo = FDRMS(db, 1, 3, 0.05, m_max=16, seed=0)
+        # The three unit vectors are the only sensible representatives.
+        assert set(algo.result()) <= {0, 1, 2}
+
+
+class TestExtremeParameters:
+    def test_tiny_eps(self, rng):
+        pts = rng.random((60, 3))
+        db = Database(pts)
+        algo = FDRMS(db, 1, 5, 1e-6, m_max=32, seed=0)
+        assert 1 <= len(algo.result())
+
+    def test_huge_eps(self, rng):
+        pts = rng.random((60, 3))
+        db = Database(pts)
+        algo = FDRMS(db, 1, 5, 0.99, m_max=32, seed=0)
+        # ε→1 makes every tuple an approximate top-k member: S(p) dense,
+        # cover tiny.
+        assert 1 <= len(algo.result()) <= 5
+
+    def test_k_at_least_n(self, rng):
+        pts = rng.random((10, 3))
+        db = Database(pts)
+        algo = FDRMS(db, 50, 3, 0.05, m_max=16, seed=0)
+        # Every tuple is a top-k tuple; any single tuple has zero regret.
+        assert len(algo.result()) >= 1
+        mrr = max_k_regret_ratio_sampled(pts, algo.result_points(), k=50,
+                                         n_samples=2000, seed=1)
+        assert mrr == pytest.approx(0.0, abs=1e-12)
+
+    def test_r_equals_d(self, rng):
+        pts = rng.random((40, 4))
+        db = Database(pts)
+        algo = FDRMS(db, 1, 4, 0.05, m_max=16, seed=0)
+        assert len(algo.result()) <= 5
+
+
+class TestAdversarialChurn:
+    def test_insert_delete_same_value_repeatedly(self, rng):
+        pts = rng.random((40, 3))
+        db = Database(pts)
+        algo = FDRMS(db, 1, 4, 0.05, m_max=32, seed=0)
+        hot = np.array([0.95, 0.95, 0.95])
+        for _ in range(25):
+            pid = algo.insert(hot)
+            assert pid in algo.result()
+            algo.delete(pid)
+            assert pid not in algo.result()
+        assert algo._cover.is_cover() and algo._cover.is_stable()
+
+    def test_drain_to_single_tuple(self, rng):
+        pts = rng.random((30, 2))
+        db = Database(pts)
+        algo = FDRMS(db, 2, 2, 0.05, m_max=16, seed=0)
+        ids = list(db.ids())
+        for victim in ids[:-1]:
+            algo.delete(int(victim))
+        assert algo.result() == [ids[-1]]
+
+    def test_static_baseline_single_point(self):
+        pts = np.array([[0.3, 0.7]])
+        assert sphere(pts, 3, seed=0).tolist() == [0]

@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Examples are the first thing a new user executes; this guards them
+against API drift. The two fastest examples run as-is; the heavier ones
+are executed with reduced input where they support it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    res = subprocess.run([sys.executable, str(EXAMPLES / script), *args],
+                         capture_output=True, text=True, timeout=timeout)
+    assert res.returncode == 0, res.stderr[-2000:]
+    return res.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "initial result" in out
+    assert "after 500 random updates" in out
+
+
+def test_compare_algorithms_small():
+    out = _run("compare_algorithms.py", "400")
+    assert "FD-RMS" in out
+    assert "quality gap" in out
+
+
+@pytest.mark.slow
+def test_hotel_recommendation():
+    out = _run("hotel_recommendation.py", timeout=420)
+    assert "worst of 10 visitors" in out
+
+
+@pytest.mark.slow
+def test_iot_sensor_fleet():
+    out = _run("iot_sensor_fleet.py", timeout=420)
+    assert "dashboard set" in out
+
+
+@pytest.mark.slow
+def test_minsize_tradeoff():
+    out = _run("minsize_tradeoff.py", timeout=420)
+    assert "tuples needed" in out

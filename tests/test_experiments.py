@@ -1,0 +1,73 @@
+"""Tests for the per-figure experiment drivers (fast miniature runs)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    experiment_epsilon_sweep,
+    experiment_scalability,
+    experiment_vary_k,
+    experiment_vary_r,
+    format_series_table,
+)
+from repro.data.synthetic import independent_points
+
+
+@pytest.fixture(scope="module")
+def points():
+    return independent_points(200, 3, seed=55)
+
+
+class TestDrivers:
+    def test_epsilon_sweep(self, points):
+        res = experiment_epsilon_sweep(points, k=1, r=6,
+                                       eps_values=(0.01, 0.1), m_max=32,
+                                       seed=1, eval_samples=1000)
+        assert set(res) == {0.01, 0.1}
+        for run in res.values():
+            assert run.algorithm == "FD-RMS"
+            assert run.snapshots
+
+    def test_vary_r(self, points):
+        res = experiment_vary_r(points, ["FD-RMS", "Sphere"],
+                                r_values=(5, 10), k=1, seed=1,
+                                eval_samples=1000, fdrms_eps=0.05, m_max=32)
+        assert set(res) == {"FD-RMS", "Sphere"}
+        for series in res.values():
+            assert set(series) == {5, 10}
+            # quality should weakly improve with r
+            assert series[10].mean_mrr <= series[5].mean_mrr + 0.05
+
+    def test_vary_k(self, points):
+        res = experiment_vary_k(points, ["FD-RMS"], k_values=(1, 2), r=5,
+                                seed=1, eval_samples=1000, fdrms_eps=0.05,
+                                m_max=32)
+        assert set(res["FD-RMS"]) == {1, 2}
+        # mrr_k decreases with k by definition.
+        assert res["FD-RMS"][2].mean_mrr <= res["FD-RMS"][1].mean_mrr + 0.02
+
+    def test_scalability(self):
+        res = experiment_scalability(
+            lambda d: independent_points(150, d, seed=60), ["FD-RMS"],
+            (3, 4), k=1, r=5, seed=1, eval_samples=1000, fdrms_eps=0.05,
+            m_max=32)
+        assert set(res["FD-RMS"]) == {3, 4}
+
+
+class TestFormatting:
+    def test_missing_cells_blank(self, points):
+        res = experiment_vary_r(points, ["FD-RMS"], r_values=(5,), k=1,
+                                seed=1, eval_samples=500, fdrms_eps=0.05,
+                                m_max=32)
+        res["Ghost"] = {}
+        table = format_series_table(res, x_label="r")
+        assert "Ghost" in table
+
+    def test_metric_selection(self, points):
+        res = experiment_vary_r(points, ["FD-RMS"], r_values=(5,), k=1,
+                                seed=1, eval_samples=500, fdrms_eps=0.05,
+                                m_max=32)
+        t1 = format_series_table(res, x_label="r", metric="avg_update_ms")
+        t2 = format_series_table(res, x_label="r", metric="mean_mrr",
+                                 fmt="{:>10.4f}")
+        assert t1 != t2

@@ -1,0 +1,184 @@
+"""Unit + integration tests for FD-RMS (Algorithms 2-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fdrms import FDRMS
+from repro.core.regret import RegretEvaluator, max_regret_ratio_lp
+from repro.data.database import Database
+
+
+def make(points, k=1, r=8, eps=0.05, m_max=128, seed=0):
+    db = Database(points)
+    return db, FDRMS(db, k, r, eps, m_max=m_max, seed=seed)
+
+
+def check_invariants(db: Database, algo: FDRMS) -> None:
+    result = algo.result()
+    assert len(result) == len(set(result))
+    for pid in result:
+        assert pid in db
+    cover = algo._cover
+    assert cover.is_cover()
+    assert cover.is_stable()
+    # Active universe is exactly the prefix [0, m).
+    assert cover.universe == frozenset(range(algo.m)) or len(db) == 0
+    assert algo.r <= algo.m <= algo.m_max
+
+
+class TestConstruction:
+    def test_basic(self, small_cloud):
+        db, algo = make(small_cloud)
+        check_invariants(db, algo)
+        assert 1 <= len(algo.result())
+
+    def test_result_points_shape(self, small_cloud):
+        db, algo = make(small_cloud)
+        pts = algo.result_points()
+        assert pts.shape == (len(algo.result()), 4)
+
+    def test_empty_db_start(self):
+        db = Database(d=3)
+        algo = FDRMS(db, 1, 5, 0.05, m_max=64, seed=0)
+        assert algo.result() == []
+        pid = algo.insert([0.5, 0.5, 0.5])
+        assert algo.result() == [pid]
+
+    def test_parameter_validation(self, small_cloud):
+        db = Database(small_cloud)
+        with pytest.raises(ValueError):
+            FDRMS(db, 0, 8, 0.05)
+        with pytest.raises(ValueError):
+            FDRMS(db, 1, 2, 0.05)       # r < d
+        with pytest.raises(ValueError):
+            FDRMS(db, 1, 8, 0.0)
+        with pytest.raises(ValueError):
+            FDRMS(db, 1, 8, 0.05, m_max=8)   # m_max <= r
+
+    def test_result_size_at_most_r_when_m_not_saturated(self, rng):
+        # With a generous eps the binary search should land |C| == r
+        # (or fewer sets suffice to cover even at m = M).
+        pts = rng.random((400, 3))
+        db, algo = make(pts, r=6, eps=0.1, m_max=512)
+        assert len(algo.result()) <= 6 or algo.m == algo.m_max
+
+
+class TestDynamics:
+    def test_insert_dominating_point_enters_result(self, small_cloud):
+        db, algo = make(small_cloud)
+        pid = algo.insert(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert pid in algo.result()
+        check_invariants(db, algo)
+
+    def test_insert_weak_point_no_result_change(self, small_cloud):
+        db, algo = make(small_cloud)
+        before = algo.result()
+        algo.insert(np.array([0.01, 0.01, 0.01, 0.01]))
+        assert algo.result() == before
+        check_invariants(db, algo)
+
+    def test_delete_result_member(self, small_cloud):
+        db, algo = make(small_cloud)
+        victim = algo.result()[0]
+        algo.delete(victim)
+        assert victim not in algo.result()
+        check_invariants(db, algo)
+
+    def test_delete_non_member(self, small_cloud):
+        db, algo = make(small_cloud)
+        non_members = [pid for pid in db.ids() if pid not in algo.result()]
+        algo.delete(int(non_members[0]))
+        check_invariants(db, algo)
+
+    def test_drain_and_refill(self, rng):
+        pts = rng.random((20, 3))
+        db, algo = make(pts, r=4, m_max=32)
+        for pid in list(db.ids()):
+            algo.delete(int(pid))
+        assert algo.result() == []
+        assert len(db) == 0
+        ids = [algo.insert(rng.random(3)) for _ in range(10)]
+        check_invariants(db, algo)
+        assert set(algo.result()) <= set(ids)
+
+    def test_long_mixed_stream(self, rng):
+        pts = rng.random((120, 3))
+        db, algo = make(pts, r=6, eps=0.05, m_max=128)
+        for step in range(150):
+            alive = db.ids()
+            if alive.size < 10 or rng.random() < 0.5:
+                algo.insert(rng.random(3))
+            else:
+                algo.delete(int(alive[rng.integers(alive.size)]))
+            if step % 25 == 0:
+                check_invariants(db, algo)
+        check_invariants(db, algo)
+
+
+class TestQuality:
+    def test_quality_near_greedy(self, rng):
+        """FD-RMS mrr should be within a small gap of static GREEDY."""
+        from repro.baselines import greedy
+        from repro.skyline import skyline_indices
+        pts = rng.random((500, 3))
+        db, algo = make(pts, r=10, eps=0.03, m_max=512, seed=3)
+        ev = RegretEvaluator(3, n_samples=20_000, seed=4)
+        mrr_fd = ev.evaluate(pts, algo.result_points())
+        sky = pts[skyline_indices(pts)]
+        g = greedy(sky, 10, method="sample", n_samples=5000, seed=5)
+        mrr_greedy = ev.evaluate(pts, sky[g])
+        assert mrr_fd <= mrr_greedy + 0.05
+
+    def test_quality_improves_with_r(self, rng):
+        pts = rng.random((300, 3))
+        ev = RegretEvaluator(3, n_samples=10_000, seed=0)
+        vals = []
+        for r in (4, 8, 16):
+            db, algo = make(pts, r=r, eps=0.05, m_max=256, seed=1)
+            vals.append(ev.evaluate(pts, algo.result_points()))
+        assert vals[2] <= vals[0] + 0.02
+
+    def test_theorem2_regret_set_property(self, rng):
+        """Q_t covers every *active sampled* utility within (k, ε)."""
+        pts = rng.random((200, 3))
+        db, algo = make(pts, k=2, r=6, eps=0.1, m_max=64, seed=2)
+        q = set(algo.result())
+        topk = algo._topk
+        for u_idx in range(algo.m):
+            members = set(topk.members_of(u_idx))
+            assert members & q, f"utility {u_idx} uncovered"
+
+
+class TestUpdateM:
+    def test_m_shrinks_when_cover_small(self, rng):
+        # Huge eps → dense sets → tiny covers → m should stay near max
+        # while |C| < r; with tiny eps the opposite.
+        pts = rng.random((300, 3))
+        _, algo_dense = make(pts, r=6, eps=0.3, m_max=64, seed=0)
+        _, algo_sparse = make(pts, r=6, eps=0.001, m_max=64, seed=0)
+        assert algo_dense.m >= algo_sparse.m
+
+    def test_m_bounds_respected(self, rng):
+        pts = rng.random((100, 3))
+        db, algo = make(pts, r=5, eps=0.05, m_max=32)
+        for _ in range(40):
+            algo.insert(rng.random(3))
+        assert 5 <= algo.m <= 32
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200), k=st.integers(1, 3))
+def test_fdrms_random_stream_property(seed, k):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((30, 3))
+    db = Database(pts)
+    algo = FDRMS(db, k, 4, 0.08, m_max=32, seed=seed)
+    for _ in range(20):
+        alive = db.ids()
+        if alive.size <= k + 2 or rng.random() < 0.55:
+            algo.insert(rng.random(3))
+        else:
+            algo.delete(int(alive[rng.integers(alive.size)]))
+    check_invariants(db, algo)

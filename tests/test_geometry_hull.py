@@ -1,0 +1,81 @@
+"""Unit + property tests for extreme-point computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.hull import (
+    directional_argmax,
+    eps_kernel_directions,
+    extreme_points,
+)
+from repro.geometry.sampling import sample_utilities
+
+
+class TestDirectionalArgmax:
+    def test_single_direction(self):
+        pts = np.array([[0.1, 0.9], [0.9, 0.1]])
+        assert directional_argmax(pts, np.array([1.0, 0.0]))[0] == 1
+        assert directional_argmax(pts, np.array([0.0, 1.0]))[0] == 0
+
+    def test_tie_breaks_to_lowest_index(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert directional_argmax(pts, np.eye(2)).tolist() == [0, 0]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            directional_argmax(np.ones((2, 3)), np.ones((1, 2)))
+
+
+class TestExtremePoints:
+    def test_square_corners(self):
+        pts = np.array([
+            [0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.5, 0.5],
+        ])
+        ext = set(extreme_points(pts).tolist())
+        assert 3 in ext                 # the dominating corner
+        assert 4 not in ext             # interior point
+        assert 0 not in ext             # dominated origin
+
+    def test_single_point(self):
+        assert extreme_points(np.array([[0.3, 0.7]])).tolist() == [0]
+
+    def test_extremes_cover_all_directions(self, rng):
+        pts = rng.random((120, 4))
+        ext = set(extreme_points(pts).tolist())
+        dirs = sample_utilities(500, 4, seed=7)
+        winners = set(directional_argmax(pts, dirs).tolist())
+        assert winners <= ext
+
+    def test_high_d_fallback(self, rng):
+        pts = rng.random((60, 9))       # d > 7 triggers the probe path
+        ext = set(extreme_points(pts, seed=1).tolist())
+        winners = set(directional_argmax(pts, np.eye(9)).tolist())
+        assert winners <= ext
+
+
+class TestEpsKernelDirections:
+    def test_unit_rows(self):
+        dirs = eps_kernel_directions(3, 0.1)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+    def test_finer_eps_gives_more_directions(self):
+        coarse = eps_kernel_directions(3, 0.5)
+        fine = eps_kernel_directions(3, 0.01)
+        assert fine.shape[0] > coarse.shape[0]
+
+    def test_rejects_bad_eps(self):
+        for bad in (0.0, 1.0):
+            with pytest.raises(ValueError):
+                eps_kernel_directions(3, bad)
+
+
+@settings(max_examples=20, deadline=None)
+@given(pts=arrays(np.float64, (12, 3),
+                  elements=st.floats(0.01, 1.0, allow_nan=False)))
+def test_axis_winners_always_extreme(pts):
+    ext = set(extreme_points(pts).tolist())
+    for axis in range(3):
+        assert int(np.argmax(pts[:, axis])) in ext

@@ -1,0 +1,109 @@
+"""Unit tests for the regret LPs."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.lp import (
+    max_regret_direction,
+    min_size_cover_lp_bound,
+    point_happiness,
+    worst_case_ratio,
+)
+
+
+class TestWorstCaseRatio:
+    def test_zero_when_p_in_q(self):
+        q = np.array([[0.5, 0.5], [0.9, 0.1]])
+        assert worst_case_ratio(q[0], q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_when_dominated(self):
+        p = np.array([0.3, 0.3])
+        q = np.array([[0.5, 0.5]])
+        assert worst_case_ratio(p, q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_axis_extreme_regret(self):
+        # Q holds only the y-extreme; p is the x-extreme. At u = e_x the
+        # ratio ω(u, Q)/<u, p> = 0.1/1.0, so regret = 0.9.
+        p = np.array([1.0, 0.0])
+        q = np.array([[0.1, 1.0]])
+        assert worst_case_ratio(p, q) == pytest.approx(0.9, abs=1e-6)
+
+    def test_clipped_to_unit_interval(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([[0.0, 1.0]])
+        val = worst_case_ratio(p, q)
+        assert 0.0 <= val <= 1.0
+        assert val == pytest.approx(1.0, abs=1e-6)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            worst_case_ratio(np.ones(3), np.ones((2, 2)))
+
+
+class TestMaxRegretDirection:
+    def test_direction_witnesses_value(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((20, 3))
+        q = pts[:4]
+        p = pts[int(np.argmax(pts.sum(axis=1)))]
+        val, u = max_regret_direction(p, q)
+        assert np.isclose(np.linalg.norm(u), 1.0)
+        # Realized regret at the witness direction matches the LP value.
+        realized = max(0.0, 1.0 - float(np.max(q @ u)) / float(p @ u))
+        assert realized == pytest.approx(val, abs=1e-6)
+
+    def test_zero_case_returns_uniform_direction(self):
+        q = np.array([[1.0, 1.0]])
+        val, u = max_regret_direction(np.array([0.5, 0.5]), q)
+        assert val == pytest.approx(0.0, abs=1e-9)
+        assert np.isclose(np.linalg.norm(u), 1.0)
+
+
+class TestPointHappiness:
+    def test_extreme_point_is_happy(self):
+        others = np.array([[0.2, 0.8], [0.8, 0.2]])
+        p = np.array([0.9, 0.9])
+        assert point_happiness(p, others) > 0
+
+    def test_dominated_point_is_unhappy(self):
+        others = np.array([[1.0, 1.0]])
+        p = np.array([0.5, 0.5])
+        assert point_happiness(p, others) <= 0
+
+    def test_convex_combination_is_unhappy(self):
+        others = np.array([[1.0, 0.0], [0.0, 1.0]])
+        p = np.array([0.5, 0.5])  # on the segment, never uniquely best
+        assert point_happiness(p, others) <= 1e-9
+
+
+class TestCoverLpBound:
+    def test_identity_membership(self):
+        # Each element covered by exactly one distinct set: OPT = m.
+        assert min_size_cover_lp_bound(np.eye(4)) == pytest.approx(4.0)
+
+    def test_single_universal_set(self):
+        mat = np.ones((5, 1))
+        assert min_size_cover_lp_bound(mat) == pytest.approx(1.0)
+
+    def test_lower_bounds_greedy(self):
+        rng = np.random.default_rng(1)
+        mat = (rng.random((30, 12)) < 0.3).astype(float)
+        mat[np.arange(30), rng.integers(0, 12, 30)] = 1.0  # feasibility
+        lp = min_size_cover_lp_bound(mat)
+        # Greedy cover size must be >= LP bound.
+        covered = np.zeros(30, dtype=bool)
+        picks = 0
+        while not covered.all():
+            gains = mat[~covered].sum(axis=0)
+            j = int(np.argmax(gains))
+            covered |= mat[:, j] > 0
+            picks += 1
+        assert picks >= lp - 1e-9
+
+    def test_infeasible_raises(self):
+        mat = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="no set"):
+            min_size_cover_lp_bound(mat)
+
+    def test_empty_universe(self):
+        assert min_size_cover_lp_bound(np.zeros((0, 3))) == 0.0

@@ -1,0 +1,107 @@
+"""Unit + property tests for utility-space sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.sampling import (
+    delta_net_size,
+    grid_utilities,
+    net_resolution,
+    sample_utilities,
+    sample_utilities_with_basis,
+)
+
+
+class TestSampleUtilities:
+    def test_shape_and_norm(self):
+        u = sample_utilities(100, 5, seed=0)
+        assert u.shape == (100, 5)
+        assert np.allclose(np.linalg.norm(u, axis=1), 1.0)
+
+    def test_nonnegative(self):
+        u = sample_utilities(500, 3, seed=1)
+        assert (u >= 0).all()
+
+    def test_deterministic_with_seed(self):
+        a = sample_utilities(10, 4, seed=42)
+        b = sample_utilities(10, 4, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_zero_m(self):
+        assert sample_utilities(0, 3).shape == (0, 3)
+
+    def test_rejects_negative_m(self):
+        with pytest.raises(ValueError):
+            sample_utilities(-1, 3)
+
+    def test_roughly_uniform_octant_coverage(self):
+        # In 2-d, the fraction with u[0] > u[1] should be about half.
+        u = sample_utilities(4000, 2, seed=3)
+        frac = float((u[:, 0] > u[:, 1]).mean())
+        assert 0.45 < frac < 0.55
+
+
+class TestBasisSample:
+    def test_first_d_rows_are_basis(self):
+        u = sample_utilities_with_basis(10, 4, seed=0)
+        assert np.allclose(u[:4], np.eye(4))
+        assert u.shape == (10, 4)
+
+    def test_requires_m_at_least_d(self):
+        with pytest.raises(ValueError):
+            sample_utilities_with_basis(2, 3)
+
+
+class TestGridUtilities:
+    def test_d1_single_direction(self):
+        g = grid_utilities(5, 1)
+        assert g.shape == (1, 1)
+        assert np.isclose(g[0, 0], 1.0)
+
+    def test_count_matches_simplex_lattice(self):
+        # C(per_axis + d - 1, d - 1) lattice points, minus the none-zero
+        # guard (all lattice points with per_axis >= 1 are nonzero).
+        from math import comb
+        g = grid_utilities(4, 3)
+        assert g.shape[0] == comb(4 + 2, 2)
+
+    def test_unit_norm_and_nonneg(self):
+        g = grid_utilities(6, 4)
+        assert np.allclose(np.linalg.norm(g, axis=1), 1.0)
+        assert (g >= 0).all()
+
+    def test_includes_axis_directions(self):
+        g = grid_utilities(3, 2)
+        for axis in np.eye(2):
+            assert np.isclose(np.abs(g @ axis).max(), 1.0)
+
+
+class TestDeltaNet:
+    def test_size_grows_as_delta_shrinks(self):
+        assert delta_net_size(0.01, 3) > delta_net_size(0.1, 3)
+
+    def test_d1_trivial(self):
+        assert delta_net_size(0.5, 1) == 1
+
+    def test_resolution_inverts_size(self):
+        for d in (2, 3, 5):
+            m = delta_net_size(0.05, d)
+            delta = net_resolution(m, d)
+            assert 0.03 < delta < 0.08
+
+    def test_rejects_bad_delta(self):
+        for bad in (0.0, 1.0, -1.0):
+            with pytest.raises(ValueError):
+                delta_net_size(bad, 3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=st.integers(1, 50), d=st.integers(1, 6),
+       seed=st.integers(0, 2**32 - 1))
+def test_sample_always_unit_nonnegative(m, d, seed):
+    u = sample_utilities(m, d, seed=seed)
+    assert u.shape == (m, d)
+    assert (u >= 0).all()
+    assert np.allclose(np.linalg.norm(u, axis=1), 1.0, atol=1e-9)

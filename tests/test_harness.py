@@ -1,0 +1,115 @@
+"""Tests for adapters and the workload runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BASELINE_FACTORIES,
+    FDRMSAdapter,
+    StaticAdapter,
+    make_adapter,
+    run_workload,
+)
+from repro.bench.experiments import format_series_table
+from repro.baselines import sphere
+from repro.core.regret import RegretEvaluator
+from repro.data import make_paper_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(10)
+    pts = rng.random((240, 3))
+    wl = make_paper_workload(pts, seed=11)
+    ev = RegretEvaluator(3, n_samples=3000, seed=12)
+    return pts, wl, ev
+
+
+class TestFDRMSAdapter:
+    def test_run(self, setup):
+        _, wl, ev = setup
+        ad = FDRMSAdapter(wl.initial, 1, 6, 0.05, m_max=64, seed=0)
+        res = run_workload(ad, wl, ev, 1)
+        assert res.algorithm == "FD-RMS"
+        assert res.n_operations == wl.n_operations
+        assert len(res.snapshots) == len(wl.snapshots)
+        assert res.total_seconds > 0
+        assert 0 <= res.mean_mrr <= 1
+
+    def test_snapshot_db_sizes(self, setup):
+        _, wl, ev = setup
+        ad = FDRMSAdapter(wl.initial, 1, 6, 0.05, m_max=64, seed=0)
+        res = run_workload(ad, wl, ev, 1)
+        # After all insertions the DB peaks at 240, then shrinks to 120.
+        assert res.snapshots[-1].db_size == 120
+
+
+class TestStaticAdapter:
+    def test_estimate_mode_counts_changes(self, setup):
+        _, wl, ev = setup
+        ad = StaticAdapter(wl.initial, sphere, name="Sphere",
+                           kwargs={"r": 6, "seed": 0, "n_samples": 2000},
+                           estimate=True)
+        res = run_workload(ad, wl, ev, 1)
+        assert res.total_seconds > 0
+        assert all(s.result_size <= 6 for s in res.snapshots)
+
+    def test_exact_mode_equal_results(self, setup):
+        """Estimate and exact modes must give identical snapshot results
+        (only the timing estimator differs)."""
+        _, wl, ev = setup
+        res = {}
+        for mode in (True, False):
+            ad = StaticAdapter(wl.initial, sphere, name="Sphere",
+                               kwargs={"r": 6, "seed": 0, "n_samples": 2000},
+                               estimate=mode)
+            res[mode] = run_workload(ad, wl, ev, 1)
+        mrrs_a = [s.mrr for s in res[True].snapshots]
+        mrrs_b = [s.mrr for s in res[False].snapshots]
+        assert mrrs_a == pytest.approx(mrrs_b, abs=1e-12)
+
+    def test_skyline_only_pool(self, setup):
+        pts, wl, ev = setup
+        captured = {}
+
+        def probe(pool, r):
+            captured["n"] = pool.shape[0]
+            return np.arange(min(r, pool.shape[0]))
+        ad = StaticAdapter(wl.initial, probe, name="probe",
+                           kwargs={"r": 4}, use_skyline=True)
+        ad.result_points()
+        from repro.skyline import skyline_indices
+        assert captured["n"] == skyline_indices(wl.initial).size
+
+
+class TestFactories:
+    def test_registry_contents(self):
+        for expected in ["FD-RMS", "Greedy", "Greedy*", "GeoGreedy",
+                         "DMM-RRMS", "DMM-Greedy", "eps-Kernel", "HS",
+                         "Sphere"]:
+            assert expected in BASELINE_FACTORIES
+
+    def test_make_adapter_unknown(self, setup):
+        _, wl, _ = setup
+        with pytest.raises(KeyError):
+            make_adapter("nope", wl.initial, 1, 5)
+
+    @pytest.mark.parametrize("name", ["FD-RMS", "Sphere", "DMM-Greedy",
+                                      "eps-Kernel"])
+    def test_each_factory_runs(self, setup, name):
+        _, wl, ev = setup
+        extra = {"eps": 0.05, "m_max": 64} if name == "FD-RMS" else {}
+        ad = make_adapter(name, wl.initial, 1, 6, seed=1, **extra)
+        res = run_workload(ad, wl, ev, 1)
+        assert res.mean_mrr < 0.5
+
+
+class TestFormatting:
+    def test_format_series_table(self, setup):
+        _, wl, ev = setup
+        ad = FDRMSAdapter(wl.initial, 1, 6, 0.05, m_max=64, seed=0)
+        res = run_workload(ad, wl, ev, 1)
+        table = format_series_table({"FD-RMS": {10: res, 20: res}},
+                                    x_label="r")
+        assert "FD-RMS" in table
+        assert "r=10" in table and "r=20" in table

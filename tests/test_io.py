@@ -1,0 +1,99 @@
+"""Tests for persistence (save/load of databases, workloads, results)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import FDRMSAdapter, run_workload
+from repro.core.regret import RegretEvaluator
+from repro.data import Database, make_paper_workload
+from repro.data.database import INSERT
+from repro.io import (
+    load_database,
+    load_run_result,
+    load_workload,
+    save_database,
+    save_run_result,
+    save_workload,
+)
+
+
+class TestDatabaseRoundtrip:
+    def test_simple(self, tmp_path, small_cloud):
+        db = Database(small_cloud)
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert len(loaded) == len(db)
+        assert loaded.ids().tolist() == db.ids().tolist()
+        assert np.allclose(loaded.points(), db.points())
+
+    def test_preserves_id_gaps(self, tmp_path, small_cloud):
+        db = Database(small_cloud)
+        db.delete(5)
+        db.delete(17)
+        new_id = db.insert(np.full(4, 0.5))
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert 5 not in loaded and 17 not in loaded
+        assert new_id in loaded
+        # A fresh insert continues the id sequence, not reusing gaps.
+        assert loaded.insert(np.full(4, 0.1)) == db.capacity
+
+    def test_kind_mismatch(self, tmp_path, small_cloud):
+        db = Database(small_cloud)
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        with pytest.raises(ValueError, match="expected 'workload'"):
+            load_workload(path)
+
+
+class TestWorkloadRoundtrip:
+    def test_replays_identically(self, tmp_path, rng):
+        pts = rng.random((80, 3))
+        wl = make_paper_workload(pts, seed=3)
+        path = tmp_path / "wl.npz"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        assert np.allclose(loaded.initial, wl.initial)
+        assert loaded.snapshots == wl.snapshots
+        assert len(loaded.operations) == len(wl.operations)
+        for a, b in zip(loaded.operations, wl.operations):
+            assert a.kind == b.kind
+            assert a.tuple_id == b.tuple_id
+            assert np.allclose(a.point, b.point)
+
+    def test_loaded_workload_runs(self, tmp_path, rng):
+        pts = rng.random((60, 3))
+        wl = make_paper_workload(pts, seed=4)
+        path = tmp_path / "wl.npz"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        db = Database(loaded.initial)
+        for _, op, _ in loaded.replay():
+            if op.kind == INSERT:
+                assert db.insert(op.point) == op.tuple_id
+            else:
+                db.delete(op.tuple_id)
+
+
+class TestRunResultRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        pts = rng.random((120, 3))
+        wl = make_paper_workload(pts, seed=5)
+        adapter = FDRMSAdapter(wl.initial, 1, 5, 0.05, m_max=32, seed=0)
+        ev = RegretEvaluator(3, n_samples=1000, seed=6)
+        res = run_workload(adapter, wl, ev, 1)
+        path = tmp_path / "run.json"
+        save_run_result(res, path)
+        loaded = load_run_result(path)
+        assert loaded.algorithm == res.algorithm
+        assert loaded.total_seconds == res.total_seconds
+        assert loaded.mean_mrr == pytest.approx(res.mean_mrr)
+        assert [s.op_index for s in loaded.snapshots] == \
+            [s.op_index for s in res.snapshots]
+
+    def test_wrong_kind(self, tmp_path):
+        (tmp_path / "x.json").write_text('{"kind": "other"}')
+        with pytest.raises(ValueError):
+            load_run_result(tmp_path / "x.json")

@@ -1,0 +1,140 @@
+"""Unit + property tests for the dynamic k-d tree (tuple index TI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.kdtree import KDTree
+
+
+def _brute_top_k(points: dict[int, np.ndarray], u: np.ndarray, k: int):
+    items = sorted(points.items(),
+                   key=lambda kv: (-float(kv[1] @ u), kv[0]))[:k]
+    return [pid for pid, _ in items]
+
+
+class TestBuildAndQuery:
+    def test_bulk_build_top_k(self, rng):
+        pts = rng.random((200, 4))
+        tree = KDTree.build(range(200), pts)
+        u = rng.random(4)
+        ids, scores = tree.top_k(u, 10)
+        ref = _brute_top_k({i: pts[i] for i in range(200)}, u, 10)
+        assert ids.tolist() == ref
+        assert np.allclose(scores, pts[ids] @ u)
+
+    def test_top_k_more_than_size(self, rng):
+        pts = rng.random((5, 3))
+        tree = KDTree.build(range(5), pts)
+        ids, _ = tree.top_k(rng.random(3), 99)
+        assert sorted(ids.tolist()) == list(range(5))
+
+    def test_top_k_empty_tree(self):
+        tree = KDTree(3)
+        ids, scores = tree.top_k(np.ones(3), 4)
+        assert ids.size == 0 and scores.size == 0
+
+    def test_range_query_matches_bruteforce(self, rng):
+        pts = rng.random((150, 3))
+        tree = KDTree.build(range(150), pts)
+        u = rng.random(3)
+        tau = float(np.quantile(pts @ u, 0.9))
+        ids, scores = tree.range_query(u, tau)
+        expect = sorted(int(i) for i in np.flatnonzero(pts @ u >= tau))
+        assert sorted(ids.tolist()) == expect
+        assert (scores >= tau).all()
+        # Sorted by descending score.
+        assert (np.diff(scores) <= 1e-12).all()
+
+    def test_duplicate_points_allowed(self):
+        pts = np.tile(np.array([[0.5, 0.5]]), (40, 1))
+        tree = KDTree.build(range(40), pts)
+        ids, _ = tree.top_k(np.array([1.0, 0.0]), 3)
+        assert ids.tolist() == [0, 1, 2]  # tie-break by id
+
+    def test_wrong_dimension_raises(self, rng):
+        tree = KDTree.build(range(4), rng.random((4, 3)))
+        with pytest.raises(ValueError):
+            tree.top_k(np.ones(2), 1)
+        with pytest.raises(ValueError):
+            tree.range_query(np.ones(4), 0.0)
+
+
+class TestDynamics:
+    def test_insert_then_query(self, rng):
+        tree = KDTree(3)
+        pts = {}
+        for i in range(120):
+            p = rng.random(3)
+            tree.insert(i, p)
+            pts[i] = p
+        u = rng.random(3)
+        ids, _ = tree.top_k(u, 7)
+        assert ids.tolist() == _brute_top_k(pts, u, 7)
+
+    def test_duplicate_id_rejected(self):
+        tree = KDTree(2)
+        tree.insert(0, [0.5, 0.5])
+        with pytest.raises(KeyError):
+            tree.insert(0, [0.6, 0.6])
+
+    def test_delete_removes_from_results(self, rng):
+        pts = rng.random((50, 3))
+        tree = KDTree.build(range(50), pts)
+        u = rng.random(3)
+        best = int(tree.top_k(u, 1)[0][0])
+        tree.delete(best)
+        assert best not in tree
+        new_best = int(tree.top_k(u, 1)[0][0])
+        assert new_best != best
+
+    def test_delete_unknown_raises(self):
+        tree = KDTree(2)
+        with pytest.raises(KeyError):
+            tree.delete(3)
+
+    def test_mass_delete_triggers_rebuild_and_stays_correct(self, rng):
+        pts = rng.random((256, 3))
+        tree = KDTree.build(range(256), pts)
+        alive = dict(enumerate(pts))
+        order = rng.permutation(256)
+        for victim in order[:230]:
+            tree.delete(int(victim))
+            del alive[int(victim)]
+        assert len(tree) == len(alive)
+        u = rng.random(3)
+        ids, _ = tree.top_k(u, 5)
+        assert ids.tolist() == _brute_top_k(alive, u, 5)
+
+    def test_interleaved_insert_delete(self, rng):
+        tree = KDTree(2, leaf_capacity=4)
+        alive: dict[int, np.ndarray] = {}
+        next_id = 0
+        for step in range(300):
+            if not alive or rng.random() < 0.6:
+                p = rng.random(2)
+                tree.insert(next_id, p)
+                alive[next_id] = p
+                next_id += 1
+            else:
+                victim = int(rng.choice(list(alive)))
+                tree.delete(victim)
+                del alive[victim]
+            if step % 50 == 0 and alive:
+                u = rng.random(2)
+                ids, _ = tree.top_k(u, min(4, len(alive)))
+                assert ids.tolist() == _brute_top_k(alive, u, min(4, len(alive)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 60), k=st.integers(1, 8), seed=st.integers(0, 999))
+def test_topk_property(n, k, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 3))
+    tree = KDTree.build(range(n), pts, leaf_capacity=4)
+    u = rng.random(3) + 1e-3
+    ids, scores = tree.top_k(u, k)
+    ref = _brute_top_k({i: pts[i] for i in range(n)}, u, k)
+    assert ids.tolist() == ref
+    assert np.all(np.diff(scores) <= 1e-12)

@@ -1,0 +1,62 @@
+"""Tests for the min-size k-RMS interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.minsize import min_size_curve, min_size_rms
+from repro.core.regret import max_k_regret_ratio_sampled
+
+
+class TestMinSizeRms:
+    def test_result_meets_eps_on_fresh_sample(self, small_cloud):
+        idx = min_size_rms(small_cloud, 0.1, seed=0)
+        mrr = max_k_regret_ratio_sampled(small_cloud, small_cloud[idx], 1,
+                                         n_samples=20_000, seed=1)
+        # Certified on a sampled net; allow the O(δ) slack of Thm. 2.
+        assert mrr <= 0.1 + 0.03
+
+    def test_smaller_eps_needs_more_tuples(self, small_cloud):
+        tight = min_size_rms(small_cloud, 0.02, seed=0)
+        loose = min_size_rms(small_cloud, 0.3, seed=0)
+        assert len(tight) >= len(loose)
+
+    def test_k2(self, small_cloud):
+        idx = min_size_rms(small_cloud, 0.1, k=2, seed=0)
+        mrr = max_k_regret_ratio_sampled(small_cloud, small_cloud[idx], 2,
+                                         n_samples=20_000, seed=1)
+        assert mrr <= 0.13
+
+    def test_validation(self, small_cloud):
+        with pytest.raises(ValueError):
+            min_size_rms(small_cloud, 0.0)
+        with pytest.raises(ValueError):
+            min_size_rms(small_cloud, 0.1, k=0)
+
+    def test_indices_sorted_unique(self, small_cloud):
+        idx = min_size_rms(small_cloud, 0.05, seed=2)
+        assert list(idx) == sorted(set(idx.tolist()))
+
+
+class TestMinSizeCurve:
+    def test_monotone_nonincreasing(self, small_cloud):
+        curve = min_size_curve(small_cloud, [0.01, 0.05, 0.1, 0.3], seed=0)
+        sizes = [curve[e] for e in sorted(curve)]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_matches_single_calls(self, small_cloud):
+        curve = min_size_curve(small_cloud, [0.1], seed=5)
+        single = min_size_rms(small_cloud, 0.1, seed=5)
+        assert curve[0.1] == len(single)
+
+
+class TestFdrmsUpdateMethod:
+    def test_update_is_delete_plus_insert(self, small_cloud):
+        from repro.core.fdrms import FDRMS
+        from repro.data import Database
+        db = Database(small_cloud)
+        algo = FDRMS(db, 1, 8, 0.05, m_max=64, seed=0)
+        victim = int(db.ids()[0])
+        new_id = algo.update(victim, np.array([0.99, 0.99, 0.99, 0.99]))
+        assert victim not in db
+        assert new_id in db
+        assert new_id in algo.result()

@@ -1,0 +1,77 @@
+"""Optimality cross-checks on tiny instances.
+
+The brute-force oracle gives the true optimum; the heuristics must land
+within predictable distance of it. These tests pin the *quality* claims
+the paper makes qualitatively (GREEDY near-optimal, FD-RMS near GREEDY,
+CUBE's bound loose but valid).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_rms, cube, greedy
+from repro.core.fdrms import FDRMS
+from repro.core.regret import max_regret_ratio_lp
+from repro.data import Database
+from repro.geometry.hull import extreme_points
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    rng = np.random.default_rng(99)
+    return rng.random((18, 3))
+
+
+class TestAgainstBruteForce:
+    def test_greedy_within_gap(self, tiny):
+        cand = extreme_points(tiny)
+        _, opt = brute_force_rms(tiny, 3, candidates=cand)
+        sel = greedy(tiny, 3)
+        val = max_regret_ratio_lp(tiny, tiny[sel])
+        assert val <= opt + 0.12
+
+    def test_fdrms_within_gap(self, tiny):
+        cand = extreme_points(tiny)
+        _, opt = brute_force_rms(tiny, 3, candidates=cand)
+        db = Database(tiny)
+        algo = FDRMS(db, 1, 3, 0.05, m_max=64, seed=0)
+        val = max_regret_ratio_lp(tiny, algo.result_points())
+        assert val <= opt + 0.2
+
+    def test_cube_bound_holds(self, tiny):
+        # CUBE guarantees mrr = O(r^{-1/(d-1)}); on the unit cube with
+        # r = 9, d = 3 the classical constant gives a loose but finite
+        # bound; sanity-check it is not vacuous.
+        sel = cube(tiny, 9)
+        val = max_regret_ratio_lp(tiny, tiny[sel])
+        assert val < 0.75
+
+    def test_bruteforce_is_minimum(self, tiny):
+        """No heuristic may beat the brute-force optimum."""
+        cand = extreme_points(tiny)
+        _, opt = brute_force_rms(tiny, 3, candidates=cand)
+        for sel in (greedy(tiny, 3),
+                    cube(tiny, 3)):
+            val = max_regret_ratio_lp(tiny, tiny[sel])
+            assert val >= opt - 5e-3
+
+
+class TestDynamicEqualsStatic:
+    def test_fdrms_after_churn_close_to_fresh(self, tiny):
+        """Quality after heavy churn ≈ quality of a fresh build."""
+        rng = np.random.default_rng(5)
+        db = Database(tiny)
+        algo = FDRMS(db, 1, 3, 0.05, m_max=64, seed=1)
+        for _ in range(60):
+            if rng.random() < 0.5 or len(db) < 6:
+                algo.insert(rng.random(3))
+            else:
+                alive = db.ids()
+                algo.delete(int(alive[rng.integers(alive.size)]))
+        churned = max_regret_ratio_lp(db.points(), algo.result_points())
+
+        fresh_db = Database(db.points())
+        fresh = FDRMS(fresh_db, 1, 3, 0.05, m_max=64, seed=1)
+        fresh_val = max_regret_ratio_lp(fresh_db.points(),
+                                        fresh.result_points())
+        assert churned <= fresh_val + 0.15

@@ -1,0 +1,73 @@
+"""Tests for the component profiler."""
+
+import numpy as np
+import pytest
+
+from repro.bench.profile import ProfiledFDRMS, _TimedProxy
+from repro.data import Database
+from repro.utils import Stopwatch
+
+
+class TestTimedProxy:
+    def test_times_method_calls(self):
+        sw = Stopwatch()
+
+        class Thing:
+            value = 42
+
+            def work(self, x):
+                return x + 1
+
+        proxy = _TimedProxy(Thing(), sw, "seg")
+        assert proxy.work(1) == 2
+        assert proxy.value == 42          # attributes pass through
+        assert sw.count("seg") == 1
+
+    def test_times_even_on_exception(self):
+        sw = Stopwatch()
+
+        class Boom:
+            def work(self):
+                raise RuntimeError("x")
+
+        proxy = _TimedProxy(Boom(), sw, "seg")
+        with pytest.raises(RuntimeError):
+            proxy.work()
+        assert sw.count("seg") == 1
+
+
+class TestProfiledFDRMS:
+    def test_breakdown_accumulates(self, small_cloud, rng):
+        db = Database(small_cloud)
+        algo = ProfiledFDRMS(db, 1, 8, 0.05, m_max=64, seed=0)
+        assert algo.breakdown() == {}     # init not attributed
+        for _ in range(30):
+            if rng.random() < 0.5:
+                algo.insert(rng.random(4))
+            else:
+                alive = db.ids()
+                algo.delete(int(alive[rng.integers(alive.size)]))
+        parts = algo.breakdown()
+        assert parts.get("topk", 0) > 0
+        assert parts.get("cover", 0) > 0
+
+    def test_behaves_like_plain_fdrms(self, small_cloud):
+        from repro.core.fdrms import FDRMS
+        db_a = Database(small_cloud)
+        plain = FDRMS(db_a, 1, 8, 0.05, m_max=64, seed=3)
+        db_b = Database(small_cloud)
+        prof = ProfiledFDRMS(db_b, 1, 8, 0.05, m_max=64, seed=3)
+        assert plain.result() == prof.result()
+        p = np.array([0.9, 0.9, 0.9, 0.9])
+        assert plain.insert(p) == prof.insert(p)
+        assert plain.result() == prof.result()
+
+    def test_survives_drain(self, rng):
+        pts = rng.random((10, 2))
+        db = Database(pts)
+        algo = ProfiledFDRMS(db, 1, 2, 0.05, m_max=8, seed=0)
+        for pid in list(db.ids()):
+            algo.delete(int(pid))
+        assert algo.result() == []
+        algo.insert(rng.random(2))
+        assert len(algo.result()) == 1

@@ -1,0 +1,147 @@
+"""Unit + property tests for the quadtree tuple index.
+
+Contract: identical results to KDTree (and brute force) for top_k and
+range_query under nonnegative utilities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.kdtree import KDTree
+from repro.index.quadtree import QuadTree
+
+
+def _brute_top_k(points: dict[int, np.ndarray], u: np.ndarray, k: int):
+    items = sorted(points.items(),
+                   key=lambda kv: (-float(kv[1] @ u), kv[0]))[:k]
+    return [pid for pid, _ in items]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuadTree(0)
+        with pytest.raises(ValueError):
+            QuadTree(2, bound=0.0)
+        with pytest.raises(ValueError):
+            QuadTree(2, leaf_capacity=0)
+
+    def test_out_of_domain_rejected(self):
+        tree = QuadTree(2, bound=1.0)
+        with pytest.raises(ValueError):
+            tree.insert(0, [1.5, 0.2])
+        with pytest.raises(ValueError):
+            tree.insert(0, [0.5])
+
+
+class TestAgainstKDTree:
+    def test_topk_parity(self, rng):
+        pts = rng.random((300, 3))
+        qt = QuadTree.build(range(300), pts)
+        kd = KDTree.build(range(300), pts)
+        for _ in range(10):
+            u = rng.random(3)
+            ids_q, sc_q = qt.top_k(u, 7)
+            ids_k, sc_k = kd.top_k(u, 7)
+            assert ids_q.tolist() == ids_k.tolist()
+            assert np.allclose(sc_q, sc_k)
+
+    def test_range_parity(self, rng):
+        pts = rng.random((200, 2))
+        qt = QuadTree.build(range(200), pts)
+        kd = KDTree.build(range(200), pts)
+        u = rng.random(2)
+        tau = float(np.quantile(pts @ u, 0.85))
+        ids_q, _ = qt.range_query(u, tau)
+        ids_k, _ = kd.range_query(u, tau)
+        assert ids_q.tolist() == ids_k.tolist()
+
+
+class TestDynamics:
+    def test_interleaved_ops(self, rng):
+        tree = QuadTree(3, leaf_capacity=4)
+        alive: dict[int, np.ndarray] = {}
+        nid = 0
+        for step in range(400):
+            if not alive or rng.random() < 0.6:
+                p = rng.random(3)
+                tree.insert(nid, p)
+                alive[nid] = p
+                nid += 1
+            else:
+                victim = int(rng.choice(list(alive)))
+                tree.delete(victim)
+                del alive[victim]
+            assert len(tree) == len(alive)
+            if step % 80 == 0 and alive:
+                u = rng.random(3)
+                kk = min(5, len(alive))
+                ids, _ = tree.top_k(u, kk)
+                assert ids.tolist() == _brute_top_k(alive, u, kk)
+
+    def test_duplicate_points_depth_capped(self):
+        tree = QuadTree(2, leaf_capacity=2)
+        for i in range(40):
+            tree.insert(i, [0.5, 0.5])
+        ids, _ = tree.top_k(np.array([1.0, 0.0]), 3)
+        assert ids.tolist() == [0, 1, 2]
+
+    def test_delete_unknown(self):
+        tree = QuadTree(2)
+        with pytest.raises(KeyError):
+            tree.delete(0)
+
+    def test_empty_queries(self):
+        tree = QuadTree(2)
+        ids, scores = tree.top_k(np.ones(2), 3)
+        assert ids.size == 0
+        ids, scores = tree.range_query(np.ones(2), 0.0)
+        assert ids.size == 0
+
+
+class TestAsTupleIndex:
+    def test_topk_maintainer_with_quadtree(self, rng):
+        """ApproxTopKIndex produces identical membership with either TI."""
+        from repro.core.topk import ApproxTopKIndex
+        from repro.data import Database
+        from repro.geometry.sampling import sample_utilities_with_basis
+        from repro.index.quadtree import QuadTree
+
+        pts = rng.random((80, 3))
+        utils = sample_utilities_with_basis(12, 3, seed=1)
+
+        def qt_factory(ids, points, d):
+            tree = QuadTree(d)
+            for row, tid in enumerate(ids):
+                tree.insert(int(tid), points[row])
+            return tree
+
+        db_a = Database(pts)
+        idx_a = ApproxTopKIndex(db_a, utils, 2, 0.05)
+        db_b = Database(pts)
+        idx_b = ApproxTopKIndex(db_b, utils, 2, 0.05,
+                                index_factory=qt_factory)
+        ops = [("+", rng.random(3)) for _ in range(25)]
+        victims = list(rng.choice(80, size=20, replace=False))
+        for kind, payload in ops:
+            idx_a.insert(payload)
+            idx_b.insert(payload)
+        for victim in victims:
+            idx_a.delete(int(victim))
+            idx_b.delete(int(victim))
+        for i in range(12):
+            assert set(idx_a.members_of(i)) == set(idx_b.members_of(i))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 50), k=st.integers(1, 6), seed=st.integers(0, 500))
+def test_quadtree_topk_property(n, k, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tree = QuadTree.build(range(n), pts, leaf_capacity=3)
+    u = rng.random(2) + 1e-3
+    ids, scores = tree.top_k(u, k)
+    ref = _brute_top_k({i: pts[i] for i in range(n)}, u, k)
+    assert ids.tolist() == ref

@@ -1,0 +1,81 @@
+"""Tests for the markdown report generator."""
+
+import numpy as np
+import pytest
+
+from repro.bench import FDRMSAdapter, make_adapter, run_workload
+from repro.bench.report import comparison_table, full_report, quality_trace
+from repro.core.regret import RegretEvaluator
+from repro.data import make_paper_workload
+
+
+@pytest.fixture(scope="module")
+def two_results():
+    rng = np.random.default_rng(44)
+    pts = rng.random((150, 3))
+    wl = make_paper_workload(pts, seed=45)
+    ev = RegretEvaluator(3, n_samples=1000, seed=46)
+    fd = run_workload(FDRMSAdapter(wl.initial, 1, 5, 0.05, m_max=32, seed=0),
+                      wl, ev, 1)
+    sp = run_workload(make_adapter("Sphere", wl.initial, 1, 5, seed=0),
+                      wl, ev, 1)
+    return [fd, sp]
+
+
+class TestComparisonTable:
+    def test_contains_all_algorithms(self, two_results):
+        table = comparison_table(two_results)
+        assert "FD-RMS" in table and "Sphere" in table
+        assert table.count("|") > 10
+
+    def test_reference_speedup_is_one(self, two_results):
+        table = comparison_table(two_results, reference="FD-RMS")
+        ref_line = next(line for line in table.splitlines()
+                        if "| FD-RMS |" in line)
+        assert "| 1.0x |" in ref_line
+
+    def test_unknown_reference(self, two_results):
+        with pytest.raises(KeyError):
+            comparison_table(two_results, reference="nope")
+
+    def test_empty_results(self):
+        with pytest.raises(ValueError):
+            comparison_table([])
+
+    def test_sorted_fastest_first(self, two_results):
+        table = comparison_table(two_results)
+        lines = [ln for ln in table.splitlines() if ln.startswith("| ")]
+        values = [float(ln.split("|")[2]) for ln in lines[1:]]
+        assert values == sorted(values)
+
+
+class TestQualityTrace:
+    def test_rows_match_snapshots(self, two_results):
+        trace = quality_trace(two_results[0])
+        data_rows = [ln for ln in trace.splitlines()
+                     if ln.startswith("| ") and "after op" not in ln
+                     and "---" not in ln]
+        assert len(data_rows) == len(two_results[0].snapshots)
+
+
+class TestFullReport:
+    def test_structure(self, two_results):
+        report = full_report(two_results, title="Test run",
+                             context={"dataset": "Indep", "n": 150})
+        assert report.startswith("# Test run")
+        assert "## Setup" in report
+        assert "**dataset**: Indep" in report
+        assert "## Comparison" in report
+        assert "## Quality traces" in report
+
+    def test_cli_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "report.md"
+        rc = main(["compare", "Indep", "--n", "150", "--r", "8",
+                   "--m-max", "32", "--eval-samples", "500",
+                   "--snapshots", "2", "--algorithms", "FD-RMS",
+                   "--report", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "# k-RMS comparison on Indep" in text
+        assert "FD-RMS" in text

@@ -1,0 +1,160 @@
+"""Unit + property tests for the skyline operator (static + dynamic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.database import Database
+from repro.skyline import DynamicSkyline, dominates, skyline_indices, skyline_mask
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([0.5, 0.5], [0.4, 0.4])
+        assert dominates([0.5, 0.4], [0.4, 0.4])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([0.5, 0.5], [0.5, 0.5])
+
+    def test_incomparable(self):
+        assert not dominates([0.9, 0.1], [0.1, 0.9])
+        assert not dominates([0.1, 0.9], [0.9, 0.1])
+
+    def test_tolerance(self):
+        assert dominates([0.5, 0.5], [0.501, 0.3], tol=0.01)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([0.5], [0.5, 0.5])
+
+
+def _brute_skyline(pts: np.ndarray) -> set[int]:
+    out = set()
+    n = pts.shape[0]
+    for i in range(n):
+        if not any(dominates(pts[j], pts[i]) for j in range(n) if j != i):
+            out.add(i)
+    return out
+
+
+class TestStaticSkyline:
+    def test_paper_dataset(self, paper_points):
+        # Fig. 1: the skyline of {p1..p8} is {p1, p2, p3, p4, p7}
+        # (0-indexed rows 0, 1, 2, 3, 6).
+        sky = set(skyline_indices(paper_points).tolist())
+        assert sky == {0, 1, 2, 3, 6}
+
+    def test_matches_bruteforce(self, rng):
+        pts = rng.random((150, 3))
+        assert set(skyline_indices(pts).tolist()) == _brute_skyline(pts)
+
+    def test_duplicates_both_survive(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5], [0.1, 0.1]])
+        mask = skyline_mask(pts)
+        assert mask.tolist() == [True, True, False]
+
+    def test_single_point(self):
+        assert skyline_mask(np.array([[0.3, 0.3]])).tolist() == [True]
+
+    def test_anticorrelated_has_large_skyline(self, rng):
+        from repro.data.synthetic import anticorrelated_points, correlated_points
+        anti = anticorrelated_points(400, 4, seed=rng)
+        corr = correlated_points(400, 4, seed=rng, correlation=0.9)
+        assert skyline_indices(anti).size > skyline_indices(corr).size
+
+
+class TestDynamicSkyline:
+    def test_initial_matches_static(self, small_cloud):
+        db = Database(small_cloud)
+        dyn = DynamicSkyline(db)
+        assert set(dyn.ids) == set(skyline_indices(small_cloud).tolist())
+
+    def test_insert_dominated_no_change(self, paper_points):
+        db = Database(paper_points)
+        dyn = DynamicSkyline(db)
+        before = set(dyn.ids)
+        pid = db.insert([0.1, 0.1])
+        assert dyn.insert(pid) is False
+        assert set(dyn.ids) == before
+
+    def test_insert_dominating_evicts(self, paper_points):
+        db = Database(paper_points)
+        dyn = DynamicSkyline(db)
+        pid = db.insert([1.0, 1.0])  # dominates everything
+        assert dyn.insert(pid) is True
+        assert set(dyn.ids) == {pid}
+
+    def test_delete_nonskyline_no_change(self, paper_points):
+        db = Database(paper_points)
+        dyn = DynamicSkyline(db)
+        before = set(dyn.ids)
+        db.delete(4)  # p5 is dominated
+        assert dyn.delete(4) is False
+        assert set(dyn.ids) == before
+
+    def test_delete_skyline_promotes(self, paper_points):
+        db = Database(paper_points)
+        dyn = DynamicSkyline(db)
+        db.delete(0)  # p1 leaves; p7 keeps (0.3, 0.9); p6 still dominated
+        assert dyn.delete(0) is True
+        ids, pts = db.snapshot()
+        expect = {int(ids[i]) for i in
+                  np.flatnonzero(skyline_mask(pts))}
+        assert set(dyn.ids) == expect
+
+    def test_random_sequence_matches_recompute(self, rng):
+        pts = rng.random((120, 3))
+        db = Database(pts[:60])
+        dyn = DynamicSkyline(db)
+        for row in range(60, 120):
+            pid = db.insert(pts[row])
+            dyn.insert(pid)
+            self_check(db, dyn)
+        alive = list(db.ids())
+        rng.shuffle(alive)
+        for victim in alive[:80]:
+            db.delete(int(victim))
+            dyn.delete(int(victim))
+            self_check(db, dyn)
+
+    def test_points_accessor(self, paper_points):
+        db = Database(paper_points)
+        dyn = DynamicSkyline(db)
+        ids, pts = dyn.points()
+        assert ids.tolist() == sorted(dyn.ids)
+        assert pts.shape == (len(dyn), 2)
+
+
+def self_check(db: Database, dyn: DynamicSkyline) -> None:
+    ids, pts = db.snapshot()
+    if ids.size == 0:
+        assert len(dyn) == 0
+        return
+    expect = {int(ids[i]) for i in np.flatnonzero(skyline_mask(pts))}
+    assert set(dyn.ids) == expect
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=arrays(np.float64, st.tuples(st.integers(2, 25), st.just(3)),
+                   elements=st.floats(0.0, 1.0, allow_nan=False)),
+       n_ops=st.integers(1, 15), seed=st.integers(0, 1000))
+def test_dynamic_skyline_property(data, n_ops, seed):
+    """Dynamic maintenance equals recompute after every random op."""
+    rng = np.random.default_rng(seed)
+    half = max(1, data.shape[0] // 2)
+    db = Database(data[:half])
+    dyn = DynamicSkyline(db)
+    pending = list(range(half, data.shape[0]))
+    for _ in range(n_ops):
+        alive = db.ids()
+        if pending and (alive.size <= 1 or rng.random() < 0.5):
+            row = pending.pop()
+            pid = db.insert(data[row])
+            dyn.insert(pid)
+        elif alive.size > 1:
+            victim = int(alive[rng.integers(alive.size)])
+            db.delete(victim)
+            dyn.delete(victim)
+        self_check(db, dyn)

@@ -1,0 +1,111 @@
+"""Stateful property testing (hypothesis RuleBasedStateMachine).
+
+Drives the full FD-RMS stack and the dynamic skyline with random
+interleavings of operations while continuously checking the system
+invariants against reference models. This is the strongest correctness
+net in the suite: it explores operation orders unit tests never write
+down.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.fdrms import FDRMS
+from repro.data import Database
+from repro.skyline import DynamicSkyline, skyline_mask
+
+_COORD = st.floats(0.0, 1.0, allow_nan=False, width=32)
+_POINT = st.tuples(_COORD, _COORD, _COORD)
+
+
+class FDRMSMachine(RuleBasedStateMachine):
+    """Random op streams against FD-RMS + dynamic skyline + reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.reference: dict[int, np.ndarray] = {}
+        self.db: Database | None = None
+        self.algo: FDRMS | None = None
+        self.sky: DynamicSkyline | None = None
+        self.checks = 0
+
+    @initialize(points=st.lists(_POINT, min_size=4, max_size=12))
+    def setup(self, points):
+        pts = np.asarray(points, dtype=np.float64)
+        self.db = Database(pts)
+        self.algo = FDRMS(self.db, 1, 3, 0.08, m_max=24, seed=0)
+        self.sky = DynamicSkyline(self.db)
+        self.reference = {int(i): pts[i] for i in range(pts.shape[0])}
+
+    @rule(point=_POINT)
+    def insert(self, point):
+        vec = np.asarray(point, dtype=np.float64)
+        pid = self.algo.insert(vec)
+        self.sky.insert(pid)
+        self.reference[pid] = vec
+
+    @rule(which=st.integers(0, 10_000))
+    def delete(self, which):
+        if len(self.reference) <= 1:
+            return
+        victims = sorted(self.reference)
+        victim = victims[which % len(victims)]
+        self.algo.delete(victim)
+        self.sky.delete(victim)
+        del self.reference[victim]
+
+    @invariant()
+    def db_matches_reference(self):
+        if self.db is None:
+            return
+        assert len(self.db) == len(self.reference)
+        assert self.db.ids().tolist() == sorted(self.reference)
+
+    @invariant()
+    def result_is_valid(self):
+        if self.algo is None:
+            return
+        result = self.algo.result()
+        assert len(result) == len(set(result))
+        for pid in result:
+            assert pid in self.reference
+
+    @invariant()
+    def cover_is_stable(self):
+        if self.algo is None:
+            return
+        cover = self.algo._cover
+        assert cover.is_cover()
+        assert cover.is_stable()
+
+    @invariant()
+    def skyline_matches_recompute(self):
+        if self.sky is None or not self.reference:
+            return
+        ids = sorted(self.reference)
+        pts = np.asarray([self.reference[i] for i in ids])
+        expect = {ids[row] for row in np.flatnonzero(skyline_mask(pts))}
+        assert set(self.sky.ids) == expect
+
+    @invariant()
+    def every_active_utility_covered(self):
+        """Theorem 2's feasibility core: the result hits every Φ_{k,ε}."""
+        if self.algo is None or not self.reference:
+            return
+        q = set(self.algo.result())
+        topk = self.algo._topk
+        for u_idx in range(self.algo.m):
+            members = set(topk.members_of(u_idx))
+            assert not members or members & q
+
+
+TestFDRMSStateful = FDRMSMachine.TestCase
+TestFDRMSStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)

@@ -1,0 +1,54 @@
+"""Tests for the ε auto-tuning protocol (§III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.regret import RegretEvaluator
+from repro.core.fdrms import FDRMS
+from repro.core.tuning import suggest_epsilon
+from repro.data import Database
+from repro.data.synthetic import anticorrelated_points, independent_points
+
+
+class TestSuggestEpsilon:
+    def test_within_bounds(self, small_cloud):
+        eps = suggest_epsilon(small_cloud, 1, 10, seed=0)
+        assert 1e-4 <= eps <= 0.2
+
+    def test_smaller_r_larger_eps(self):
+        pts = anticorrelated_points(800, 5, seed=1)
+        tight = suggest_epsilon(pts, 1, 40, seed=2)
+        loose = suggest_epsilon(pts, 1, 6, seed=2)
+        assert loose >= tight
+
+    def test_tracks_data_hardness(self):
+        """AntiCor has higher optimal regret than Indep at equal (k, r)."""
+        anti = anticorrelated_points(800, 5, seed=3)
+        indep = independent_points(800, 5, seed=3)
+        assert suggest_epsilon(anti, 1, 10, seed=4) >= \
+            suggest_epsilon(indep, 1, 10, seed=4)
+
+    def test_r_at_least_n_floor(self):
+        pts = independent_points(20, 3, seed=5)
+        assert suggest_epsilon(pts, 1, 50, seed=5) == pytest.approx(1e-4)
+
+    def test_validation(self, small_cloud):
+        with pytest.raises(ValueError):
+            suggest_epsilon(small_cloud, 1, 0)
+        with pytest.raises(ValueError):
+            suggest_epsilon(small_cloud, 1, 5, fraction=0.0)
+        with pytest.raises(ValueError):
+            suggest_epsilon(small_cloud, 0, 5)
+
+    def test_improves_fdrms_on_hard_small_r(self):
+        """The tuned ε must not lose to the untuned default on the
+        regime that motivated it (AntiCor, small r)."""
+        pts = anticorrelated_points(900, 6, seed=6)
+        ev = RegretEvaluator(6, n_samples=6000, seed=7)
+        eps_auto = suggest_epsilon(pts, 1, 10, seed=8)
+        out = {}
+        for label, eps in [("default", 0.02), ("auto", eps_auto)]:
+            db = Database(pts)
+            algo = FDRMS(db, 1, 10, eps, m_max=256, seed=9)
+            out[label] = ev.evaluate(pts, algo.result_points())
+        assert out["auto"] <= out["default"] + 0.02

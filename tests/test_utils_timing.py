@@ -1,0 +1,49 @@
+"""Unit tests for the Stopwatch helper."""
+
+import time
+
+from repro.utils import Stopwatch
+
+
+def test_measure_accumulates():
+    sw = Stopwatch()
+    with sw.measure("a"):
+        time.sleep(0.002)
+    with sw.measure("a"):
+        time.sleep(0.002)
+    assert sw.total("a") >= 0.004
+    assert sw.count("a") == 2
+    assert sw.mean("a") >= 0.002
+
+
+def test_manual_add_and_segments():
+    sw = Stopwatch()
+    sw.add("x", 1.5)
+    sw.add("x", 0.5)
+    sw.add("y", 2.0)
+    assert sw.total("x") == 2.0
+    assert sw.segments() == {"x": 2.0, "y": 2.0}
+
+
+def test_unknown_segment_is_zero():
+    sw = Stopwatch()
+    assert sw.total("nope") == 0.0
+    assert sw.count("nope") == 0
+    assert sw.mean("nope") == 0.0
+
+
+def test_reset():
+    sw = Stopwatch()
+    sw.add("x", 1.0)
+    sw.reset()
+    assert sw.segments() == {}
+
+
+def test_measure_records_on_exception():
+    sw = Stopwatch()
+    try:
+        with sw.measure("boom"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert sw.count("boom") == 1

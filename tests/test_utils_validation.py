@@ -1,0 +1,92 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    as_point_matrix,
+    as_unit_vector,
+    check_dimension,
+    check_epsilon,
+    check_k,
+    check_size_constraint,
+)
+
+
+class TestAsPointMatrix:
+    def test_coerces_list_to_float64(self):
+        arr = as_point_matrix([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_promotes_single_row(self):
+        arr = as_point_matrix([1.0, 2.0, 3.0])
+        assert arr.shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            as_point_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_point_matrix(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            as_point_matrix([[np.nan, 1.0]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            as_point_matrix([[-0.1, 1.0]])
+
+    def test_returns_contiguous_copy_semantics(self):
+        src = np.asfortranarray(np.ones((3, 2)))
+        arr = as_point_matrix(src)
+        assert arr.flags["C_CONTIGUOUS"]
+
+
+class TestAsUnitVector:
+    def test_normalizes(self):
+        v = as_unit_vector([3.0, 4.0])
+        assert np.isclose(np.linalg.norm(v), 1.0)
+        assert np.allclose(v, [0.6, 0.8])
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            as_unit_vector([0.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            as_unit_vector([1.0, -1.0])
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError, match="dimension 3"):
+            as_unit_vector([1.0, 0.0], d=3)
+
+
+class TestScalarChecks:
+    def test_dimension_lower_bound(self):
+        assert check_dimension(1) == 1
+        with pytest.raises(ValueError):
+            check_dimension(0)
+
+    def test_k_lower_bound(self):
+        assert check_k(1) == 1
+        with pytest.raises(ValueError):
+            check_k(0)
+
+    def test_r_lower_bound(self):
+        assert check_size_constraint(1) == 1
+        with pytest.raises(ValueError):
+            check_size_constraint(0)
+
+    def test_r_vs_d(self):
+        assert check_size_constraint(5, 5) == 5
+        with pytest.raises(ValueError, match="r must be >= d"):
+            check_size_constraint(3, 4)
+
+    def test_epsilon_open_interval(self):
+        assert check_epsilon(0.5) == 0.5
+        for bad in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ValueError):
+                check_epsilon(bad)

@@ -1,0 +1,75 @@
+"""Tests for the dynamic workload protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import Database, make_paper_workload
+from repro.data.database import DELETE, INSERT
+
+
+class TestMakePaperWorkload:
+    def test_split_and_counts(self, rng):
+        pts = rng.random((200, 3))
+        wl = make_paper_workload(pts, seed=0)
+        assert wl.initial.shape == (100, 3)
+        inserts = [op for op in wl.operations if op.kind == INSERT]
+        deletes = [op for op in wl.operations if op.kind == DELETE]
+        assert len(inserts) == 100
+        assert len(deletes) == 100
+
+    def test_snapshots_cover_range(self, rng):
+        wl = make_paper_workload(rng.random((200, 3)), seed=0)
+        assert len(wl.snapshots) == 10
+        assert wl.snapshots[-1] == wl.n_operations
+
+    def test_ids_replay_correctly(self, rng):
+        """Pre-assigned insert ids must match Database's id sequence and
+        every deletion must target an alive tuple."""
+        pts = rng.random((120, 3))
+        wl = make_paper_workload(pts, seed=5)
+        db = Database(wl.initial)
+        for idx, op, _ in wl.replay():
+            if op.kind == INSERT:
+                pid = db.insert(op.point)
+                assert pid == op.tuple_id
+            else:
+                assert op.tuple_id in db
+                assert np.allclose(db.point(op.tuple_id), op.point)
+                db.delete(op.tuple_id)
+        # 50% of all tuples deleted.
+        assert len(db) == 60
+
+    def test_operations_cover_all_points(self, rng):
+        pts = rng.random((50, 2))
+        wl = make_paper_workload(pts, seed=1)
+        seen = {tuple(np.round(row, 12)) for row in wl.initial}
+        for op in wl.operations:
+            if op.kind == INSERT:
+                seen.add(tuple(np.round(op.point, 12)))
+        assert len(seen) == 50
+
+    def test_custom_fractions(self, rng):
+        pts = rng.random((100, 2))
+        wl = make_paper_workload(pts, seed=0, initial_fraction=0.2,
+                                 delete_fraction=1.0, n_snapshots=4)
+        assert wl.initial.shape[0] == 20
+        deletes = [op for op in wl.operations if op.kind == DELETE]
+        assert len(deletes) == 100
+        assert len(wl.snapshots) == 4
+
+    def test_validation(self, rng):
+        pts = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            make_paper_workload(pts, initial_fraction=0.0)
+        with pytest.raises(ValueError):
+            make_paper_workload(pts, delete_fraction=0.0)
+        with pytest.raises(ValueError):
+            make_paper_workload(pts, n_snapshots=0)
+
+    def test_deterministic(self, rng):
+        pts = rng.random((60, 2))
+        a = make_paper_workload(pts, seed=3)
+        b = make_paper_workload(pts, seed=3)
+        assert np.array_equal(a.initial, b.initial)
+        assert [(o.kind, o.tuple_id) for o in a.operations] == \
+            [(o.kind, o.tuple_id) for o in b.operations]

@@ -1,0 +1,96 @@
+"""Tests for the sliding-window and skewed workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.fdrms import FDRMS
+from repro.data import (
+    Database,
+    make_skewed_workload,
+    make_sliding_window_workload,
+)
+from repro.data.database import DELETE, INSERT
+
+
+class TestSlidingWindow:
+    def test_window_size_invariant(self, rng):
+        pts = rng.random((120, 3))
+        wl = make_sliding_window_workload(pts, window=40)
+        db = Database(wl.initial)
+        for _, op, _ in wl.replay():
+            if op.kind == INSERT:
+                assert db.insert(op.point) == op.tuple_id
+            else:
+                db.delete(op.tuple_id)
+            assert 40 <= len(db) <= 41   # insert then evict
+        assert len(db) == 40
+
+    def test_evicts_in_fifo_order(self, rng):
+        pts = rng.random((10, 2))
+        wl = make_sliding_window_workload(pts, window=4)
+        deletes = [op.tuple_id for op in wl.operations if op.kind == DELETE]
+        assert deletes == sorted(deletes)
+        assert deletes[0] == 0
+
+    def test_validation(self, rng):
+        pts = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            make_sliding_window_workload(pts, window=0)
+        with pytest.raises(ValueError):
+            make_sliding_window_workload(pts, window=10)
+
+    def test_fdrms_survives_window(self, rng):
+        pts = rng.random((150, 3))
+        wl = make_sliding_window_workload(pts, window=50)
+        db = Database(wl.initial)
+        algo = FDRMS(db, 1, 4, 0.05, m_max=32, seed=0)
+        for _, op, _ in wl.replay():
+            if op.kind == INSERT:
+                algo.insert(op.point)
+            else:
+                algo.delete(op.tuple_id)
+        assert len(db) == 50
+        assert algo._cover.is_cover() and algo._cover.is_stable()
+        assert all(pid in db for pid in algo.result())
+
+
+class TestSkewed:
+    @pytest.mark.parametrize("frac", [0.1, 0.5, 0.9])
+    def test_replayable(self, rng, frac):
+        pts = rng.random((80, 3))
+        wl = make_skewed_workload(pts, insert_fraction=frac,
+                                  n_operations=200, seed=1)
+        db = Database(wl.initial)
+        for _, op, _ in wl.replay():
+            if op.kind == INSERT:
+                assert db.insert(op.point) == op.tuple_id
+            else:
+                assert op.tuple_id in db
+                db.delete(op.tuple_id)
+        assert len(db) >= 1
+
+    def test_mix_matches_fraction(self, rng):
+        pts = rng.random((100, 2))
+        wl = make_skewed_workload(pts, insert_fraction=0.8,
+                                  n_operations=600, seed=2)
+        inserts = sum(1 for op in wl.operations if op.kind == INSERT)
+        assert 0.72 < inserts / 600 < 0.88
+
+    def test_ids_never_reused(self, rng):
+        pts = rng.random((30, 2))
+        wl = make_skewed_workload(pts, insert_fraction=0.6,
+                                  n_operations=300, seed=3)
+        insert_ids = [op.tuple_id for op in wl.operations
+                      if op.kind == INSERT]
+        assert len(insert_ids) == len(set(insert_ids))
+        assert insert_ids == sorted(insert_ids)
+
+    def test_validation(self, rng):
+        pts = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            make_skewed_workload(pts, insert_fraction=1.5, n_operations=10)
+        with pytest.raises(ValueError):
+            make_skewed_workload(pts, insert_fraction=0.5, n_operations=0)
+        with pytest.raises(ValueError):
+            make_skewed_workload(pts, insert_fraction=0.5, n_operations=10,
+                                 initial_fraction=1.0)
