@@ -10,7 +10,9 @@ user, ARM the typical user, RRR the rank semantics.
 
 import pytest
 
-from repro.baselines import arm_greedy, average_regret, greedy, rank_regret, rrr_greedy
+from repro.baselines.arm import arm_greedy, average_regret
+from repro.baselines.greedy import greedy
+from repro.baselines.rrr import rank_regret, rrr_greedy
 from repro.core.regret import max_k_regret_ratio_sampled
 from repro.data.synthetic import independent_points
 from repro.skyline import skyline_indices

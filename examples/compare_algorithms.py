@@ -4,14 +4,16 @@ A miniature rendition of the paper's Fig. 6: replay the same
 insert/delete workload against FD-RMS and all static baselines, print
 average update time and mean maximum regret ratio side by side.
 
+The algorithm list comes from the registry (`repro.list_algorithms`),
+so a newly registered algorithm shows up here with zero edits.
+
 Run:  python examples/compare_algorithms.py [n]
 """
 
 import sys
 
-import numpy as np
-
-from repro.bench import BASELINE_FACTORIES, make_adapter, run_workload
+from repro import list_algorithms
+from repro.bench import adapter_for, run_workload
 from repro.core.regret import RegretEvaluator
 from repro.data import make_paper_workload
 from repro.data.synthetic import anticorrelated_points
@@ -25,8 +27,9 @@ def main(n: int = 1500) -> None:
 
     # LP-based greedy variants are excluded on anti-correlated data for
     # runtime reasons (the paper reports GREEDY exceeding a day there).
-    names = [n_ for n_ in BASELINE_FACTORIES
-             if n_ not in ("Greedy", "GeoGreedy", "Greedy*")]
+    names = [spec.display_name for spec in list_algorithms()
+             if spec.bench
+             and spec.display_name not in ("Greedy", "GeoGreedy", "Greedy*")]
 
     print(f"workload: n={n}, d=4 (AntiCor), {workload.n_operations} ops, "
           f"RMS(k={k}, r={r})\n")
@@ -34,8 +37,9 @@ def main(n: int = 1500) -> None:
           f"{'final |Q|':>10}")
     rows = []
     for name in names:
-        extra = {"eps": 0.02, "m_max": 1024} if name == "FD-RMS" else {}
-        adapter = make_adapter(name, workload.initial, k, r, seed=34, **extra)
+        # Shared option bag: eps/m_max reach FD-RMS, others drop them.
+        adapter = adapter_for(name, workload.initial, k, r, seed=34,
+                              eps=0.02, m_max=1024)
         res = run_workload(adapter, workload, evaluator, k)
         rows.append((name, res))
         print(f"{name:>12} {res.avg_update_ms:>16.3f} {res.mean_mrr:>10.4f} "

@@ -20,7 +20,7 @@ import time
 import numpy as np
 
 from repro import Database, FDRMS, RegretEvaluator
-from repro.baselines import sphere
+from repro.baselines.sphere import sphere
 from repro.skyline import skyline_indices
 
 

@@ -1,15 +1,15 @@
 """Quickstart: maintain a k-regret minimizing set under updates.
 
-Builds a random database, constructs FD-RMS for RMS(k=1, r=10), applies
-a handful of insertions and deletions, and evaluates the maximum regret
-ratio after each step.
+Uses the unified solver API: a one-shot ``repro.solve`` call for the
+static answer, then a streaming ``repro.open_session`` that keeps the
+result fresh across a burst of insertions and deletions.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import Database, FDRMS, RegretEvaluator
+import repro
 
 
 def main() -> None:
@@ -17,40 +17,48 @@ def main() -> None:
 
     # 1. A database of 2,000 tuples with 4 numeric attributes in [0, 1].
     points = rng.random((2000, 4))
-    db = Database(points)
 
-    # 2. FD-RMS maintains a size-10 representative subset. eps controls
-    #    the approximate-top-k slack; m_max caps the utility sample.
-    algo = FDRMS(db, k=1, r=10, eps=0.02, m_max=1024, seed=0)
-    evaluator = RegretEvaluator(d=4, n_samples=50_000, seed=1)
+    # 2. One-shot: any registered algorithm through the same facade.
+    once = repro.solve(points, r=10, algo="fd-rms", seed=0, evaluate=True)
+    print(once.summary())
+
+    # 3. Streaming: FD-RMS maintains a size-10 representative subset
+    #    under updates. eps controls the approximate-top-k slack.
+    session = repro.open_session(points, r=10, algo="fd-rms", eps=0.02,
+                                 m_max=1024, seed=0)
+    evaluator = repro.RegretEvaluator(d=4, n_samples=50_000, seed=1)
 
     def report(label: str) -> None:
-        mrr = evaluator.evaluate(db.points(), algo.result_points())
-        print(f"{label:<28} |Q| = {len(algo.result()):2d}   "
-              f"mrr_1 = {mrr:.4f}   (m = {algo.m})")
+        mrr = evaluator.evaluate(session.db.points(),
+                                 session.result_points())
+        print(f"{label:<28} |Q| = {len(session.result()):2d}   "
+              f"mrr_1 = {mrr:.4f}")
 
     report("initial result")
 
-    # 3. Insert a spectacular new tuple: it must enter the result.
-    star = algo.insert(np.array([0.99, 0.98, 0.97, 0.99]))
-    assert star in algo.result()
+    # 4. Insert a spectacular new tuple: it must enter the result.
+    star = session.insert(np.array([0.99, 0.98, 0.97, 0.99]))
+    assert star in session.result()
     report(f"after inserting star #{star}")
 
-    # 4. Delete it again: the result heals without recomputation.
-    algo.delete(star)
-    assert star not in algo.result()
+    # 5. Delete it again: the result heals without recomputation.
+    session.delete(star)
+    assert star not in session.result()
     report("after deleting the star")
 
-    # 5. A burst of random updates — steady-state maintenance.
+    # 6. A burst of random updates — steady-state maintenance.
     for _ in range(500):
         if rng.random() < 0.5:
-            algo.insert(rng.random(4))
+            session.insert(rng.random(4))
         else:
-            alive = db.ids()
-            algo.delete(int(alive[rng.integers(alive.size)]))
+            alive = session.db.ids()
+            session.delete(int(alive[rng.integers(alive.size)]))
     report("after 500 random updates")
 
-    print("\nresult ids:", algo.result())
+    print("\nresult ids:", session.result())
+    print("maintenance stats:", {k: v for k, v in session.stats().items()
+                                 if k in ("inserts", "deletes", "m",
+                                          "stabilize_steps")})
 
 
 if __name__ == "__main__":

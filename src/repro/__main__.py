@@ -1,7 +1,14 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+The CLI's integer return value is propagated through ``sys.exit`` so
+failures (e.g. unknown dataset or algorithm names) yield a nonzero
+process exit code. The guard keeps ``import repro.__main__`` side-effect
+free for tooling.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

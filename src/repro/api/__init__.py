@@ -1,0 +1,55 @@
+"""Unified solver API: registry, ``solve()`` facade, and sessions.
+
+This package is the canonical entry point for running any k-RMS
+algorithm in the repo:
+
+* :func:`repro.api.solve` — one-shot ``solve(points, r, k, algo=...)``
+  returning a uniform :class:`~repro.api.result.RMSResult`;
+* :func:`repro.api.open_session` — streaming
+  :class:`~repro.api.session.Session` (``insert``/``delete``/``result``)
+  for dynamic workloads;
+* :func:`repro.api.register` / :func:`repro.api.get_algorithm` /
+  :func:`repro.api.list_algorithms` — the algorithm registry with
+  capability metadata, which the CLI and benchmark harness also use for
+  dispatch.
+
+Submodules are loaded lazily (PEP 562) so that baseline modules can
+``from repro.api.registry import register`` without import cycles.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "AlgorithmSpec": "repro.api.registry",
+    "Capabilities": "repro.api.registry",
+    "CapabilityError": "repro.api.registry",
+    "UnknownAlgorithmError": "repro.api.registry",
+    "algorithm_names": "repro.api.registry",
+    "get_algorithm": "repro.api.registry",
+    "list_algorithms": "repro.api.registry",
+    "register": "repro.api.registry",
+    "register_spec": "repro.api.registry",
+    "RMSResult": "repro.api.result",
+    "describe": "repro.api.solve",
+    "solve": "repro.api.solve",
+    "FDRMSSession": "repro.api.session",
+    "RecomputeSession": "repro.api.session",
+    "Session": "repro.api.session",
+    "open_session": "repro.api.session",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,325 @@
+"""Algorithm registry: one catalogue for every k-RMS solver in the repo.
+
+Every algorithm — the paper's FD-RMS and each static baseline — is
+described by an :class:`AlgorithmSpec` carrying a normalized entry
+point, capability metadata, and bench wiring. Specs are created with
+the :func:`register` decorator placed directly on the algorithm's
+function (or, for dynamic algorithms, next to their
+:class:`~repro.api.session.Session` implementation), so adding a new
+solver to the whole system — ``solve()``, ``open_session()``, the CLI,
+and the benchmark harness — is a single ``@register(...)`` line.
+
+Name resolution is case-insensitive and alias-aware: ``"greedy"``,
+``"Greedy"``, ``"GREEDY"`` all resolve to the same spec, and paper
+spellings such as ``"Greedy*"`` or ``"eps-Kernel"`` are registered as
+aliases of their canonical keys.
+
+This module is intentionally dependency-light (stdlib only) so baseline
+modules can import it without cycles; the built-in algorithms are
+registered lazily on first lookup via :func:`_ensure_builtins`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Callable, Mapping
+
+
+class UnknownAlgorithmError(KeyError):
+    """Raised when a name resolves to no registered algorithm."""
+
+    def __init__(self, name: str, choices: list[str]) -> None:
+        self.name = name
+        self.choices = list(choices)
+        super().__init__(
+            f"unknown algorithm {name!r}; choose from {', '.join(choices)}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
+
+
+class CapabilityError(ValueError):
+    """Raised when a request exceeds an algorithm's declared capabilities."""
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Declarative description of what an algorithm can do.
+
+    Attributes
+    ----------
+    supports_k : bool
+        Handles the rank parameter ``k > 1`` (k-regret), not just the
+        classic ``k = 1`` regret-minimizing set.
+    dynamic : bool
+        Natively maintains its result under insertions and deletions
+        (FD-RMS); static algorithms are replayed via skyline-triggered
+        recomputation instead.
+    min_size : bool
+        Has a min-size mode: can target a regret threshold ε instead of
+        a result-size budget ``r`` (the paper's min-size k-RMS).
+    d2_only : bool
+        Only correct in two dimensions (the interval-DP oracle).
+    exact : bool
+        Returns an optimal answer (within discretization), not a
+        heuristic one.
+    randomized : bool
+        Consumes a ``seed``; results vary across seeds.
+    skyline_pool : bool
+        The dynamic protocol may run it on the skyline only (1-RMS
+        results are skyline subsets); algorithms with ``supports_k``
+        generally need the full database (§IV-B) and set this False.
+    """
+
+    supports_k: bool = False
+    dynamic: bool = False
+    min_size: bool = False
+    d2_only: bool = False
+    exact: bool = False
+    randomized: bool = False
+    skyline_pool: bool = True
+
+    def flags(self) -> dict[str, bool]:
+        """Capability name → value, for tabular display."""
+        return {f: getattr(self, f) for f in (
+            "supports_k", "dynamic", "min_size", "d2_only", "exact",
+            "randomized", "skyline_pool")}
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Everything the system knows about one registered algorithm.
+
+    ``func`` is the one-shot solver with the repo's normalized calling
+    convention: ``func(points, r, ...)`` returning row indices into
+    ``points``. ``accepts`` records which of the normalized optional
+    arguments (``k``, ``seed``) the underlying callable understands, and
+    ``option_names`` every further keyword it takes — used to route a
+    shared option bag (e.g. the CLI's ``--eps``) to the algorithms that
+    understand each key and silently drop it for the rest.
+    """
+
+    name: str                       # canonical lowercase key, e.g. "fd-rms"
+    display_name: str               # paper spelling, e.g. "FD-RMS"
+    func: Callable[..., Any]
+    capabilities: Capabilities = field(default_factory=Capabilities)
+    summary: str = ""
+    aliases: tuple[str, ...] = ()
+    accepts: frozenset = frozenset()
+    option_names: frozenset = frozenset()
+    accepts_var_kwargs: bool = False
+    bench: bool = False             # include in the benchmark factory table
+    bench_kwargs: Mapping[str, Any] = field(
+        default_factory=lambda: MappingProxyType({}))
+    session_factory: Callable[..., Any] | None = None
+
+    # -- invocation ----------------------------------------------------
+    def build_kwargs(self, *, r: int, k: int = 1, seed=None,
+                     options: Mapping[str, Any] | None = None) -> dict:
+        """Keyword arguments for ``func`` under the normalized convention.
+
+        Unknown keys in ``options`` are dropped (they belong to other
+        algorithms sharing the option bag); ``k`` and ``seed`` are only
+        forwarded when the callable takes them.
+        """
+        kwargs: dict[str, Any] = {"r": int(r)}
+        if "k" in self.accepts:
+            kwargs["k"] = int(k)
+        if "seed" in self.accepts:
+            kwargs["seed"] = seed
+        for key, value in dict(options or {}).items():
+            if key in ("r", "k", "seed"):
+                continue
+            if self.accepts_var_kwargs or key in self.option_names:
+                kwargs[key] = value
+        return kwargs
+
+    def run(self, points, *, r: int, k: int = 1, seed=None,
+            options: Mapping[str, Any] | None = None):
+        """Invoke the solver; returns row indices into ``points``."""
+        return self.func(points, **self.build_kwargs(
+            r=r, k=k, seed=seed, options=options))
+
+    def check_options(self, options: Mapping[str, Any]) -> None:
+        """Reject option keys the underlying callable cannot accept.
+
+        Facade entry points (``solve``, ``open_session``) call this so a
+        typo'd keyword fails loudly; the bench harness deliberately
+        skips it to route one shared option bag across algorithms.
+        """
+        if self.accepts_var_kwargs:
+            return
+        unknown = [key for key in options
+                   if key not in self.option_names
+                   and key not in ("r", "k", "seed")]
+        if unknown:
+            raise TypeError(
+                f"{self.display_name} does not accept option(s) "
+                f"{', '.join(sorted(unknown))}; it accepts "
+                f"{', '.join(sorted(self.option_names)) or 'none'}")
+
+    def check_request(self, *, k: int = 1, d: int | None = None) -> None:
+        """Validate a request against the declared capabilities."""
+        if k > 1 and not self.capabilities.supports_k:
+            supporters = [s.display_name for s in list_algorithms()
+                          if s.capabilities.supports_k]
+            raise CapabilityError(
+                f"{self.display_name} does not support k > 1 (got k={k}); "
+                f"algorithms with k-support: {', '.join(supporters)}")
+        if d is not None and self.capabilities.d2_only and d != 2:
+            raise CapabilityError(
+                f"{self.display_name} only supports d = 2 inputs (got d={d})")
+
+
+_LOCK = threading.Lock()
+_LOAD_LOCK = threading.Lock()  # serializes builtin loading, distinct from
+_REGISTRY: dict[str, AlgorithmSpec] = {}  # _LOCK so register_spec calls made
+_ALIASES: dict[str, str] = {}             # during the imports don't deadlock
+_builtins_loaded = False
+
+
+def _normalize(name: str) -> str:
+    return str(name).strip().lower()
+
+
+def _introspect(func: Callable) -> tuple[frozenset, frozenset, bool]:
+    """Discover the normalized args and extra options ``func`` takes."""
+    accepts: set[str] = set()
+    options: set[str] = set()
+    var_kwargs = False
+    for pname, param in inspect.signature(func).parameters.items():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            var_kwargs = True
+            continue
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            continue
+        if pname in ("points", "r"):
+            continue
+        if pname in ("k", "seed"):
+            accepts.add(pname)
+        else:
+            options.add(pname)
+    return frozenset(accepts), frozenset(options), var_kwargs
+
+
+def register_spec(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Insert a fully-built spec into the registry (idempotent per func)."""
+    key = _normalize(spec.name)
+    spec = replace(spec, name=key,
+                   bench_kwargs=MappingProxyType(dict(spec.bench_kwargs)))
+    with _LOCK:
+        existing = _REGISTRY.get(key)
+        if existing is not None:
+            if existing.func is spec.func:
+                return existing  # repeated import; keep the first spec
+            raise ValueError(f"algorithm {key!r} is already registered")
+        _REGISTRY[key] = spec
+        for alias in (spec.display_name, *spec.aliases):
+            akey = _normalize(alias)
+            owner = _ALIASES.setdefault(akey, key)
+            if owner != key:
+                raise ValueError(
+                    f"alias {alias!r} of {key!r} already points to {owner!r}")
+    return spec
+
+
+def register(name: str, *, display_name: str | None = None,
+             aliases: tuple[str, ...] = (), summary: str = "",
+             capabilities: Capabilities | None = None,
+             bench: bool = False,
+             bench_kwargs: Mapping[str, Any] | None = None,
+             session_factory: Callable[..., Any] | None = None):
+    """Decorator registering a solver function under ``name``.
+
+    The decorated function is returned unchanged, so direct calls keep
+    their exact historical behavior; the registry stores enough
+    signature metadata to drive it through the normalized
+    ``spec.run(points, r=..., k=..., seed=...)`` convention.
+    """
+    def decorate(func: Callable) -> Callable:
+        accepts, option_names, var_kwargs = _introspect(func)
+        register_spec(AlgorithmSpec(
+            name=name,
+            display_name=display_name or name,
+            func=func,
+            capabilities=capabilities or Capabilities(),
+            summary=summary,
+            aliases=tuple(aliases),
+            accepts=accepts,
+            option_names=option_names,
+            accepts_var_kwargs=var_kwargs,
+            bench=bench,
+            bench_kwargs=MappingProxyType(dict(bench_kwargs or {})),
+            session_factory=session_factory,
+        ))
+        return func
+    return decorate
+
+
+def _ensure_builtins() -> None:
+    """Import every module that registers a built-in algorithm (once).
+
+    The loaded flag is only set after every import succeeded, so a
+    failed or concurrent first load never leaves the catalogue silently
+    incomplete: failures propagate and the next lookup retries.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    with _LOAD_LOCK:
+        if _builtins_loaded:
+            return
+        _load_builtin_modules()
+        _builtins_loaded = True
+
+
+def _load_builtin_modules() -> None:
+    import repro.api.session  # noqa: F401  (registers FD-RMS)
+    import repro.baselines.arm  # noqa: F401
+    import repro.baselines.cube  # noqa: F401
+    import repro.baselines.dmm  # noqa: F401
+    import repro.baselines.dp2d  # noqa: F401
+    import repro.baselines.eps_kernel  # noqa: F401
+    import repro.baselines.geogreedy  # noqa: F401
+    import repro.baselines.greedy  # noqa: F401
+    import repro.baselines.greedy_star  # noqa: F401
+    import repro.baselines.hitting_set  # noqa: F401
+    import repro.baselines.rrr  # noqa: F401
+    import repro.baselines.sphere  # noqa: F401
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Resolve ``name`` (canonical, display, or alias; any case)."""
+    _ensure_builtins()
+    key = _normalize(name)
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise UnknownAlgorithmError(name, algorithm_names()) from None
+
+
+def list_algorithms(**capability_filters: bool) -> list[AlgorithmSpec]:
+    """All registered specs, sorted by canonical name.
+
+    Keyword filters match :class:`Capabilities` fields, e.g.
+    ``list_algorithms(supports_k=True)`` or ``list_algorithms(dynamic=False)``.
+    """
+    _ensure_builtins()
+    specs = sorted(_REGISTRY.values(), key=lambda s: s.name)
+    for flag, wanted in capability_filters.items():
+        if not hasattr(Capabilities(), flag):
+            raise TypeError(f"unknown capability filter {flag!r}")
+        specs = [s for s in specs if getattr(s.capabilities, flag) == wanted]
+    return specs
+
+
+def algorithm_names(*, display: bool = False,
+                    **capability_filters: bool) -> list[str]:
+    """Sorted canonical (or display) names of registered algorithms."""
+    specs = list_algorithms(**capability_filters)
+    return sorted(s.display_name for s in specs) if display \
+        else [s.name for s in specs]

@@ -1,0 +1,78 @@
+"""Uniform result object returned by the :func:`repro.solve` facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RMSResult:
+    """Outcome of one k-RMS solve, identical across all algorithms.
+
+    Attributes
+    ----------
+    algorithm : str
+        Display name of the algorithm that produced the result.
+    indices : numpy.ndarray
+        Sorted row indices of the selected tuples in the input matrix
+        (read-only).
+    points : numpy.ndarray
+        The selected rows themselves, ``(len(indices), d)`` (read-only).
+    r, k : int
+        The size budget and rank parameter of the request.
+    n, d : int
+        Shape of the input point matrix.
+    wall_seconds : float
+        Wall-clock time of the solver call (excludes any regret
+        evaluation).
+    regret : float | None
+        Sampled maximum k-regret ratio of the result, present when
+        ``solve(..., evaluate=True)`` was requested.
+    config : Mapping[str, Any]
+        The solver configuration actually used (normalized kwargs after
+        option routing), for reproducibility.
+    """
+
+    algorithm: str
+    indices: np.ndarray
+    points: np.ndarray
+    r: int
+    k: int
+    n: int
+    d: int
+    wall_seconds: float
+    regret: float | None = None
+    config: Mapping[str, Any] = field(
+        default_factory=lambda: MappingProxyType({}))
+
+    def __post_init__(self) -> None:
+        # Copy before freezing: asarray may alias caller-owned arrays,
+        # and setflags on an alias would make the caller's data
+        # read-only as a side effect.
+        idx = np.array(self.indices, dtype=np.intp)
+        pts = np.array(self.points, dtype=float)
+        idx.setflags(write=False)
+        pts.setflags(write=False)
+        object.__setattr__(self, "indices", idx)
+        object.__setattr__(self, "points", pts)
+        object.__setattr__(self, "config",
+                           MappingProxyType(dict(self.config)))
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the selected subset, ``|Q|``."""
+        return len(self)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        regret = "n/a" if self.regret is None else f"{self.regret:.4f}"
+        return (f"{self.algorithm}: |Q|={len(self)} (r={self.r}, k={self.k}) "
+                f"on n={self.n}, d={self.d} in "
+                f"{1000.0 * self.wall_seconds:.2f} ms, mrr={regret}")

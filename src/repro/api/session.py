@@ -1,0 +1,311 @@
+"""Streaming ``Session`` protocol: one interface for dynamic k-RMS.
+
+A :class:`Session` maintains a k-RMS result while the database changes:
+
+``insert(point) -> id`` · ``delete(id)`` · ``apply(op)`` ·
+``result() -> ids`` · ``result_points() -> matrix`` · ``stats() -> dict``
+
+Two implementations cover every registered algorithm:
+
+* :class:`FDRMSSession` — the paper's natively dynamic FD-RMS engine;
+* :class:`RecomputeSession` — wraps any static baseline with the
+  paper's replay protocol (§IV-A): maintain the skyline incrementally
+  and re-run the algorithm only when an operation changes it.
+
+:func:`open_session` dispatches through the algorithm registry, so the
+same code path drives FD-RMS and every baseline:
+
+>>> import numpy as np
+>>> from repro.api import open_session
+>>> s = open_session(np.random.default_rng(0).random((300, 3)), r=8,
+...                  algo="FD-RMS", seed=0, m_max=64)
+>>> pid = s.insert([0.99, 0.99, 0.99])
+>>> pid in s.result()
+True
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.api.registry import (
+    AlgorithmSpec,
+    Capabilities,
+    get_algorithm,
+    register,
+)
+from repro.core.fdrms import FDRMS
+from repro.data.database import DELETE, INSERT, Database, Operation
+from repro.skyline.dynamic import DynamicSkyline
+
+
+class Session(abc.ABC):
+    """Abstract streaming interface over a dynamic database.
+
+    Concrete sessions own a :class:`~repro.data.Database`; all updates
+    must flow through the session so the maintained result stays
+    consistent with the data.
+    """
+
+    name: str = "session"
+
+    def __init__(self) -> None:
+        self._counters = {"inserts": 0, "deletes": 0}
+
+    # -- updates -------------------------------------------------------
+    @abc.abstractmethod
+    def insert(self, point) -> int:
+        """Insert one tuple; returns its new id."""
+
+    @abc.abstractmethod
+    def delete(self, tuple_id: int) -> None:
+        """Delete the tuple with id ``tuple_id``."""
+
+    def apply(self, op: Operation) -> int | None:
+        """Apply one workload :class:`~repro.data.Operation`."""
+        if op.kind == INSERT:
+            return self.insert(op.point)
+        if op.kind == DELETE:
+            self.delete(op.tuple_id)
+            return None
+        raise ValueError(f"unknown operation kind {op.kind!r}")
+
+    def update(self, tuple_id: int, point) -> int:
+        """Value update = delete + insert (§II-B); returns the new id."""
+        self.delete(tuple_id)
+        return self.insert(point)
+
+    # -- reads ---------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def db(self) -> Database:
+        """The live database the session maintains."""
+
+    @abc.abstractmethod
+    def result(self) -> list[int]:
+        """Current k-RMS result as sorted tuple ids."""
+
+    @abc.abstractmethod
+    def result_points(self) -> np.ndarray:
+        """Current result as a ``(|Q|, d)`` matrix."""
+
+    def stats(self) -> dict[str, Any]:
+        """Maintenance counters; subclasses extend with engine detail."""
+        return dict(self._counters)
+
+    def __len__(self) -> int:
+        return len(self.db)
+
+
+class FDRMSSession(Session):
+    """Streaming FD-RMS: a thin, timed wrapper over the paper's engine.
+
+    Parameters mirror :class:`repro.core.FDRMS`; additionally
+    ``eps="auto"`` asks :func:`repro.core.tuning.suggest_epsilon` for a
+    data-driven ε, and an ``m_max`` not exceeding ``r`` is widened to
+    ``2 * r`` (FD-RMS requires ``m_max > r``).
+    """
+
+    def __init__(self, points, r: int, k: int = 1, *, eps: float = 0.02,
+                 m_max: int = 1024, seed=None) -> None:
+        super().__init__()
+        self.name = "FD-RMS"
+        points = np.asarray(points, dtype=float)
+        if eps == "auto":
+            from repro.core.tuning import suggest_epsilon
+            eps = suggest_epsilon(points, k, r, seed=seed)
+        if m_max <= r:
+            m_max = 2 * r
+        self._db = Database(points)
+        start = time.perf_counter()
+        self.engine = FDRMS(self._db, k, r, float(eps), m_max=m_max,
+                            seed=seed)
+        self.init_seconds = time.perf_counter() - start
+        self.algo_seconds = 0.0
+        self.last_apply_seconds = 0.0
+
+    @property
+    def db(self) -> Database:
+        return self._db
+
+    def insert(self, point) -> int:
+        start = time.perf_counter()
+        pid = self.engine.insert(point)
+        self.last_apply_seconds = time.perf_counter() - start
+        self.algo_seconds += self.last_apply_seconds
+        self._counters["inserts"] += 1
+        return pid
+
+    def delete(self, tuple_id: int) -> None:
+        start = time.perf_counter()
+        self.engine.delete(tuple_id)
+        self.last_apply_seconds = time.perf_counter() - start
+        self.algo_seconds += self.last_apply_seconds
+        self._counters["deletes"] += 1
+
+    def result(self) -> list[int]:
+        return self.engine.result()
+
+    def result_points(self) -> np.ndarray:
+        return self.engine.result_points()
+
+    def stats(self) -> dict[str, Any]:
+        out = super().stats()
+        out.update(self.engine.statistics())
+        out["algo_seconds"] = self.algo_seconds
+        out["init_seconds"] = self.init_seconds
+        return out
+
+
+class RecomputeSession(Session):
+    """Skyline-triggered recomputation wrapper for static algorithms.
+
+    ``solver`` is ``callable(pool_points) -> row indices into the
+    pool``; the pool is the current skyline (``use_skyline=True``, valid
+    for 1-RMS algorithms since their results are skyline subsets) or the
+    full database. Recomputation is lazy: operations only mark the
+    result dirty, and the solver runs at the next read.
+    """
+
+    def __init__(self, points, solver: Callable[[np.ndarray], Any], *,
+                 name: str = "static", use_skyline: bool = True) -> None:
+        super().__init__()
+        self.name = name
+        self._solver = solver
+        self._use_skyline = use_skyline
+        self._db = Database(np.asarray(points, dtype=float))
+        self._skyline = DynamicSkyline(self._db) if use_skyline else None
+        self.dirty = True
+        self.last_changed = True
+        self.recomputes = 0
+        self.algo_seconds = 0.0
+        self.last_recompute_seconds = 0.0
+        self._cached_ids: np.ndarray | None = None
+        self._cached_points: np.ndarray | None = None
+
+    @classmethod
+    def from_spec(cls, spec: AlgorithmSpec, points, *, r: int, k: int = 1,
+                  seed=None,
+                  options: Mapping[str, Any] | None = None
+                  ) -> "RecomputeSession":
+        """Build the session for a registered static algorithm."""
+        kwargs = spec.build_kwargs(r=r, k=k, seed=seed, options=options)
+
+        def solver(pool: np.ndarray):
+            return spec.func(pool, **kwargs)
+
+        return cls(points, solver, name=spec.display_name,
+                   use_skyline=spec.capabilities.skyline_pool)
+
+    @property
+    def db(self) -> Database:
+        return self._db
+
+    # -- updates -------------------------------------------------------
+    def insert(self, point) -> int:
+        pid = self._db.insert(point)
+        changed = self._skyline.insert(pid) if self._skyline else True
+        self.last_changed = bool(changed)
+        self.dirty = self.dirty or self.last_changed
+        self._counters["inserts"] += 1
+        return pid
+
+    def delete(self, tuple_id: int) -> None:
+        self._db.delete(tuple_id)
+        changed = self._skyline.delete(tuple_id) if self._skyline else True
+        self.last_changed = bool(changed)
+        self.dirty = self.dirty or self.last_changed
+        self._counters["deletes"] += 1
+
+    # -- reads ---------------------------------------------------------
+    def pool(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current candidate pool as ``(ids, points)``."""
+        if self._skyline is not None:
+            return self._skyline.points()
+        return self._db.snapshot()
+
+    def recompute(self) -> float:
+        """Run the solver on the current pool; returns solver seconds."""
+        ids, pool = self.pool()
+        start = time.perf_counter()
+        idx = np.asarray(self._solver(pool), dtype=np.intp)
+        seconds = time.perf_counter() - start
+        self._cached_ids = ids[idx]
+        self._cached_points = pool[idx]
+        self.dirty = False
+        self.recomputes += 1
+        self.algo_seconds += seconds
+        self.last_recompute_seconds = seconds
+        return seconds
+
+    def _ensure_fresh(self) -> None:
+        if self.dirty or self._cached_ids is None:
+            self.recompute()
+
+    def result(self) -> list[int]:
+        self._ensure_fresh()
+        return sorted(int(i) for i in self._cached_ids)
+
+    def result_points(self) -> np.ndarray:
+        self._ensure_fresh()
+        return self._cached_points
+
+    def stats(self) -> dict[str, Any]:
+        out = super().stats()
+        out["recomputes"] = self.recomputes
+        out["algo_seconds"] = self.algo_seconds
+        if self._skyline is not None:
+            out["skyline_size"] = len(self._skyline)
+        return out
+
+
+def open_session(points, r: int, k: int = 1, *, algo: str = "fd-rms",
+                 seed=None, **options: Any) -> Session:
+    """Open a streaming session for any registered algorithm.
+
+    Dynamic algorithms (FD-RMS) get their native session; static ones
+    are wrapped in :class:`RecomputeSession` under the paper's replay
+    protocol. ``options`` are routed per the algorithm's signature.
+    """
+    points = np.asarray(points, dtype=float)
+    spec = get_algorithm(algo)
+    spec.check_request(k=k, d=int(points.shape[1]) if points.ndim == 2
+                       else None)
+    spec.check_options(options)
+    if spec.session_factory is not None:
+        return spec.session_factory(points, r, k, seed=seed, **options)
+    return RecomputeSession.from_spec(spec, points, r=r, k=k, seed=seed,
+                                      options=options)
+
+
+# ----------------------------------------------------------------------
+# FD-RMS registration: the one dynamic algorithm in the catalogue.
+# ----------------------------------------------------------------------
+
+def _fdrms_session_factory(points, r, k=1, *, seed=None, eps=0.02,
+                           m_max=1024) -> FDRMSSession:
+    return FDRMSSession(points, r, k, eps=eps, m_max=m_max, seed=seed)
+
+
+@register("fd-rms", display_name="FD-RMS",
+          aliases=("fdrms", "fd_rms"),
+          summary="fully-dynamic k-RMS via approximate top-k set cover "
+                  "(this paper)",
+          capabilities=Capabilities(supports_k=True, dynamic=True,
+                                    randomized=True, skyline_pool=False),
+          bench=True,
+          session_factory=_fdrms_session_factory)
+def fdrms_solve(points, r: int, k: int = 1, *, seed=None, eps: float = 0.02,
+                m_max: int = 1024) -> np.ndarray:
+    """One-shot FD-RMS: build the dynamic structure, read the result.
+
+    Tuple ids of a fresh :class:`~repro.data.Database` are the row
+    indices of ``points``, so the returned array indexes the input
+    matrix like every static baseline.
+    """
+    session = FDRMSSession(points, r, k, eps=eps, m_max=m_max, seed=seed)
+    return np.asarray(session.result(), dtype=np.intp)

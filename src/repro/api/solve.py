@@ -1,0 +1,109 @@
+"""One-shot ``solve()`` facade over the algorithm registry.
+
+>>> import numpy as np
+>>> from repro import solve
+>>> res = solve(np.random.default_rng(0).random((200, 3)), r=8,
+...             algo="sphere", seed=0)
+>>> len(res) <= 8
+True
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.api.registry import AlgorithmSpec, get_algorithm
+from repro.api.result import RMSResult
+from repro.utils import as_point_matrix, check_k, check_size_constraint
+
+
+_DP2D_AUTO_LIMIT = 2000
+
+
+def _auto_algorithm(n: int, d: int, k: int) -> str:
+    """Default algorithm policy for ``algo="auto"``.
+
+    Small two-dimensional 1-RMS inputs get the exact interval-DP oracle;
+    its gap matrix is quadratic in the hull size, so beyond
+    ``_DP2D_AUTO_LIMIT`` points (where an anti-correlated hull can be
+    huge) everything goes to FD-RMS, the only algorithm whose declared
+    capabilities cover every (k, d) combination.
+    """
+    if d == 2 and k == 1 and n <= _DP2D_AUTO_LIMIT:
+        return "dp2d"
+    return "fd-rms"
+
+
+def solve(points, r: int, k: int = 1, *, algo: str = "auto", seed=None,
+          evaluate: bool = False, eval_samples: int = 10_000,
+          **options: Any) -> RMSResult:
+    """Compute a k-regret minimizing set with any registered algorithm.
+
+    Parameters
+    ----------
+    points : (n, d) array-like
+        The database. The matrix is passed to the algorithm as-is (no
+        skyline pre-filtering), so ``solve(points, r, algo=name)`` is
+        call-for-call equivalent to invoking the baseline directly.
+    r : int
+        Result size budget.
+    k : int
+        Rank parameter; algorithms without ``supports_k`` reject k > 1.
+    algo : str
+        Registry name (canonical, display, or alias; case-insensitive),
+        or ``"auto"`` to pick per :func:`_auto_algorithm`.
+    seed : int | numpy.random.Generator | None
+        Forwarded to randomized algorithms; ignored by deterministic ones.
+    evaluate : bool
+        Also measure the sampled maximum k-regret ratio of the result
+        (``eval_samples`` utility vectors); stored in ``result.regret``.
+    **options
+        Algorithm-specific keywords (e.g. ``eps=0.01`` for FD-RMS,
+        ``n_samples=5000`` for sampled baselines). Keys the chosen
+        algorithm does not understand raise ``TypeError`` — use
+        :meth:`AlgorithmSpec.build_kwargs` for permissive routing.
+
+    Returns
+    -------
+    RMSResult
+        Frozen record with indices, points, timing, and configuration.
+    """
+    pts = as_point_matrix(points)
+    n, d = pts.shape
+    k = check_k(k)
+    r = check_size_constraint(r)
+    name = _auto_algorithm(n, d, k) if algo == "auto" else algo
+    spec = get_algorithm(name)
+    spec.check_request(k=k, d=d)
+    spec.check_options(options)
+    kwargs = spec.build_kwargs(r=r, k=k, seed=seed, options=options)
+    start = time.perf_counter()
+    indices = np.asarray(spec.func(pts, **kwargs), dtype=np.intp)
+    wall = time.perf_counter() - start
+    indices = np.sort(indices)
+
+    regret = None
+    if evaluate:
+        from repro.core.regret import RegretEvaluator
+        evaluator = RegretEvaluator(d, n_samples=max(eval_samples, d),
+                                    seed=seed)
+        regret = float(evaluator.evaluate(pts, pts[indices], k))
+
+    config: Mapping[str, Any] = dict(kwargs)
+    return RMSResult(algorithm=spec.display_name, indices=indices,
+                     points=pts[indices], r=r, k=k, n=n, d=d,
+                     wall_seconds=wall, regret=regret, config=config)
+
+
+def describe(algo: str) -> str:
+    """Human-readable capability card for one registered algorithm."""
+    spec = get_algorithm(algo)
+    flags = ", ".join(f"{name}={'yes' if value else 'no'}"
+                      for name, value in spec.capabilities.flags().items())
+    return f"{spec.display_name}: {spec.summary or '(no summary)'} [{flags}]"
+
+
+__all__ = ["solve", "describe", "AlgorithmSpec"]

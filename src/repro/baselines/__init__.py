@@ -19,19 +19,64 @@ changes, exactly as the paper's protocol does.
 :func:`dp2d`              interval DP for d = 2 (optimality oracle)
 :func:`brute_force_rms`   exhaustive search (tests only)
 ========================  ==========================================
+
+.. deprecated:: 1.1
+    Calling an algorithm imported from this *package* namespace emits a
+    :class:`DeprecationWarning`. The canonical entry points are
+    :func:`repro.solve` / :func:`repro.api.get_algorithm` (registry
+    dispatch with capability metadata), or — for the raw function — an
+    explicit submodule import such as
+    ``from repro.baselines.greedy import greedy``.
 """
 
-from repro.baselines.greedy import greedy
-from repro.baselines.greedy_star import greedy_star
-from repro.baselines.geogreedy import geo_greedy
-from repro.baselines.dmm import dmm_greedy, dmm_rrms
-from repro.baselines.eps_kernel import eps_kernel
-from repro.baselines.hitting_set import hitting_set
-from repro.baselines.sphere import sphere
-from repro.baselines.cube import cube
-from repro.baselines.dp2d import brute_force_rms, dp2d
-from repro.baselines.arm import arm_greedy, average_regret
-from repro.baselines.rrr import rank_regret, rrr_greedy
+import functools
+import warnings
+
+from repro.baselines.arm import arm_greedy as _arm_greedy
+from repro.baselines.arm import average_regret
+from repro.baselines.cube import cube as _cube
+from repro.baselines.dmm import dmm_greedy as _dmm_greedy
+from repro.baselines.dmm import dmm_rrms as _dmm_rrms
+from repro.baselines.dp2d import brute_force_rms
+from repro.baselines.dp2d import dp2d as _dp2d
+from repro.baselines.eps_kernel import eps_kernel as _eps_kernel
+from repro.baselines.geogreedy import geo_greedy as _geo_greedy
+from repro.baselines.greedy import greedy as _greedy
+from repro.baselines.greedy_star import greedy_star as _greedy_star
+from repro.baselines.hitting_set import hitting_set as _hitting_set
+from repro.baselines.rrr import rank_regret
+from repro.baselines.rrr import rrr_greedy as _rrr_greedy
+from repro.baselines.sphere import sphere as _sphere
+
+
+def _deprecated_entry(func, registry_name: str):
+    """Wrap ``func`` so package-level calls point users at the new API."""
+    module = func.__module__
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"calling {func.__name__!r} via the repro.baselines package is "
+            f"deprecated; use repro.solve(..., algo={registry_name!r}) or "
+            f"import it from {module}",
+            DeprecationWarning, stacklevel=2)
+        return func(*args, **kwargs)
+
+    return wrapper
+
+
+greedy = _deprecated_entry(_greedy, "greedy")
+greedy_star = _deprecated_entry(_greedy_star, "greedy*")
+geo_greedy = _deprecated_entry(_geo_greedy, "geogreedy")
+dmm_rrms = _deprecated_entry(_dmm_rrms, "dmm-rrms")
+dmm_greedy = _deprecated_entry(_dmm_greedy, "dmm-greedy")
+eps_kernel = _deprecated_entry(_eps_kernel, "eps-kernel")
+hitting_set = _deprecated_entry(_hitting_set, "hs")
+sphere = _deprecated_entry(_sphere, "sphere")
+cube = _deprecated_entry(_cube, "cube")
+dp2d = _deprecated_entry(_dp2d, "dp2d")
+arm_greedy = _deprecated_entry(_arm_greedy, "arm")
+rrr_greedy = _deprecated_entry(_rrr_greedy, "rrr")
 
 __all__ = [
     "arm_greedy",

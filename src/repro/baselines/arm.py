@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.geometry.sampling import sample_utilities
 from repro.utils import (
     as_point_matrix,
@@ -46,6 +47,10 @@ def average_regret(points_p, points_q, k: int = 1, *, n_samples: int = 10_000,
     return float(np.clip(rr, 0.0, 1.0).mean())
 
 
+@register("arm", display_name="ARM", aliases=("arm-greedy", "arm_greedy"),
+          summary="greedy average-regret minimization (alternate objective)",
+          capabilities=Capabilities(supports_k=True, randomized=True,
+                                    skyline_pool=False))
 def arm_greedy(points, r: int, k: int = 1, *, n_samples: int = 10_000,
                seed=None) -> np.ndarray:
     """Greedy average-regret minimization: r rows of ``points``.

@@ -15,9 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.utils import as_point_matrix, check_size_constraint
 
 
+@register("cube", display_name="Cube",
+          summary="the original bounded heuristic [22]",
+          capabilities=Capabilities())
 def cube(points, r: int) -> np.ndarray:
     """Select at most ``r`` rows with CUBE's grid construction."""
     pts = as_point_matrix(points)

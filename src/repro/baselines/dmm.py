@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.geometry.sampling import grid_utilities, sample_utilities
 from repro.utils import as_point_matrix, check_size_constraint, resolve_rng
 
@@ -64,6 +65,10 @@ def _greedy_cover(reg: np.ndarray, eps: float, r: int) -> np.ndarray | None:
     return np.asarray(selected, dtype=np.intp)
 
 
+@register("dmm-rrms", display_name="DMM-RRMS", aliases=("dmm_rrms",),
+          summary="discretized matrix min-max [4]",
+          capabilities=Capabilities(randomized=True),
+          bench=True)
 def dmm_rrms(points, r: int, *, per_axis: int = 8, seed=None) -> np.ndarray:
     """DMM-RRMS: min-max regret via binary search over matrix entries."""
     pts = as_point_matrix(points)
@@ -95,6 +100,10 @@ def dmm_rrms(points, r: int, *, per_axis: int = 8, seed=None) -> np.ndarray:
     return best
 
 
+@register("dmm-greedy", display_name="DMM-Greedy", aliases=("dmm_greedy",),
+          summary="greedy on the DMM regret matrix [4]",
+          capabilities=Capabilities(randomized=True),
+          bench=True)
 def dmm_greedy(points, r: int, *, per_axis: int = 8, seed=None) -> np.ndarray:
     """DMM-GREEDY: greedy min-max reduction on the discretized matrix."""
     pts = as_point_matrix(points)

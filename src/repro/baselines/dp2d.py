@@ -27,6 +27,7 @@ import itertools
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.geometry.hull import extreme_points
 from repro.utils import as_point_matrix, check_k, check_size_constraint
 
@@ -49,6 +50,9 @@ def _angle_grid(pts: np.ndarray, resolution: int) -> np.ndarray:
     return np.unique(np.concatenate([np.asarray(crit), grid]))
 
 
+@register("dp2d", display_name="DP2D",
+          summary="interval DP for d = 2 (optimality oracle)",
+          capabilities=Capabilities(d2_only=True, exact=True))
 def dp2d(points, r: int, *, resolution: int = 512) -> np.ndarray:
     """Optimal (to angle-grid resolution) 1-RMS for 2-d data.
 

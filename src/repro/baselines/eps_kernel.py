@@ -20,10 +20,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.geometry.hull import directional_argmax, eps_kernel_directions
 from repro.utils import as_point_matrix, check_size_constraint
 
 
+@register("eps-kernel", display_name="eps-Kernel",
+          aliases=("eps_kernel", "epskernel", "ε-kernel"),
+          summary="ε-kernel coreset selection [2, 3, 10]",
+          capabilities=Capabilities(randomized=True),
+          bench=True)
 def eps_kernel(points, r: int, *, seed=None, search_steps: int = 20) -> np.ndarray:
     """Select at most ``r`` rows forming the finest feasible ε-kernel.
 

@@ -17,11 +17,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.baselines.greedy import greedy
 from repro.geometry.hull import extreme_points
 from repro.utils import as_point_matrix, check_size_constraint
 
 
+@register("geogreedy", display_name="GeoGreedy",
+          aliases=("geo-greedy", "geo_greedy"),
+          summary="hull-restricted greedy [23]",
+          capabilities=Capabilities(randomized=True),
+          bench=True, bench_kwargs={"method": "lp"})
 def geo_greedy(points, r: int, *, method: str = "lp", n_samples: int = 20_000,
                seed=None) -> np.ndarray:
     """Select ``r`` row indices via hull-restricted greedy.

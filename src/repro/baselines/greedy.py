@@ -18,11 +18,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.geometry.lp import max_regret_direction
 from repro.geometry.sampling import sample_utilities
 from repro.utils import as_point_matrix, check_size_constraint, resolve_rng
 
 
+@register("greedy", display_name="Greedy",
+          summary="1-RMS greedy heuristic [22]",
+          capabilities=Capabilities(randomized=True),
+          bench=True, bench_kwargs={"method": "lp"})
 def greedy(points, r: int, *, method: str = "lp", n_samples: int = 20_000,
            seed=None) -> np.ndarray:
     """Select ``r`` row indices minimizing ``mrr_1`` greedily.

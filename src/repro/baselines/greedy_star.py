@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.geometry.sampling import sample_utilities
 from repro.utils import (
     as_point_matrix,
@@ -27,6 +28,13 @@ from repro.utils import (
 )
 
 
+@register("greedy*", display_name="Greedy*",
+          aliases=("greedy-star", "greedy_star"),
+          summary="randomized greedy for k > 1 [11]",
+          capabilities=Capabilities(supports_k=True, randomized=True,
+                                    skyline_pool=False),
+          bench=True,
+          bench_kwargs={"n_samples": 5000, "candidate_fraction": 0.5})
 def greedy_star(points, r: int, k: int = 2, *, n_samples: int = 10_000,
                 candidate_fraction: float = 1.0, seed=None) -> np.ndarray:
     """Select ``r`` row indices minimizing sampled ``mrr_k`` greedily.

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.geometry.sampling import sample_utilities
 from repro.utils import (
     as_point_matrix,
@@ -48,6 +49,11 @@ def _greedy_hitting(ok: np.ndarray, r: int) -> np.ndarray | None:
     return np.asarray(selected, dtype=np.intp)
 
 
+@register("hs", display_name="HS", aliases=("hitting-set", "hitting_set"),
+          summary="hitting-set based min-size k-RMS [3]",
+          capabilities=Capabilities(supports_k=True, min_size=True,
+                                    randomized=True, skyline_pool=False),
+          bench=True, bench_kwargs={"n_samples": 2000})
 def hitting_set(points, r: int, k: int = 1, *, n_samples: int = 4_000,
                 seed=None, tol: float = 1e-4) -> np.ndarray:
     """Select at most ``r`` rows via ε-binary-search over greedy hitting.

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.geometry.sampling import sample_utilities
 from repro.utils import as_point_matrix, check_k, resolve_rng
 
@@ -44,6 +45,10 @@ def rank_regret(points_p, points_q, *, n_samples: int = 5_000, seed=None,
     return int(higher.max()) + 1
 
 
+@register("rrr", display_name="RRR", aliases=("rrr-greedy", "rrr_greedy"),
+          summary="greedy rank-regret representative (alternate objective)",
+          capabilities=Capabilities(supports_k=True, randomized=True,
+                                    skyline_pool=False))
 def rrr_greedy(points, r: int, k: int = 1, *, n_samples: int = 5_000,
                seed=None) -> np.ndarray:
     """Greedy rank-regret representative of at most ``r`` tuples.

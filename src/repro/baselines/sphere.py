@@ -15,12 +15,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Capabilities, register
 from repro.baselines.greedy import _greedy_sampled
 from repro.geometry.hull import directional_argmax
 from repro.geometry.sampling import sample_utilities
 from repro.utils import as_point_matrix, check_size_constraint, resolve_rng
 
 
+@register("sphere", display_name="Sphere",
+          summary="ε-kernel + greedy hybrid [32]",
+          capabilities=Capabilities(randomized=True),
+          bench=True, bench_kwargs={"n_samples": 10_000})
 def sphere(points, r: int, *, n_anchors: int | None = None,
            n_samples: int = 20_000, seed=None) -> np.ndarray:
     """Select ``r`` row indices via anchor seeding + greedy refinement.

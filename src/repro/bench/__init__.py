@@ -5,6 +5,7 @@ from repro.bench.adapters import (
     FDRMSAdapter,
     StaticAdapter,
     BASELINE_FACTORIES,
+    adapter_for,
     make_adapter,
 )
 from repro.bench.harness import RunResult, SnapshotRecord, run_workload
@@ -21,6 +22,7 @@ __all__ = [
     "FDRMSAdapter",
     "StaticAdapter",
     "BASELINE_FACTORIES",
+    "adapter_for",
     "make_adapter",
     "RunResult",
     "SnapshotRecord",

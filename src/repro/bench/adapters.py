@@ -17,27 +17,26 @@ literal protocol. Both modes return identical results (the result after
 op ``t`` depends only on the skyline after op ``t``); only the timing
 estimator differs, and EXPERIMENTS.md reports which mode produced each
 table.
+
+State maintenance itself lives in :mod:`repro.api.session` — adapters
+add only the paper's *timing* accounting on top of a
+:class:`~repro.api.session.Session`. Dispatch is registry-driven:
+:func:`adapter_for` (and the derived :data:`BASELINE_FACTORIES` table)
+looks algorithms up in :mod:`repro.api.registry`, so a newly registered
+algorithm is benchmarkable with no edits here.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 
-from repro.baselines import (
-    dmm_greedy,
-    dmm_rrms,
-    eps_kernel,
-    geo_greedy,
-    greedy,
-    greedy_star,
-    hitting_set,
-    sphere,
-)
-from repro.core.fdrms import FDRMS
-from repro.data.database import INSERT, Database, Operation
-from repro.skyline.dynamic import DynamicSkyline
+from repro.api.registry import AlgorithmSpec, get_algorithm, list_algorithms
+from repro.api.session import FDRMSSession, RecomputeSession
+from repro.data.database import Operation
 
 
 class DynamicAdapter:
@@ -67,21 +66,25 @@ class FDRMSAdapter(DynamicAdapter):
     def __init__(self, initial_points, k: int, r: int, eps: float, *,
                  m_max: int = 1024, seed=None) -> None:
         self.name = "FD-RMS"
-        self.db = Database(initial_points)
-        start = time.perf_counter()
-        self.algo = FDRMS(self.db, k, r, eps, m_max=m_max, seed=seed)
-        self.init_seconds = time.perf_counter() - start
+        self.session = FDRMSSession(initial_points, r, k, eps=eps,
+                                    m_max=m_max, seed=seed)
+        self.init_seconds = self.session.init_seconds
+
+    @property
+    def db(self):
+        return self.session.db
+
+    @property
+    def algo(self):
+        """The underlying :class:`repro.core.FDRMS` engine."""
+        return self.session.engine
 
     def apply(self, op: Operation) -> float:
-        start = time.perf_counter()
-        if op.kind == INSERT:
-            self.algo.insert(op.point)
-        else:
-            self.algo.delete(op.tuple_id)
-        return time.perf_counter() - start
+        self.session.apply(op)
+        return self.session.last_apply_seconds
 
     def result_points(self) -> np.ndarray:
-        return self.algo.result_points()
+        return self.session.result_points()
 
 
 class StaticAdapter(DynamicAdapter):
@@ -106,121 +109,138 @@ class StaticAdapter(DynamicAdapter):
                  kwargs: dict | None = None, use_skyline: bool = True,
                  estimate: bool = True) -> None:
         self.name = name
-        self._algorithm = algorithm
-        self._kwargs = dict(kwargs or {})
-        self._use_skyline = use_skyline
         self._estimate = estimate
-        self.db = Database(initial_points)
-        self.skyline = DynamicSkyline(self.db)
         self._pending_changes = 0
-        self._dirty = True
-        self._cached: np.ndarray | None = None
-        self._last_recompute_seconds = 0.0
+        fixed = dict(kwargs or {})
+        self.session = RecomputeSession(
+            initial_points, lambda pool: algorithm(pool, **fixed),
+            name=name, use_skyline=use_skyline)
+
+    @classmethod
+    def from_spec(cls, spec: AlgorithmSpec, initial_points, k: int, r: int, *,
+                  seed=None, estimate: bool = True,
+                  options: Mapping[str, Any] | None = None
+                  ) -> "StaticAdapter":
+        """Registry path: bench defaults + routed options drive the spec."""
+        merged = dict(spec.bench_kwargs)
+        merged.update(dict(options or {}))
+        kwargs = spec.build_kwargs(r=r, k=k, seed=seed, options=merged)
+        return cls(initial_points, spec.func, name=spec.display_name,
+                   kwargs=kwargs,
+                   use_skyline=spec.capabilities.skyline_pool,
+                   estimate=estimate)
+
+    @property
+    def db(self):
+        return self.session.db
+
+    @property
+    def skyline(self):
+        return self.session._skyline
 
     # -- protocol ------------------------------------------------------
     def apply(self, op: Operation) -> float:
-        if op.kind == INSERT:
-            pid = self.db.insert(op.point)
-            changed = self.skyline.insert(pid)
-        else:
-            self.db.delete(op.tuple_id)
-            changed = self.skyline.delete(op.tuple_id)
-        if not changed:
+        self.session.apply(op)
+        if not self.session.last_changed:
             return 0.0
-        self._dirty = True
         if self._estimate:
             self._pending_changes += 1
             return 0.0
-        return self._recompute()
+        return self.session.recompute()
 
     def finish_interval(self) -> float:
         """Charge estimated recompute time for the past interval."""
         if not self._estimate:
             return 0.0
         seconds = 0.0
-        if self._dirty:
-            seconds = self._recompute()
+        if self.session.dirty:
+            seconds = self.session.recompute()
         charged = seconds * max(0, self._pending_changes - 1)
         self._pending_changes = 0
         return seconds + charged
 
     def result_points(self) -> np.ndarray:
-        if self._dirty:
-            self._recompute()
-        assert self._cached is not None
-        return self._cached
-
-    # -- internals -----------------------------------------------------
-    def _candidate_pool(self) -> np.ndarray:
-        if self._use_skyline:
-            _, pts = self.skyline.points()
-            return pts
-        return self.db.points()
-
-    def _recompute(self) -> float:
-        pool = self._candidate_pool()
-        start = time.perf_counter()
-        idx = self._algorithm(pool, **self._kwargs)
-        seconds = time.perf_counter() - start
-        self._cached = pool[np.asarray(idx, dtype=np.intp)]
-        self._dirty = False
-        self._last_recompute_seconds = seconds
-        return seconds
+        return self.session.result_points()
 
 
 # ----------------------------------------------------------------------
-# Factory registry used by the figure benchmarks
+# Registry-driven factories used by the figure benchmarks
 # ----------------------------------------------------------------------
 
-def _static(algorithm, name, use_skyline=True, **fixed):
-    def factory(initial_points, k, r, *, seed=None, estimate=True):
-        kwargs = dict(fixed)
-        kwargs["r"] = r
-        if "needs_k" in kwargs:
-            kwargs.pop("needs_k")
-            kwargs["k"] = k
-        if "needs_seed" in kwargs:
-            kwargs.pop("needs_seed")
-            kwargs["seed"] = seed
-        return StaticAdapter(initial_points, algorithm, name=name,
-                             kwargs=kwargs, use_skyline=use_skyline,
-                             estimate=estimate)
-    factory.display_name = name
-    return factory
+def adapter_for(name: str, initial_points, k: int, r: int, *, seed=None,
+                estimate: bool = True, **options: Any) -> DynamicAdapter:
+    """Instantiate the benchmark adapter for any registered algorithm.
+
+    ``options`` form a shared bag (e.g. the CLI passes ``eps`` and
+    ``m_max`` for every algorithm); each key is forwarded only to
+    algorithms whose signature accepts it, so callers need no
+    per-algorithm dispatch.
+    """
+    spec = get_algorithm(name)
+    routed = {key: value for key, value in options.items()
+              if spec.accepts_var_kwargs or key in spec.option_names}
+    if spec.capabilities.dynamic:
+        eps = routed.pop("eps", 0.02)
+        if eps == "auto":
+            from repro.core.tuning import suggest_epsilon
+            eps = suggest_epsilon(np.asarray(initial_points, dtype=float),
+                                  k, r, seed=seed)
+        return FDRMSAdapter(initial_points, k, r, eps, seed=seed, **routed)
+    return StaticAdapter.from_spec(spec, initial_points, k, r, seed=seed,
+                                   estimate=estimate, options=routed)
 
 
-def _fdrms_factory(initial_points, k, r, *, seed=None, eps=0.02,
-                   m_max=1024, estimate=True):
-    if eps == "auto":
-        from repro.core.tuning import suggest_epsilon
-        eps = suggest_epsilon(initial_points, k, r, seed=seed)
-    return FDRMSAdapter(initial_points, k, r, eps, m_max=m_max, seed=seed)
+class _FactoryTable(Mapping):
+    """Live display-name → adapter-factory view over the registry.
+
+    Lookups query :func:`repro.api.registry.list_algorithms` on every
+    access, so an algorithm registered after import (e.g. a user
+    ``@register``) shows up here without re-importing this module.
+    """
+
+    @staticmethod
+    def _factory(spec: AlgorithmSpec):
+        def factory(initial_points, k, r, *, seed=None, estimate=True,
+                    **options):
+            return adapter_for(spec.name, initial_points, k, r, seed=seed,
+                               estimate=estimate, **options)
+        factory.display_name = spec.display_name
+        return factory
+
+    @staticmethod
+    def _specs() -> list[AlgorithmSpec]:
+        specs = [spec for spec in list_algorithms() if spec.bench]
+        specs.sort(key=lambda s: (not s.capabilities.dynamic, s.name))
+        return specs  # FD-RMS first, then statics alphabetically
+
+    def __getitem__(self, name: str):
+        for spec in self._specs():
+            if spec.display_name == name:
+                return self._factory(spec)
+        raise KeyError(name)
+
+    def __iter__(self):
+        return iter(spec.display_name for spec in self._specs())
+
+    def __len__(self) -> int:
+        return len(self._specs())
 
 
-_fdrms_factory.display_name = "FD-RMS"
-
-BASELINE_FACTORIES = {
-    "FD-RMS": _fdrms_factory,
-    "Greedy": _static(greedy, "Greedy", method="lp"),
-    "Greedy*": _static(greedy_star, "Greedy*", use_skyline=False,
-                       needs_k=True, needs_seed=True, n_samples=5000,
-                       candidate_fraction=0.5),
-    "GeoGreedy": _static(geo_greedy, "GeoGreedy", method="lp",
-                         needs_seed=True),
-    "DMM-RRMS": _static(dmm_rrms, "DMM-RRMS", needs_seed=True),
-    "DMM-Greedy": _static(dmm_greedy, "DMM-Greedy", needs_seed=True),
-    "eps-Kernel": _static(eps_kernel, "eps-Kernel", needs_seed=True),
-    "HS": _static(hitting_set, "HS", use_skyline=False, needs_k=True,
-                  needs_seed=True, n_samples=2000),
-    "Sphere": _static(sphere, "Sphere", needs_seed=True, n_samples=10_000),
-}
+BASELINE_FACTORIES = _FactoryTable()
 
 
 def make_adapter(name: str, initial_points, k: int, r: int, *, seed=None,
                  estimate: bool = True, **extra) -> DynamicAdapter:
-    """Instantiate an adapter by display name (see BASELINE_FACTORIES)."""
-    if name not in BASELINE_FACTORIES:
-        raise KeyError(f"unknown algorithm {name!r}; choose from "
-                       f"{sorted(BASELINE_FACTORIES)}")
-    return BASELINE_FACTORIES[name](initial_points, k, r, seed=seed,
-                                    estimate=estimate, **extra)
+    """Instantiate an adapter by display name.
+
+    .. deprecated:: 1.1
+        Use :func:`adapter_for` (benchmark timing protocol) or
+        :func:`repro.api.open_session` (plain streaming) instead; both
+        resolve names through :mod:`repro.api.registry`.
+    """
+    warnings.warn(
+        "make_adapter is deprecated; use repro.bench.adapter_for or "
+        "repro.api.open_session instead",
+        DeprecationWarning, stacklevel=2)
+    return adapter_for(name, initial_points, k, r, seed=seed,
+                       estimate=estimate, **extra)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
-from repro.bench.adapters import make_adapter
+from repro.bench.adapters import adapter_for
 from repro.bench.harness import RunResult, run_workload
 from repro.core.regret import RegretEvaluator
 from repro.data.workload import make_paper_workload
@@ -19,9 +19,15 @@ from repro.data.workload import make_paper_workload
 
 def _run_one(name: str, points, k: int, r: int, *, seed, eval_samples,
              estimate=True, n_snapshots=10, **extra) -> RunResult:
+    """Replay one algorithm on the standard workload.
+
+    ``extra`` is a shared option bag: :func:`adapter_for` routes each
+    key to the algorithms whose signature accepts it (so e.g. ``eps``
+    reaches FD-RMS and is dropped for every static baseline).
+    """
     workload = make_paper_workload(points, seed=seed, n_snapshots=n_snapshots)
-    adapter = make_adapter(name, workload.initial, k, r, seed=seed,
-                           estimate=estimate, **extra)
+    adapter = adapter_for(name, workload.initial, k, r, seed=seed,
+                          estimate=estimate, **extra)
     evaluator = RegretEvaluator(points.shape[1], n_samples=eval_samples,
                                 seed=seed + 1 if isinstance(seed, int) else seed)
     return run_workload(adapter, workload, evaluator, k)
@@ -54,10 +60,10 @@ def experiment_vary_r(points, algorithms: Iterable[str], *,
     for name in algorithms:
         series: dict[int, RunResult] = {}
         for r in r_values:
-            extra = {"eps": fdrms_eps, "m_max": m_max} if name == "FD-RMS" else {}
             series[int(r)] = _run_one(name, points, k, int(r), seed=seed,
                                       eval_samples=eval_samples,
-                                      n_snapshots=n_snapshots, **extra)
+                                      n_snapshots=n_snapshots,
+                                      eps=fdrms_eps, m_max=m_max)
         out[name] = series
     return out
 
@@ -74,10 +80,10 @@ def experiment_vary_k(points, algorithms: Iterable[str], *,
     for name in algorithms:
         series: dict[int, RunResult] = {}
         for k in k_values:
-            extra = {"eps": fdrms_eps, "m_max": m_max} if name == "FD-RMS" else {}
             series[int(k)] = _run_one(name, points, int(k), r, seed=seed,
                                       eval_samples=eval_samples,
-                                      n_snapshots=n_snapshots, **extra)
+                                      n_snapshots=n_snapshots,
+                                      eps=fdrms_eps, m_max=m_max)
         out[name] = series
     return out
 
@@ -94,10 +100,10 @@ def experiment_scalability(make_points, algorithms: Iterable[str],
         series: dict = {}
         for value in sweep_values:
             points = make_points(value)
-            extra = {"eps": fdrms_eps, "m_max": m_max} if name == "FD-RMS" else {}
             series[value] = _run_one(name, points, k, r, seed=seed,
                                      eval_samples=eval_samples,
-                                     n_snapshots=n_snapshots, **extra)
+                                     n_snapshots=n_snapshots,
+                                     eps=fdrms_eps, m_max=m_max)
         out[name] = series
     return out
 

@@ -7,10 +7,14 @@ Commands
               average update time and mrr at snapshots.
 ``compare``   run several algorithms on the same workload side by side.
 ``minsize``   print the ε ↦ |Q| trade-off curve.
+``algorithms``  list every registered algorithm with its capabilities.
 
 All commands generate their data via :mod:`repro.data` (named datasets:
 BB, AQ, CT, Movie, Indep, AntiCor) so no files are required; ``--n``
-controls the scale.
+controls the scale. Algorithm names are resolved through
+:mod:`repro.api.registry`, so ``--algorithm`` accepts any registered
+name or alias, case-insensitively; unknown names (and datasets) exit
+with a one-line error listing the valid choices.
 """
 
 from __future__ import annotations
@@ -21,6 +25,15 @@ import sys
 import numpy as np
 
 
+class CLIError(Exception):
+    """User-facing one-line error; ``main`` prints it and returns 2."""
+
+
+def _dataset_names() -> list[str]:
+    from repro.data import DATASET_SPECS
+    return sorted(DATASET_SPECS) + ["Indep", "AntiCor"]
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("dataset", help="BB | AQ | CT | Movie | Indep | AntiCor")
     p.add_argument("--n", type=int, default=2000, help="dataset size")
@@ -29,7 +42,23 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 
 def _load(args) -> np.ndarray:
     from repro.data import make_dataset
-    return make_dataset(args.dataset, n=args.n, seed=args.seed)
+    try:
+        return make_dataset(args.dataset, n=args.n, seed=args.seed)
+    except KeyError:
+        raise CLIError(f"unknown dataset {args.dataset!r}; valid choices: "
+                       f"{', '.join(_dataset_names())}") from None
+
+
+def _resolve_specs(names: list[str]):
+    """Map user-supplied algorithm names to registry specs."""
+    from repro.api.registry import UnknownAlgorithmError, get_algorithm
+    specs = []
+    for name in names:
+        try:
+            specs.append(get_algorithm(name))
+        except UnknownAlgorithmError as exc:
+            raise CLIError(str(exc)) from None
+    return specs
 
 
 def cmd_stats(args) -> int:
@@ -41,11 +70,34 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_algorithms(args) -> int:
+    from repro.api.registry import list_algorithms
+    flag_names = ("supports_k", "dynamic", "min_size", "d2_only", "exact",
+                  "randomized", "skyline_pool")
+    header = f"{'name':>12} {'key':>12} " + \
+        " ".join(f"{f:>12}" for f in flag_names)
+    print(header)
+    print("-" * len(header))
+    for spec in list_algorithms():
+        flags = spec.capabilities.flags()
+        cells = " ".join(f"{'yes' if flags[f] else '-':>12}"
+                         for f in flag_names)
+        print(f"{spec.display_name:>12} {spec.name:>12} {cells}")
+    return 0
+
+
 def _run_algorithms(args, names: list[str]) -> int:
-    from repro.bench import make_adapter, run_workload
+    from repro.api.registry import CapabilityError
+    from repro.bench import adapter_for, run_workload
     from repro.core.regret import RegretEvaluator
     from repro.data import make_paper_workload
+    specs = _resolve_specs(names)
     pts = _load(args)
+    try:
+        for spec in specs:
+            spec.check_request(k=args.k, d=pts.shape[1])
+    except CapabilityError as exc:
+        raise CLIError(str(exc)) from None
     workload = make_paper_workload(pts, seed=args.seed + 1,
                                    n_snapshots=args.snapshots)
     evaluator = RegretEvaluator(pts.shape[1], n_samples=args.eval_samples,
@@ -55,16 +107,16 @@ def _run_algorithms(args, names: list[str]) -> int:
     print(f"{'algorithm':>12} {'avg update (ms)':>16} {'mean mrr':>10} "
           f"{'max mrr':>10}")
     results = []
-    for name in names:
-        extra = {}
-        if name == "FD-RMS":
-            extra = {"eps": args.eps, "m_max": args.m_max}
-        adapter = make_adapter(name, workload.initial, args.k, args.r,
-                               seed=args.seed + 3, **extra)
+    for spec in specs:
+        # One shared option bag; adapter_for routes each key to the
+        # algorithms that understand it (eps/m_max reach FD-RMS only).
+        adapter = adapter_for(spec.name, workload.initial, args.k, args.r,
+                              seed=args.seed + 3, eps=args.eps,
+                              m_max=args.m_max)
         res = run_workload(adapter, workload, evaluator, args.k)
         results.append(res)
-        print(f"{name:>12} {res.avg_update_ms:>16.3f} {res.mean_mrr:>10.4f} "
-              f"{res.max_mrr:>10.4f}")
+        print(f"{res.algorithm:>12} {res.avg_update_ms:>16.3f} "
+              f"{res.mean_mrr:>10.4f} {res.max_mrr:>10.4f}")
     report_path = getattr(args, "report", None)
     if report_path:
         from repro.bench.report import full_report
@@ -110,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_stats)
     p_stats.set_defaults(func=cmd_stats)
 
+    p_algos = sub.add_parser(
+        "algorithms", help="list registered algorithms and capabilities")
+    p_algos.set_defaults(func=cmd_algorithms)
+
     def add_run_opts(p):
         _add_common(p)
         p.add_argument("--k", type=int, default=1)
@@ -126,7 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="replay one algorithm on a workload")
     add_run_opts(p_run)
     p_run.add_argument("--algorithm", default="FD-RMS",
-                       help="FD-RMS | Greedy | Sphere | HS | ... (see bench)")
+                       help="any registered algorithm or alias "
+                            "(see `repro algorithms`)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare algorithms side by side")
@@ -149,7 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,112 @@
+"""Registry round-trip: registration, resolution, capability metadata."""
+
+import numpy as np
+import pytest
+
+from repro.api.registry import (
+    Capabilities,
+    CapabilityError,
+    UnknownAlgorithmError,
+    algorithm_names,
+    get_algorithm,
+    list_algorithms,
+    register,
+)
+
+EXPECTED = {
+    "arm", "cube", "dmm-greedy", "dmm-rrms", "dp2d", "eps-kernel",
+    "fd-rms", "geogreedy", "greedy", "greedy*", "hs", "rrr", "sphere",
+}
+
+
+class TestRoundTrip:
+    def test_every_builtin_registered_exactly_once(self):
+        names = [spec.name for spec in list_algorithms()]
+        assert len(names) == len(set(names))
+        assert set(names) == EXPECTED
+
+    def test_display_names_and_aliases_resolve_to_same_spec(self):
+        for spec in list_algorithms():
+            assert get_algorithm(spec.name) is spec
+            assert get_algorithm(spec.display_name) is spec
+            assert get_algorithm(spec.name.upper()) is spec
+            for alias in spec.aliases:
+                assert get_algorithm(alias) is spec
+
+    def test_paper_spellings(self):
+        assert get_algorithm("FD-RMS").name == "fd-rms"
+        assert get_algorithm("Greedy*").name == "greedy*"
+        assert get_algorithm("eps-Kernel").name == "eps-kernel"
+        assert get_algorithm("hitting_set").name == "hs"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(UnknownAlgorithmError) as excinfo:
+            get_algorithm("nope")
+        message = str(excinfo.value)
+        assert "greedy" in message and "fd-rms" in message
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("greedy")(lambda points, r: [])
+
+    def test_idempotent_reregistration_of_same_func(self):
+        spec = get_algorithm("greedy")
+        register("greedy")(spec.func)  # re-import scenario: no error
+        assert get_algorithm("greedy") is spec
+
+
+class TestCapabilities:
+    def test_fdrms_is_the_only_dynamic_algorithm(self):
+        dynamic = list_algorithms(dynamic=True)
+        assert [spec.name for spec in dynamic] == ["fd-rms"]
+        assert dynamic[0].session_factory is not None
+
+    def test_k_support_matches_signatures(self):
+        for spec in list_algorithms():
+            if spec.capabilities.supports_k:
+                assert "k" in spec.accepts, spec.name
+
+    def test_capability_filters(self):
+        assert {s.name for s in list_algorithms(d2_only=True)} == {"dp2d"}
+        assert "hs" in {s.name for s in list_algorithms(min_size=True)}
+        with pytest.raises(TypeError):
+            list_algorithms(not_a_flag=True)
+
+    def test_check_request_enforces_k(self):
+        with pytest.raises(CapabilityError, match="k > 1"):
+            get_algorithm("greedy").check_request(k=2)
+        get_algorithm("hs").check_request(k=3)  # must not raise
+
+    def test_check_request_enforces_d2(self):
+        with pytest.raises(CapabilityError, match="d = 2"):
+            get_algorithm("dp2d").check_request(k=1, d=4)
+        get_algorithm("dp2d").check_request(k=1, d=2)
+
+    def test_flags_table(self):
+        flags = get_algorithm("fd-rms").capabilities.flags()
+        assert flags["dynamic"] and flags["supports_k"]
+        assert set(flags) == set(Capabilities().flags())
+
+
+class TestOptionRouting:
+    def test_build_kwargs_drops_foreign_options(self):
+        spec = get_algorithm("sphere")
+        kwargs = spec.build_kwargs(r=5, k=1, seed=3,
+                                   options={"eps": 0.1, "n_samples": 700})
+        assert kwargs["r"] == 5 and kwargs["seed"] == 3
+        assert kwargs["n_samples"] == 700
+        assert "eps" not in kwargs and "k" not in kwargs
+
+    def test_run_returns_row_indices(self):
+        pts = np.random.default_rng(0).random((60, 3))
+        idx = get_algorithm("cube").run(pts, r=4)
+        idx = np.asarray(idx)
+        assert idx.ndim == 1 and idx.size <= 4
+        assert np.all((0 <= idx) & (idx < 60))
+
+    def test_algorithm_names_display(self):
+        display = algorithm_names(display=True)
+        assert "FD-RMS" in display and "eps-Kernel" in display
+        assert algorithm_names(dynamic=False, supports_k=True) == \
+            ["arm", "greedy*", "hs", "rrr"]

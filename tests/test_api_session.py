@@ -1,0 +1,122 @@
+"""The streaming ``Session`` protocol: parity with FDRMS, recompute
+wrappers, and registry dispatch."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.registry import CapabilityError
+from repro.api.session import FDRMSSession, RecomputeSession, open_session
+from repro.baselines.sphere import sphere
+from repro.core.fdrms import FDRMS
+from repro.data import Database, make_paper_workload
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(9).random((240, 3))
+
+
+class TestFDRMSParity:
+    def test_session_matches_direct_engine_on_dynamic_workload(self, points):
+        """Replaying the same workload through a Session and through the
+        raw FDRMS engine must give identical results at every step."""
+        from repro.data.database import INSERT
+        workload = make_paper_workload(points, seed=10, n_snapshots=4)
+        session = open_session(workload.initial, r=8, algo="FD-RMS",
+                               eps=0.05, m_max=64, seed=4)
+        engine = FDRMS(Database(workload.initial), 1, 8, 0.05, m_max=64,
+                       seed=4)
+        assert session.result() == engine.result()
+        for _, op, _ in workload.replay():
+            session.apply(op)
+            if op.kind == INSERT:
+                engine.insert(op.point)
+            else:
+                engine.delete(op.tuple_id)
+            assert session.result() == engine.result()
+
+    def test_insert_delete_roundtrip(self, points):
+        session = FDRMSSession(points, 8, 1, eps=0.05, m_max=64, seed=0)
+        pid = session.insert([0.99, 0.99, 0.99])
+        assert pid in session.result()
+        session.delete(pid)
+        assert pid not in session.result()
+        # The healed result is a valid cover again (not necessarily the
+        # identical set — the stable cover may settle elsewhere).
+        assert all(i in session.db for i in session.result())
+        session.engine.verify()
+        stats = session.stats()
+        assert stats["inserts"] == 1 and stats["deletes"] == 1
+        assert stats["algo_seconds"] > 0
+
+    def test_update_is_delete_plus_insert(self, points):
+        session = FDRMSSession(points, 6, 1, eps=0.05, m_max=64, seed=0)
+        victim = session.result()[0]
+        new_id = session.update(victim, [0.5, 0.5, 0.5])
+        assert new_id != victim
+        assert victim not in session.result()
+
+    def test_m_max_widened_when_too_small(self, points):
+        session = FDRMSSession(points, 8, 1, eps=0.05, m_max=4, seed=0)
+        assert session.engine.m_max == 16
+
+
+class TestRecomputeSession:
+    def test_lazy_recompute_only_on_skyline_change(self, points):
+        session = open_session(points, r=6, algo="sphere", seed=0)
+        session.result()
+        assert session.recomputes == 1
+        # A dominated point cannot change the skyline: no recompute.
+        dominated = session.insert([1e-6, 1e-6, 1e-6])
+        session.result()
+        assert session.recomputes == 1
+        session.delete(dominated)
+        session.result()
+        assert session.recomputes == 1
+        # A dominating point must trigger one.
+        session.insert([0.999, 0.999, 0.999])
+        session.result()
+        assert session.recomputes == 2
+
+    def test_result_matches_direct_solver_on_current_skyline(self, points):
+        session = open_session(points, r=6, algo="sphere", seed=7)
+        session.insert([0.98, 0.97, 0.99])
+        ids, pool = session.pool()
+        expected = sorted(int(i) for i in ids[sphere(pool, 6, seed=7)])
+        assert session.result() == expected
+
+    def test_full_database_pool_for_k_algorithms(self, points):
+        session = open_session(points, r=6, k=2, algo="hs", seed=0,
+                               n_samples=500)
+        ids, pool = session.pool()
+        assert pool.shape[0] == len(session.db)
+        assert "skyline_size" not in session.stats()
+
+    def test_stats_counters(self, points):
+        session = open_session(points, r=5, algo="cube")
+        session.insert([0.9, 0.9, 0.9])
+        stats = session.stats()
+        assert stats["inserts"] == 1 and stats["deletes"] == 0
+        session.result()
+        assert session.stats()["recomputes"] >= 1
+
+    def test_session_len_tracks_db(self, points):
+        session = open_session(points, r=5, algo="cube")
+        n0 = len(session)
+        session.insert([0.5, 0.5, 0.5])
+        assert len(session) == n0 + 1
+
+
+class TestDispatch:
+    def test_open_session_capability_validation(self, points):
+        with pytest.raises(CapabilityError, match="k > 1"):
+            open_session(points, r=5, k=2, algo="greedy")
+        with pytest.raises(KeyError):
+            open_session(points, r=5, algo="nope")
+
+    def test_open_session_exported_from_repro(self, points):
+        session = repro.open_session(points, r=5, algo="eps-kernel", seed=0)
+        assert isinstance(session, RecomputeSession)
+        assert isinstance(session, repro.Session)
+        assert len(session.result()) <= 5

@@ -1,0 +1,111 @@
+"""The ``solve()`` facade: uniform results, equivalence, validation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.registry import CapabilityError, list_algorithms
+from repro.api.result import RMSResult
+from repro.baselines.dmm import dmm_greedy
+from repro.baselines.dp2d import dp2d
+from repro.baselines.greedy import greedy
+from repro.baselines.hitting_set import hitting_set
+from repro.baselines.sphere import sphere
+
+
+@pytest.fixture(scope="module")
+def pts2d():
+    return np.random.default_rng(5).random((80, 2))
+
+
+@pytest.fixture(scope="module")
+def pts4d():
+    return np.random.default_rng(6).random((150, 4))
+
+
+class TestEveryAlgorithm:
+    def test_solve_works_for_every_registered_algorithm(self, pts2d):
+        # d = 2 is the one dimensionality every algorithm supports.
+        for spec in list_algorithms():
+            res = repro.solve(pts2d, r=10, algo=spec.name, seed=0)
+            assert isinstance(res, RMSResult)
+            assert res.algorithm == spec.display_name
+            assert len(res) <= 10
+            assert res.points.shape == (len(res), 2)
+            assert np.array_equal(res.points, pts2d[res.indices])
+            assert res.wall_seconds >= 0.0
+
+    def test_result_is_frozen(self, pts2d):
+        res = repro.solve(pts2d, r=5, algo="cube")
+        with pytest.raises(Exception):
+            res.indices[0] = 99
+        with pytest.raises(Exception):
+            res.config["r"] = 1
+        with pytest.raises(Exception):
+            res.r = 1
+
+
+class TestDirectCallEquivalence:
+    """solve(points, r, algo=name) must match the raw function call."""
+
+    CASES = [
+        ("greedy", greedy, {}),
+        ("sphere", sphere, {"seed": 11}),
+        ("dmm-greedy", dmm_greedy, {"seed": 11}),
+        ("hs", hitting_set, {"seed": 11, "k": 2}),
+    ]
+
+    @pytest.mark.parametrize("name,func,extra",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_equivalence(self, pts4d, name, func, extra):
+        k = extra.get("k", 1)
+        seed = extra.get("seed")
+        direct = np.sort(np.asarray(func(pts4d, 8, **extra)))
+        via = repro.solve(pts4d, r=8, k=k, algo=name, seed=seed)
+        assert np.array_equal(via.indices, direct)
+
+    def test_equivalence_dp2d(self, pts2d):
+        direct = np.sort(np.asarray(dp2d(pts2d, 6)))
+        via = repro.solve(pts2d, r=6, algo="dp2d")
+        assert np.array_equal(via.indices, direct)
+
+
+class TestAutoPolicy:
+    def test_auto_picks_exact_oracle_in_2d(self, pts2d):
+        assert repro.solve(pts2d, r=6).algorithm == "DP2D"
+
+    def test_auto_picks_fdrms_otherwise(self, pts4d):
+        assert repro.solve(pts4d, r=6, seed=0).algorithm == "FD-RMS"
+        two_d = np.random.default_rng(1).random((40, 2))
+        # k > 1 rules the 2-d oracle out even in two dimensions.
+        assert repro.solve(two_d, r=6, k=2, seed=0).algorithm == "FD-RMS"
+
+
+class TestValidationAndExtras:
+    def test_capability_error_for_k(self, pts4d):
+        with pytest.raises(CapabilityError, match="k > 1"):
+            repro.solve(pts4d, r=5, k=2, algo="greedy")
+
+    def test_capability_error_for_d(self, pts4d):
+        with pytest.raises(CapabilityError, match="d = 2"):
+            repro.solve(pts4d, r=5, algo="dp2d")
+
+    def test_unknown_option_raises(self, pts4d):
+        with pytest.raises(TypeError, match="does not accept"):
+            repro.solve(pts4d, r=5, algo="cube", bogus=1)
+
+    def test_option_forwarding(self, pts4d):
+        res = repro.solve(pts4d, r=5, algo="sphere", seed=0, n_samples=500)
+        assert res.config["n_samples"] == 500
+
+    def test_evaluate_attaches_regret(self, pts4d):
+        res = repro.solve(pts4d, r=8, algo="sphere", seed=0, evaluate=True,
+                          eval_samples=2000)
+        assert res.regret is not None and 0.0 <= res.regret <= 1.0
+        assert "mrr=" in res.summary()
+
+    def test_fdrms_solve_equals_engine(self, pts4d):
+        via = repro.solve(pts4d, r=8, algo="fd-rms", seed=3, m_max=64)
+        db = repro.Database(pts4d)
+        engine = repro.FDRMS(db, 1, 8, 0.02, m_max=64, seed=3)
+        assert list(via.indices) == engine.result()

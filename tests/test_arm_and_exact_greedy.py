@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.baselines import arm_greedy, average_regret, brute_force_rms, greedy
+from repro.baselines.arm import arm_greedy, average_regret
+from repro.baselines.dp2d import brute_force_rms
+from repro.baselines.greedy import greedy
 from repro.core.regret import max_regret_ratio_lp
 from repro.geometry.hull import extreme_points
 

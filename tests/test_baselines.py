@@ -3,17 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.baselines import (
-    cube,
-    dmm_greedy,
-    dmm_rrms,
-    eps_kernel,
-    geo_greedy,
-    greedy,
-    greedy_star,
-    hitting_set,
-    sphere,
-)
+from repro.baselines.cube import cube
+from repro.baselines.dmm import dmm_greedy, dmm_rrms
+from repro.baselines.eps_kernel import eps_kernel
+from repro.baselines.geogreedy import geo_greedy
+from repro.baselines.greedy import greedy
+from repro.baselines.greedy_star import greedy_star
+from repro.baselines.hitting_set import hitting_set
+from repro.baselines.sphere import sphere
 from repro.core.regret import max_k_regret_ratio_sampled
 from repro.skyline import skyline_indices
 

@@ -5,7 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import cube, dmm_greedy, eps_kernel, greedy, sphere
+from repro.baselines.cube import cube
+from repro.baselines.dmm import dmm_greedy
+from repro.baselines.eps_kernel import eps_kernel
+from repro.baselines.greedy import greedy
+from repro.baselines.sphere import sphere
 from repro.core.regret import max_k_regret_ratio_sampled
 
 FAST_BASELINES = [

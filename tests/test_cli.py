@@ -53,9 +53,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "0.3000" in out and "0.1000" in out
 
-    def test_unknown_dataset_raises(self):
-        with pytest.raises(KeyError):
-            main(["stats", "Nope", "--n", "100"])
+    def test_unknown_dataset_one_line_error(self, capsys):
+        rc = main(["stats", "Nope", "--n", "100"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown dataset 'Nope'" in err and "Indep" in err
+
+    def test_unknown_algorithm_one_line_error(self, capsys):
+        rc = main(["run", "Indep", "--n", "100", "--algorithm", "Bogus"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown algorithm 'Bogus'" in err and "fd-rms" in err
+
+    def test_capability_error_one_line(self, capsys):
+        # Greedy does not support k > 1; must fail cleanly, not traceback.
+        rc = main(["run", "Indep", "--n", "100", "--k", "2",
+                   "--algorithm", "Greedy"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "k > 1" in err
+
+    def test_algorithms_listing(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "FD-RMS" in out and "supports_k" in out
+
+    def test_case_insensitive_algorithm_alias(self, capsys):
+        rc = main(["run", "Indep", "--n", "150", "--r", "5",
+                   "--algorithm", "HITTING_SET", "--eval-samples", "400",
+                   "--snapshots", "2"])
+        assert rc == 0
+        assert "HS" in capsys.readouterr().out
+
+    def test_nonzero_exit_code_via_module(self):
+        import subprocess
+        import sys
+        res = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", "Nope"],
+            capture_output=True, text=True, timeout=120)
+        assert res.returncode == 2
+        assert "unknown dataset" in res.stderr
 
     def test_module_entrypoint(self):
         import subprocess

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.baselines import brute_force_rms, dp2d, greedy
+from repro.baselines.dp2d import brute_force_rms, dp2d
+from repro.baselines.greedy import greedy
 from repro.core.regret import max_regret_ratio_lp
 from repro.geometry.hull import extreme_points
 

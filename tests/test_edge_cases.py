@@ -8,7 +8,8 @@ the same value.
 import numpy as np
 import pytest
 
-from repro.baselines import greedy, sphere
+from repro.baselines.greedy import greedy
+from repro.baselines.sphere import sphere
 from repro.core.fdrms import FDRMS
 from repro.core.regret import max_k_regret_ratio_sampled
 from repro.core.topk import ApproxTopKIndex

@@ -120,7 +120,7 @@ class TestDynamics:
 class TestQuality:
     def test_quality_near_greedy(self, rng):
         """FD-RMS mrr should be within a small gap of static GREEDY."""
-        from repro.baselines import greedy
+        from repro.baselines.greedy import greedy
         from repro.skyline import skyline_indices
         pts = rng.random((500, 3))
         db, algo = make(pts, r=10, eps=0.03, m_max=512, seed=3)

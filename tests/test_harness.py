@@ -7,11 +7,11 @@ from repro.bench import (
     BASELINE_FACTORIES,
     FDRMSAdapter,
     StaticAdapter,
-    make_adapter,
+    adapter_for,
     run_workload,
 )
 from repro.bench.experiments import format_series_table
-from repro.baselines import sphere
+from repro.baselines.sphere import sphere
 from repro.core.regret import RegretEvaluator
 from repro.data import make_paper_workload
 
@@ -89,17 +89,18 @@ class TestFactories:
                          "Sphere"]:
             assert expected in BASELINE_FACTORIES
 
-    def test_make_adapter_unknown(self, setup):
+    def test_adapter_for_unknown(self, setup):
         _, wl, _ = setup
         with pytest.raises(KeyError):
-            make_adapter("nope", wl.initial, 1, 5)
+            adapter_for("nope", wl.initial, 1, 5)
 
     @pytest.mark.parametrize("name", ["FD-RMS", "Sphere", "DMM-Greedy",
                                       "eps-Kernel"])
     def test_each_factory_runs(self, setup, name):
         _, wl, ev = setup
-        extra = {"eps": 0.05, "m_max": 64} if name == "FD-RMS" else {}
-        ad = make_adapter(name, wl.initial, 1, 6, seed=1, **extra)
+        # One shared option bag: eps/m_max are routed to FD-RMS and
+        # silently dropped for the static baselines.
+        ad = adapter_for(name, wl.initial, 1, 6, seed=1, eps=0.05, m_max=64)
         res = run_workload(ad, wl, ev, 1)
         assert res.mean_mrr < 0.5
 

@@ -13,7 +13,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.bench import FDRMSAdapter, make_adapter, run_workload
+from repro.bench import FDRMSAdapter, adapter_for, run_workload
 from repro.core.regret import RegretEvaluator
 from repro.data import make_paper_workload
 from repro.data.synthetic import anticorrelated_points, independent_points
@@ -33,7 +33,7 @@ class TestQualityParity:
         fd = run_workload(
             FDRMSAdapter(wl.initial, 1, 8, 0.03, m_max=256, seed=1), wl, ev, 1)
         sp = run_workload(
-            make_adapter("Sphere", wl.initial, 1, 8, seed=1), wl, ev, 1)
+            adapter_for("Sphere", wl.initial, 1, 8, seed=1), wl, ev, 1)
         # Paper: "differences are less than 0.01" at full scale; allow a
         # modest miniature-scale gap.
         assert fd.mean_mrr <= sp.mean_mrr + 0.05
@@ -54,7 +54,7 @@ class TestQualityParity:
             FDRMSAdapter(wl.initial, 3, 8, 0.05, m_max=128, seed=2),
             wl, ev, 3)
         hs = run_workload(
-            make_adapter("HS", wl.initial, 3, 8, seed=2), wl, ev, 3)
+            adapter_for("HS", wl.initial, 3, 8, seed=2), wl, ev, 3)
         assert fd.mean_mrr <= hs.mean_mrr + 0.06
         # mrr_k decreases with k by definition; sanity check levels.
         assert fd.mean_mrr < 0.3
@@ -71,7 +71,7 @@ class TestSpeedShape:
         fd = run_workload(ad, wl, ev, 1)
 
         # One static Sphere recompute on the same data.
-        from repro.baselines import sphere
+        from repro.baselines.sphere import sphere
         from repro.skyline import skyline_indices
         sky = pts[skyline_indices(pts)]
         t0 = time.perf_counter()

@@ -9,7 +9,9 @@ CUBE's bound loose but valid).
 import numpy as np
 import pytest
 
-from repro.baselines import brute_force_rms, cube, greedy
+from repro.baselines.cube import cube
+from repro.baselines.dp2d import brute_force_rms
+from repro.baselines.greedy import greedy
 from repro.core.fdrms import FDRMS
 from repro.core.regret import max_regret_ratio_lp
 from repro.data import Database

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.bench import FDRMSAdapter, make_adapter, run_workload
+from repro.bench import FDRMSAdapter, adapter_for, run_workload
 from repro.bench.report import comparison_table, full_report, quality_trace
 from repro.core.regret import RegretEvaluator
 from repro.data import make_paper_workload
@@ -17,7 +17,7 @@ def two_results():
     ev = RegretEvaluator(3, n_samples=1000, seed=46)
     fd = run_workload(FDRMSAdapter(wl.initial, 1, 5, 0.05, m_max=32, seed=0),
                       wl, ev, 1)
-    sp = run_workload(make_adapter("Sphere", wl.initial, 1, 5, seed=0),
+    sp = run_workload(adapter_for("Sphere", wl.initial, 1, 5, seed=0),
                       wl, ev, 1)
     return [fd, sp]
 
