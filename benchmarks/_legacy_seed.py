@@ -1,0 +1,510 @@
+"""Seed (PR-1) object-graph tuple/utility indexes, frozen for benchmarking.
+
+``bench_hotpath.py`` measures the new flat-array dual-tree engine against
+the *seed* single-op update loop. To keep that comparison honest across
+future PRs, this module preserves the seed implementations verbatim:
+per-node Python objects (``_Node``/``_ConeNode``), per-tuple recursion,
+heap-driven best-first search. They are wired into the live
+``ApproxTopKIndex``/``FDRMS`` via the ``index_factory`` / ``cone_factory``
+injection points, so the surrounding maintenance logic is identical and
+the measured delta is purely the index engine + batching.
+
+Not part of the library API; imported only by benchmarks.
+"""
+
+# ---------------------------------------------------------------------------
+# Seed k-d tree (verbatim from the seed src/repro/index/kdtree.py)
+# ---------------------------------------------------------------------------
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.utils import as_point_matrix
+
+_LEAF_CAPACITY = 16
+
+
+class _Node:
+    """One k-d tree node; a leaf when ``axis`` is None."""
+
+    __slots__ = ("axis", "split", "left", "right", "parent",
+                 "box_min", "box_max", "total", "alive", "bucket")
+
+    def __init__(self, parent=None) -> None:
+        self.axis: int | None = None
+        self.split: float = 0.0
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.parent: _Node | None = parent
+        self.box_min: np.ndarray | None = None
+        self.box_max: np.ndarray | None = None
+        self.total = 0
+        self.alive = 0
+        self.bucket: list[int] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.axis is None
+
+
+class LegacyKDTree:
+    """Dynamic k-d tree over d-dimensional points keyed by integer ids.
+
+    Parameters
+    ----------
+    d : int
+        Dimensionality.
+    leaf_capacity : int
+        Maximum bucket size before a leaf splits.
+    """
+
+    def __init__(self, d: int, *, leaf_capacity: int = _LEAF_CAPACITY) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if leaf_capacity < 2:
+            raise ValueError(f"leaf_capacity must be >= 2, got {leaf_capacity}")
+        self._d = int(d)
+        self._leaf_capacity = int(leaf_capacity)
+        self._points: dict[int, np.ndarray] = {}
+        self._leaf_of: dict[int, _Node] = {}
+        self._root = _Node()
+
+    # ------------------------------------------------------------------
+    # Construction / updates
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, ids, points, *, leaf_capacity: int = _LEAF_CAPACITY) -> "LegacyKDTree":
+        """Bulk-build a tree from aligned ``ids`` and ``points`` arrays."""
+        pts = as_point_matrix(points)
+        ids = np.asarray(list(ids), dtype=np.intp)
+        if ids.shape[0] != pts.shape[0]:
+            raise ValueError("ids and points must have equal length")
+        tree = cls(pts.shape[1], leaf_capacity=leaf_capacity)
+        tree._points = {int(i): pts[row].copy() for row, i in enumerate(ids)}
+        tree._root = tree._build_subtree(list(tree._points.keys()), None)
+        return tree
+
+    def __len__(self) -> int:
+        return self._root.alive
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return tuple_id in self._points
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    def insert(self, tuple_id: int, point) -> None:
+        """Insert a point under ``tuple_id`` (must be fresh)."""
+        if tuple_id in self._points:
+            raise KeyError(f"tuple id {tuple_id} already present")
+        vec = np.asarray(point, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self._d:
+            raise ValueError(f"point has d={vec.shape[0]}, expected {self._d}")
+        self._points[tuple_id] = vec.copy()
+        node = self._root
+        while True:
+            self._absorb_box(node, vec)
+            node.total += 1
+            node.alive += 1
+            if node.is_leaf:
+                break
+            node = node.left if vec[node.axis] <= node.split else node.right
+        node.bucket.append(tuple_id)
+        self._leaf_of[tuple_id] = node
+        if len(node.bucket) > self._leaf_capacity:
+            self._split_leaf(node)
+
+    def delete(self, tuple_id: int) -> None:
+        """Remove ``tuple_id``; rebuilds decayed subtrees opportunistically."""
+        leaf = self._leaf_of.pop(tuple_id, None)
+        if leaf is None:
+            raise KeyError(f"tuple id {tuple_id} not present")
+        del self._points[tuple_id]
+        leaf.bucket.remove(tuple_id)
+        # ``alive`` drops immediately; ``total`` only resets on rebuild, so
+        # the ratio measures decay since the subtree was last built.
+        rebuild_candidate: _Node | None = None
+        node: _Node | None = leaf
+        while node is not None:
+            node.alive -= 1
+            if node.alive * 2 < node.total and node.total > self._leaf_capacity:
+                rebuild_candidate = node  # highest such node wins (found last)
+            node = node.parent
+        if rebuild_candidate is not None:
+            self._rebuild(rebuild_candidate)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_k(self, u, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Best-first top-k by inner product with nonnegative ``u``.
+
+        Returns ``(ids, scores)`` sorted best-first with ties broken
+        toward smaller ids, matching ``Database.top_k``.
+        """
+        u = np.asarray(u, dtype=np.float64).reshape(-1)
+        if u.shape[0] != self._d:
+            raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
+        if k < 1 or self._root.alive == 0:
+            return (np.empty(0, dtype=np.intp), np.empty(0))
+        k = min(int(k), self._root.alive)
+        counter = itertools.count()
+        frontier = [(-self._node_bound(self._root, u), next(counter), self._root)]
+        # Min-heap of (score, -id) keeps the current k best; its root is
+        # the threshold for pruning.
+        best: list[tuple[float, int]] = []
+        while frontier:
+            neg_bound, _, node = heapq.heappop(frontier)
+            if len(best) == k and -neg_bound < best[0][0]:
+                break
+            if node.is_leaf:
+                for tid in node.bucket:
+                    score = float(self._points[tid] @ u)
+                    entry = (score, -tid)
+                    if len(best) < k:
+                        heapq.heappush(best, entry)
+                    elif entry > best[0]:
+                        heapq.heapreplace(best, entry)
+            else:
+                for child in (node.left, node.right):
+                    if child is not None and child.alive > 0:
+                        bound = self._node_bound(child, u)
+                        if len(best) < k or bound >= best[0][0]:
+                            heapq.heappush(frontier, (-bound, next(counter), child))
+        ordered = sorted(best, key=lambda e: (-e[0], -e[1]))
+        ids = np.asarray([-tid for _, tid in ordered], dtype=np.intp)
+        scores = np.asarray([s for s, _ in ordered])
+        return ids, scores
+
+    def range_query(self, u, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+        """All ids with ``<u, p> >= threshold``; returns ``(ids, scores)``.
+
+        Output is sorted by descending score, ties toward smaller id.
+        """
+        u = np.asarray(u, dtype=np.float64).reshape(-1)
+        if u.shape[0] != self._d:
+            raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
+        hits_ids: list[int] = []
+        hits_scores: list[float] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.alive == 0 or self._node_bound(node, u) < threshold:
+                continue
+            if node.is_leaf:
+                for tid in node.bucket:
+                    score = float(self._points[tid] @ u)
+                    if score >= threshold:
+                        hits_ids.append(tid)
+                        hits_scores.append(score)
+            else:
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+        if not hits_ids:
+            return (np.empty(0, dtype=np.intp), np.empty(0))
+        ids = np.asarray(hits_ids, dtype=np.intp)
+        scores = np.asarray(hits_scores)
+        order = np.lexsort((ids, -scores))
+        return ids[order], scores[order]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _node_bound(self, node: _Node, u: np.ndarray) -> float:
+        """Upper bound on ``<u, p>`` over alive points below ``node``."""
+        if node.box_max is None:
+            return -np.inf
+        return float(node.box_max @ u)
+
+    @staticmethod
+    def _absorb_box(node: _Node, vec: np.ndarray) -> None:
+        if node.box_min is None:
+            node.box_min = vec.copy()
+            node.box_max = vec.copy()
+        else:
+            np.minimum(node.box_min, vec, out=node.box_min)
+            np.maximum(node.box_max, vec, out=node.box_max)
+
+    def _build_subtree(self, ids: list[int], parent: _Node | None) -> _Node:
+        node = _Node(parent)
+        node.total = node.alive = len(ids)
+        if ids:
+            pts = np.asarray([self._points[i] for i in ids])
+            node.box_min = pts.min(axis=0)
+            node.box_max = pts.max(axis=0)
+        if len(ids) <= self._leaf_capacity:
+            node.bucket = list(ids)
+            for tid in ids:
+                self._leaf_of[tid] = node
+            return node
+        pts = np.asarray([self._points[i] for i in ids])
+        axis = int(np.argmax(node.box_max - node.box_min))
+        values = pts[:, axis]
+        split = float(np.median(values))
+        left_ids = [tid for tid, v in zip(ids, values) if v <= split]
+        right_ids = [tid for tid, v in zip(ids, values) if v > split]
+        if not left_ids or not right_ids:
+            # All values equal on the widest axis: keep as an oversized
+            # leaf (every split would be degenerate).
+            node.bucket = list(ids)
+            for tid in ids:
+                self._leaf_of[tid] = node
+            return node
+        node.axis = axis
+        node.split = split
+        node.left = self._build_subtree(left_ids, node)
+        node.right = self._build_subtree(right_ids, node)
+        return node
+
+    def _split_leaf(self, leaf: _Node) -> None:
+        ids = leaf.bucket
+        pts = np.asarray([self._points[i] for i in ids])
+        spread = pts.max(axis=0) - pts.min(axis=0)
+        axis = int(np.argmax(spread))
+        if spread[axis] == 0.0:
+            return  # degenerate: defer splitting until points differ
+        split = float(np.median(pts[:, axis]))
+        left_ids = [tid for tid, v in zip(ids, pts[:, axis]) if v <= split]
+        right_ids = [tid for tid, v in zip(ids, pts[:, axis]) if v > split]
+        if not left_ids or not right_ids:
+            return
+        leaf.axis = axis
+        leaf.split = split
+        leaf.bucket = []
+        leaf.left = self._build_subtree(left_ids, leaf)
+        leaf.right = self._build_subtree(right_ids, leaf)
+
+    def _rebuild(self, node: _Node) -> None:
+        """Rebuild ``node`` in place from its alive points."""
+        alive_ids = self._collect_alive(node)
+        fresh = self._build_subtree(alive_ids, node.parent)
+        node.axis = fresh.axis
+        node.split = fresh.split
+        node.left = fresh.left
+        node.right = fresh.right
+        if node.left is not None:
+            node.left.parent = node
+        if node.right is not None:
+            node.right.parent = node
+        node.box_min = fresh.box_min
+        node.box_max = fresh.box_max
+        node.total = fresh.total
+        node.alive = fresh.alive
+        node.bucket = fresh.bucket
+        if node.is_leaf:
+            for tid in node.bucket:
+                self._leaf_of[tid] = node
+
+    def _collect_alive(self, node: _Node) -> list[int]:
+        out: list[int] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur.is_leaf:
+                out.extend(cur.bucket)
+            else:
+                if cur.left is not None:
+                    stack.append(cur.left)
+                if cur.right is not None:
+                    stack.append(cur.right)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Seed cone tree (verbatim from the seed src/repro/index/conetree.py)
+# ---------------------------------------------------------------------------
+
+_CONE_LEAF_CAPACITY = 8
+
+
+class _ConeNode:
+    __slots__ = ("axis_dir", "cos_omega", "sin_omega", "tau_min",
+                 "left", "right", "parent", "members")
+
+    def __init__(self, parent=None) -> None:
+        self.axis_dir: np.ndarray | None = None
+        self.cos_omega = 1.0
+        self.sin_omega = 0.0
+        self.tau_min = np.inf
+        self.left: _ConeNode | None = None
+        self.right: _ConeNode | None = None
+        self.parent: _ConeNode | None = parent
+        self.members: list[int] | None = None  # leaf only
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.members is not None
+
+
+class LegacyConeTree:
+    """Static-structure cone tree with dynamic thresholds and active flags.
+
+    Parameters
+    ----------
+    utilities : (M, d) array of unit vectors
+        The fixed pool of sampled utility vectors. Structure is built
+        once; thresholds and active flags change freely afterwards.
+    leaf_capacity : int
+        Maximum number of utilities per leaf.
+    """
+
+    def __init__(self, utilities, *, leaf_capacity: int = _CONE_LEAF_CAPACITY) -> None:
+        utils = np.ascontiguousarray(utilities, dtype=np.float64)
+        if utils.ndim != 2 or utils.shape[0] == 0:
+            raise ValueError("utilities must be a non-empty (M, d) array")
+        norms = np.linalg.norm(utils, axis=1)
+        if not np.allclose(norms, 1.0, atol=1e-8):
+            raise ValueError("utility vectors must be unit-normalized")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        self._u = utils
+        self._m_total = utils.shape[0]
+        self._d = utils.shape[1]
+        self._leaf_capacity = int(leaf_capacity)
+        self._tau = np.full(self._m_total, np.inf)
+        self._active = np.zeros(self._m_total, dtype=bool)
+        self._leaf_of: dict[int, _ConeNode] = {}
+        self._root = self._build(list(range(self._m_total)), None)
+
+    # ------------------------------------------------------------------
+    # Threshold / activity maintenance
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of utility vectors in the pool (active or not)."""
+        return self._m_total
+
+    def threshold(self, idx: int) -> float:
+        """Current threshold of utility ``idx`` (``inf`` while inactive)."""
+        return float(self._tau[idx])
+
+    def is_active(self, idx: int) -> bool:
+        return bool(self._active[idx])
+
+    def set_threshold(self, idx: int, tau: float) -> None:
+        """Set utility ``idx``'s threshold and repair ``τ_min`` upwards."""
+        self._tau[idx] = float(tau)
+        if self._active[idx]:
+            self._bubble_up(self._leaf_of[idx])
+
+    def activate(self, idx: int, tau: float) -> None:
+        """Mark utility ``idx`` active with threshold ``tau``."""
+        self._active[idx] = True
+        self._tau[idx] = float(tau)
+        self._bubble_up(self._leaf_of[idx])
+
+    def deactivate(self, idx: int) -> None:
+        """Mark utility ``idx`` inactive (it will never match queries)."""
+        self._active[idx] = False
+        self._tau[idx] = np.inf
+        self._bubble_up(self._leaf_of[idx])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reached_by(self, point) -> list[int]:
+        """Active utility indices with ``<u_i, point> >= τ_i``.
+
+        This is the insertion-time filter of Algorithm 3: utilities whose
+        ε-approximate top-k set must absorb the new point.
+        """
+        p = np.asarray(point, dtype=np.float64).reshape(-1)
+        if p.shape[0] != self._d:
+            raise ValueError(f"point has d={p.shape[0]}, expected {self._d}")
+        p_norm = float(np.linalg.norm(p))
+        hits: list[int] = []
+        if p_norm == 0.0:
+            # Zero point scores 0 for every utility; it reaches only
+            # thresholds <= 0.
+            for idx in np.flatnonzero(self._active):
+                if self._tau[idx] <= 0.0:
+                    hits.append(int(idx))
+            return hits
+        p_dir = p / p_norm
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.tau_min == np.inf:
+                continue
+            if self._cone_bound(node, p_dir, p_norm) < node.tau_min:
+                continue
+            if node.is_leaf:
+                for idx in node.members:
+                    if self._active[idx] and float(self._u[idx] @ p) >= self._tau[idx]:
+                        hits.append(idx)
+            else:
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+        hits.sort()
+        return hits
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cone_bound(node: _ConeNode, p_dir: np.ndarray, p_norm: float) -> float:
+        """Upper bound of ``<u, p>`` over the node's cone (unit ``u``)."""
+        cos_theta = float(np.clip(node.axis_dir @ p_dir, -1.0, 1.0))
+        # cos(theta - omega) = cos t cos w + sin t sin w, clamped to 1 when
+        # p_dir lies inside the cone (theta <= omega).
+        sin_theta = float(np.sqrt(max(0.0, 1.0 - cos_theta * cos_theta)))
+        if cos_theta >= node.cos_omega:
+            return p_norm
+        cos_gap = cos_theta * node.cos_omega + sin_theta * node.sin_omega
+        return p_norm * cos_gap
+
+    def _build(self, members: list[int], parent) -> _ConeNode:
+        node = _ConeNode(parent)
+        vecs = self._u[members]
+        mean = vecs.mean(axis=0)
+        norm = float(np.linalg.norm(mean))
+        node.axis_dir = mean / norm if norm > 0 else vecs[0]
+        cosines = np.clip(vecs @ node.axis_dir, -1.0, 1.0)
+        cos_w = float(cosines.min())
+        node.cos_omega = cos_w
+        node.sin_omega = float(np.sqrt(max(0.0, 1.0 - cos_w * cos_w)))
+        if len(members) <= self._leaf_capacity:
+            node.members = list(members)
+            for idx in members:
+                self._leaf_of[idx] = node
+            return node
+        # Split around the two most separated members (2-means style seed
+        # selection used by Ram & Gray), assigning by nearer angular seed.
+        far_a = int(np.argmin(cosines))
+        cos_to_a = np.clip(vecs @ vecs[far_a], -1.0, 1.0)
+        far_b = int(np.argmin(cos_to_a))
+        cos_to_b = np.clip(vecs @ vecs[far_b], -1.0, 1.0)
+        go_left = cos_to_a >= cos_to_b
+        left = [m for m, flag in zip(members, go_left) if flag]
+        right = [m for m, flag in zip(members, go_left) if not flag]
+        if not left or not right:
+            node.members = list(members)
+            for idx in members:
+                self._leaf_of[idx] = node
+            return node
+        node.left = self._build(left, node)
+        node.right = self._build(right, node)
+        return node
+
+    def _bubble_up(self, leaf: _ConeNode) -> None:
+        """Recompute ``τ_min`` from ``leaf`` to the root."""
+        node: _ConeNode | None = leaf
+        while node is not None:
+            if node.is_leaf:
+                taus = [self._tau[i] for i in node.members if self._active[i]]
+                node.tau_min = min(taus) if taus else np.inf
+            else:
+                node.tau_min = min(
+                    node.left.tau_min if node.left is not None else np.inf,
+                    node.right.tau_min if node.right is not None else np.inf,
+                )
+            node = node.parent

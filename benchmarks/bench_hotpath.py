@@ -1,0 +1,218 @@
+"""Hot-path benchmark: flat-array dual-tree engine + batched updates.
+
+Times the FD-RMS update hot path in three configurations on the paper's
+workload shapes (§IV-A insert-then-delete, and a maximal-churn mixed
+stream):
+
+* ``seed single-op``  — the frozen seed engine (object-graph k-d tree +
+  cone tree from ``_legacy_seed.py``), one operation at a time;
+* ``flat single-op``  — the current flat-array engine, one op at a time;
+* ``flat batched``    — the current engine through ``apply_batch``.
+
+It also measures raw index query throughput (``top_k`` / ``range_query``
+over the live tuple set) for the seed vs. flat k-d tree.
+
+Results go to stdout and to a ``BENCH_hotpath.json`` trajectory at the
+repo root so future PRs can regress-check. The process exits non-zero
+when batched update throughput falls below the single-op path — the
+sanity floor used by the CI perf-smoke job (``--quick``); the full run
+additionally reports the batched-vs-seed speedup the PR targets (>= 5x
+on the 100 k tuple / 10 k op mixed workload).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick
+    PYTHONPATH=src python benchmarks/bench_hotpath.py          # full
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))  # _legacy_seed
+
+from repro.core.fdrms import FDRMS
+from repro.data.database import INSERT, Database
+from repro.data.workload import (
+    make_paper_workload,
+    make_skewed_workload,
+)
+from repro.index.kdtree import KDTree
+
+from _legacy_seed import LegacyConeTree, LegacyKDTree
+
+R, K, EPS, M_MAX = 20, 1, 0.1, 1024
+
+
+def _legacy_index_factory(ids, points, d):
+    if len(ids) == 0:
+        return LegacyKDTree(d)
+    return LegacyKDTree.build(ids, points)
+
+
+def _make_engine(initial, *, legacy: bool) -> FDRMS:
+    db = Database(initial)
+    kwargs = {}
+    if legacy:
+        kwargs = dict(index_factory=_legacy_index_factory,
+                      cone_factory=LegacyConeTree)
+    return FDRMS(db, K, R, EPS, m_max=M_MAX, seed=0, **kwargs)
+
+
+def _drive_single(engine: FDRMS, ops) -> float:
+    start = time.perf_counter()
+    for op in ops:
+        if op.kind == INSERT:
+            engine.insert(op.point)
+        else:
+            engine.delete(op.tuple_id)
+    return time.perf_counter() - start
+
+
+def _drive_batched(engine: FDRMS, ops) -> float:
+    start = time.perf_counter()
+    engine.apply_batch(ops)
+    return time.perf_counter() - start
+
+
+def _bench_workload(name: str, initial, ops, *, skip_legacy: bool) -> dict:
+    print(f"\n--- workload {name}: |P0|={initial.shape[0]}, "
+          f"{len(ops)} ops ---")
+    out: dict = {"n_initial": int(initial.shape[0]), "n_ops": len(ops),
+                 "engines": {}}
+    results = {}
+    plan = [("flat_batched", False, _drive_batched),
+            ("flat_single_op", False, _drive_single)]
+    if not skip_legacy:
+        plan.append(("seed_single_op", True, _drive_single))
+    for label, legacy, drive in plan:
+        t0 = time.perf_counter()
+        engine = _make_engine(initial, legacy=legacy)
+        init_s = time.perf_counter() - t0
+        seconds = drive(engine, ops)
+        results[label] = engine.result()
+        ops_per_s = len(ops) / seconds
+        out["engines"][label] = {
+            "init_seconds": round(init_s, 4),
+            "update_seconds": round(seconds, 4),
+            "ms_per_op": round(1e3 * seconds / len(ops), 5),
+            "ops_per_second": round(ops_per_s, 1),
+        }
+        print(f"{label:15s} init {init_s:6.2f}s  updates {seconds:7.2f}s "
+              f"({1e3 * seconds / len(ops):7.3f} ms/op, {ops_per_s:9.0f} op/s)")
+    # All engines maintain the same invariants on the same utility sample;
+    # the flat single-op and batched paths must agree exactly.
+    assert results["flat_batched"] == results["flat_single_op"], \
+        "batched result diverged from single-op result"
+    single = out["engines"]["flat_single_op"]["update_seconds"]
+    batched = out["engines"]["flat_batched"]["update_seconds"]
+    out["batched_vs_single_speedup"] = round(single / batched, 2)
+    if not skip_legacy:
+        seed_s = out["engines"]["seed_single_op"]["update_seconds"]
+        out["batched_vs_seed_speedup"] = round(seed_s / batched, 2)
+        print(f"speedup: batched vs seed single-op "
+              f"{out['batched_vs_seed_speedup']:.2f}x, "
+              f"vs flat single-op {out['batched_vs_single_speedup']:.2f}x")
+    return out
+
+
+def _bench_queries(n: int, d: int, n_queries: int) -> dict:
+    """Raw top-k / range query throughput, seed vs flat tuple index."""
+    rng = np.random.default_rng(17)
+    pts = rng.random((n, d))
+    us = rng.random((n_queries, d))
+    taus = [float(np.quantile(pts @ u, 0.999)) for u in us]
+    out: dict = {"n": n, "d": d, "n_queries": n_queries}
+    for label, tree in (("flat", KDTree.build(range(n), pts)),
+                        ("seed", LegacyKDTree.build(range(n), pts))):
+        t0 = time.perf_counter()
+        for u in us:
+            tree.top_k(u, 10)
+        topk_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for u, tau in zip(us, taus):
+            tree.range_query(u, tau)
+        range_s = time.perf_counter() - t0
+        out[label] = {"topk_ms": round(1e3 * topk_s / n_queries, 3),
+                      "range_ms": round(1e3 * range_s / n_queries, 3)}
+        print(f"{label} index: top_k {1e3 * topk_s / n_queries:6.2f} ms/q, "
+              f"range {1e3 * range_s / n_queries:6.2f} ms/q  (n={n})")
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI perf-smoke: mixed workload only, floor check")
+    ap.add_argument("--skip-legacy", action="store_true",
+                    help="skip the (slow) seed single-op baseline")
+    ap.add_argument("--n", type=int, default=100_000,
+                    help="dataset size (default: the paper-scale 100k)")
+    ap.add_argument("--ops", type=int, default=10_000,
+                    help="operations in the mixed workload")
+    ap.add_argument("--d", type=int, default=6)
+    ap.add_argument("--out", type=Path,
+                    default=Path(__file__).resolve().parents[1]
+                    / "BENCH_hotpath.json")
+    args = ap.parse_args(argv)
+
+    rng = np.random.default_rng(7)
+    pts = rng.random((args.n, args.d))
+
+    # Warm up BLAS/numpy kernels so the first timed engine is not
+    # charged for one-time initialization.
+    warm = make_skewed_workload(rng.random((2000, args.d)),
+                                insert_fraction=0.5, n_operations=200,
+                                seed=1)
+    for legacy in (False, True) if not args.skip_legacy else (False,):
+        eng = _make_engine(warm.initial, legacy=legacy)
+        _drive_batched(eng, warm.operations[:100])
+        _drive_single(eng, warm.operations[100:])
+
+    report: dict = {
+        "benchmark": "hotpath",
+        "config": {"n": args.n, "d": args.d, "ops": args.ops, "r": R,
+                   "k": K, "eps": EPS, "m_max": M_MAX,
+                   "quick": bool(args.quick)},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+
+    mixed = make_skewed_workload(pts, insert_fraction=0.5,
+                                 n_operations=args.ops, seed=3)
+    report["workloads"]["mixed_50_50"] = _bench_workload(
+        "mixed 50/50 churn", mixed.initial, mixed.operations,
+        skip_legacy=args.skip_legacy)
+
+    if not args.quick:
+        paper = make_paper_workload(pts[: args.n // 2], seed=4)
+        report["workloads"]["paper_iv_a"] = _bench_workload(
+            "paper §IV-A (insert phase, then delete phase)",
+            paper.initial, paper.operations, skip_legacy=args.skip_legacy)
+        print("\n--- index query throughput ---")
+        report["queries"] = _bench_queries(args.n, args.d, n_queries=30)
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    floor_ok = all(w["batched_vs_single_speedup"] >= 1.0
+                   for w in report["workloads"].values())
+    if not floor_ok:
+        print("FAIL: batched update throughput fell below the "
+              "single-op path", file=sys.stderr)
+        return 1
+    print("OK: batched >= single-op on every workload"
+          + ("" if args.skip_legacy else "; seed-relative speedups above"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

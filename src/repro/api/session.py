@@ -74,6 +74,18 @@ class Session(abc.ABC):
             return None
         raise ValueError(f"unknown operation kind {op.kind!r}")
 
+    def apply_batch(self, ops) -> list[int | None]:
+        """Apply a sequence of operations; returns per-op ids.
+
+        Semantically identical to ``[self.apply(op) for op in ops]`` —
+        same final result, same counters — but engines that support
+        batching (FD-RMS, the recompute wrapper) override this with a
+        pipeline that amortizes work across the whole slice. Each entry
+        of the returned list is the inserted tuple's id for an
+        insertion, ``None`` for a deletion.
+        """
+        return [self.apply(op) for op in ops]
+
     def update(self, tuple_id: int, point) -> int:
         """Value update = delete + insert (§II-B); returns the new id."""
         self.delete(tuple_id)
@@ -146,6 +158,23 @@ class FDRMSSession(Session):
         self.last_apply_seconds = time.perf_counter() - start
         self.algo_seconds += self.last_apply_seconds
         self._counters["deletes"] += 1
+
+    def apply_batch(self, ops) -> list[int | None]:
+        """Batched updates through :meth:`FDRMS.apply_batch`.
+
+        Consecutive insertions are scored with one ``(batch × M)`` GEMM
+        and bulk-loaded into the flat tuple index; the maintained result
+        is identical to applying the operations one by one.
+        """
+        ops = list(ops)
+        start = time.perf_counter()
+        out = self.engine.apply_batch(ops)
+        self.last_apply_seconds = time.perf_counter() - start
+        self.algo_seconds += self.last_apply_seconds
+        for op in ops:
+            key = "inserts" if op.kind == INSERT else "deletes"
+            self._counters[key] += 1
+        return out
 
     def result(self) -> list[int]:
         return self.engine.result()
@@ -221,6 +250,40 @@ class RecomputeSession(Session):
         self.dirty = self.dirty or self.last_changed
         self._counters["deletes"] += 1
 
+    def apply_batch(self, ops) -> list[int | None]:
+        """Sequential fallback with skyline maintenance deferred.
+
+        Operations are applied straight to the database (consecutive
+        insertions in bulk) and the skyline is recomputed **once** at
+        batch end — the skyline is a pure function of the alive tuples,
+        so the result matches per-op maintenance. The solver itself
+        stays lazy, as for single operations: it reruns at the next
+        read if the pool changed.
+        """
+        ops = list(ops)
+        if not ops:
+            return []
+        out: list[int | None] = []
+        try:
+            for pid, op in zip(self._db.apply_batch(ops), ops):
+                if op.kind == INSERT:
+                    out.append(pid)
+                    self._counters["inserts"] += 1
+                else:
+                    out.append(None)
+                    self._counters["deletes"] += 1
+            return out
+        finally:
+            # Runs even when an operation mid-batch raises (the prefix
+            # before the bad op is already in the database): the skyline
+            # must be re-synced to whatever actually applied.
+            if self._skyline is not None:
+                changed = self._skyline.rebuild()
+            else:
+                changed = True
+            self.last_changed = changed
+            self.dirty = self.dirty or changed
+
     # -- reads ---------------------------------------------------------
     def pool(self) -> tuple[np.ndarray, np.ndarray]:
         """Current candidate pool as ``(ids, points)``."""
@@ -255,9 +318,14 @@ class RecomputeSession(Session):
         return self._cached_points
 
     def stats(self) -> dict[str, Any]:
+        # Refresh the lazy result first so every reported number —
+        # recomputes, algo_seconds, solution_size — describes the same
+        # post-recompute state (and a second stats() call agrees).
+        self._ensure_fresh()
         out = super().stats()
         out["recomputes"] = self.recomputes
         out["algo_seconds"] = self.algo_seconds
+        out["solution_size"] = len(self._cached_ids)
         if self._skyline is not None:
             out["skyline_size"] = len(self._skyline)
         return out

@@ -39,7 +39,7 @@ def _auto_algorithm(n: int, d: int, k: int) -> str:
 
 def solve(points, r: int, k: int = 1, *, algo: str = "auto", seed=None,
           evaluate: bool = False, eval_samples: int = 10_000,
-          **options: Any) -> RMSResult:
+          eval_utilities=None, **options: Any) -> RMSResult:
     """Compute a k-regret minimizing set with any registered algorithm.
 
     Parameters
@@ -60,6 +60,13 @@ def solve(points, r: int, k: int = 1, *, algo: str = "auto", seed=None,
     evaluate : bool
         Also measure the sampled maximum k-regret ratio of the result
         (``eval_samples`` utility vectors); stored in ``result.regret``.
+        The drawn test set is cached per ``(d, eval_samples, seed)`` and
+        reused across calls, so repeated ``solve(..., evaluate=True)``
+        runs are measured against the same utilities.
+    eval_utilities : (m, d) array, optional
+        Explicit utility test set for the evaluation — overrides the
+        cached draw (use to compare snapshots/algorithms against one
+        pinned sample, e.g. ``RegretEvaluator(...).utilities``).
     **options
         Algorithm-specific keywords (e.g. ``eps=0.01`` for FD-RMS,
         ``n_samples=5000`` for sampled baselines). Keys the chosen
@@ -87,10 +94,15 @@ def solve(points, r: int, k: int = 1, *, algo: str = "auto", seed=None,
 
     regret = None
     if evaluate:
-        from repro.core.regret import RegretEvaluator
-        evaluator = RegretEvaluator(d, n_samples=max(eval_samples, d),
-                                    seed=seed)
-        regret = float(evaluator.evaluate(pts, pts[indices], k))
+        from repro.core.regret import (RegretEvaluator,
+                                       max_k_regret_ratio_sampled)
+        if eval_utilities is not None:
+            regret = float(max_k_regret_ratio_sampled(
+                pts, pts[indices], k, utilities=eval_utilities))
+        else:
+            evaluator = RegretEvaluator(d, n_samples=max(eval_samples, d),
+                                        seed=seed)
+            regret = float(evaluator.evaluate(pts, pts[indices], k))
 
     config: Mapping[str, Any] = dict(kwargs)
     return RMSResult(algorithm=spec.display_name, indices=indices,

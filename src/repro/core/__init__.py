@@ -1,9 +1,10 @@
 """The paper's contribution: FD-RMS and its dynamic set-cover machinery."""
 
-from repro.core.topk import ApproxTopKIndex, MembershipDelta
+from repro.core.topk import SCORE_TOL, ApproxTopKIndex, MembershipDelta
 from repro.core.set_cover import StableSetCover
 from repro.core.fdrms import FDRMS
 from repro.core.regret import (
+    cached_test_utilities,
     k_regret_ratio,
     max_k_regret_ratio_sampled,
     max_regret_ratio_lp,
@@ -13,10 +14,12 @@ from repro.core.minsize import min_size_curve, min_size_rms
 from repro.core.tuning import suggest_epsilon
 
 __all__ = [
+    "SCORE_TOL",
     "ApproxTopKIndex",
     "MembershipDelta",
     "StableSetCover",
     "FDRMS",
+    "cached_test_utilities",
     "k_regret_ratio",
     "max_k_regret_ratio_sampled",
     "max_regret_ratio_lp",

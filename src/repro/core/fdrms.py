@@ -24,8 +24,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.set_cover import StableSetCover
-from repro.core.topk import ADD, REMOVE, ApproxTopKIndex, MembershipDelta
-from repro.data.database import Database
+from repro.core.topk import (
+    ADD,
+    REMOVE,
+    SCORE_TOL,
+    ApproxTopKIndex,
+    MembershipDelta,
+)
+from repro.data.database import INSERT, Database, iter_op_runs
 from repro.geometry.sampling import sample_utilities_with_basis
 from repro.utils import check_epsilon, check_k, check_size_constraint
 
@@ -50,6 +56,9 @@ class FDRMS:
         Upper bound ``M`` on the number of utility vectors (``M > r``).
     seed : int | numpy.random.Generator | None
         Randomness for the utility sample.
+    index_factory, cone_factory : callables, optional
+        Forwarded to :class:`~repro.core.ApproxTopKIndex` — swap the
+        tuple/utility index implementations (ablation and benchmarking).
 
     Attributes
     ----------
@@ -58,7 +67,8 @@ class FDRMS:
     """
 
     def __init__(self, db: Database, k: int, r: int, eps: float, *,
-                 m_max: int = 1024, seed=None) -> None:
+                 m_max: int = 1024, seed=None, index_factory=None,
+                 cone_factory=None) -> None:
         self._db = db
         self._k = check_k(k)
         self._r = check_size_constraint(r, db.d)
@@ -67,7 +77,9 @@ class FDRMS:
             raise ValueError(f"m_max must exceed r, got m_max={m_max}, r={r}")
         self._m_max = int(m_max)
         utilities = sample_utilities_with_basis(self._m_max, db.d, seed=seed)
-        self._topk = ApproxTopKIndex(db, utilities, self._k, self._eps)
+        self._topk = ApproxTopKIndex(db, utilities, self._k, self._eps,
+                                     index_factory=index_factory,
+                                     cone_factory=cone_factory)
         self._cover = StableSetCover()
         self._m = self._r
         self._stats = {"inserts": 0, "deletes": 0, "deltas": 0,
@@ -113,6 +125,7 @@ class FDRMS:
         out = dict(self._stats)
         out["stabilize_steps"] = self._cover.stabilize_steps
         out["m"] = self._m
+        out["solution_size"] = self._cover.solution_size()
         return out
 
     def result(self) -> list[int]:
@@ -133,6 +146,12 @@ class FDRMS:
         """Process ``Δ_t = <p, +>``; returns the new tuple id."""
         fresh_start = len(self._db) == 0
         pid, deltas = self._topk.insert(point)
+        self._absorb_insert_deltas(deltas, fresh_start)
+        return pid
+
+    def _absorb_insert_deltas(self, deltas: list[MembershipDelta],
+                              fresh_start: bool) -> None:
+        """Cover-layer half of one insertion (shared with batching)."""
         self._stats["inserts"] += 1
         self._stats["deltas"] += len(deltas)
         if fresh_start:
@@ -141,7 +160,35 @@ class FDRMS:
             self._apply_deltas(deltas)
         if self._cover.solution_size() != self._r:
             self._update_m()
-        return pid
+
+    def apply_batch(self, ops) -> list[int | None]:
+        """Process a workload slice; returns per-op ids (None = delete).
+
+        Equivalent to applying each :class:`~repro.data.Operation` with
+        :meth:`insert` / :meth:`delete` in order — same final result,
+        same statistics — but runs of consecutive insertions flow
+        through the top-k maintainer's batched insert run: the database
+        and tuple index are bulk-loaded and the whole run's scores come
+        from one ``(batch × M)`` GEMM, while the membership deltas are
+        still materialized per operation and fed to the set-cover layer
+        in arrival order (the stable cover is history-dependent, so
+        coalescing across operations would change the result).
+        """
+        out: list[int | None] = []
+        for run in iter_op_runs(ops):
+            if run[0].kind != INSERT:
+                for op in run:
+                    self.delete(op.tuple_id)
+                    out.append(None)
+                continue
+            cursor = self._topk.begin_insert_run(
+                np.asarray([op.point for op in run]))
+            for _ in run:
+                fresh_start = cursor.n_before == 0
+                pid, deltas = cursor.step()
+                self._absorb_insert_deltas(deltas, fresh_start)
+                out.append(pid)
+        return out
 
     def delete(self, tuple_id: int) -> None:
         """Process ``Δ_t = <p, ->``."""
@@ -208,7 +255,7 @@ class FDRMS:
                             [ids.size - self._k])
                 tau = (1.0 - self._eps) * kth
             expect = {int(ids[row])
-                      for row in np.flatnonzero(scores >= tau - 1e-12)}
+                      for row in np.flatnonzero(scores >= tau - SCORE_TOL)}
             for pid in members ^ expect:
                 score = float(self._db.point(pid) @ u)
                 assert abs(score - tau) < 1e-9, (

@@ -24,6 +24,54 @@ from repro.geometry.lp import worst_case_ratio
 from repro.geometry.sampling import sample_utilities
 from repro.utils import as_point_matrix, check_k, resolve_rng
 
+# ----------------------------------------------------------------------
+# Cached utility test sets. The paper's measurement protocol evaluates
+# every snapshot/algorithm against the SAME large random test set, so
+# re-drawing a fresh sample per call both wastes the dominant share of
+# evaluation time and makes estimates incomparable. Draws requested with
+# a reproducible seed (None or an int — not a stateful Generator) are
+# memoized here and shared across calls.
+# ----------------------------------------------------------------------
+
+_SAMPLE_CACHE: dict[tuple, np.ndarray] = {}
+_SAMPLE_CACHE_MAX = 8
+
+
+def cached_test_utilities(n_samples: int, d: int, seed=None, *,
+                          with_basis: bool = False) -> np.ndarray:
+    """A memoized utility test set of ``n_samples`` vectors in ``d`` dims.
+
+    ``with_basis=True`` prefixes the ``d`` standard basis vectors (which
+    catch single-attribute regret exactly), drawing ``n_samples - d``
+    random directions. Passing a stateful ``numpy.random.Generator`` as
+    ``seed`` bypasses the cache (the draw is not reproducible).
+    """
+    key_seed: int | None | bool
+    if seed is None:
+        key_seed = None
+    elif isinstance(seed, (int, np.integer)):
+        key_seed = int(seed)
+    else:
+        key_seed = False  # stateful generator: not cacheable
+    if key_seed is not False:
+        key = (int(n_samples), int(d), key_seed, bool(with_basis))
+        hit = _SAMPLE_CACHE.get(key)
+        if hit is not None:
+            return hit
+    if with_basis:
+        utilities = np.vstack([
+            np.eye(d),
+            sample_utilities(n_samples - d, d, seed=resolve_rng(seed)),
+        ])
+    else:
+        utilities = sample_utilities(n_samples, d, seed=resolve_rng(seed))
+    utilities.flags.writeable = False
+    if key_seed is not False:
+        if len(_SAMPLE_CACHE) >= _SAMPLE_CACHE_MAX:
+            _SAMPLE_CACHE.pop(next(iter(_SAMPLE_CACHE)))
+        _SAMPLE_CACHE[key] = utilities
+    return utilities
+
 
 def k_regret_ratio(u, points_p, points_q, k: int = 1) -> float:
     """Exact ``rr_k(u, Q)`` for a single utility vector.
@@ -53,8 +101,12 @@ def max_k_regret_ratio_sampled(points_p, points_q, k: int = 1, *,
 
     This mirrors the paper's measurement protocol (§IV-A): draw a large
     test set of random utility vectors and report the maximum observed
-    k-regret ratio. Pass ``utilities`` to reuse a fixed test set across
-    snapshots/algorithms (recommended for comparisons).
+    k-regret ratio. Pass ``utilities`` to pin an explicit test set;
+    without one, the draw for a given ``(n_samples, d, seed)`` is cached
+    and **reused across calls** (snapshots of a stream, competing
+    algorithms), so repeated estimates are mutually comparable and skip
+    the re-draw. Pass a stateful Generator as ``seed`` to force a fresh
+    draw.
     """
     p = as_point_matrix(points_p, name="points_p")
     q = as_point_matrix(points_q, name="points_q")
@@ -62,7 +114,7 @@ def max_k_regret_ratio_sampled(points_p, points_q, k: int = 1, *,
         raise ValueError("points_p and points_q must share dimensionality")
     k = check_k(k)
     if utilities is None:
-        utilities = sample_utilities(n_samples, p.shape[1], seed=resolve_rng(seed))
+        utilities = cached_test_utilities(n_samples, p.shape[1], seed)
     else:
         utilities = np.asarray(utilities, dtype=np.float64)
     worst = 0.0
@@ -131,11 +183,11 @@ class RegretEvaluator:
     def __init__(self, d: int, *, n_samples: int = 100_000, seed=None) -> None:
         if n_samples < d:
             raise ValueError(f"n_samples must be >= d, got {n_samples}")
-        rng = resolve_rng(seed)
-        self._utilities = np.vstack([
-            np.eye(d),
-            sample_utilities(n_samples - d, d, seed=rng),
-        ])
+        # The drawn test set is cached module-wide: building evaluators
+        # with the same (d, n_samples, seed) — e.g. one per snapshot or
+        # per solve() call — shares one frozen sample.
+        self._utilities = cached_test_utilities(n_samples, d, seed,
+                                                with_basis=True)
         self._d = d
 
     @property

@@ -29,13 +29,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.database import Database
+from repro.data.database import INSERT, Database, iter_op_runs
 from repro.index.conetree import ConeTree
 from repro.index.kdtree import KDTree
 from repro.utils import check_epsilon, check_k
 
 ADD = "+"
 REMOVE = "-"
+
+#: Score-threshold tolerance shared by membership updates and the audit
+#: paths (``ApproxTopKIndex`` internals, ``FDRMS.verify``). Scores are
+#: computed by different BLAS kernels along different code paths (bulk
+#: GEMM at bootstrap, gathered mat-vec in tree queries, per-row dots in
+#: single-op updates), which may disagree in the last ulp; comparisons
+#: against a threshold therefore allow this absolute slack instead of
+#: hardcoding ``1e-12`` at each site.
+SCORE_TOL = 1e-12
 
 
 def _default_index_factory(ids, points, d: int) -> KDTree:
@@ -58,28 +67,41 @@ class _MemberList:
     """Sorted container of (score, tuple_id) pairs for one utility.
 
     Ascending by (score, id); supports O(log s) insert/remove, O(1)
-    k-th-largest lookup, and bulk eviction of the low-score prefix.
+    k-th-largest lookup, and bulk eviction of the low-score prefix. A
+    side id → score map makes removal address members by id alone, so a
+    member is always removed under the exact score it was stored with —
+    re-deriving the score at removal time is fragile, because different
+    BLAS kernels can disagree in the last ulp (see :data:`SCORE_TOL`).
     """
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "score_by_id")
 
     def __init__(self) -> None:
         self.entries: list[tuple[float, int]] = []
+        self.score_by_id: dict[int, float] = {}
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def __contains__(self, tuple_id: int) -> bool:
-        return any(tid == tuple_id for _, tid in self.entries)
+        return tuple_id in self.score_by_id
 
     def add(self, score: float, tuple_id: int) -> None:
         bisect.insort(self.entries, (score, tuple_id))
+        self.score_by_id[tuple_id] = score
 
-    def remove(self, score: float, tuple_id: int) -> None:
+    def score_of(self, tuple_id: int) -> float:
+        """The score ``tuple_id`` was stored with."""
+        return self.score_by_id[tuple_id]
+
+    def remove(self, tuple_id: int) -> float:
+        """Remove ``tuple_id``; returns the score it was stored with."""
+        score = self.score_by_id.pop(tuple_id, None)
+        if score is None:
+            raise KeyError(f"tuple {tuple_id} not in member list")
         idx = bisect.bisect_left(self.entries, (score, tuple_id))
-        if idx >= len(self.entries) or self.entries[idx] != (score, tuple_id):
-            raise KeyError(f"({score}, {tuple_id}) not in member list")
         del self.entries[idx]
+        return score
 
     def kth_largest(self, k: int) -> float:
         """Score of the k-th best member (requires ``len >= k``)."""
@@ -90,6 +112,8 @@ class _MemberList:
         idx = bisect.bisect_left(self.entries, (threshold, -1))
         evicted = self.entries[:idx]
         del self.entries[:idx]
+        for _, tid in evicted:
+            del self.score_by_id[tid]
         return evicted
 
     def ids(self) -> list[int]:
@@ -116,10 +140,15 @@ class ApproxTopKIndex:
         allows any space-partitioning index with the same interface
         (``insert`` / ``delete`` / ``top_k`` / ``range_query``), e.g.
         :class:`repro.index.quadtree.QuadTree`.
+    cone_factory : callable(utilities) -> utility index, optional
+        Builds the utility index UI (default: the cone tree). Mainly an
+        ablation/benchmark hook; any object with the ``ConeTree``
+        interface (``activate`` / ``set_threshold`` / ``threshold`` /
+        ``reached_by``) works.
     """
 
     def __init__(self, db: Database, utilities, k: int, eps: float, *,
-                 index_factory=None) -> None:
+                 index_factory=None, cone_factory=None) -> None:
         self._db = db
         self._u = np.ascontiguousarray(utilities, dtype=np.float64)
         if self._u.ndim != 2 or self._u.shape[1] != db.d:
@@ -133,7 +162,9 @@ class ApproxTopKIndex:
         if index_factory is None:
             index_factory = _default_index_factory
         self._kdtree = index_factory(ids, pts, db.d)
-        self._cone = ConeTree(self._u)
+        if cone_factory is None:
+            cone_factory = ConeTree
+        self._cone = cone_factory(self._u)
         self._bootstrap(ids, pts)
 
     # ------------------------------------------------------------------
@@ -181,23 +212,50 @@ class ApproxTopKIndex:
         self._kdtree.insert(pid, vec)
         deltas: list[MembershipDelta] = []
         n = len(self._db)
-        if n <= self._k:
-            # Everything is a top-k tuple: the new point joins every set
-            # and all thresholds stay at 0.
-            for i in range(self._m_total):
-                self._add_member(i, float(self._u[i] @ vec), pid, deltas)
-            return pid, deltas
-        if n == self._k + 1:
-            # The database just outgrew k: thresholds become meaningful
-            # for the first time; initialize them for every utility.
-            for i in range(self._m_total):
-                self._add_member(i, float(self._u[i] @ vec), pid, deltas)
-                self._refresh_threshold(i, deltas)
-            return pid, deltas
-        for i in self._cone.reached_by(vec):
-            self._add_member(i, float(self._u[i] @ vec), pid, deltas)
-            self._refresh_threshold(i, deltas)
+        row = self._u @ vec
+        if n <= self._k + 1:
+            # While |P| <= k everything is a top-k tuple (τ = 0); at
+            # |P| = k + 1 thresholds become meaningful for the first
+            # time. Either way every utility absorbs the point.
+            reached = range(self._m_total)
+        else:
+            reached = self._cone.reached_by(vec)
+        self._absorb_new_tuple(pid, row, n, reached, deltas)
         return pid, deltas
+
+    def begin_insert_run(self, points) -> "_InsertRun":
+        """Start a batched run of consecutive insertions.
+
+        All tuples are stored in the database and the tuple index up
+        front (insertions never query the tuple index, so bulk loading
+        is safe), and the whole ``(batch × M)`` score matrix is computed
+        with one GEMM. The returned cursor's :meth:`_InsertRun.step`
+        then replays the *membership* maintenance one operation at a
+        time — in arrival order, against per-op thresholds — so the
+        deltas it yields are exactly the sequential ones, computed
+        without any per-tuple tree traversal.
+        """
+        return _InsertRun(self, points)
+
+    def apply_batch(self, ops) -> list[tuple[int | None, list[MembershipDelta]]]:
+        """Apply a workload slice; returns per-op ``(id, deltas)`` pairs.
+
+        Runs of consecutive insertions go through
+        :meth:`begin_insert_run` (one GEMM instead of per-tuple cone
+        traversals); deletions are applied one at a time, since each
+        must see the tuple index exactly as of its turn. The id is the
+        inserted tuple's id for insertions, ``None`` for deletions.
+        """
+        out: list[tuple[int | None, list[MembershipDelta]]] = []
+        for run in iter_op_runs(ops):
+            if run[0].kind == INSERT:
+                cursor = self.begin_insert_run([op.point for op in run])
+                for _ in run:
+                    out.append(cursor.step())
+            else:
+                for op in run:
+                    out.append((None, self.delete(op.tuple_id)))
+        return out
 
     def delete(self, tuple_id: int) -> list[MembershipDelta]:
         """Delete ``tuple_id`` from the database; maintain all top-k sets.
@@ -207,14 +265,18 @@ class ApproxTopKIndex:
         was among the exact top-k of a utility, the k-d tree recomputes
         ``ω_k`` and a range query rebuilds the member set.
         """
-        vec = self._db.delete(tuple_id)
+        self._db.delete(tuple_id)
         self._kdtree.delete(tuple_id)
         affected = sorted(self._inverted.get(tuple_id, frozenset()))
         deltas: list[MembershipDelta] = []
         for i in affected:
-            score = float(self._u[i] @ vec)
-            was_topk = len(self._db) < self._k or score >= self._kth_member_score(i)
-            self._remove_member(i, score, tuple_id, deltas)
+            # The stored score is the value the member was admitted with;
+            # comparing it (within SCORE_TOL) against the stored k-th
+            # member score decides whether ω_k may have dropped.
+            score = self._members[i].score_of(tuple_id)
+            was_topk = (len(self._db) < self._k
+                        or score >= self._kth_member_score(i) - SCORE_TOL)
+            self._remove_member(i, tuple_id, deltas)
             if was_topk:
                 self._rebuild_utility(i, deltas)
         return deltas
@@ -264,9 +326,9 @@ class ApproxTopKIndex:
         self._inverted.setdefault(pid, set()).add(i)
         deltas.append(MembershipDelta(i, pid, ADD))
 
-    def _remove_member(self, i: int, score: float, pid: int,
+    def _remove_member(self, i: int, pid: int,
                        deltas: list[MembershipDelta]) -> None:
-        self._members[i].remove(score, pid)
+        self._members[i].remove(pid)
         owners = self._inverted.get(pid)
         if owners is not None:
             owners.discard(i)
@@ -274,14 +336,43 @@ class ApproxTopKIndex:
                 del self._inverted[pid]
         deltas.append(MembershipDelta(i, pid, REMOVE))
 
-    def _refresh_threshold(self, i: int, deltas: list[MembershipDelta]) -> None:
+    def _absorb_new_tuple(self, pid: int, row: np.ndarray, n: int,
+                          reached, deltas: list[MembershipDelta]) -> None:
+        """Membership maintenance for one inserted tuple.
+
+        ``row`` is the tuple's precomputed score against every utility,
+        ``n`` the database size *as of this operation* (batched runs
+        pre-load the database, so ``len(db)`` would run ahead), and
+        ``reached`` the utility indices whose threshold the tuple meets.
+        """
+        refresh = n > self._k
+        batcher = getattr(self._cone, "set_thresholds", None)
+        collect: list[tuple[int, float]] | None = \
+            [] if (refresh and batcher is not None) else None
+        for i in reached:
+            i = int(i)
+            self._add_member(i, float(row[i]), pid, deltas)
+            if refresh:
+                self._refresh_threshold(i, deltas, n, collect)
+        if collect:
+            batcher([i for i, _ in collect], [t for _, t in collect])
+
+    def _refresh_threshold(self, i: int, deltas: list[MembershipDelta],
+                           n: int | None = None,
+                           collect: list[tuple[int, float]] | None = None
+                           ) -> None:
         """Recompute ``τ_i`` from the member list and evict the fallen.
 
         Valid whenever the member list still contains the exact top-k
         (always true after additions; deletions of top-k tuples go
-        through :meth:`_rebuild_utility` instead).
+        through :meth:`_rebuild_utility` instead). ``n`` overrides the
+        database size for batched runs; with ``collect`` the cone-tree
+        threshold write is deferred so the caller can flush one batched
+        ``set_thresholds`` per operation.
         """
-        if len(self._db) <= self._k:
+        if n is None:
+            n = len(self._db)
+        if n <= self._k:
             tau = 0.0
         else:
             tau = (1.0 - self._eps) * self._kth_member_score(i)
@@ -292,15 +383,18 @@ class ApproxTopKIndex:
                 if not owners:
                     del self._inverted[pid]
             deltas.append(MembershipDelta(i, pid, REMOVE))
-        self._cone.set_threshold(i, tau)
+        if collect is not None:
+            collect.append((i, tau))
+        else:
+            self._cone.set_threshold(i, tau)
 
     def _rebuild_utility(self, i: int, deltas: list[MembershipDelta]) -> None:
         """Recompute ``Φ_{k,ε}(u_i)`` from the k-d tree after a top-k loss."""
         u = self._u[i]
         n = len(self._db)
         if n == 0:
-            for score, pid in list(self._members[i].entries):
-                self._remove_member(i, score, pid, deltas)
+            for pid in self._members[i].ids():
+                self._remove_member(i, pid, deltas)
             self._cone.set_threshold(i, 0.0)
             return
         if n <= self._k:
@@ -308,13 +402,81 @@ class ApproxTopKIndex:
         else:
             _, topk_scores = self._kdtree.top_k(u, self._k)
             tau = (1.0 - self._eps) * float(topk_scores[-1])
-        current = {pid: score for score, pid in self._members[i].entries}
+        current = dict(self._members[i].score_by_id)
         ids, scores = self._kdtree.range_query(u, tau)
         fresh = {int(pid): float(s) for pid, s in zip(ids, scores)}
-        for pid, score in current.items():
+        for pid in current:
             if pid not in fresh:
-                self._remove_member(i, score, pid, deltas)
+                self._remove_member(i, pid, deltas)
         for pid, score in fresh.items():
             if pid not in current:
                 self._add_member(i, score, pid, deltas)
         self._cone.set_threshold(i, tau)
+
+    def _thresholds_vector(self) -> np.ndarray:
+        """All ``τ_i`` as one vector (from the cone tree when possible)."""
+        getter = getattr(self._cone, "thresholds", None)
+        if getter is not None:
+            return getter()
+        return np.asarray([self._cone.threshold(i)
+                           for i in range(self._m_total)])
+
+
+class _InsertRun:
+    """Cursor over a batched run of consecutive insertions.
+
+    Construction bulk-loads the database and the tuple index and
+    computes the ``(batch × M)`` score matrix in one GEMM; each
+    :meth:`step` then performs the membership/threshold maintenance of
+    exactly one insertion, in arrival order. Because insertions never
+    query the tuple index, the bulk load cannot be observed by the
+    per-op maintenance, so the delta stream is identical to calling
+    ``ApproxTopKIndex.insert`` once per point — the per-op work is one
+    vectorized threshold comparison instead of a cone-tree traversal.
+    """
+
+    __slots__ = ("_index", "_pids", "_scores", "_pos", "_n0")
+
+    def __init__(self, index: ApproxTopKIndex, points) -> None:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        self._index = index
+        self._n0 = len(index._db)
+        self._pids = index._db.insert_many(pts)
+        tree = index._kdtree
+        bulk = getattr(tree, "insert_many", None)
+        if bulk is not None:
+            bulk(self._pids, pts)
+        else:  # alternate tuple indexes (e.g. the quadtree)
+            for pid, vec in zip(self._pids, pts):
+                tree.insert(int(pid), vec)
+        self._scores = pts @ index._u.T
+        self._pos = 0
+
+    @property
+    def n_before(self) -> int:
+        """Database size before the next (unstepped) operation."""
+        return self._n0 + self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._pids) - self._pos
+
+    def step(self) -> tuple[int, list[MembershipDelta]]:
+        """Run the membership maintenance of the next insertion."""
+        if self._pos >= len(self._pids):
+            raise StopIteration("insert run exhausted")
+        index = self._index
+        t = self._pos
+        self._pos += 1
+        pid = int(self._pids[t])
+        row = self._scores[t]
+        n = self._n0 + t + 1  # sequential database size after this op
+        deltas: list[MembershipDelta] = []
+        if n <= index._k + 1:
+            reached = range(index._m_total)
+        else:
+            reached = np.flatnonzero(row >= index._thresholds_vector())
+        index._absorb_new_tuple(pid, row, n, reached, deltas)
+        return pid, deltas

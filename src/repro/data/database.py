@@ -43,6 +43,22 @@ class Operation:
             raise ValueError(f"kind must be '+' or '-', got {self.kind!r}")
 
 
+def iter_op_runs(ops) -> "list[list[Operation]]":
+    """Split an operation sequence into maximal same-kind runs.
+
+    The batch pipelines amortize work over runs of consecutive
+    insertions (bulk loads, one score GEMM) while deletions stay
+    per-op; every ``apply_batch`` layer shares this grouping.
+    """
+    runs: list[list[Operation]] = []
+    for op in ops:
+        if runs and runs[-1][0].kind == op.kind:
+            runs[-1].append(op)
+        else:
+            runs.append([op])
+    return runs
+
+
 class Database:
     """A set of d-dimensional tuples supporting insert/delete by id.
 
@@ -114,16 +130,28 @@ class Database:
         return self._data[int(tuple_id)].copy()
 
     def points(self, tuple_ids=None) -> np.ndarray:
-        """Matrix of tuples for ``tuple_ids`` (default: all alive, id order)."""
+        """Matrix of tuples for ``tuple_ids`` (default: all alive, id order).
+
+        When ``tuple_ids is None`` and no tuple has ever been deleted,
+        this is a **zero-copy** read-only view of the contiguous backing
+        storage; otherwise a fresh array is returned. The view stays
+        valid across later insertions (the storage row it exposes is
+        never rewritten — ids are not reused), but it reflects the
+        database as of the call.
+        """
         if tuple_ids is None:
-            return self._data[: self._used][self._alive[: self._used]].copy()
+            if self._size == self._used:
+                view = self._data[: self._used]
+                view.flags.writeable = False
+                return view
+            return self._data[: self._used][self._alive[: self._used]]
         idx = np.asarray(list(tuple_ids), dtype=np.intp)
         if idx.size:
             ok = (idx >= 0) & (idx < self._used)
             if not ok.all() or not self._alive[idx[ok]].all():
                 bad = [int(i) for i in idx if i not in self]
                 raise KeyError(f"tuple ids not alive: {bad}")
-        return self._data[idx].copy()
+        return self._data[idx]
 
     def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
         """``(ids, matrix)`` of the alive tuples, aligned row-for-row."""
@@ -191,6 +219,34 @@ class Database:
         self._size -= 1
         return self._data[tid].copy()
 
+    def insert_many(self, points) -> np.ndarray:
+        """Insert a batch of tuples; returns their new ids (in row order).
+
+        Identical to calling :meth:`insert` per row — ids are assigned
+        sequentially — but validation and storage writes are one array
+        operation each.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        if pts.ndim != 2 or pts.shape[1] != self._d:
+            raise ValueError(f"points must be (n, {self._d}), got {pts.shape}")
+        if pts.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
+        if not np.isfinite(pts).all():
+            raise ValueError("points contain NaN or infinite values")
+        if (pts < 0).any():
+            raise ValueError("points must lie in the nonnegative orthant")
+        n = pts.shape[0]
+        if self._used + n > self._data.shape[0]:
+            self._grow(self._used + n)
+        ids = np.arange(self._used, self._used + n, dtype=np.intp)
+        self._data[ids] = pts
+        self._alive[ids] = True
+        self._used += n
+        self._size += n
+        return ids
+
     def apply(self, op: Operation) -> int:
         """Apply an :class:`Operation`; returns the affected tuple id."""
         if op.kind == INSERT:
@@ -200,9 +256,28 @@ class Database:
         self.delete(op.tuple_id)
         return op.tuple_id
 
-    def _grow(self) -> None:
-        """Double the backing storage (amortized O(1) inserts)."""
+    def apply_batch(self, ops) -> list[int]:
+        """Apply a sequence of operations; returns the affected ids.
+
+        Consecutive insertions are stored with one :meth:`insert_many`
+        call; the result is indistinguishable from applying each
+        operation with :meth:`apply` (ids are assigned in order).
+        """
+        out: list[int] = []
+        for run in iter_op_runs(ops):
+            if run[0].kind == INSERT:
+                pts = np.asarray([op.point for op in run])
+                out.extend(int(pid) for pid in self.insert_many(pts))
+            else:
+                out.extend(self.apply(op) for op in run)
+        return out
+
+    def _grow(self, need: int | None = None) -> None:
+        """Grow the backing storage by doubling (amortized O(1) inserts)."""
         new_cap = max(8, 2 * self._data.shape[0])
+        if need is not None:
+            while new_cap < need:
+                new_cap *= 2
         data = np.empty((new_cap, self._d), dtype=np.float64)
         data[: self._used] = self._data[: self._used]
         alive = np.zeros(new_cap, dtype=bool)

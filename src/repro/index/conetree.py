@@ -17,6 +17,19 @@ the leaf-to-root path whenever a threshold changes.
 Utilities can also be *deactivated* (FD-RMS only uses the first ``m`` of
 its ``M`` samples); inactive utilities never match and contribute
 ``+inf`` to ``τ_min``.
+
+Storage layout
+--------------
+The structure is built once and never changes shape, which makes it a
+perfect fit for a **flat structure-of-arrays**: per-node cone axes in one
+``(n_nodes, d)`` matrix, ``cos ω``/``sin ω``/``τ_min`` in parallel
+vectors, child/parent links as integer arrays, and the leaf membership
+as ONE pooled index array with per-leaf ``(start, end)`` slices assigned
+in build order. :meth:`reached_by` expands a frontier of node ids in
+vectorized waves — the cone bounds for the whole frontier come from a
+single gathered mat-vec — instead of per-node Python recursion, and
+:meth:`set_thresholds` repairs ``τ_min`` for a whole batch of changed
+utilities in one bottom-up sweep over the affected nodes.
 """
 
 from __future__ import annotations
@@ -24,25 +37,6 @@ from __future__ import annotations
 import numpy as np
 
 _LEAF_CAPACITY = 8
-
-
-class _ConeNode:
-    __slots__ = ("axis_dir", "cos_omega", "sin_omega", "tau_min",
-                 "left", "right", "parent", "members")
-
-    def __init__(self, parent=None) -> None:
-        self.axis_dir: np.ndarray | None = None
-        self.cos_omega = 1.0
-        self.sin_omega = 0.0
-        self.tau_min = np.inf
-        self.left: _ConeNode | None = None
-        self.right: _ConeNode | None = None
-        self.parent: _ConeNode | None = parent
-        self.members: list[int] | None = None  # leaf only
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.members is not None
 
 
 class ConeTree:
@@ -72,8 +66,25 @@ class ConeTree:
         self._leaf_capacity = int(leaf_capacity)
         self._tau = np.full(self._m_total, np.inf)
         self._active = np.zeros(self._m_total, dtype=bool)
-        self._leaf_of: dict[int, _ConeNode] = {}
-        self._root = self._build(list(range(self._m_total)), None)
+        # --- flat node arrays, filled by _build ---
+        nodes_cap = max(4, 4 * (self._m_total // max(1, leaf_capacity) + 1))
+        self._axis_dir = np.empty((nodes_cap, self._d))
+        self._cos_omega = np.ones(nodes_cap)
+        self._sin_omega = np.zeros(nodes_cap)
+        self._tau_min = np.full(nodes_cap, np.inf)
+        self._left = np.full(nodes_cap, -1, dtype=np.int32)
+        self._right = np.full(nodes_cap, -1, dtype=np.int32)
+        self._parent = np.full(nodes_cap, -1, dtype=np.int32)
+        self._mem_start = np.zeros(nodes_cap, dtype=np.int64)  # leaf slice
+        self._mem_end = np.zeros(nodes_cap, dtype=np.int64)
+        self._is_leaf = np.zeros(nodes_cap, dtype=bool)
+        self._member_pool = np.empty(self._m_total, dtype=np.intp)
+        self._leaf_of = np.full(self._m_total, -1, dtype=np.int32)
+        self._n_nodes = 0
+        self._pool_fill = 0
+        root = self._build(np.arange(self._m_total), -1)
+        assert root == 0 and self._pool_fill == self._m_total
+        self._trim()
 
     # ------------------------------------------------------------------
     # Threshold / activity maintenance
@@ -87,26 +98,72 @@ class ConeTree:
         """Current threshold of utility ``idx`` (``inf`` while inactive)."""
         return float(self._tau[idx])
 
+    def thresholds(self) -> np.ndarray:
+        """Read-only view of all thresholds (``inf`` marks inactive).
+
+        Batch callers compare a precomputed score row against this
+        vector instead of traversing the tree once per tuple.
+        """
+        view = self._tau.view()
+        view.flags.writeable = False
+        return view
+
+    def active_mask(self) -> np.ndarray:
+        """Read-only view of the active flags."""
+        view = self._active.view()
+        view.flags.writeable = False
+        return view
+
     def is_active(self, idx: int) -> bool:
         return bool(self._active[idx])
 
     def set_threshold(self, idx: int, tau: float) -> None:
         """Set utility ``idx``'s threshold and repair ``τ_min`` upwards."""
-        self._tau[idx] = float(tau)
+        tau = float(tau)
+        if self._tau[idx] == tau:
+            return  # τ_min already consistent
+        self._tau[idx] = tau
         if self._active[idx]:
-            self._bubble_up(self._leaf_of[idx])
+            self._bubble_up(int(self._leaf_of[idx]))
+
+    def set_thresholds(self, idxs, taus) -> None:
+        """Batch :meth:`set_threshold`: one bottom-up ``τ_min`` repair.
+
+        ``idxs``/``taus`` are aligned arrays; inactive utilities get
+        their ``τ`` recorded but do not trigger repairs (as in the
+        scalar method), and leaves shared by several changed utilities
+        bubble once instead of once per utility.
+        """
+        idxs = np.asarray(idxs, dtype=np.intp).reshape(-1)
+        taus = np.asarray(taus, dtype=np.float64).reshape(-1)
+        if idxs.shape != taus.shape:
+            raise ValueError("idxs and taus must be aligned")
+        if idxs.size == 0:
+            return
+        changed = self._tau[idxs] != taus
+        idxs, taus = idxs[changed], taus[changed]
+        if idxs.size == 0:
+            return
+        self._tau[idxs] = taus
+        active = self._active[idxs]
+        if idxs.size == 1:
+            if active[0]:
+                self._bubble_up(int(self._leaf_of[idxs[0]]))
+            return
+        for leaf in np.unique(self._leaf_of[idxs[active]]):
+            self._bubble_up(int(leaf))
 
     def activate(self, idx: int, tau: float) -> None:
         """Mark utility ``idx`` active with threshold ``tau``."""
         self._active[idx] = True
         self._tau[idx] = float(tau)
-        self._bubble_up(self._leaf_of[idx])
+        self._bubble_up(int(self._leaf_of[idx]))
 
     def deactivate(self, idx: int) -> None:
         """Mark utility ``idx`` inactive (it will never match queries)."""
         self._active[idx] = False
         self._tau[idx] = np.inf
-        self._bubble_up(self._leaf_of[idx])
+        self._bubble_up(int(self._leaf_of[idx]))
 
     # ------------------------------------------------------------------
     # Queries
@@ -121,64 +178,108 @@ class ConeTree:
         if p.shape[0] != self._d:
             raise ValueError(f"point has d={p.shape[0]}, expected {self._d}")
         p_norm = float(np.linalg.norm(p))
-        hits: list[int] = []
         if p_norm == 0.0:
             # Zero point scores 0 for every utility; it reaches only
             # thresholds <= 0.
-            for idx in np.flatnonzero(self._active):
-                if self._tau[idx] <= 0.0:
-                    hits.append(int(idx))
-            return hits
+            return [int(i) for i in
+                    np.flatnonzero(self._active & (self._tau <= 0.0))]
         p_dir = p / p_norm
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if node.tau_min == np.inf:
-                continue
-            if self._cone_bound(node, p_dir, p_norm) < node.tau_min:
-                continue
-            if node.is_leaf:
-                for idx in node.members:
-                    if self._active[idx] and float(self._u[idx] @ p) >= self._tau[idx]:
-                        hits.append(idx)
+        candidates: list[np.ndarray] = []
+        frontier = (np.zeros(1, dtype=np.intp)
+                    if self._tau_min[0] != np.inf else np.empty(0, np.intp))
+        while frontier.size:
+            # Cone bound for the whole frontier in one gathered mat-vec.
+            cos_t = np.clip(self._axis_dir[frontier] @ p_dir, -1.0, 1.0)
+            sin_t = np.sqrt(np.maximum(0.0, 1.0 - cos_t * cos_t))
+            cos_w = self._cos_omega[frontier]
+            cos_gap = cos_t * cos_w + sin_t * self._sin_omega[frontier]
+            bound = p_norm * np.where(cos_t >= cos_w, 1.0, cos_gap)
+            frontier = frontier[bound >= self._tau_min[frontier]]
+            if not frontier.size:
+                break
+            leaf_mask = self._is_leaf[frontier]
+            for n in frontier[leaf_mask]:
+                candidates.append(
+                    self._member_pool[self._mem_start[n]:self._mem_end[n]])
+            internals = frontier[~leaf_mask]
+            if internals.size:
+                kids = np.concatenate(
+                    [self._left[internals], self._right[internals]])
+                frontier = kids[self._tau_min[kids] != np.inf].astype(np.intp)
             else:
-                if node.left is not None:
-                    stack.append(node.left)
-                if node.right is not None:
-                    stack.append(node.right)
+                break
+        if not candidates:
+            return []
+        members = np.concatenate(candidates)
+        scores = self._u[members] @ p
+        hits = members[self._active[members] & (scores >= self._tau[members])]
         hits.sort()
-        return hits
+        return [int(i) for i in hits]
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    @staticmethod
-    def _cone_bound(node: _ConeNode, p_dir: np.ndarray, p_norm: float) -> float:
-        """Upper bound of ``<u, p>`` over the node's cone (unit ``u``)."""
-        cos_theta = float(np.clip(node.axis_dir @ p_dir, -1.0, 1.0))
-        # cos(theta - omega) = cos t cos w + sin t sin w, clamped to 1 when
-        # p_dir lies inside the cone (theta <= omega).
-        sin_theta = float(np.sqrt(max(0.0, 1.0 - cos_theta * cos_theta)))
-        if cos_theta >= node.cos_omega:
-            return p_norm
-        cos_gap = cos_theta * node.cos_omega + sin_theta * node.sin_omega
-        return p_norm * cos_gap
+    def _alloc_node(self, parent: int) -> int:
+        idx = self._n_nodes
+        if idx == self._left.shape[0]:
+            self._grow_nodes()
+        self._n_nodes += 1
+        self._parent[idx] = parent
+        return idx
 
-    def _build(self, members: list[int], parent) -> _ConeNode:
-        node = _ConeNode(parent)
+    def _grow_nodes(self) -> None:
+        cap = self._left.shape[0]
+        new_cap = 2 * cap
+        def grow1(arr, fill):
+            out = np.full(new_cap, fill, dtype=arr.dtype)
+            out[:cap] = arr
+            return out
+        self._cos_omega = grow1(self._cos_omega, 1.0)
+        self._sin_omega = grow1(self._sin_omega, 0.0)
+        self._tau_min = grow1(self._tau_min, np.inf)
+        self._left = grow1(self._left, -1)
+        self._right = grow1(self._right, -1)
+        self._parent = grow1(self._parent, -1)
+        self._mem_start = grow1(self._mem_start, 0)
+        self._mem_end = grow1(self._mem_end, 0)
+        self._is_leaf = grow1(self._is_leaf, False)
+        axis = np.empty((new_cap, self._d))
+        axis[:cap] = self._axis_dir
+        self._axis_dir = axis
+
+    def _trim(self) -> None:
+        """Shrink node arrays to the built size (structure is static)."""
+        n = self._n_nodes
+        self._axis_dir = np.ascontiguousarray(self._axis_dir[:n])
+        self._cos_omega = self._cos_omega[:n].copy()
+        self._sin_omega = self._sin_omega[:n].copy()
+        self._tau_min = self._tau_min[:n].copy()
+        self._left = self._left[:n].copy()
+        self._right = self._right[:n].copy()
+        self._parent = self._parent[:n].copy()
+        self._mem_start = self._mem_start[:n].copy()
+        self._mem_end = self._mem_end[:n].copy()
+        self._is_leaf = self._is_leaf[:n].copy()
+
+    def _build(self, members: np.ndarray, parent: int) -> int:
+        """Recursively build the subtree over ``members``; returns node id.
+
+        Same construction as Ram & Gray: the cone axis is the normalized
+        mean direction, and splits seed a 2-means style partition around
+        the two most separated members.
+        """
+        node = self._alloc_node(parent)
         vecs = self._u[members]
         mean = vecs.mean(axis=0)
         norm = float(np.linalg.norm(mean))
-        node.axis_dir = mean / norm if norm > 0 else vecs[0]
-        cosines = np.clip(vecs @ node.axis_dir, -1.0, 1.0)
+        axis_dir = mean / norm if norm > 0 else vecs[0]
+        self._axis_dir[node] = axis_dir
+        cosines = np.clip(vecs @ axis_dir, -1.0, 1.0)
         cos_w = float(cosines.min())
-        node.cos_omega = cos_w
-        node.sin_omega = float(np.sqrt(max(0.0, 1.0 - cos_w * cos_w)))
-        if len(members) <= self._leaf_capacity:
-            node.members = list(members)
-            for idx in members:
-                self._leaf_of[idx] = node
-            return node
+        self._cos_omega[node] = cos_w
+        self._sin_omega[node] = float(np.sqrt(max(0.0, 1.0 - cos_w * cos_w)))
+        if members.size <= self._leaf_capacity:
+            return self._set_leaf(node, members)
         # Split around the two most separated members (2-means style seed
         # selection used by Ram & Gray), assigning by nearer angular seed.
         far_a = int(np.argmin(cosines))
@@ -186,27 +287,46 @@ class ConeTree:
         far_b = int(np.argmin(cos_to_a))
         cos_to_b = np.clip(vecs @ vecs[far_b], -1.0, 1.0)
         go_left = cos_to_a >= cos_to_b
-        left = [m for m, flag in zip(members, go_left) if flag]
-        right = [m for m, flag in zip(members, go_left) if not flag]
-        if not left or not right:
-            node.members = list(members)
-            for idx in members:
-                self._leaf_of[idx] = node
-            return node
-        node.left = self._build(left, node)
-        node.right = self._build(right, node)
+        if go_left.all() or not go_left.any():
+            return self._set_leaf(node, members)
+        left = self._build(members[go_left], node)
+        right = self._build(members[~go_left], node)
+        # Child ids are assigned after the recursion; record the links.
+        self._left[node] = left
+        self._right[node] = right
         return node
 
-    def _bubble_up(self, leaf: _ConeNode) -> None:
-        """Recompute ``τ_min`` from ``leaf`` to the root."""
-        node: _ConeNode | None = leaf
-        while node is not None:
-            if node.is_leaf:
-                taus = [self._tau[i] for i in node.members if self._active[i]]
-                node.tau_min = min(taus) if taus else np.inf
+    def _set_leaf(self, node: int, members: np.ndarray) -> int:
+        start = self._pool_fill
+        end = start + members.size
+        self._member_pool[start:end] = members
+        self._pool_fill = end
+        self._mem_start[node] = start
+        self._mem_end[node] = end
+        self._is_leaf[node] = True
+        self._leaf_of[members] = node
+        return node
+
+    def _bubble_up(self, leaf: int) -> None:
+        """Recompute ``τ_min`` from ``leaf`` towards the root.
+
+        Stops as soon as a node's recomputed ``τ_min`` is unchanged —
+        every ancestor's value is then unchanged too.
+        """
+        tau_min, parent = self._tau_min, self._parent
+        node = leaf
+        while node >= 0:
+            if self._is_leaf[node]:
+                members = self._member_pool[
+                    self._mem_start[node]:self._mem_end[node]]
+                taus = np.where(self._active[members],
+                                self._tau[members], np.inf)
+                fresh = taus.min() if taus.size else np.inf
             else:
-                node.tau_min = min(
-                    node.left.tau_min if node.left is not None else np.inf,
-                    node.right.tau_min if node.right is not None else np.inf,
-                )
-            node = node.parent
+                l = tau_min[self._left[node]]
+                r = tau_min[self._right[node]]
+                fresh = l if l < r else r
+            if fresh == tau_min[node]:
+                return
+            tau_min[node] = fresh
+            node = int(parent[node])

@@ -7,16 +7,31 @@ answer ε-approximate top-k queries and to refresh them after updates
 ``<u, box_max>``; that single bound drives both the best-first top-k
 search and the range (``score >= τ``) search.
 
-Dynamics:
+Storage layout
+--------------
+The tree is a **flat structure-of-arrays**, not an object graph. Node
+metadata lives in contiguous NumPy arrays indexed by node id (``_axis``,
+``_split``, ``_left``/``_right``/``_parent``, ``_box_min``/``_box_max``
+as ``(capacity, d)`` matrices, ``_total``/``_alive`` counters); points
+live in a pooled ``(capacity, d)`` slot matrix with an id ↔ slot map;
+leaf buckets are per-leaf slot arrays with amortized-doubling growth.
+Queries expand a *frontier* of node ids in vectorized waves — bounds for
+the whole frontier come from one gathered mat-vec, leaf candidates are
+scored in one gathered mat-vec — instead of per-node Python recursion.
+Node ids freed by subtree rebuilds are recycled through a free list.
+
+Dynamics (same amortization contract as the original object-graph tree):
 
 * **insert** descends by the existing splits and pushes the point into a
   leaf bucket, splitting the bucket at the median of its widest
-  dimension when it overflows.
-* **delete** is by tuple id: the id is removed from its leaf (an id→leaf
-  map makes this O(1) to locate) and alive counters are decremented up
-  the path. A subtree whose alive count falls below half of its total is
-  rebuilt from its alive points, which keeps queries within a constant
-  factor of a freshly built tree (standard amortization).
+  dimension when it overflows. :meth:`insert_many` routes a whole batch
+  level-by-level with array ops (one wave per tree level).
+* **delete** is by tuple id: the id is removed from its leaf (a slot →
+  leaf array makes this O(1) to locate) and alive counters are
+  decremented up the path. A subtree whose alive count falls below half
+  of its total is rebuilt from its alive points, which keeps queries
+  within a constant factor of a freshly built tree (standard
+  amortization).
 
 Bounding boxes are maintained as *covers* (they may be slightly loose
 after deletions until a rebuild); the query bounds stay valid because a
@@ -25,37 +40,16 @@ loose box only weakens pruning, never correctness.
 
 from __future__ import annotations
 
-import heapq
-import itertools
-
 import numpy as np
 
 from repro.utils import as_point_matrix
 
 _LEAF_CAPACITY = 16
 
-
-class _Node:
-    """One k-d tree node; a leaf when ``axis`` is None."""
-
-    __slots__ = ("axis", "split", "left", "right", "parent",
-                 "box_min", "box_max", "total", "alive", "bucket")
-
-    def __init__(self, parent=None) -> None:
-        self.axis: int | None = None
-        self.split: float = 0.0
-        self.left: _Node | None = None
-        self.right: _Node | None = None
-        self.parent: _Node | None = parent
-        self.box_min: np.ndarray | None = None
-        self.box_max: np.ndarray | None = None
-        self.total = 0
-        self.alive = 0
-        self.bucket: list[int] = []
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.axis is None
+# Frontier nodes expanded per wave of the best-first top-k search. Small
+# enough to stay close to true best-first pruning, large enough that the
+# per-wave numpy overhead amortizes.
+_TOPK_WAVE = 8
 
 
 class KDTree:
@@ -76,9 +70,30 @@ class KDTree:
             raise ValueError(f"leaf_capacity must be >= 2, got {leaf_capacity}")
         self._d = int(d)
         self._leaf_capacity = int(leaf_capacity)
-        self._points: dict[int, np.ndarray] = {}
-        self._leaf_of: dict[int, _Node] = {}
-        self._root = _Node()
+        # --- node arrays (SoA) ---
+        cap = 16
+        self._axis = np.full(cap, -1, dtype=np.int32)     # -1 → leaf
+        self._split = np.zeros(cap, dtype=np.float64)
+        self._left = np.full(cap, -1, dtype=np.int32)
+        self._right = np.full(cap, -1, dtype=np.int32)
+        self._parent = np.full(cap, -1, dtype=np.int32)
+        self._box_min = np.full((cap, self._d), np.inf, dtype=np.float64)
+        self._box_max = np.full((cap, self._d), -np.inf, dtype=np.float64)
+        self._total = np.zeros(cap, dtype=np.int64)
+        self._alive = np.zeros(cap, dtype=np.int64)
+        self._buckets: list[np.ndarray | None] = [None] * cap
+        self._bucket_len = np.zeros(cap, dtype=np.int64)
+        self._n_nodes = 1                                  # node 0 = root
+        self._free_nodes: list[int] = []
+        self._buckets[0] = np.empty(self._leaf_capacity + 1, dtype=np.intp)
+        # --- point pool ---
+        pcap = 16
+        self._pts = np.empty((pcap, self._d), dtype=np.float64)
+        self._ids = np.empty(pcap, dtype=np.intp)          # slot -> tuple id
+        self._leaf_of_slot = np.full(pcap, -1, dtype=np.int32)
+        self._n_slots = 0
+        self._free_slots: list[int] = []
+        self._slot_of: dict[int, int] = {}                 # tuple id -> slot
 
     # ------------------------------------------------------------------
     # Construction / updates
@@ -91,15 +106,14 @@ class KDTree:
         if ids.shape[0] != pts.shape[0]:
             raise ValueError("ids and points must have equal length")
         tree = cls(pts.shape[1], leaf_capacity=leaf_capacity)
-        tree._points = {int(i): pts[row].copy() for row, i in enumerate(ids)}
-        tree._root = tree._build_subtree(list(tree._points.keys()), None)
+        tree.insert_many(ids, pts)
         return tree
 
     def __len__(self) -> int:
-        return self._root.alive
+        return int(self._alive[0])
 
     def __contains__(self, tuple_id: int) -> bool:
-        return tuple_id in self._points
+        return tuple_id in self._slot_of
 
     @property
     def d(self) -> int:
@@ -107,43 +121,123 @@ class KDTree:
 
     def insert(self, tuple_id: int, point) -> None:
         """Insert a point under ``tuple_id`` (must be fresh)."""
-        if tuple_id in self._points:
+        if tuple_id in self._slot_of:
             raise KeyError(f"tuple id {tuple_id} already present")
         vec = np.asarray(point, dtype=np.float64).reshape(-1)
         if vec.shape[0] != self._d:
             raise ValueError(f"point has d={vec.shape[0]}, expected {self._d}")
-        self._points[tuple_id] = vec.copy()
-        node = self._root
+        slot = self._new_slot(int(tuple_id), vec)
+        axis, split = self._axis, self._split
+        left, right = self._left, self._right
+        vl = vec.tolist()
+        node = 0
+        path = [0]
         while True:
-            self._absorb_box(node, vec)
-            node.total += 1
-            node.alive += 1
-            if node.is_leaf:
+            ax = int(axis[node])
+            if ax < 0:
                 break
-            node = node.left if vec[node.axis] <= node.split else node.right
-        node.bucket.append(tuple_id)
-        self._leaf_of[tuple_id] = node
-        if len(node.bucket) > self._leaf_capacity:
+            node = int(left[node] if vl[ax] <= split[node] else right[node])
+            path.append(node)
+        # One gather/scatter over the (unique) root-to-leaf path instead of
+        # per-level ufunc calls.
+        p = np.asarray(path, dtype=np.intp)
+        self._total[p] += 1
+        self._alive[p] += 1
+        self._box_min[p] = np.minimum(self._box_min[p], vec)
+        self._box_max[p] = np.maximum(self._box_max[p], vec)
+        self._bucket_append(node, slot)
+        if self._bucket_len[node] > self._leaf_capacity:
             self._split_leaf(node)
+
+    def insert_many(self, ids, points) -> None:
+        """Insert a whole batch, routing all points level-by-level.
+
+        Equivalent to calling :meth:`insert` per row, but the descent,
+        box absorption, and counter updates run as array operations over
+        the batch (one wave per tree level), and overflowing leaves are
+        rebuilt once at the end instead of splitting per arrival.
+        """
+        pts = as_point_matrix(points)
+        ids = np.asarray(list(ids), dtype=np.intp)
+        if ids.shape[0] != pts.shape[0]:
+            raise ValueError("ids and points must have equal length")
+        if pts.shape[1] != self._d:
+            raise ValueError(f"points have d={pts.shape[1]}, expected {self._d}")
+        if ids.shape[0] == 0:
+            return
+        uniq = np.unique(ids)
+        if uniq.size != ids.size:
+            raise KeyError("duplicate tuple ids in batch")
+        for tid in ids:
+            if int(tid) in self._slot_of:
+                raise KeyError(f"tuple id {int(tid)} already present")
+        if ids.shape[0] < 8:
+            # Tiny batches: the wave machinery costs more than it saves.
+            for tid, vec in zip(ids, pts):
+                self.insert(int(tid), vec)
+            return
+        slots = self._new_slots(ids, pts)
+        # Route every point to its leaf, one vectorized wave per level.
+        cur = np.zeros(ids.size, dtype=np.intp)
+        active = np.arange(ids.size)
+        while active.size:
+            nodes = cur[active]
+            np.add.at(self._total, nodes, 1)
+            np.add.at(self._alive, nodes, 1)
+            np.minimum.at(self._box_min, nodes, pts[active])
+            np.maximum.at(self._box_max, nodes, pts[active])
+            ax = self._axis[nodes]
+            internal = ax >= 0
+            desc = active[internal]
+            if desc.size:
+                a = ax[internal]
+                at = cur[desc]
+                go_right = pts[desc, a] > self._split[at]
+                cur[desc] = np.where(go_right, self._right[at], self._left[at])
+            active = desc
+        # Append each leaf's arrivals in one go; rebuild overflowing leaves.
+        order = np.argsort(cur, kind="stable")
+        leaf_ids = cur[order]
+        starts = np.flatnonzero(np.r_[True, leaf_ids[1:] != leaf_ids[:-1]])
+        bounds = np.r_[starts, leaf_ids.size]
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            leaf = int(leaf_ids[s])
+            group = slots[order[s:e]]
+            self._bucket_extend(leaf, group)
+            if self._bucket_len[leaf] > self._leaf_capacity:
+                bucket = self._buckets[leaf][: self._bucket_len[leaf]].copy()
+                self._build_into(leaf, bucket, int(self._parent[leaf]))
 
     def delete(self, tuple_id: int) -> None:
         """Remove ``tuple_id``; rebuilds decayed subtrees opportunistically."""
-        leaf = self._leaf_of.pop(tuple_id, None)
-        if leaf is None:
+        slot = self._slot_of.pop(int(tuple_id), None)
+        if slot is None:
             raise KeyError(f"tuple id {tuple_id} not present")
-        del self._points[tuple_id]
-        leaf.bucket.remove(tuple_id)
+        leaf = int(self._leaf_of_slot[slot])
+        self._bucket_remove(leaf, slot)
+        self._free_slots.append(slot)
         # ``alive`` drops immediately; ``total`` only resets on rebuild, so
         # the ratio measures decay since the subtree was last built.
-        rebuild_candidate: _Node | None = None
-        node: _Node | None = leaf
-        while node is not None:
-            node.alive -= 1
-            if node.alive * 2 < node.total and node.total > self._leaf_capacity:
-                rebuild_candidate = node  # highest such node wins (found last)
-            node = node.parent
-        if rebuild_candidate is not None:
-            self._rebuild(rebuild_candidate)
+        parent = self._parent
+        node = leaf
+        path = [leaf]
+        while True:
+            node = int(parent[node])
+            if node < 0:
+                break
+            path.append(node)
+        p = np.asarray(path, dtype=np.intp)
+        self._alive[p] -= 1
+        decayed = np.flatnonzero(
+            (self._alive[p] * 2 < self._total[p])
+            & (self._total[p] > self._leaf_capacity))
+        # Highest decayed node wins (deepest in ``path`` order is last).
+        rebuild_candidate = int(p[decayed[-1]]) if decayed.size else -1
+        if rebuild_candidate >= 0:
+            alive_slots = self._collect_alive(rebuild_candidate)
+            self._free_subtree_children(rebuild_candidate)
+            self._build_into(rebuild_candidate, alive_slots,
+                             int(self._parent[rebuild_candidate]))
 
     # ------------------------------------------------------------------
     # Queries
@@ -157,36 +251,50 @@ class KDTree:
         u = np.asarray(u, dtype=np.float64).reshape(-1)
         if u.shape[0] != self._d:
             raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
-        if k < 1 or self._root.alive == 0:
+        if k < 1 or self._alive[0] == 0:
             return (np.empty(0, dtype=np.intp), np.empty(0))
-        k = min(int(k), self._root.alive)
-        counter = itertools.count()
-        frontier = [(-self._node_bound(self._root, u), next(counter), self._root)]
-        # Min-heap of (score, -id) keeps the current k best; its root is
-        # the threshold for pruning.
-        best: list[tuple[float, int]] = []
-        while frontier:
-            neg_bound, _, node = heapq.heappop(frontier)
-            if len(best) == k and -neg_bound < best[0][0]:
-                break
-            if node.is_leaf:
-                for tid in node.bucket:
-                    score = float(self._points[tid] @ u)
-                    entry = (score, -tid)
-                    if len(best) < k:
-                        heapq.heappush(best, entry)
-                    elif entry > best[0]:
-                        heapq.heapreplace(best, entry)
-            else:
-                for child in (node.left, node.right):
-                    if child is not None and child.alive > 0:
-                        bound = self._node_bound(child, u)
-                        if len(best) < k or bound >= best[0][0]:
-                            heapq.heappush(frontier, (-bound, next(counter), child))
-        ordered = sorted(best, key=lambda e: (-e[0], -e[1]))
-        ids = np.asarray([-tid for _, tid in ordered], dtype=np.intp)
-        scores = np.asarray([s for s, _ in ordered])
-        return ids, scores
+        k = min(int(k), int(self._alive[0]))
+        frontier = np.zeros(1, dtype=np.intp)
+        bounds = self._box_max[frontier] @ u
+        best_ids = np.empty(0, dtype=np.intp)
+        best_scores = np.empty(0)
+        kth = -np.inf
+        while frontier.size:
+            if best_ids.size == k:
+                keep = bounds >= kth
+                frontier, bounds = frontier[keep], bounds[keep]
+                if not frontier.size:
+                    break
+            # Expand the best-bound nodes of this wave; the rest wait.
+            order = np.argsort(-bounds, kind="stable")
+            take, rest = order[:_TOPK_WAVE], order[_TOPK_WAVE:]
+            sel = frontier[take]
+            frontier, bounds = frontier[rest], bounds[rest]
+            leaf_mask = self._axis[sel] < 0
+            leaves, internals = sel[leaf_mask], sel[~leaf_mask]
+            if leaves.size:
+                slots = np.concatenate(
+                    [self._buckets[n][: self._bucket_len[n]] for n in leaves])
+                if slots.size:
+                    cand_scores = self._pts[slots] @ u
+                    all_scores = np.concatenate([best_scores, cand_scores])
+                    all_ids = np.concatenate([best_ids, self._ids[slots]])
+                    top = np.lexsort((all_ids, -all_scores))[:k]
+                    best_scores, best_ids = all_scores[top], all_ids[top]
+                    if best_ids.size == k:
+                        kth = best_scores[-1]
+            if internals.size:
+                kids = np.concatenate(
+                    [self._left[internals], self._right[internals]])
+                kids = kids[self._alive[kids] > 0].astype(np.intp)
+                if kids.size:
+                    kid_bounds = self._box_max[kids] @ u
+                    if best_ids.size == k:
+                        ok = kid_bounds >= kth
+                        kids, kid_bounds = kids[ok], kid_bounds[ok]
+                    frontier = np.concatenate([frontier, kids])
+                    bounds = np.concatenate([bounds, kid_bounds])
+        return best_ids, best_scores
 
     def range_query(self, u, threshold: float) -> tuple[np.ndarray, np.ndarray]:
         """All ids with ``<u, p> >= threshold``; returns ``(ids, scores)``.
@@ -196,129 +304,281 @@ class KDTree:
         u = np.asarray(u, dtype=np.float64).reshape(-1)
         if u.shape[0] != self._d:
             raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
-        hits_ids: list[int] = []
-        hits_scores: list[float] = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if node.alive == 0 or self._node_bound(node, u) < threshold:
-                continue
-            if node.is_leaf:
-                for tid in node.bucket:
-                    score = float(self._points[tid] @ u)
-                    if score >= threshold:
-                        hits_ids.append(tid)
-                        hits_scores.append(score)
+        threshold = float(threshold)
+        hit_slots: list[np.ndarray] = []
+        frontier = np.zeros(1, dtype=np.intp) if self._alive[0] > 0 \
+            else np.empty(0, dtype=np.intp)
+        while frontier.size:
+            bounds = self._box_max[frontier] @ u
+            frontier = frontier[bounds >= threshold]
+            if not frontier.size:
+                break
+            leaf_mask = self._axis[frontier] < 0
+            for n in frontier[leaf_mask]:
+                if self._bucket_len[n]:
+                    hit_slots.append(self._buckets[n][: self._bucket_len[n]])
+            internals = frontier[~leaf_mask]
+            if internals.size:
+                kids = np.concatenate(
+                    [self._left[internals], self._right[internals]])
+                frontier = kids[self._alive[kids] > 0].astype(np.intp)
             else:
-                if node.left is not None:
-                    stack.append(node.left)
-                if node.right is not None:
-                    stack.append(node.right)
-        if not hits_ids:
+                frontier = np.empty(0, dtype=np.intp)
+        if not hit_slots:
             return (np.empty(0, dtype=np.intp), np.empty(0))
-        ids = np.asarray(hits_ids, dtype=np.intp)
-        scores = np.asarray(hits_scores)
+        slots = np.concatenate(hit_slots)
+        scores = self._pts[slots] @ u
+        ok = scores >= threshold
+        slots, scores = slots[ok], scores[ok]
+        if not slots.size:
+            return (np.empty(0, dtype=np.intp), np.empty(0))
+        ids = self._ids[slots]
         order = np.lexsort((ids, -scores))
         return ids[order], scores[order]
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals — point pool
     # ------------------------------------------------------------------
-    def _node_bound(self, node: _Node, u: np.ndarray) -> float:
-        """Upper bound on ``<u, p>`` over alive points below ``node``."""
-        if node.box_max is None:
-            return -np.inf
-        return float(node.box_max @ u)
-
-    @staticmethod
-    def _absorb_box(node: _Node, vec: np.ndarray) -> None:
-        if node.box_min is None:
-            node.box_min = vec.copy()
-            node.box_max = vec.copy()
+    def _new_slot(self, tuple_id: int, vec: np.ndarray) -> int:
+        if self._free_slots:
+            slot = self._free_slots.pop()
         else:
-            np.minimum(node.box_min, vec, out=node.box_min)
-            np.maximum(node.box_max, vec, out=node.box_max)
+            if self._n_slots == self._pts.shape[0]:
+                self._grow_pool(self._n_slots + 1)
+            slot = self._n_slots
+            self._n_slots += 1
+        self._pts[slot] = vec
+        self._ids[slot] = tuple_id
+        self._slot_of[tuple_id] = slot
+        return slot
 
-    def _build_subtree(self, ids: list[int], parent: _Node | None) -> _Node:
-        node = _Node(parent)
-        node.total = node.alive = len(ids)
-        if ids:
-            pts = np.asarray([self._points[i] for i in ids])
-            node.box_min = pts.min(axis=0)
-            node.box_max = pts.max(axis=0)
-        if len(ids) <= self._leaf_capacity:
-            node.bucket = list(ids)
-            for tid in ids:
-                self._leaf_of[tid] = node
-            return node
-        pts = np.asarray([self._points[i] for i in ids])
-        axis = int(np.argmax(node.box_max - node.box_min))
-        values = pts[:, axis]
-        split = float(np.median(values))
-        left_ids = [tid for tid, v in zip(ids, values) if v <= split]
-        right_ids = [tid for tid, v in zip(ids, values) if v > split]
-        if not left_ids or not right_ids:
-            # All values equal on the widest axis: keep as an oversized
-            # leaf (every split would be degenerate).
-            node.bucket = list(ids)
-            for tid in ids:
-                self._leaf_of[tid] = node
-            return node
-        node.axis = axis
-        node.split = split
-        node.left = self._build_subtree(left_ids, node)
-        node.right = self._build_subtree(right_ids, node)
-        return node
+    def _new_slots(self, ids: np.ndarray, pts: np.ndarray) -> np.ndarray:
+        n = ids.shape[0]
+        slots = np.empty(n, dtype=np.intp)
+        reuse = min(len(self._free_slots), n)
+        for i in range(reuse):
+            slots[i] = self._free_slots.pop()
+        fresh = n - reuse
+        if fresh:
+            self._grow_pool(self._n_slots + fresh)
+            slots[reuse:] = np.arange(self._n_slots, self._n_slots + fresh)
+            self._n_slots += fresh
+        self._pts[slots] = pts
+        self._ids[slots] = ids
+        for i in range(n):
+            self._slot_of[int(ids[i])] = int(slots[i])
+        return slots
 
-    def _split_leaf(self, leaf: _Node) -> None:
-        ids = leaf.bucket
-        pts = np.asarray([self._points[i] for i in ids])
+    def _grow_pool(self, need: int) -> None:
+        cap = self._pts.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        pts = np.empty((new_cap, self._d), dtype=np.float64)
+        pts[:cap] = self._pts
+        self._pts = pts
+        ids = np.empty(new_cap, dtype=np.intp)
+        ids[:cap] = self._ids
+        self._ids = ids
+        leaf_of = np.full(new_cap, -1, dtype=np.int32)
+        leaf_of[:cap] = self._leaf_of_slot
+        self._leaf_of_slot = leaf_of
+
+    # ------------------------------------------------------------------
+    # Internals — node pool
+    # ------------------------------------------------------------------
+    def _alloc_node(self, parent: int) -> int:
+        if self._free_nodes:
+            idx = self._free_nodes.pop()
+        else:
+            if self._n_nodes == self._axis.shape[0]:
+                self._grow_nodes()
+            idx = self._n_nodes
+            self._n_nodes += 1
+        self._reset_node(idx, parent)
+        return idx
+
+    def _reset_node(self, idx: int, parent: int) -> None:
+        self._axis[idx] = -1
+        self._split[idx] = 0.0
+        self._left[idx] = -1
+        self._right[idx] = -1
+        self._parent[idx] = parent
+        self._box_min[idx] = np.inf
+        self._box_max[idx] = -np.inf
+        self._total[idx] = 0
+        self._alive[idx] = 0
+        self._buckets[idx] = None
+        self._bucket_len[idx] = 0
+
+    def _grow_nodes(self) -> None:
+        cap = self._axis.shape[0]
+        new_cap = 2 * cap
+        def grow1(arr, fill):
+            out = np.full(new_cap, fill, dtype=arr.dtype)
+            out[:cap] = arr
+            return out
+        self._axis = grow1(self._axis, -1)
+        self._split = grow1(self._split, 0.0)
+        self._left = grow1(self._left, -1)
+        self._right = grow1(self._right, -1)
+        self._parent = grow1(self._parent, -1)
+        self._total = grow1(self._total, 0)
+        self._alive = grow1(self._alive, 0)
+        self._bucket_len = grow1(self._bucket_len, 0)
+        for name, fill in (("_box_min", np.inf), ("_box_max", -np.inf)):
+            arr = getattr(self, name)
+            out = np.full((new_cap, self._d), fill, dtype=np.float64)
+            out[:cap] = arr
+            setattr(self, name, out)
+        self._buckets.extend([None] * (new_cap - cap))
+
+    # ------------------------------------------------------------------
+    # Internals — leaf buckets
+    # ------------------------------------------------------------------
+    def _bucket_append(self, leaf: int, slot: int) -> None:
+        bucket = self._buckets[leaf]
+        n = int(self._bucket_len[leaf])
+        if bucket is None:
+            bucket = np.empty(max(self._leaf_capacity + 1, 4), dtype=np.intp)
+            self._buckets[leaf] = bucket
+        elif n == bucket.shape[0]:
+            grown = np.empty(2 * n, dtype=np.intp)
+            grown[:n] = bucket
+            bucket = self._buckets[leaf] = grown
+        bucket[n] = slot
+        self._bucket_len[leaf] = n + 1
+        self._leaf_of_slot[slot] = leaf
+
+    def _bucket_extend(self, leaf: int, slots: np.ndarray) -> None:
+        bucket = self._buckets[leaf]
+        n = int(self._bucket_len[leaf])
+        need = n + slots.size
+        if bucket is None or need > bucket.shape[0]:
+            cap = max(need, self._leaf_capacity + 1,
+                      2 * (bucket.shape[0] if bucket is not None else 0))
+            grown = np.empty(cap, dtype=np.intp)
+            if n:
+                grown[:n] = bucket[:n]
+            bucket = self._buckets[leaf] = grown
+        bucket[n:need] = slots
+        self._bucket_len[leaf] = need
+        self._leaf_of_slot[slots] = leaf
+
+    def _bucket_remove(self, leaf: int, slot: int) -> None:
+        bucket = self._buckets[leaf]
+        n = int(self._bucket_len[leaf])
+        # Buckets are tiny; a list scan beats allocating a mask array.
+        pos = bucket[:n].tolist().index(slot)
+        bucket[pos] = bucket[n - 1]
+        self._bucket_len[leaf] = n - 1
+        self._leaf_of_slot[slot] = -1
+
+    # ------------------------------------------------------------------
+    # Internals — (re)building subtrees
+    # ------------------------------------------------------------------
+    def _build_into(self, node: int, slots: np.ndarray, parent: int) -> None:
+        """(Re)build the subtree rooted at ``node`` from ``slots``.
+
+        Median split on the widest axis, recursing via an explicit stack;
+        a group with no usable split (all points equal on the widest
+        axis) stays an oversized leaf.
+        """
+        stack = [(node, slots, parent)]
+        while stack:
+            idx, group, par = stack.pop()
+            self._reset_node(idx, par)
+            n = group.size
+            self._total[idx] = n
+            self._alive[idx] = n
+            if n == 0:
+                self._buckets[idx] = np.empty(self._leaf_capacity + 1,
+                                              dtype=np.intp)
+                continue
+            pts = self._pts[group]
+            self._box_min[idx] = pts.min(axis=0)
+            self._box_max[idx] = pts.max(axis=0)
+            if n <= self._leaf_capacity:
+                self._set_leaf(idx, group)
+                continue
+            axis = int(np.argmax(self._box_max[idx] - self._box_min[idx]))
+            values = pts[:, axis]
+            split = float(np.median(values))
+            mask = values <= split
+            n_left = int(mask.sum())
+            if n_left == 0 or n_left == n:
+                # Degenerate on the widest axis: keep as an oversized leaf.
+                self._set_leaf(idx, group)
+                continue
+            left = self._alloc_node(idx)
+            right = self._alloc_node(idx)
+            self._axis[idx] = axis
+            self._split[idx] = split
+            self._left[idx] = left
+            self._right[idx] = right
+            stack.append((left, group[mask], idx))
+            stack.append((right, group[~mask], idx))
+
+    def _set_leaf(self, idx: int, group: np.ndarray) -> None:
+        bucket = np.empty(max(group.size, self._leaf_capacity + 1),
+                          dtype=np.intp)
+        bucket[: group.size] = group
+        self._buckets[idx] = bucket
+        self._bucket_len[idx] = group.size
+        self._leaf_of_slot[group] = idx
+
+    def _split_leaf(self, leaf: int) -> None:
+        n = int(self._bucket_len[leaf])
+        slots = self._buckets[leaf][:n]
+        pts = self._pts[slots]
         spread = pts.max(axis=0) - pts.min(axis=0)
         axis = int(np.argmax(spread))
         if spread[axis] == 0.0:
             return  # degenerate: defer splitting until points differ
         split = float(np.median(pts[:, axis]))
-        left_ids = [tid for tid, v in zip(ids, pts[:, axis]) if v <= split]
-        right_ids = [tid for tid, v in zip(ids, pts[:, axis]) if v > split]
-        if not left_ids or not right_ids:
+        mask = pts[:, axis] <= split
+        n_left = int(mask.sum())
+        if n_left == 0 or n_left == n:
             return
-        leaf.axis = axis
-        leaf.split = split
-        leaf.bucket = []
-        leaf.left = self._build_subtree(left_ids, leaf)
-        leaf.right = self._build_subtree(right_ids, leaf)
+        left = self._alloc_node(leaf)
+        right = self._alloc_node(leaf)
+        left_slots, right_slots = slots[mask].copy(), slots[~mask].copy()
+        self._axis[leaf] = axis
+        self._split[leaf] = split
+        self._left[leaf] = left
+        self._right[leaf] = right
+        self._buckets[leaf] = None
+        self._bucket_len[leaf] = 0
+        self._build_into(left, left_slots, leaf)
+        self._build_into(right, right_slots, leaf)
 
-    def _rebuild(self, node: _Node) -> None:
-        """Rebuild ``node`` in place from its alive points."""
-        alive_ids = self._collect_alive(node)
-        fresh = self._build_subtree(alive_ids, node.parent)
-        node.axis = fresh.axis
-        node.split = fresh.split
-        node.left = fresh.left
-        node.right = fresh.right
-        if node.left is not None:
-            node.left.parent = node
-        if node.right is not None:
-            node.right.parent = node
-        node.box_min = fresh.box_min
-        node.box_max = fresh.box_max
-        node.total = fresh.total
-        node.alive = fresh.alive
-        node.bucket = fresh.bucket
-        if node.is_leaf:
-            for tid in node.bucket:
-                self._leaf_of[tid] = node
-
-    def _collect_alive(self, node: _Node) -> list[int]:
-        out: list[int] = []
+    def _collect_alive(self, node: int) -> np.ndarray:
+        out: list[np.ndarray] = []
         stack = [node]
         while stack:
             cur = stack.pop()
-            if cur.is_leaf:
-                out.extend(cur.bucket)
+            if self._axis[cur] < 0:
+                n = int(self._bucket_len[cur])
+                if n:
+                    out.append(self._buckets[cur][:n].copy())
             else:
-                if cur.left is not None:
-                    stack.append(cur.left)
-                if cur.right is not None:
-                    stack.append(cur.right)
-        return out
+                stack.append(int(self._left[cur]))
+                stack.append(int(self._right[cur]))
+        if not out:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(out)
+
+    def _free_subtree_children(self, node: int) -> None:
+        """Recycle every node strictly below ``node`` into the free list."""
+        if self._axis[node] < 0:
+            return
+        stack = [int(self._left[node]), int(self._right[node])]
+        while stack:
+            cur = stack.pop()
+            if self._axis[cur] >= 0:
+                stack.append(int(self._left[cur]))
+                stack.append(int(self._right[cur]))
+            self._buckets[cur] = None
+            self._bucket_len[cur] = 0
+            self._axis[cur] = -1
+            self._free_nodes.append(cur)

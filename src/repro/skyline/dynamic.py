@@ -123,6 +123,18 @@ class DynamicSkyline:
                 self._reclassify(int(orphans[int(row)]))
         return True
 
+    def rebuild(self) -> bool:
+        """Recompute the skyline from the database; True iff it changed.
+
+        Batch updates apply many operations to the database at once and
+        call this once at the end instead of maintaining the skyline per
+        operation (the skyline is a pure function of the alive tuples,
+        so the result is identical).
+        """
+        before = frozenset(self._on_skyline)
+        self._rebuild()
+        return frozenset(self._on_skyline) != before
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

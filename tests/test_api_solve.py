@@ -109,3 +109,26 @@ class TestValidationAndExtras:
         db = repro.Database(pts4d)
         engine = repro.FDRMS(db, 1, 8, 0.02, m_max=64, seed=3)
         assert list(via.indices) == engine.result()
+
+
+class TestEvalUtilitiesPlumbing:
+    def test_pinned_test_set_drives_evaluation(self, rng):
+        import repro
+        from repro.core.regret import max_k_regret_ratio_sampled
+        pts = rng.random((150, 3))
+        utils = rng.random((64, 3)) + 1e-9
+        utils /= np.linalg.norm(utils, axis=1, keepdims=True)
+        res = repro.solve(pts, r=6, algo="sphere", seed=0, evaluate=True,
+                          eval_utilities=utils)
+        expect = max_k_regret_ratio_sampled(pts, res.points, 1,
+                                            utilities=utils)
+        assert res.regret == pytest.approx(expect, abs=0.0)
+
+    def test_cached_evaluation_is_deterministic(self, rng):
+        import repro
+        pts = rng.random((150, 3))
+        r1 = repro.solve(pts, r=6, algo="sphere", seed=4, evaluate=True,
+                         eval_samples=500)
+        r2 = repro.solve(pts, r=6, algo="sphere", seed=4, evaluate=True,
+                         eval_samples=500)
+        assert r1.regret == r2.regret

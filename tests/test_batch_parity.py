@@ -1,0 +1,189 @@
+"""Batched updates must be indistinguishable from sequential ones.
+
+``Session.apply_batch(ops)`` (and the layers below it: ``FDRMS``,
+``ApproxTopKIndex``, ``Database``) promise *exact* sequential semantics —
+same results, same counters — while amortizing work across the batch.
+These tests replay identical workloads through both paths and compare.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import open_session
+from repro.core.topk import ApproxTopKIndex
+from repro.data.database import DELETE, INSERT, Database, Operation
+from repro.data.workload import make_paper_workload, make_skewed_workload
+from repro.geometry.sampling import sample_utilities_with_basis
+
+# FD-RMS plus two recompute-wrapped static baselines (one deterministic
+# geometric method, one k-aware sampled method with a pinned seed).
+ALGOS = [
+    ("fd-rms", dict(m_max=48, eps=0.1)),
+    ("sphere", {}),
+    ("greedy*", dict(n_samples=200)),
+]
+
+
+def _workload(pts, kind, seed):
+    if kind == "paper":
+        return make_paper_workload(pts, seed=seed)
+    return make_skewed_workload(pts, insert_fraction=0.5,
+                                n_operations=120, seed=seed)
+
+
+@pytest.mark.parametrize("algo,opts", ALGOS,
+                         ids=[a for a, _ in ALGOS])
+@pytest.mark.parametrize("kind", ["paper", "skewed"])
+def test_session_apply_batch_matches_sequential(algo, opts, kind):
+    rng = np.random.default_rng(42 + len(algo) + len(kind))
+    pts = rng.random((180, 3))
+    wl = _workload(pts, kind, seed=5)
+    seq = open_session(wl.initial, r=6, algo=algo, seed=0, **opts)
+    bat = open_session(wl.initial, r=6, algo=algo, seed=0, **opts)
+    ids_seq = [seq.apply(op) for op in wl.operations]
+    ids_bat = bat.apply_batch(wl.operations)
+    assert [i if i is None else int(i) for i in ids_bat] == ids_seq
+    assert bat.result() == seq.result()
+    assert bat.stats()["solution_size"] == seq.stats()["solution_size"]
+    assert bat.stats()["inserts"] == seq.stats()["inserts"]
+    assert bat.stats()["deletes"] == seq.stats()["deletes"]
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 3),
+       insert_fraction=st.floats(0.1, 0.9))
+def test_fdrms_batch_parity_property(seed, k, insert_fraction):
+    """Property: arbitrary churn mixes, ranks, and batch boundaries."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((120, 3))
+    wl = make_skewed_workload(pts, insert_fraction=insert_fraction,
+                              n_operations=80, seed=seed + 1)
+    seq = open_session(wl.initial, r=5, k=k, algo="fd-rms", seed=0,
+                       m_max=32, eps=0.1)
+    bat = open_session(wl.initial, r=5, k=k, algo="fd-rms", seed=0,
+                       m_max=32, eps=0.1)
+    for op in wl.operations:
+        seq.apply(op)
+    # Split the stream at an arbitrary point: apply_batch must compose.
+    cut = int(rng.integers(0, len(wl.operations) + 1))
+    bat.apply_batch(wl.operations[:cut])
+    bat.apply_batch(wl.operations[cut:])
+    assert bat.result() == seq.result()
+    assert bat.stats()["solution_size"] == seq.stats()["solution_size"]
+    bat.engine.verify(deep=True)
+
+
+def test_topk_index_apply_batch_matches_sequential(rng):
+    pts = rng.random((90, 3))
+    utils = sample_utilities_with_basis(20, 3, seed=2)
+    ops = []
+    alive = list(range(60))
+    nxt = 60
+    for _ in range(70):
+        if alive and rng.random() < 0.45:
+            victim = alive.pop(int(rng.integers(len(alive))))
+            ops.append(Operation(DELETE, pts[victim % 90].copy(),
+                                 tuple_id=victim))
+        else:
+            ops.append(Operation(INSERT, rng.random(3)))
+            alive.append(nxt)
+            nxt += 1
+
+    db_a = Database(pts[:60])
+    idx_a = ApproxTopKIndex(db_a, utils, 2, 0.1)
+    seq_results = []
+    for op in ops:
+        if op.kind == INSERT:
+            pid, deltas = idx_a.insert(op.point)
+            seq_results.append((pid, deltas))
+        else:
+            seq_results.append((None, idx_a.delete(op.tuple_id)))
+
+    db_b = Database(pts[:60])
+    idx_b = ApproxTopKIndex(db_b, utils, 2, 0.1)
+    bat_results = idx_b.apply_batch(ops)
+
+    assert [(p, d) for p, d in bat_results] == seq_results
+    for i in range(20):
+        assert idx_a.members_of(i) == idx_b.members_of(i)
+        assert idx_a.threshold(i) == idx_b.threshold(i)
+
+
+def test_database_apply_batch_matches_sequential(rng):
+    pts = rng.random((30, 4))
+    inserts = [Operation(INSERT, rng.random(4)) for _ in range(10)]
+    ops = list(inserts)
+    ops += [Operation(DELETE, pts[3].copy(), tuple_id=3),
+            Operation(DELETE, inserts[5].point.copy(), tuple_id=35)]
+    ops += [Operation(INSERT, rng.random(4)) for _ in range(5)]
+    a, b = Database(pts), Database(pts)
+    ids_a = [a.apply(op) for op in ops]
+    ids_b = b.apply_batch(ops)
+    assert ids_a == ids_b
+    assert a.ids().tolist() == b.ids().tolist()
+    assert np.array_equal(a.points(), b.points())
+
+
+def test_insert_many_matches_repeated_insert(rng):
+    batch = rng.random((25, 3))
+    a = Database(d=3)
+    b = Database(d=3)
+    ids_a = [a.insert(row) for row in batch]
+    ids_b = b.insert_many(batch).tolist()
+    assert ids_a == ids_b
+    assert np.array_equal(a.points(), b.points())
+
+
+def test_insert_many_validates_like_insert():
+    db = Database(d=2)
+    with pytest.raises(ValueError):
+        db.insert_many([[0.1, -0.2]])
+    with pytest.raises(ValueError):
+        db.insert_many([[0.1, np.nan]])
+    with pytest.raises(ValueError):
+        db.insert_many([[0.1, 0.2, 0.3]])
+    assert len(db) == 0  # failed batches must not partially apply
+    assert db.insert_many(np.empty((0, 2))).size == 0
+
+
+def test_recompute_session_batch_skyline_matches_rebuild(rng):
+    """Deferred skyline recomputation equals per-op maintenance."""
+    pts = rng.random((150, 3))
+    wl = make_skewed_workload(pts, insert_fraction=0.4, n_operations=100,
+                              seed=9)
+    seq = open_session(wl.initial, r=6, algo="sphere", seed=0)
+    bat = open_session(wl.initial, r=6, algo="sphere", seed=0)
+    for op in wl.operations:
+        seq.apply(op)
+    bat.apply_batch(wl.operations)
+    assert seq.stats()["skyline_size"] == bat.stats()["skyline_size"]
+    assert seq.result() == bat.result()
+
+
+def test_recompute_session_batch_failure_keeps_skyline_synced(rng):
+    """A bad op mid-batch must not leave the skyline stale (the prefix
+    before it IS applied to the database)."""
+    pts = rng.random((40, 3)) * 0.5
+    sess = open_session(pts, r=6, algo="sphere", seed=0)
+    base = sess.result()
+    dominant = np.array([0.99, 0.99, 0.99])
+    ops = [Operation(INSERT, dominant),
+           Operation(DELETE, pts[0].copy(), tuple_id=999)]  # not alive
+    with pytest.raises(KeyError):
+        sess.apply_batch(ops)
+    assert 40 in sess.db          # the insert before the bad op applied
+    assert 40 in sess._skyline    # ...and the skyline was re-synced
+    assert 40 in sess.result()    # ...so reads see the dominating tuple
+    assert sess.result() != base
+
+
+def test_recompute_session_stats_is_self_consistent(rng):
+    """stats() refreshes the lazy result first: consecutive calls agree."""
+    sess = open_session(rng.random((60, 3)), r=6, algo="sphere", seed=0)
+    sess.insert([0.98, 0.97, 0.99])
+    first = sess.stats()
+    second = sess.stats()
+    assert first == second
+    assert first["solution_size"] == len(sess.result())

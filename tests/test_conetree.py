@@ -103,3 +103,34 @@ def test_reached_by_property(m, seed, frac_active):
             tree.activate(i, float(taus[i]))
     p = rng.random(3) * 1.2
     assert tree.reached_by(p) == _brute_reached(utils, taus, active, p)
+
+
+class TestBatchThresholds:
+    def test_set_thresholds_equals_scalar_loop(self, rng):
+        utils = sample_utilities(48, 4, seed=10)
+        a, b = ConeTree(utils, leaf_capacity=4), ConeTree(utils, leaf_capacity=4)
+        for i in range(48):
+            a.activate(i, 1.0)
+            b.activate(i, 1.0)
+        idxs = rng.choice(48, size=17, replace=False)
+        taus = rng.random(17)
+        a.set_thresholds(idxs, taus)
+        for i, t in zip(idxs, taus):
+            b.set_threshold(int(i), float(t))
+        for _ in range(10):
+            p = rng.random(4) * 1.2
+            assert a.reached_by(p) == b.reached_by(p)
+
+    def test_thresholds_view_is_read_only(self):
+        tree = ConeTree(sample_utilities(8, 3, seed=1))
+        view = tree.thresholds()
+        assert view.shape == (8,)
+        with pytest.raises(ValueError):
+            view[0] = 0.0
+        tree.activate(3, 0.25)
+        assert view[3] == 0.25  # live view
+
+    def test_set_thresholds_validates_alignment(self):
+        tree = ConeTree(sample_utilities(8, 3, seed=1))
+        with pytest.raises(ValueError):
+            tree.set_thresholds([1, 2], [0.5])

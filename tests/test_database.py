@@ -168,3 +168,36 @@ def test_database_matches_reference_dict(ops):
     assert db.ids().tolist() == sorted(ref)
     for pid, vec in ref.items():
         assert np.allclose(db.point(pid), vec)
+
+
+class TestBulkAndViews:
+    def test_points_fast_path_is_a_view(self, rng):
+        """No-deletion databases expose points() without any copy."""
+        pts = rng.random((50, 3))
+        db = Database(pts)
+        view = db.points()
+        assert np.shares_memory(view, db._data)
+        assert view.flags.c_contiguous and view.dtype == np.float64
+        assert not view.flags.writeable
+        assert np.array_equal(view, pts)
+
+    def test_points_view_survives_growth(self, rng):
+        db = Database(rng.random((4, 2)))
+        view = db.points()
+        for _ in range(40):  # force several storage reallocations
+            db.insert([0.5, 0.5])
+        assert view.shape == (4, 2)
+        assert np.array_equal(view, db.points()[:4])
+
+    def test_points_copy_path_after_delete(self, rng):
+        db = Database(rng.random((10, 2)))
+        db.delete(4)
+        pts = db.points()
+        assert pts.shape == (9, 2)
+        assert not np.shares_memory(pts, db._data)
+
+    def test_insert_many_assigns_sequential_ids(self, rng):
+        db = Database(rng.random((5, 3)))
+        ids = db.insert_many(rng.random((7, 3)))
+        assert ids.tolist() == list(range(5, 12))
+        assert len(db) == 12

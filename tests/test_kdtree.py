@@ -138,3 +138,40 @@ def test_topk_property(n, k, seed):
     ref = _brute_top_k({i: pts[i] for i in range(n)}, u, k)
     assert ids.tolist() == ref
     assert np.all(np.diff(scores) <= 1e-12)
+
+
+class TestBulkInsert:
+    def test_insert_many_equals_repeated_insert(self, rng):
+        pts = rng.random((120, 3))
+        bulk = KDTree(3, leaf_capacity=4)
+        bulk.insert_many(range(120), pts)
+        seq = KDTree(3, leaf_capacity=4)
+        for i in range(120):
+            seq.insert(i, pts[i])
+        for _ in range(6):
+            u = rng.random(3)
+            assert bulk.top_k(u, 9)[0].tolist() == seq.top_k(u, 9)[0].tolist()
+        assert len(bulk) == len(seq) == 120
+
+    def test_insert_many_into_populated_tree(self, rng):
+        tree = KDTree.build(range(30), rng.random((30, 2)), leaf_capacity=4)
+        tree.insert_many(range(100, 140), rng.random((40, 2)))
+        assert len(tree) == 70
+        assert 105 in tree
+
+    def test_insert_many_rejects_duplicates(self, rng):
+        tree = KDTree(2)
+        with pytest.raises(KeyError):
+            tree.insert_many([0, 0], rng.random((2, 2)))
+        tree.insert(1, rng.random(2))
+        with pytest.raises(KeyError):
+            tree.insert_many([1, 2], rng.random((2, 2)))
+
+    def test_node_recycling_after_rebuilds(self, rng):
+        """Mass deletion rebuilds recycle node storage via the free list."""
+        tree = KDTree.build(range(512), rng.random((512, 3)), leaf_capacity=4)
+        for victim in rng.permutation(512)[:500]:
+            tree.delete(int(victim))
+        assert len(tree) == 12
+        nodes_after_decay = tree._n_nodes - len(tree._free_nodes)
+        assert nodes_after_decay < 64  # shrunk with the data

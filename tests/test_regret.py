@@ -153,3 +153,35 @@ def test_regret_bounds_property(seed, nq):
     m1 = max_k_regret_ratio_sampled(pts, q1, 1, utilities=utils)
     m2 = max_k_regret_ratio_sampled(pts, q2, 1, utilities=utils)
     assert 0.0 <= m2 <= m1 <= 1.0
+
+
+class TestCachedTestSets:
+    def test_default_sample_reused_across_calls(self, rng):
+        from repro.core.regret import cached_test_utilities
+        a = cached_test_utilities(500, 3, seed=7)
+        b = cached_test_utilities(500, 3, seed=7)
+        assert a is b
+        assert not a.flags.writeable
+        # Different shape/seed → different draw.
+        c = cached_test_utilities(500, 3, seed=8)
+        assert c is not a
+
+    def test_generator_seed_bypasses_cache(self):
+        from repro.core.regret import cached_test_utilities
+        g = np.random.default_rng(0)
+        a = cached_test_utilities(100, 3, seed=g)
+        b = cached_test_utilities(100, 3, seed=g)
+        assert a is not b
+
+    def test_evaluators_share_one_frozen_sample(self):
+        e1 = RegretEvaluator(4, n_samples=300, seed=11)
+        e2 = RegretEvaluator(4, n_samples=300, seed=11)
+        assert e1.utilities is e2.utilities
+        assert np.allclose(e1.utilities[:4], np.eye(4))
+
+    def test_sampled_estimator_stable_across_snapshots(self, rng):
+        """Same implicit test set → identical estimates for equal inputs."""
+        pts = rng.random((40, 3))
+        a = max_k_regret_ratio_sampled(pts, pts[:5], n_samples=400, seed=3)
+        b = max_k_regret_ratio_sampled(pts, pts[:5], n_samples=400, seed=3)
+        assert a == b
