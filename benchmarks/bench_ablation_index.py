@@ -12,7 +12,6 @@ utilities per update and wins by a growing margin as M rises.
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.topk import ApproxTopKIndex
 from repro.data import Database
@@ -53,7 +52,6 @@ def test_ablation_dualtree_vs_scan(benchmark):
         ops = []
         for row in range(n // 2, n):
             ops.append(("+", points[row]))
-        alive = list(range(n // 2))
         for _ in range(n // 4):
             ops.append(("-", None))
         # Indexed maintenance.

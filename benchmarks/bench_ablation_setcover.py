@@ -12,8 +12,6 @@ greedy rebuild, while the solution sizes/quality stay comparable
 
 import time
 
-import numpy as np
-import pytest
 
 from repro.core.fdrms import FDRMS
 from repro.core.regret import RegretEvaluator

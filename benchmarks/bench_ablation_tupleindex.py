@@ -9,7 +9,6 @@ indexes are exact).
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.topk import ApproxTopKIndex
 from repro.data import Database

@@ -8,7 +8,6 @@ makes the trade-offs concrete: the max-regret set protects the worst
 user, ARM the typical user, RRR the rank semantics.
 """
 
-import pytest
 
 from repro.baselines.arm import arm_greedy, average_regret
 from repro.baselines.greedy import greedy

@@ -12,7 +12,6 @@ under different churn patterns; this extension bench sweeps:
 
 import time
 
-import pytest
 
 from repro.core.fdrms import FDRMS
 from repro.core.regret import RegretEvaluator

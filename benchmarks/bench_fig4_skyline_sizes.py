@@ -8,7 +8,6 @@ larger than Indep at equal (n, d); both grow steeply with d and mildly
 with n.
 """
 
-import pytest
 
 from repro.data.synthetic import anticorrelated_points, independent_points
 from repro.skyline import skyline_indices

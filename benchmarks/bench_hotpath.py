@@ -161,7 +161,21 @@ def main(argv=None) -> int:
     ap.add_argument("--out", type=Path,
                     default=Path(__file__).resolve().parents[1]
                     / "BENCH_hotpath.json")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="committed BENCH_hotpath.json to regression-check "
+                         "against (machine-relative speedups, not wall "
+                         "times)")
+    ap.add_argument("--tolerance", type=float, default=0.4,
+                    help="allowed relative drop in batched-vs-single "
+                         "speedup vs the baseline (0.4 = fresh must reach "
+                         "60%% of the committed speedup)")
     args = ap.parse_args(argv)
+
+    # Read the committed baseline before the fresh report overwrites it
+    # (--out and --baseline typically name the same file in CI).
+    baseline = None
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
 
     rng = np.random.default_rng(7)
     pts = rng.random((args.n, args.d))
@@ -209,9 +223,52 @@ def main(argv=None) -> int:
         print("FAIL: batched update throughput fell below the "
               "single-op path", file=sys.stderr)
         return 1
+    if baseline is not None and not _check_baseline(report, baseline,
+                                                   args.tolerance):
+        return 1
     print("OK: batched >= single-op on every workload"
           + ("" if args.skip_legacy else "; seed-relative speedups above"))
     return 0
+
+
+def _check_baseline(report: dict, baseline: dict, tolerance: float) -> bool:
+    """Regression gate against a committed trajectory.
+
+    Compares the *machine-relative* batched-vs-single speedup per
+    workload (absolute wall times vary wildly across CI runners; the
+    ratio of two measurements from the same process does not) and fails
+    when a fresh speedup drops below ``(1 - tolerance)`` of the
+    committed one.
+    """
+    ok = True
+    compared = 0
+    for name, fresh in report["workloads"].items():
+        base = baseline.get("workloads", {}).get(name)
+        if base is None or "batched_vs_single_speedup" not in base:
+            continue
+        compared += 1
+        committed = float(base["batched_vs_single_speedup"])
+        floor = committed * (1.0 - tolerance)
+        got = float(fresh["batched_vs_single_speedup"])
+        if got < floor:
+            print(f"FAIL: {name}: batched-vs-single speedup {got:.2f}x "
+                  f"fell below {floor:.2f}x ({(1 - tolerance):.0%} of the "
+                  f"committed {committed:.2f}x)", file=sys.stderr)
+            ok = False
+        else:
+            print(f"regression gate: {name}: {got:.2f}x >= {floor:.2f}x "
+                  f"(committed {committed:.2f}x, tolerance "
+                  f"{tolerance:.0%})")
+    if compared == 0:
+        # A baseline that shares no workload with the fresh report means
+        # the gate checked nothing — fail loudly instead of rubber-
+        # stamping (wrong file, renamed workloads, truncated JSON).
+        print("FAIL: --baseline shares no workload keys with this run; "
+              "the regression gate compared nothing", file=sys.stderr)
+        return False
+    if ok:
+        print("OK: no speedup regression against the committed baseline")
+    return ok
 
 
 if __name__ == "__main__":

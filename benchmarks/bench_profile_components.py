@@ -9,10 +9,8 @@ with m).
 
 import time
 
-import pytest
 
 from repro.bench.profile import ProfiledFDRMS
-from repro.core.regret import RegretEvaluator
 from repro.data import Database, make_paper_workload
 from repro.data.database import INSERT
 from repro.data.synthetic import independent_points

@@ -1,0 +1,145 @@
+"""Scenario benchmark: replay every built-in scenario, emit a trajectory.
+
+For each scenario in the built-in catalogue this script
+
+1. compiles the scenario twice and checks the trace content hashes
+   match (determinism of the compiler itself);
+2. replays the trace with each requested algorithm through the
+   streaming Session API, collecting per-op latency percentiles,
+   regret-over-time at the snapshot marks, and engine counters.
+
+Results go to stdout and to ``BENCH_scenarios.json`` at the repo root
+so future PRs can regress-check scenario throughput. The process exits
+non-zero when any trace hash is unstable across compiles.
+
+``--write-hashes PATH`` additionally writes the compiled trace hashes
+as a ``{"<scenario>:n=<n>:seed=<seed>": "sha256:..."}`` golden file —
+used to regenerate ``benchmarks/scenario_hashes.json``, which the CI
+scenario-matrix job pins with ``repro replay --expect-hashes``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick
+    PYTHONPATH=src python benchmarks/bench_scenarios.py          # full
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --n 400 \
+        --hashes-only --write-hashes benchmarks/scenario_hashes.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.regret import RegretEvaluator
+from repro.scenarios import (
+    get_scenario,
+    hash_key,
+    replay_trace,
+    scenario_names,
+)
+from repro.scenarios.replay import EVAL_SEED, floor_r
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=800,
+                    help="dataset size for every scenario")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--r", type=int, default=10)
+    ap.add_argument("--k", type=int, default=1)
+    ap.add_argument("--eps", type=float, default=0.1)
+    ap.add_argument("--m-max", type=int, default=128, dest="m_max")
+    ap.add_argument("--eval-samples", type=int, default=1000,
+                    dest="eval_samples")
+    ap.add_argument("--algorithms", nargs="+",
+                    default=["FD-RMS", "Greedy"])
+    ap.add_argument("--quick", action="store_true",
+                    help="small sizes for CI (n=300, 400 eval samples)")
+    ap.add_argument("--hashes-only", action="store_true",
+                    help="compile and hash only; skip the replays")
+    ap.add_argument("--write-hashes", type=Path, default=None,
+                    help="write a golden trace-hash JSON file here")
+    ap.add_argument("--out", type=Path,
+                    default=Path(__file__).resolve().parents[1]
+                    / "BENCH_scenarios.json")
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 300)
+        args.eval_samples = min(args.eval_samples, 400)
+
+    report: dict = {
+        "benchmark": "scenarios",
+        "config": {"n": args.n, "seed": args.seed, "r": args.r,
+                   "k": args.k, "eps": args.eps, "m_max": args.m_max,
+                   "eval_samples": args.eval_samples,
+                   "quick": bool(args.quick)},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scenarios": {},
+    }
+    options = {"eps": args.eps, "m_max": args.m_max}
+    hashes: dict[str, str] = {}
+    stable = True
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        trace = scenario.compile(seed=args.seed, n=args.n)
+        again = scenario.compile(seed=args.seed, n=args.n)
+        if trace.content_hash != again.content_hash:
+            stable = False
+            print(f"FAIL: {name} compiled to different traces "
+                  f"({trace.content_hash} vs {again.content_hash})",
+                  file=sys.stderr)
+        hashes[hash_key(name, args.n, args.seed)] = trace.content_hash
+        entry: dict = {
+            "trace_hash": trace.content_hash,
+            "n_ops": trace.n_operations,
+            "d": trace.d,
+            "dataset": scenario.dataset,
+            "batched": trace.batch_plan is not None,
+            "algorithms": {},
+        }
+        report["scenarios"][name] = entry
+        print(f"\n--- scenario {name}: {trace.n_operations} ops on "
+              f"{scenario.dataset} (d={trace.d}), {trace.content_hash[:23]}"
+              f"... ---")
+        if args.hashes_only:
+            continue
+        evaluator = RegretEvaluator(trace.d, n_samples=args.eval_samples,
+                                    seed=EVAL_SEED)
+        r_eff = floor_r(args.r, trace.d)
+        if r_eff != args.r:
+            print(f"(r raised to {r_eff} = d for this scenario)")
+        for algo in args.algorithms:
+            res = replay_trace(trace, algo, r=r_eff, k=args.k,
+                               seed=args.seed, evaluator=evaluator,
+                               options=options)
+            entry["algorithms"][res.algorithm] = res.to_dict()
+            lat = res.latency_percentiles()
+            ops_s = (res.n_operations / res.update_seconds
+                     if res.update_seconds > 0 else float("inf"))
+            print(f"{res.algorithm:>12}: {res.update_seconds:7.2f}s "
+                  f"({ops_s:9.0f} op/s)  p50 {lat['p50']:7.3f} ms  "
+                  f"p99 {lat['p99']:7.3f} ms  mean mrr {res.mean_mrr:.4f}")
+
+    if args.write_hashes:
+        args.write_hashes.write_text(json.dumps(hashes, indent=2,
+                                                sort_keys=True) + "\n")
+        print(f"\ngolden hashes written to {args.write_hashes}")
+    if not args.hashes_only:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    if not stable:
+        print("FAIL: scenario compilation is not deterministic",
+              file=sys.stderr)
+        return 1
+    print("OK: every scenario compiled to a stable trace hash")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

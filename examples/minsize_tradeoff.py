@@ -7,7 +7,6 @@ the curve against FD-RMS run with that budget.
 Run:  python examples/minsize_tradeoff.py
 """
 
-import numpy as np
 
 from repro import Database, FDRMS, RegretEvaluator
 from repro.core.minsize import min_size_curve, min_size_rms

@@ -24,6 +24,11 @@ Public API tour
   real-world datasets, and the paper's dynamic workload protocol.
 * :mod:`repro.bench` — the experiment harness regenerating the paper's
   tables and figures, driven by the same registry.
+* :mod:`repro.scenarios` — declarative dynamic-workload scenarios
+  compiled to replayable, content-hashed operation traces
+  (:func:`repro.get_scenario`, :func:`repro.run_scenario`), with a
+  built-in catalogue from the paper's protocol to adversarial skyline
+  churn (``python -m repro scenarios``).
 
 Quickstart
 ----------
@@ -64,8 +69,18 @@ from repro.core import (
     max_regret_ratio_lp,
 )
 from repro.data import Database, DynamicWorkload, Operation, make_paper_workload
+from repro.scenarios import (
+    Scenario,
+    Trace,
+    get_scenario,
+    list_scenarios,
+    load_trace,
+    replay_trace,
+    run_scenario,
+    save_trace,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # unified solver API
@@ -95,5 +110,14 @@ __all__ = [
     "Operation",
     "DynamicWorkload",
     "make_paper_workload",
+    # scenario engine
+    "Scenario",
+    "Trace",
+    "get_scenario",
+    "list_scenarios",
+    "load_trace",
+    "save_trace",
+    "replay_trace",
+    "run_scenario",
     "__version__",
 ]

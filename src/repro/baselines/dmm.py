@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.api.registry import Capabilities, register
 from repro.geometry.sampling import grid_utilities, sample_utilities
-from repro.utils import as_point_matrix, check_size_constraint, resolve_rng
+from repro.utils import as_point_matrix, check_size_constraint
 
 _MAX_GRID = 50_000
 

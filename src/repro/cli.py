@@ -8,6 +8,10 @@ Commands
 ``compare``   run several algorithms on the same workload side by side.
 ``minsize``   print the ε ↦ |Q| trade-off curve.
 ``algorithms``  list every registered algorithm with its capabilities.
+``scenarios``   list the built-in dynamic-workload scenarios.
+``replay``    compile a scenario (or all of them) into a deterministic
+              operation trace and replay it with one or more algorithms,
+              reporting per-op latency percentiles and regret over time.
 
 All commands generate their data via :mod:`repro.data` (named datasets:
 BB, AQ, CT, Movie, Indep, AntiCor) so no files are required; ``--n``
@@ -74,8 +78,8 @@ def cmd_algorithms(args) -> int:
     from repro.api.registry import list_algorithms
     flag_names = ("supports_k", "dynamic", "min_size", "d2_only", "exact",
                   "randomized", "skyline_pool")
-    header = f"{'name':>12} {'key':>12} " + \
-        " ".join(f"{f:>12}" for f in flag_names)
+    header = (f"{'name':>12} {'key':>12} "
+              + " ".join(f"{f:>12}" for f in flag_names))
     print(header)
     print("-" * len(header))
     for spec in list_algorithms():
@@ -140,6 +144,117 @@ def cmd_compare(args) -> int:
     return _run_algorithms(args, args.algorithms)
 
 
+def cmd_scenarios(args) -> int:
+    from repro.scenarios import list_scenarios
+    print(f"{'name':>16} {'dataset':>8} {'n':>6} {'arrival':>16} "
+          f"{'snaps':>5}  summary")
+    for sc in list_scenarios():
+        summary = (sc.summary if len(sc.summary) <= 60
+                   else sc.summary[:57] + "...")
+        print(f"{sc.name:>16} {sc.dataset:>8} {sc.n:>6} {sc.arrival:>16} "
+              f"{sc.n_snapshots:>5}  {summary}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.api.registry import CapabilityError
+    from repro.core.regret import RegretEvaluator
+    from repro.scenarios import (
+        UnknownArrivalError,
+        UnknownScenarioError,
+        get_scenario,
+        hash_key,
+        replay_trace,
+        save_trace,
+        scenario_names,
+    )
+    from repro.scenarios.replay import EVAL_SEED, floor_r
+
+    replay_all = args.scenario.strip().lower() == "all"
+    names = scenario_names() if replay_all else [args.scenario]
+    specs = _resolve_specs(args.algorithms)
+    options = {"eps": args.eps, "m_max": args.m_max}
+    expected = None
+    if args.expect_hashes:
+        expected = json.loads(Path(args.expect_hashes).read_text())
+    payload = []
+    for name in names:
+        try:
+            scenario = get_scenario(name)
+            trace = scenario.compile(seed=args.seed, n=args.n)
+        except (UnknownScenarioError, UnknownArrivalError) as exc:
+            raise CLIError(str(exc)) from None
+        n_used = args.n if args.n is not None else scenario.n
+        try:
+            for spec in specs:
+                spec.check_request(k=args.k, d=trace.d)
+        except CapabilityError as exc:
+            raise CLIError(str(exc)) from None
+        if args.check_determinism:
+            again = scenario.compile(seed=args.seed, n=args.n)
+            if again.content_hash != trace.content_hash:
+                raise CLIError(
+                    f"scenario {scenario.name!r} compiled to different "
+                    f"traces for seed {args.seed}: {trace.content_hash} "
+                    f"vs {again.content_hash}")
+        if expected is not None:
+            key = hash_key(scenario.name, n_used, args.seed)
+            want = expected.get(key)
+            if want is None:
+                raise CLIError(f"no expected hash for {key!r} in "
+                               f"{args.expect_hashes}")
+            if want != trace.content_hash:
+                raise CLIError(f"trace hash drift for {key!r}: expected "
+                               f"{want}, compiled {trace.content_hash}")
+        print(f"scenario {scenario.name}: {trace.n_operations} ops on "
+              f"{scenario.dataset} (n={n_used}, d={trace.d}), "
+              f"{len(trace.workload.snapshots)} snapshots, "
+              f"{trace.content_hash}")
+        if args.trace_out:
+            if replay_all:
+                out_dir = Path(args.trace_out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                out_path = out_dir / f"{scenario.name}.jsonl"
+            else:
+                out_path = Path(args.trace_out)
+            save_trace(trace, out_path)
+            print(f"trace written to {out_path}")
+        evaluator = RegretEvaluator(trace.d, n_samples=args.eval_samples,
+                                    seed=EVAL_SEED)
+        r_eff = floor_r(args.r, trace.d)
+        if r_eff != args.r:
+            print(f"(r raised to {r_eff} = d for this scenario)")
+        print(f"{'algorithm':>12} {'p50 ms':>9} {'p99 ms':>9} "
+              f"{'mean mrr':>9} {'max mrr':>9} {'final |Q|':>9}")
+        for spec in specs:
+            res = replay_trace(trace, spec.name, r=r_eff, k=args.k,
+                               seed=args.seed, evaluator=evaluator,
+                               options=options)
+            if args.check_determinism:
+                res2 = replay_trace(trace, spec.name, r=r_eff, k=args.k,
+                                    seed=args.seed, evaluator=evaluator,
+                                    options=options)
+                if res2.determinism_digest() != res.determinism_digest():
+                    raise CLIError(
+                        f"replay of {scenario.name!r} with "
+                        f"{spec.display_name} is not deterministic")
+            lat = res.latency_percentiles()
+            final_q = res.snapshots[-1].result_size if res.snapshots else 0
+            print(f"{res.algorithm:>12} {lat['p50']:>9.3f} "
+                  f"{lat['p99']:>9.3f} {res.mean_mrr:>9.4f} "
+                  f"{res.max_mrr:>9.4f} {final_q:>9}")
+            payload.append(res.to_dict())
+    if args.check_determinism:
+        print("determinism OK: stable trace hashes and replay digests")
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"metrics written to {args.json_out}")
+    return 0
+
+
 def cmd_minsize(args) -> int:
     from repro.core.minsize import min_size_curve
     pts = _load(args)
@@ -191,6 +306,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--algorithms", nargs="+",
                        default=["FD-RMS", "Sphere", "HS"])
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_sc = sub.add_parser(
+        "scenarios", help="list the built-in dynamic-workload scenarios")
+    p_sc.set_defaults(func=cmd_scenarios)
+
+    p_rp = sub.add_parser(
+        "replay", help="compile a scenario to a trace and replay it")
+    p_rp.add_argument("scenario",
+                      help="scenario name (see `repro scenarios`) or 'all'")
+    p_rp.add_argument("--algorithms", nargs="+", default=["FD-RMS"],
+                      help="algorithms to replay the trace with")
+    p_rp.add_argument("--n", type=int, default=None,
+                      help="dataset size (default: the scenario's)")
+    p_rp.add_argument("--seed", type=int, default=0)
+    p_rp.add_argument("--k", type=int, default=1)
+    p_rp.add_argument("--r", type=int, default=10)
+    p_rp.add_argument("--eps", type=float, default=0.1,
+                      help="FD-RMS top-k approximation factor")
+    p_rp.add_argument("--m-max", type=int, default=128, dest="m_max")
+    p_rp.add_argument("--eval-samples", type=int, default=2000,
+                      dest="eval_samples")
+    p_rp.add_argument("--trace-out", default=None,
+                      help="write the compiled trace(s) as JSONL here "
+                           "(a directory when replaying 'all')")
+    p_rp.add_argument("--json", default=None, dest="json_out",
+                      help="write replay metrics as JSON to this path")
+    p_rp.add_argument("--check-determinism", action="store_true",
+                      help="compile and replay twice; fail on any drift")
+    p_rp.add_argument("--expect-hashes", default=None,
+                      help="JSON file of expected trace hashes "
+                           "(fails on drift)")
+    p_rp.set_defaults(func=cmd_replay)
 
     p_ms = sub.add_parser("minsize", help="epsilon vs |Q| trade-off curve")
     _add_common(p_ms)

@@ -1,0 +1,61 @@
+"""Scenario engine: declarative dynamic workloads and replayable traces.
+
+* :class:`Scenario` — a declarative spec (dataset + arrival pattern +
+  snapshot policy) compiled into a deterministic operation trace;
+* :class:`Trace` — the compiled tape, serializable to JSONL with a
+  SHA-256 content hash (:func:`save_trace` / :func:`load_trace`);
+* :func:`replay_trace` / :func:`run_scenario` — drive any trace through
+  the streaming Session API for any registered algorithm, collecting
+  per-op latency percentiles, regret over time, and engine counters;
+* the built-in catalogue (``repro scenarios`` lists it) covers the
+  paper's protocol plus sliding-window, burst, decay, drift,
+  adversarial-skyline, and mixed-batch regimes.
+"""
+
+from repro.scenarios.spec import (
+    Scenario,
+    UnknownArrivalError,
+    UnknownScenarioError,
+    arrival,
+    get_arrival,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.trace import (
+    Trace,
+    TraceFormatError,
+    hash_key,
+    load_trace,
+    save_trace,
+)
+from repro.scenarios.replay import (
+    ReplayResult,
+    ReplaySnapshot,
+    batch_slices,
+    replay_trace,
+    run_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "UnknownArrivalError",
+    "UnknownScenarioError",
+    "arrival",
+    "get_arrival",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "scenario_names",
+    "Trace",
+    "TraceFormatError",
+    "hash_key",
+    "load_trace",
+    "save_trace",
+    "ReplayResult",
+    "ReplaySnapshot",
+    "batch_slices",
+    "replay_trace",
+    "run_scenario",
+]

@@ -1,0 +1,246 @@
+"""Serializable operation traces with content hashes.
+
+A :class:`Trace` is the compiled, fully materialized form of a scenario:
+the initial database, the exact operation sequence (with pre-assigned
+tuple ids), the snapshot marks, and an optional batch plan. Traces are
+what the replay driver consumes and what CI pins: the
+:attr:`Trace.content_hash` is a SHA-256 over a canonical JSONL
+serialization, so "same scenario, same seed, same trace" is checkable
+byte-for-byte across machines.
+
+File format (``.jsonl``): one JSON object or array per line.
+
+* line 1 — header object: scenario name, seed, dimensions, snapshot
+  marks, batch plan, compile parameters, and the content hash;
+* one ``["init", id, [values...]]`` line per initial tuple;
+* one ``["+", id, [values...]]`` / ``["-", id, [values...]]`` line per
+  operation (deletions carry the victim's value, as
+  :class:`~repro.data.Operation` does).
+
+The hash covers every line with the header's ``content_hash`` field
+removed, so a loaded file can be verified independently of how it was
+produced. Floats are serialized with Python's shortest round-trip repr,
+which is deterministic and lossless for float64.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+from types import MappingProxyType
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.data.database import DELETE, INSERT, Operation
+from repro.data.workload import DynamicWorkload
+
+_FORMAT_VERSION = 1
+_KIND = "scenario-trace"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or fails verification."""
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A compiled scenario: workload tape + provenance + batch plan.
+
+    Attributes
+    ----------
+    scenario : str
+        Name of the scenario this trace was compiled from.
+    seed : int
+        Compile seed (dataset draw and arrival randomness).
+    workload : DynamicWorkload
+        Initial database, operations, and snapshot marks.
+    batch_plan : tuple of int, or None
+        Sizes of the operation slices replay feeds to ``apply_batch``;
+        ``None`` means one operation at a time. Sizes sum to the number
+        of operations.
+    params : mapping
+        The resolved compile-time parameters, for provenance.
+    """
+
+    scenario: str
+    seed: int
+    workload: DynamicWorkload
+    batch_plan: tuple[int, ...] | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params",
+                           MappingProxyType(dict(self.params)))
+        if self.batch_plan is not None:
+            plan = tuple(int(b) for b in self.batch_plan)
+            if any(b < 1 for b in plan):
+                raise ValueError("batch_plan sizes must be >= 1")
+            if sum(plan) != self.workload.n_operations:
+                raise ValueError(
+                    f"batch_plan covers {sum(plan)} ops, workload has "
+                    f"{self.workload.n_operations}")
+            object.__setattr__(self, "batch_plan", plan)
+
+    @property
+    def n_operations(self) -> int:
+        return self.workload.n_operations
+
+    @property
+    def d(self) -> int:
+        return self.workload.d
+
+    @cached_property
+    def content_hash(self) -> str:
+        """``sha256:<hex>`` over the canonical serialization."""
+        digest = hashlib.sha256()
+        for line in _canonical_lines(self, content_hash=None):
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        return f"sha256:{digest.hexdigest()}"
+
+    def header(self) -> dict[str, Any]:
+        """The file header (including the content hash)."""
+        return _header(self, content_hash=self.content_hash)
+
+
+def hash_key(scenario: str, n: int, seed: int) -> str:
+    """Key for golden trace-hash files (``<name>:n=<n>:seed=<seed>``).
+
+    Both the writer (``benchmarks/bench_scenarios.py --write-hashes``)
+    and the checker (``repro replay --expect-hashes``) go through this
+    helper so the file contract lives in one place.
+    """
+    return f"{scenario}:n={int(n)}:seed={int(seed)}"
+
+
+def jsonable_scalar(value: Any, *, round_floats: int | None = None) -> Any:
+    """Coerce numpy scalars for JSON; optionally round floats.
+
+    Shared by the trace serializer (exact values — they feed the
+    content hash) and the replay metrics (rounded — they feed reports
+    and digests).
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        value = float(value)
+        if round_floats is not None:
+            value = round(value, round_floats)
+        return value
+    return value
+
+
+def _point_list(point: np.ndarray) -> list[float]:
+    return [float(v) for v in point]
+
+
+def _header(trace: Trace, *, content_hash: str | None) -> dict[str, Any]:
+    header: dict[str, Any] = {
+        "kind": _KIND,
+        "version": _FORMAT_VERSION,
+        "scenario": trace.scenario,
+        "seed": int(trace.seed),
+        "d": trace.d,
+        "n_initial": int(trace.workload.initial.shape[0]),
+        "n_ops": trace.n_operations,
+        "snapshots": [int(s) for s in trace.workload.snapshots],
+        "batch_plan": (list(trace.batch_plan)
+                       if trace.batch_plan is not None else None),
+        "params": {k: jsonable_scalar(v)
+                   for k, v in sorted(trace.params.items())},
+    }
+    if content_hash is not None:
+        header["content_hash"] = content_hash
+    return header
+
+
+def _canonical_lines(trace: Trace, *, content_hash: str | None):
+    yield json.dumps(_header(trace, content_hash=content_hash),
+                     sort_keys=True, separators=(",", ":"))
+    for tid, row in enumerate(trace.workload.initial):
+        yield json.dumps(["init", tid, _point_list(row)],
+                         separators=(",", ":"))
+    for op in trace.workload.operations:
+        yield json.dumps([op.kind, op.tuple_id, _point_list(op.point)],
+                         separators=(",", ":"))
+
+
+def save_trace(trace: Trace, path) -> str:
+    """Write ``trace`` as JSONL; returns its ``sha256:`` content hash."""
+    content_hash = trace.content_hash
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for line in _canonical_lines(trace, content_hash=content_hash):
+            handle.write(line)
+            handle.write("\n")
+    return content_hash
+
+
+def load_trace(path, *, verify: bool = True) -> Trace:
+    """Reload a trace saved with :func:`save_trace`.
+
+    With ``verify=True`` (default) the recomputed content hash must
+    match the one recorded in the header; a mismatch (truncated file,
+    edited operations) raises :class:`TraceFormatError`.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        try:
+            header = json.loads(handle.readline())
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}: malformed header") from exc
+        if not isinstance(header, dict) or header.get("kind") != _KIND:
+            raise TraceFormatError(f"{path} is not a scenario trace")
+        if int(header.get("version", -1)) > _FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: format v{header.get('version')} is newer than "
+                f"this library (v{_FORMAT_VERSION})")
+        d = int(header["d"])
+        n_initial = int(header["n_initial"])
+        n_ops = int(header["n_ops"])
+        initial = np.empty((n_initial, d), dtype=np.float64)
+        operations: list[Operation] = []
+
+        def body_line(what: str):
+            line = handle.readline()
+            try:
+                tag, tid, values = json.loads(line)
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"{path}: truncated or malformed {what} line") from exc
+            return tag, tid, values
+
+        for i in range(n_initial):
+            tag, tid, values = body_line(f"init[{i}]")
+            if tag != "init" or tid != i:
+                raise TraceFormatError(f"{path}: bad init line {i}")
+            initial[i] = values
+        for i in range(n_ops):
+            kind, tid, values = body_line(f"op[{i}]")
+            if kind not in (INSERT, DELETE):
+                raise TraceFormatError(f"{path}: bad op kind {kind!r}")
+            operations.append(Operation(
+                kind, np.asarray(values, dtype=np.float64),
+                tuple_id=None if tid is None else int(tid)))
+        if handle.readline().strip():
+            raise TraceFormatError(f"{path}: trailing data after "
+                                   f"{n_ops} operations")
+    workload = DynamicWorkload(
+        initial=initial, operations=operations,
+        snapshots=tuple(int(s) for s in header["snapshots"]))
+    batch_plan = header.get("batch_plan")
+    trace = Trace(scenario=str(header["scenario"]),
+                  seed=int(header["seed"]), workload=workload,
+                  batch_plan=None if batch_plan is None
+                  else tuple(batch_plan),
+                  params=header.get("params", {}))
+    if verify:
+        recorded = header.get("content_hash")
+        if recorded != trace.content_hash:
+            raise TraceFormatError(
+                f"{path}: content hash mismatch (header {recorded}, "
+                f"recomputed {trace.content_hash})")
+    return trace

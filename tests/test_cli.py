@@ -87,6 +87,82 @@ class TestCommands:
         assert rc == 0
         assert "HS" in capsys.readouterr().out
 
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "skyline-churn" in out
+        assert "summary" in out
+
+    def test_replay_fdrms(self, capsys):
+        rc = main(["replay", "paper", "--n", "120", "--r", "6",
+                   "--m-max", "32", "--eval-samples", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FD-RMS" in out and "sha256:" in out and "p50 ms" in out
+
+    def test_replay_check_determinism_and_outputs(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        json_path = tmp_path / "metrics.json"
+        rc = main(["replay", "mixed-batch", "--n", "100", "--r", "6",
+                   "--m-max", "32", "--eval-samples", "300",
+                   "--check-determinism",
+                   "--trace-out", str(trace_path),
+                   "--json", str(json_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "determinism OK" in out
+        from repro.scenarios import load_trace
+        assert load_trace(trace_path).scenario == "mixed-batch"
+        import json as _json
+        payload = _json.loads(json_path.read_text())
+        assert payload[0]["scenario"] == "mixed-batch"
+        assert payload[0]["trace_hash"].startswith("sha256:")
+
+    def test_replay_unknown_scenario_one_line_error(self, capsys):
+        rc = main(["replay", "bogus"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown scenario 'bogus'" in err and "paper" in err
+
+    def test_replay_unknown_arrival_one_line_error(self, capsys):
+        # A user-registered scenario naming a missing arrival pattern
+        # must fail with the one-line exit-2 contract, not a traceback.
+        from repro.scenarios import Scenario, register_scenario
+        from repro.scenarios.spec import _SCENARIOS
+        register_scenario(Scenario(name="cli-bad-arrival",
+                                   summary="bad arrival",
+                                   arrival="no-such-pattern"))
+        try:
+            rc = main(["replay", "cli-bad-arrival", "--n", "40"])
+            assert rc == 2
+            err = capsys.readouterr().err
+            assert err.count("\n") == 1
+            assert "arrival pattern" in err
+        finally:
+            _SCENARIOS.pop("cli-bad-arrival", None)
+
+    def test_replay_expect_hashes_drift_fails(self, capsys, tmp_path):
+        import json as _json
+        hashes = tmp_path / "hashes.json"
+        hashes.write_text(_json.dumps(
+            {"paper:n=100:seed=0": "sha256:not-the-real-hash"}))
+        rc = main(["replay", "paper", "--n", "100", "--r", "6",
+                   "--m-max", "32", "--eval-samples", "300",
+                   "--expect-hashes", str(hashes)])
+        assert rc == 2
+        assert "trace hash drift" in capsys.readouterr().err
+
+    def test_replay_expect_hashes_missing_key_fails(self, capsys,
+                                                    tmp_path):
+        hashes = tmp_path / "hashes.json"
+        hashes.write_text("{}")
+        rc = main(["replay", "paper", "--n", "100", "--r", "6",
+                   "--m-max", "32", "--eval-samples", "300",
+                   "--expect-hashes", str(hashes)])
+        assert rc == 2
+        assert "no expected hash" in capsys.readouterr().err
+
     def test_nonzero_exit_code_via_module(self):
         import subprocess
         import sys

@@ -1,6 +1,5 @@
 """Tests for the per-figure experiment drivers (fast miniature runs)."""
 
-import numpy as np
 import pytest
 
 from repro.bench.experiments import (

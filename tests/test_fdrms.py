@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.fdrms import FDRMS
-from repro.core.regret import RegretEvaluator, max_regret_ratio_lp
+from repro.core.regret import RegretEvaluator
 from repro.data.database import Database
 
 

@@ -1,0 +1,170 @@
+"""Tests for the scenario replay driver and its metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.regret import RegretEvaluator
+from repro.scenarios import (
+    batch_slices,
+    get_scenario,
+    replay_trace,
+    run_scenario,
+)
+from repro.scenarios.replay import EVAL_SEED
+
+OPTIONS = {"eps": 0.1, "m_max": 32}
+
+
+@pytest.fixture(scope="module")
+def paper_trace():
+    return get_scenario("paper").compile(seed=0, n=120)
+
+
+class TestBatchSlices:
+    def test_singleton_plan_covers_every_op(self, paper_trace):
+        slices = list(batch_slices(paper_trace))
+        assert slices == [(i, i + 1)
+                          for i in range(paper_trace.n_operations)]
+
+    def test_plan_split_at_snapshot_marks(self):
+        trace = get_scenario("mixed-batch").compile(seed=1, n=150)
+        marks = set(trace.workload.snapshots)
+        slices = list(batch_slices(trace))
+        # Slices tile [0, n_ops) in order ...
+        cursor = 0
+        for start, stop in slices:
+            assert start == cursor
+            assert stop > start
+            cursor = stop
+        assert cursor == trace.n_operations
+        # ... and every snapshot mark lands on a slice boundary.
+        boundaries = {stop for _, stop in slices}
+        assert marks <= boundaries
+
+    def test_burst_plan_preserved_between_marks(self):
+        trace = get_scenario("insert-burst").compile(seed=1, n=150)
+        sizes = [stop - start for start, stop in batch_slices(trace)]
+        assert max(sizes) > 1
+        assert sum(sizes) == trace.n_operations
+
+
+class TestReplayMetrics:
+    def test_fdrms_replay_shape(self, paper_trace):
+        res = replay_trace(paper_trace, "fd-rms", r=6, seed=0,
+                           eval_samples=300, options=OPTIONS)
+        workload = paper_trace.workload
+        assert res.algorithm == "FD-RMS"
+        assert res.trace_hash == paper_trace.content_hash
+        assert res.n_operations == workload.n_operations
+        assert len(res.snapshots) == len(workload.snapshots)
+        assert [s.op_index for s in res.snapshots] == \
+            list(workload.snapshots)
+        assert res.op_latencies_ms.shape == (workload.n_operations,)
+        assert (res.op_latencies_ms >= 0).all()
+        assert res.counters["inserts"] + res.counters["deletes"] == \
+            workload.n_operations
+        for snap in res.snapshots:
+            assert 0.0 <= snap.mrr <= 1.0
+            assert snap.result_size == len(snap.result_ids)
+
+    def test_latency_percentiles_ordered(self, paper_trace):
+        res = replay_trace(paper_trace, "fd-rms", r=6, seed=0,
+                           eval_samples=300, options=OPTIONS)
+        lat = res.latency_percentiles()
+        assert lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+        assert lat["mean"] > 0
+
+    def test_to_dict_is_json_ready(self, paper_trace):
+        import json
+        res = replay_trace(paper_trace, "fd-rms", r=6, seed=0,
+                           eval_samples=300, options=OPTIONS)
+        blob = json.dumps(res.to_dict())
+        assert "sha256:" in blob
+
+    def test_replay_determinism(self, paper_trace):
+        a = replay_trace(paper_trace, "fd-rms", r=6, seed=0,
+                         eval_samples=300, options=OPTIONS)
+        b = replay_trace(paper_trace, "fd-rms", r=6, seed=0,
+                         eval_samples=300, options=OPTIONS)
+        assert a.determinism_digest() == b.determinism_digest()
+
+    def test_digest_ignores_timings_but_not_results(self, paper_trace):
+        res = replay_trace(paper_trace, "fd-rms", r=6, seed=0,
+                           eval_samples=300, options=OPTIONS)
+        twin = dataclasses.replace(
+            res, update_seconds=res.update_seconds * 10,
+            op_latencies_ms=res.op_latencies_ms * 10)
+        assert twin.determinism_digest() == res.determinism_digest()
+        mutated = dataclasses.replace(
+            res, snapshots=res.snapshots[:-1])
+        assert mutated.determinism_digest() != res.determinism_digest()
+
+    def test_static_baseline_sees_same_database_evolution(self,
+                                                          paper_trace):
+        fdrms = replay_trace(paper_trace, "fd-rms", r=6, seed=0,
+                             eval_samples=300, options=OPTIONS)
+        greedy = replay_trace(paper_trace, "greedy", r=6, seed=0,
+                              eval_samples=300, options=OPTIONS)
+        assert greedy.trace_hash == fdrms.trace_hash
+        assert [s.op_index for s in greedy.snapshots] == \
+            [s.op_index for s in fdrms.snapshots]
+        assert [s.db_size for s in greedy.snapshots] == \
+            [s.db_size for s in fdrms.snapshots]
+
+    def test_options_routed_per_algorithm(self, paper_trace):
+        # eps/m_max are FD-RMS options; Greedy must silently drop them.
+        res = replay_trace(paper_trace, "greedy", r=6, seed=0,
+                           eval_samples=300, options=OPTIONS)
+        assert res.counters["recomputes"] >= 1
+
+
+class TestBatchPlanSemantics:
+    def test_batched_replay_matches_sequential(self):
+        # Replaying with the trace's batch plan must yield exactly the
+        # same results as replaying the same operations one at a time —
+        # the scenario-level view of the apply_batch parity guarantee.
+        trace = get_scenario("mixed-batch").compile(seed=3, n=120)
+        sequential = dataclasses.replace(trace, batch_plan=None)
+        evaluator = RegretEvaluator(trace.d, n_samples=300, seed=EVAL_SEED)
+        a = replay_trace(trace, "fd-rms", r=6, seed=0,
+                         evaluator=evaluator, options=OPTIONS)
+        b = replay_trace(sequential, "fd-rms", r=6, seed=0,
+                         evaluator=evaluator, options=OPTIONS)
+        assert a.n_batches < b.n_batches
+        assert [s.result_ids for s in a.snapshots] == \
+            [s.result_ids for s in b.snapshots]
+        assert [s.mrr for s in a.snapshots] == \
+            [s.mrr for s in b.snapshots]
+
+    def test_burst_replay_uses_batches(self):
+        trace = get_scenario("insert-burst").compile(seed=3, n=150)
+        res = replay_trace(trace, "fd-rms", r=6, seed=0,
+                           eval_samples=300, options=OPTIONS)
+        assert res.n_batches < res.n_operations
+
+
+class TestRunScenario:
+    def test_shared_trace_and_evaluator(self):
+        trace, results = run_scenario("paper", ["fd-rms", "greedy"],
+                                      r=6, seed=0, n=100,
+                                      eval_samples=300, options=OPTIONS)
+        assert len(results) == 2
+        assert {res.trace_hash for res in results} == \
+            {trace.content_hash}
+
+    def test_accepts_scenario_instance(self):
+        scenario = get_scenario("paper")
+        trace, results = run_scenario(scenario, ["fd-rms"], r=6, seed=0,
+                                      n=80, eval_samples=300,
+                                      options=OPTIONS)
+        assert results[0].scenario == "paper"
+
+    def test_every_builtin_replays_with_fdrms(self):
+        from repro.scenarios import scenario_names
+        for name in scenario_names():
+            trace, results = run_scenario(name, ["fd-rms"], r=12, seed=0,
+                                          n=60, eval_samples=200,
+                                          options=OPTIONS)
+            assert results[0].n_operations == trace.n_operations
+            assert results[0].snapshots

@@ -1,0 +1,253 @@
+"""Tests for the scenario subsystem: specs, compilation, traces."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.database import DELETE, INSERT, Database
+from repro.scenarios import (
+    Scenario,
+    TraceFormatError,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+    load_trace,
+    register_scenario,
+    save_trace,
+    scenario_names,
+)
+
+ALL_SCENARIOS = scenario_names()
+
+BUILTINS = {
+    "paper", "sliding-window", "insert-burst", "delete-heavy",
+    "clustered-drift", "skyline-churn", "mixed-batch",
+}
+
+
+class TestRegistry:
+    def test_builtin_catalogue(self):
+        assert BUILTINS <= set(ALL_SCENARIOS)
+
+    def test_case_insensitive_lookup(self):
+        assert get_scenario("PAPER") is get_scenario("paper")
+        assert get_scenario(" Sliding-Window ").name == "sliding-window"
+
+    def test_unknown_scenario_lists_choices(self):
+        with pytest.raises(UnknownScenarioError) as exc:
+            get_scenario("nope")
+        assert "nope" in str(exc.value)
+        assert "paper" in str(exc.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scenario(Scenario(name="paper", summary="dup"))
+
+    def test_listing_is_sorted(self):
+        names = [s.name for s in list_scenarios()]
+        assert names == sorted(names)
+
+    def test_unknown_arrival_pattern_reports_patterns(self):
+        from repro.scenarios import UnknownArrivalError
+        scenario = Scenario(name="typo-demo", summary="bad arrival",
+                            arrival="no-such-pattern")
+        with pytest.raises(UnknownArrivalError) as exc:
+            scenario.compile(seed=0, n=40)
+        assert "arrival pattern" in str(exc.value)
+        assert "no-such-pattern" in str(exc.value)
+
+
+@pytest.mark.parametrize("name", sorted(BUILTINS))
+class TestCompile:
+    def test_fixed_seed_determinism(self, name):
+        a = get_scenario(name).compile(seed=7, n=120)
+        b = get_scenario(name).compile(seed=7, n=120)
+        assert a.content_hash == b.content_hash
+        assert len(a.workload.operations) == len(b.workload.operations)
+        for op_a, op_b in zip(a.workload.operations, b.workload.operations):
+            assert op_a.kind == op_b.kind
+            assert op_a.tuple_id == op_b.tuple_id
+            assert np.array_equal(op_a.point, op_b.point)
+        assert np.array_equal(a.workload.initial, b.workload.initial)
+        assert a.batch_plan == b.batch_plan
+
+    def test_seed_changes_trace(self, name):
+        a = get_scenario(name).compile(seed=7, n=120)
+        b = get_scenario(name).compile(seed=8, n=120)
+        assert a.content_hash != b.content_hash
+
+    def test_snapshots_and_plan_well_formed(self, name):
+        trace = get_scenario(name).compile(seed=3, n=120)
+        marks = trace.workload.snapshots
+        assert list(marks) == sorted(set(marks))
+        assert all(1 <= m <= trace.n_operations for m in marks)
+        assert marks[-1] == trace.n_operations
+        if trace.batch_plan is not None:
+            assert sum(trace.batch_plan) == trace.n_operations
+            assert all(b >= 1 for b in trace.batch_plan)
+
+    def test_points_valid(self, name):
+        trace = get_scenario(name).compile(seed=3, n=120)
+        assert np.isfinite(trace.workload.initial).all()
+        assert (trace.workload.initial >= 0).all()
+        for op in trace.workload.operations:
+            assert np.isfinite(op.point).all()
+            assert (op.point >= 0).all()
+
+    def test_trace_replays_against_database(self, name):
+        # The pre-assigned tuple ids must match the Database id counter,
+        # every deletion must name an alive tuple, and every deletion
+        # must carry the victim's actual value (the documented
+        # Operation contract that baseline replays rely on).
+        trace = get_scenario(name).compile(seed=5, n=100)
+        db = Database(trace.workload.initial)
+        for op in trace.workload.operations:
+            if op.kind == INSERT:
+                assert db.insert(op.point) == op.tuple_id
+            else:
+                assert op.tuple_id in db
+                victim_value = db.delete(op.tuple_id)
+                assert np.array_equal(op.point, victim_value)
+
+    def test_scaling_to_tiny_sizes(self, name):
+        trace = get_scenario(name).compile(seed=1, n=40)
+        assert trace.n_operations >= 1
+
+
+class TestScenarioShapes:
+    def test_insert_burst_is_insert_only_and_batched(self):
+        trace = get_scenario("insert-burst").compile(seed=2, n=150)
+        kinds = {op.kind for op in trace.workload.operations}
+        assert kinds == {INSERT}
+        assert trace.batch_plan is not None
+        assert max(trace.batch_plan) > 1
+
+    def test_delete_heavy_shrinks_database(self):
+        trace = get_scenario("delete-heavy").compile(seed=2, n=150)
+        n_del = sum(op.kind == DELETE for op in trace.workload.operations)
+        n_ins = trace.n_operations - n_del
+        assert n_del > 2 * n_ins
+
+    def test_sliding_window_keeps_size_constant(self):
+        trace = get_scenario("sliding-window").compile(seed=2, n=150)
+        db = Database(trace.workload.initial)
+        size0 = len(db)
+        for op in trace.workload.operations:
+            db.apply(op)
+        assert len(db) == size0
+
+    def test_skyline_churn_points_near_corner(self):
+        trace = get_scenario("skyline-churn").compile(seed=2, n=150)
+        inserts = [op.point for op in trace.workload.operations
+                   if op.kind == INSERT]
+        assert inserts
+        assert all((p >= 0.9).all() for p in inserts)
+        # Every inserted dominator is eventually deleted (or still
+        # pending at the tail), so churn is sustained, not cumulative.
+        deleted = {op.tuple_id for op in trace.workload.operations
+                   if op.kind == DELETE}
+        insert_ids = [op.tuple_id for op in trace.workload.operations
+                      if op.kind == INSERT]
+        assert len(deleted) >= len(insert_ids) - 12
+
+    def test_mixed_batch_plan_mixes_sizes(self):
+        trace = get_scenario("mixed-batch").compile(seed=2, n=200)
+        assert trace.batch_plan is not None
+        sizes = set(trace.batch_plan)
+        assert 1 in sizes
+        assert any(s > 1 for s in sizes)
+
+    def test_clustered_drift_moves_the_database(self):
+        trace = get_scenario("clustered-drift").compile(seed=2, n=200)
+        db = Database(trace.workload.initial)
+        start_mean = db.points().mean(axis=0).copy()
+        for op in trace.workload.operations:
+            db.apply(op)
+        end_mean = db.points().mean(axis=0)
+        assert np.linalg.norm(end_mean - start_mean) > 0.02
+
+
+class TestTraceIO:
+    def test_round_trip_identical(self, tmp_path):
+        trace = get_scenario("mixed-batch").compile(seed=9, n=100)
+        path = tmp_path / "trace.jsonl"
+        written_hash = save_trace(trace, path)
+        loaded = load_trace(path)
+        assert written_hash == trace.content_hash
+        assert loaded.content_hash == trace.content_hash
+        assert loaded.scenario == trace.scenario
+        assert loaded.seed == trace.seed
+        assert loaded.batch_plan == trace.batch_plan
+        assert dict(loaded.params) == dict(trace.params)
+        assert loaded.workload.snapshots == trace.workload.snapshots
+        assert np.array_equal(loaded.workload.initial,
+                              trace.workload.initial)
+        assert len(loaded.workload.operations) == trace.n_operations
+        for op_l, op_t in zip(loaded.workload.operations,
+                              trace.workload.operations):
+            assert op_l.kind == op_t.kind
+            assert op_l.tuple_id == op_t.tuple_id
+            assert np.array_equal(op_l.point, op_t.point)
+
+    def test_round_trip_every_builtin(self, tmp_path):
+        for name in sorted(BUILTINS):
+            trace = get_scenario(name).compile(seed=4, n=60)
+            path = tmp_path / f"{name}.jsonl"
+            save_trace(trace, path)
+            assert load_trace(path).content_hash == trace.content_hash
+
+    def test_tampering_detected(self, tmp_path):
+        trace = get_scenario("paper").compile(seed=9, n=80)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        op = json.loads(lines[-1])
+        op[2][0] += 0.25
+        lines[-1] = json.dumps(op, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="hash mismatch"):
+            load_trace(path)
+        # verify=False loads the tampered tape without complaint
+        assert load_trace(path, verify=False).n_operations == \
+            trace.n_operations
+
+    def test_truncated_file_detected(self, tmp_path):
+        trace = get_scenario("paper").compile(seed=9, n=80)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-3]) + "\n")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(TraceFormatError, match="not a scenario trace"):
+            load_trace(path)
+
+
+class TestGoldenHashes:
+    """Pin cross-run/cross-platform trace determinism at the CI size.
+
+    ``benchmarks/scenario_hashes.json`` is the golden file the CI
+    scenario-matrix job pins with ``repro replay --expect-hashes``;
+    regenerate it with::
+
+        PYTHONPATH=src python benchmarks/bench_scenarios.py --n 400 \\
+            --hashes-only --write-hashes benchmarks/scenario_hashes.json
+    """
+
+    GOLDEN = Path(__file__).resolve().parents[1] / "benchmarks" \
+        / "scenario_hashes.json"
+
+    def test_golden_file_matches_compiled_hashes(self):
+        golden = json.loads(self.GOLDEN.read_text())
+        assert set(golden) == {f"{name}:n=400:seed=0"
+                               for name in ALL_SCENARIOS}
+        for name in ALL_SCENARIOS:
+            trace = get_scenario(name).compile(seed=0, n=400)
+            assert golden[f"{name}:n=400:seed=0"] == trace.content_hash, \
+                f"trace hash drift for {name}; regenerate the golden file"

@@ -1,6 +1,5 @@
 """Tests for the ε auto-tuning protocol (§III-C)."""
 
-import numpy as np
 import pytest
 
 from repro.core.regret import RegretEvaluator

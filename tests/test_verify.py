@@ -1,6 +1,5 @@
 """Tests for FDRMS.verify() — the public self-check."""
 
-import numpy as np
 import pytest
 
 from repro.core.fdrms import FDRMS

@@ -1,6 +1,5 @@
 """Tests for the sliding-window and skewed workload generators."""
 
-import numpy as np
 import pytest
 
 from repro.core.fdrms import FDRMS
