@@ -5,11 +5,16 @@ maintenance (``O(u(Δ_t)·n_t)``) and set-cover maintenance
 (``O(m² log m)``). This bench measures the split empirically with the
 component profiler, at two values of m (the cover share should grow
 with m).
+
+It also breaks down the **cold start** (engine build) into its phases —
+bootstrap GEMM + partition, tree builds, membership fill, set-cover
+greedy, and the dynamic-skyline build the recompute wrapper pays — the
+same numbers ``bench_hotpath`` publishes to ``BENCH_hotpath.json``.
 """
 
 import time
 
-
+from repro.api.session import FDRMSSession, RecomputeSession
 from repro.bench.profile import ProfiledFDRMS
 from repro.data import Database, make_paper_workload
 from repro.data.database import INSERT
@@ -59,3 +64,33 @@ def test_profile_component_split(benchmark):
     share_s = ps["cover"] / (ps["cover"] + ps["topk"])
     share_l = pl["cover"] / (pl["cover"] + pl["topk"])
     assert share_l >= share_s * 0.5  # never collapses when m grows
+
+
+def test_profile_cold_start(benchmark):
+    """Phase breakdown of the engine build (and the skyline init)."""
+    n = min(CFG["n"], 4000)
+    points = independent_points(n, 5, seed=98)
+
+    def run():
+        fd = FDRMSSession(points, r=10, k=1, eps=0.05,
+                          m_max=CFG["m_max"], seed=99)
+        static = RecomputeSession(points, lambda pool: [0],
+                                  name="probe", use_skyline=True)
+        return fd, static
+
+    fd, static = benchmark.pedantic(run, rounds=1, iterations=1)
+    phases = dict(fd.init_profile)
+    phases["skyline_init"] = static.init_profile["skyline_init"]
+    width = max(len(k) for k in phases)
+    lines = [f"cold start at n={n} (FD-RMS build {fd.init_seconds:.3f}s, "
+             f"skyline {static.init_seconds:.3f}s)"]
+    lines += [f"  {k:<{width}} {1e3 * v:8.1f} ms"
+              for k, v in phases.items()]
+    emit("profile_cold_start", "\n".join(lines))
+    # Every phase must be present and account for most of the build.
+    for key in ("kdtree_build", "conetree_build", "bootstrap_gemm",
+                "membership_fill", "cover_greedy", "skyline_init"):
+        assert key in phases and phases[key] >= 0.0
+    covered = sum(fd.init_profile.values())
+    assert covered <= fd.init_seconds * 1.05
+    assert covered >= fd.init_seconds * 0.5

@@ -122,7 +122,8 @@ def main(argv=None) -> int:
             lat = res.latency_percentiles()
             ops_s = (res.n_operations / res.update_seconds
                      if res.update_seconds > 0 else float("inf"))
-            print(f"{res.algorithm:>12}: {res.update_seconds:7.2f}s "
+            print(f"{res.algorithm:>12}: init {res.init_seconds:6.2f}s  "
+                  f"updates {res.update_seconds:7.2f}s "
                   f"({ops_s:9.0f} op/s)  p50 {lat['p50']:7.3f} ms  "
                   f"p99 {lat['p99']:7.3f} ms  mean mrr {res.mean_mrr:.4f}")
 

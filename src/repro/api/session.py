@@ -137,6 +137,9 @@ class FDRMSSession(Session):
         self.engine = FDRMS(self._db, k, r, float(eps), m_max=m_max,
                             seed=seed)
         self.init_seconds = time.perf_counter() - start
+        #: Cold-start phase breakdown (seconds) from the engine: tree
+        #: builds, bootstrap GEMM, membership fill, set-cover greedy.
+        self.init_profile = dict(self.engine.init_profile)
         self.algo_seconds = 0.0
         self.last_apply_seconds = 0.0
 
@@ -206,8 +209,16 @@ class RecomputeSession(Session):
         self.name = name
         self._solver = solver
         self._use_skyline = use_skyline
+        start = time.perf_counter()
         self._db = Database(np.asarray(points, dtype=float))
+        t_db = time.perf_counter()
         self._skyline = DynamicSkyline(self._db) if use_skyline else None
+        t_sky = time.perf_counter()
+        #: Cold-start cost of this session (the lazy solver run is
+        #: charged to ``algo_seconds`` at the first read instead).
+        self.init_seconds = t_sky - start
+        self.init_profile = {"database": t_db - start,
+                             "skyline_init": t_sky - t_db}
         self.dirty = True
         self.last_changed = True
         self.recomputes = 0
@@ -325,6 +336,7 @@ class RecomputeSession(Session):
         out = super().stats()
         out["recomputes"] = self.recomputes
         out["algo_seconds"] = self.algo_seconds
+        out["init_seconds"] = self.init_seconds
         out["solution_size"] = len(self._cached_ids)
         if self._skyline is not None:
             out["skyline_size"] = len(self._skyline)

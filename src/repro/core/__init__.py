@@ -1,7 +1,13 @@
 """The paper's contribution: FD-RMS and its dynamic set-cover machinery."""
 
-from repro.core.topk import SCORE_TOL, ApproxTopKIndex, MembershipDelta
-from repro.core.set_cover import StableSetCover
+from repro.core.topk import (
+    SCORE_TOL,
+    ApproxTopKIndex,
+    DeltaLog,
+    MemberStore,
+    MembershipDelta,
+)
+from repro.core.set_cover import StableSetCover, greedy_cover_size
 from repro.core.fdrms import FDRMS
 from repro.core.regret import (
     cached_test_utilities,
@@ -16,8 +22,11 @@ from repro.core.tuning import suggest_epsilon
 __all__ = [
     "SCORE_TOL",
     "ApproxTopKIndex",
+    "DeltaLog",
+    "MemberStore",
     "MembershipDelta",
     "StableSetCover",
+    "greedy_cover_size",
     "FDRMS",
     "cached_test_utilities",
     "k_regret_ratio",

@@ -21,15 +21,15 @@ operations ``σ`` of Algorithm 1.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.core.set_cover import StableSetCover
+from repro.core.set_cover import StableSetCover, greedy_cover_size
 from repro.core.topk import (
-    ADD,
-    REMOVE,
     SCORE_TOL,
     ApproxTopKIndex,
-    MembershipDelta,
+    DeltaLog,
 )
 from repro.data.database import INSERT, Database, iter_op_runs
 from repro.geometry.sampling import sample_utilities_with_basis
@@ -76,10 +76,13 @@ class FDRMS:
         if m_max <= r:
             raise ValueError(f"m_max must exceed r, got m_max={m_max}, r={r}")
         self._m_max = int(m_max)
+        t0 = time.perf_counter()
         utilities = sample_utilities_with_basis(self._m_max, db.d, seed=seed)
+        t1 = time.perf_counter()
         self._topk = ApproxTopKIndex(db, utilities, self._k, self._eps,
                                      index_factory=index_factory,
                                      cone_factory=cone_factory)
+        t2 = time.perf_counter()
         self._cover = StableSetCover()
         self._m = self._r
         self._stats = {"inserts": 0, "deletes": 0, "deltas": 0,
@@ -87,6 +90,14 @@ class FDRMS:
         if len(db) > 0:
             self._m = self._initialize()
             self._update_m()
+        t3 = time.perf_counter()
+        #: Cold-start phase breakdown in seconds (Algorithm 2 split into
+        #: the top-k bootstrap phases and the set-cover greedy).
+        self.init_profile: dict[str, float] = {
+            "utility_sample": t1 - t0,
+            **self._topk.build_profile,
+            "cover_greedy": t3 - t2,
+        }
 
     # ------------------------------------------------------------------
     # Read access
@@ -145,19 +156,19 @@ class FDRMS:
     def insert(self, point) -> int:
         """Process ``Δ_t = <p, +>``; returns the new tuple id."""
         fresh_start = len(self._db) == 0
-        pid, deltas = self._topk.insert(point)
-        self._absorb_insert_deltas(deltas, fresh_start)
+        pid, log = self._topk.insert_log(point)
+        self._absorb_insert_deltas(log, fresh_start)
         return pid
 
-    def _absorb_insert_deltas(self, deltas: list[MembershipDelta],
+    def _absorb_insert_deltas(self, log: DeltaLog,
                               fresh_start: bool) -> None:
         """Cover-layer half of one insertion (shared with batching)."""
         self._stats["inserts"] += 1
-        self._stats["deltas"] += len(deltas)
+        self._stats["deltas"] += len(log)
         if fresh_start:
             self._rebuild_cover()
         else:
-            self._apply_deltas(deltas)
+            self._apply_deltas(log)
         if self._cover.solution_size() != self._r:
             self._update_m()
 
@@ -185,16 +196,16 @@ class FDRMS:
                 np.asarray([op.point for op in run]))
             for _ in run:
                 fresh_start = cursor.n_before == 0
-                pid, deltas = cursor.step()
-                self._absorb_insert_deltas(deltas, fresh_start)
+                pid, log = cursor.step_log()
+                self._absorb_insert_deltas(log, fresh_start)
                 out.append(pid)
         return out
 
     def delete(self, tuple_id: int) -> None:
         """Process ``Δ_t = <p, ->``."""
-        deltas = self._topk.delete(tuple_id)
+        log = self._topk.delete_log(tuple_id)
         self._stats["deletes"] += 1
-        self._stats["deltas"] += len(deltas)
+        self._stats["deltas"] += len(log)
         if len(self._db) == 0:
             self._cover = StableSetCover()
             self._m = self._r
@@ -202,13 +213,14 @@ class FDRMS:
         # Additions first so every element keeps a containing set, then
         # removals of *other* tuples (numerical edge cases), finally the
         # wholesale removal of S(p) with reassignment (Alg. 3 lines 9-12).
-        adds = [d for d in deltas if d.kind == ADD and d.u_index < self._m]
-        removes = [d for d in deltas if d.kind == REMOVE and d.u_index < self._m
-                   and d.tuple_id != tuple_id]
-        for delta in adds:
-            self._cover.add_to_set(delta.u_index, delta.tuple_id)
-        for delta in removes:
-            self._cover.remove_from_set(delta.u_index, delta.tuple_id)
+        u, pid, kind = log.columns()
+        active = u < self._m
+        adds = active & (kind > 0)
+        removes = active & (kind < 0) & (pid != tuple_id)
+        for u_idx, p in zip(u[adds].tolist(), pid[adds].tolist()):
+            self._cover.add_to_set(u_idx, p)
+        for u_idx, p in zip(u[removes].tolist(), pid[removes].tolist()):
+            self._cover.remove_from_set(u_idx, p)
         self._cover.remove_set(tuple_id)
         if self._cover.solution_size() != self._r:
             self._update_m()
@@ -274,7 +286,14 @@ class FDRMS:
     # Internals
     # ------------------------------------------------------------------
     def _membership_prefix(self, m: int) -> dict[int, set[int]]:
-        """Set system restricted to the first ``m`` utilities."""
+        """Set system restricted to the first ``m`` utilities.
+
+        Iterates ``members_of`` (the (score, id)-sorted view) rather
+        than the cheaper raw member rows on purpose: the resulting dict
+        key order — and with it the construction order of the cover's
+        internal sets — is part of the engine's determinism contract,
+        because the stable cover is history-dependent.
+        """
         sets: dict[int, set[int]] = {}
         for u_idx in range(m):
             for pid in self._topk.members_of(u_idx):
@@ -282,22 +301,26 @@ class FDRMS:
         return sets
 
     def _initialize(self) -> int:
-        """Algorithm 2: binary search ``m`` so the greedy cover has r sets."""
+        """Algorithm 2: binary search ``m`` so the greedy cover has r sets.
+
+        Probe sizes come from :func:`greedy_cover_size` over the raw
+        member-id arrays — the same selection rule as the stateful
+        greedy, without building any Python set/dict state — so only
+        the final chosen ``m`` pays for a full cover construction.
+        """
+        rows = [self._topk.member_row(u) for u in range(self._m_max)]
         lo, hi = self._r, self._m_max
         chosen_m: int | None = None
         fallback: tuple[int, int] | None = None  # (size distance, m)
         while lo <= hi:
             m = (lo + hi) // 2
-            cover = StableSetCover()
-            cover.build(self._membership_prefix(m))
-            size = cover.solution_size()
+            size = greedy_cover_size(rows[:m])
             dist = abs(size - self._r)
             if fallback is None or dist < fallback[0] or \
                     (dist == fallback[0] and m > fallback[1]):
                 fallback = (dist, m)
             if size == self._r or m == self._m_max:
                 chosen_m = m
-                self._cover = cover
                 break
             if size < self._r:
                 lo = m + 1
@@ -305,8 +328,8 @@ class FDRMS:
                 hi = m - 1
         if chosen_m is None:
             chosen_m = fallback[1] if fallback is not None else self._r
-            self._cover = StableSetCover()
-            self._cover.build(self._membership_prefix(chosen_m))
+        self._cover = StableSetCover()
+        self._cover.build(self._membership_prefix(chosen_m))
         return chosen_m
 
     def _rebuild_cover(self) -> None:
@@ -317,15 +340,20 @@ class FDRMS:
         if membership:
             self._cover.build(membership)
 
-    def _apply_deltas(self, deltas: list[MembershipDelta]) -> None:
+    def _apply_deltas(self, log: DeltaLog) -> None:
         """Translate top-k membership deltas into Algorithm 1 operations."""
-        for delta in deltas:
-            if delta.u_index >= self._m:
-                continue
-            if delta.kind == ADD:
-                self._cover.add_to_set(delta.u_index, delta.tuple_id)
+        u, pid, kind = log.columns()
+        if u.size == 0:
+            return
+        keep = u < self._m
+        add_to_set = self._cover.add_to_set
+        remove_from_set = self._cover.remove_from_set
+        for u_idx, p, code in zip(u[keep].tolist(), pid[keep].tolist(),
+                                  kind[keep].tolist()):
+            if code > 0:
+                add_to_set(u_idx, p)
             else:
-                self._cover.remove_from_set(delta.u_index, delta.tuple_id)
+                remove_from_set(u_idx, p)
 
     def _update_m(self) -> None:
         """Algorithm 4: resize the active utility prefix until |C| = r."""

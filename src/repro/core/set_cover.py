@@ -30,10 +30,82 @@ from __future__ import annotations
 import heapq
 from collections import defaultdict
 
+import numpy as np
+
 
 def _level_of(size: int) -> int:
     """Level index ``j`` with ``2^j <= size < 2^{j+1}`` (size >= 1)."""
     return size.bit_length() - 1
+
+
+def _counting_greedy(flat: np.ndarray, lens: np.ndarray, n_sets: int,
+                     select) -> list[int]:
+    """Shared GREEDY kernel over a flat CSR set system.
+
+    ``flat`` holds, element-major, the dense set index of every
+    (element, set) membership pair; ``lens`` the per-element row
+    lengths. ``select(gains)`` picks the next dense set index given the
+    current uncovered-gain vector (raising :class:`ValueError` when no
+    positive gain remains). Returns the dense selection order; gains are
+    maintained with counting updates, so the whole run is
+    O(total membership) plus the selection rule's own cost. Both the
+    size-only probe (:func:`greedy_cover_size`) and the stateful build
+    (:meth:`StableSetCover._select_greedy`) run on this kernel — only
+    the selection rule differs.
+    """
+    n_elems = lens.shape[0]
+    eptr = np.r_[0, np.cumsum(lens)]
+    counts = np.bincount(flat, minlength=n_sets)
+    gains = counts.copy()
+    # CSR set -> elements: stable sort keeps element-major pair order.
+    order = np.argsort(flat, kind="stable")
+    set_elems = np.repeat(np.arange(n_elems, dtype=np.intp), lens)[order]
+    sptr = np.r_[0, np.cumsum(counts)]
+    covered = np.zeros(n_elems, dtype=bool)
+    n_uncovered = n_elems
+    selection: list[int] = []
+    while n_uncovered:
+        j = select(gains)
+        row = set_elems[sptr[j]:sptr[j + 1]]
+        won = row[~covered[row]]
+        covered[won] = True
+        n_uncovered -= int(won.size)
+        touched = np.concatenate([flat[eptr[e]:eptr[e + 1]]
+                                  for e in won.tolist()])
+        np.subtract.at(gains, touched, 1)
+        selection.append(j)
+    return selection
+
+
+def _select_max_gain(gains: np.ndarray) -> int:
+    """Largest gain, ties toward the smallest dense index (= smallest id)."""
+    j = int(np.argmax(gains))
+    if gains[j] == 0:
+        raise ValueError("greedy failed: some element is uncoverable")
+    return j
+
+
+def greedy_cover_size(elem_rows) -> int:
+    """Solution size of the GREEDY cover over an array set system.
+
+    ``elem_rows[e]`` is an integer array of the set ids containing
+    element ``e``. The selection rule is exactly the one of
+    :meth:`StableSetCover.build` — largest current uncovered-gain first,
+    ties toward the smallest set id (``np.unique`` sorts, so the dense
+    argmax tie-break matches the heap's) — so the returned size equals
+    ``cover.build(...); cover.solution_size()`` without paying for any
+    Python set/dict state. FD-RMS uses this for the Algorithm 2 binary
+    search, where only the size of each probe's cover matters.
+    """
+    n_elems = len(elem_rows)
+    if n_elems == 0:
+        return 0
+    lens = np.fromiter((r.shape[0] for r in elem_rows), np.intp, n_elems)
+    if not lens.all():
+        raise ValueError("greedy failed: some element is uncoverable")
+    flat_sids = np.concatenate(elem_rows)
+    sids, dense = np.unique(flat_sids, return_inverse=True)
+    return len(_counting_greedy(dense, lens, sids.size, _select_max_gain))
 
 
 class StableSetCover:
@@ -93,22 +165,74 @@ class StableSetCover:
     # ------------------------------------------------------------------
     def build(self, membership: dict) -> None:
         """Install set system ``membership`` (sid -> iterable of elems)
-        and compute a fresh greedy solution (stable by Lemma 1)."""
+        and compute a fresh greedy solution (stable by Lemma 1).
+
+        Elements only enter the universe through a containing set, so a
+        freshly built system cannot hold an uncoverable element; that
+        invariant is asserted by :meth:`is_cover` (and, transitively, by
+        ``FDRMS.verify``) rather than re-checked here.
+        """
         self._elem_sets = defaultdict(set)
         self._set_elems = defaultdict(set)
         for sid, elems in membership.items():
             for elem in elems:
                 self._elem_sets[elem].add(sid)
                 self._set_elems[sid].add(elem)
-        uncovered = set(self._elem_sets.keys())
-        for elem, sids in self._elem_sets.items():
-            if not sids:
-                raise ValueError(f"element {elem!r} is covered by no set")
-        self._greedy(uncovered)
+        self._greedy(set(self._elem_sets.keys()))
 
     def rebuild(self) -> None:
         """Recompute the solution greedily from the current membership."""
         self._greedy(set(self._elem_sets.keys()))
+
+    def _select_greedy(self, uncovered: set) -> list:
+        """GREEDY selection order, computed over flat integer arrays.
+
+        Returns the sids the classic lazy-heap greedy would pick, in
+        order: the heap pops entries by ``(-gain, sid)`` and re-keys
+        stale ones downward, which selects the set with the largest
+        *current* gain, ties toward the smaller sid. Here the per-pop
+        ``len(set & set)`` recomputation is replaced by a dense gain
+        vector maintained with counting updates; the heap (still keyed
+        by raw sids, so any mutually comparable ids work) only arbitrates
+        ties.
+        """
+        if not uncovered or not self._set_elems:
+            return []
+        sids = list(self._set_elems.keys())
+        sid_index = {sid: j for j, sid in enumerate(sids)}
+        flat: list[int] = []
+        lens: list[int] = []
+        for elem, owners in self._elem_sets.items():
+            if elem not in uncovered:
+                continue
+            row = [sid_index[s] for s in owners]
+            flat.extend(row)
+            lens.append(len(row))
+        if not lens:
+            return []
+        flat_a = np.asarray(flat, dtype=np.intp)
+        lens_a = np.asarray(lens, dtype=np.intp)
+        heap = [(-int(g), sid)
+                for sid, g in zip(sids, np.bincount(flat_a,
+                                                    minlength=len(sids)))
+                if g > 0]
+        heapq.heapify(heap)
+
+        def select(gains: np.ndarray) -> int:
+            while heap:
+                neg_g, sid = heapq.heappop(heap)
+                j = sid_index[sid]
+                actual = int(gains[j])
+                if actual == 0:
+                    continue
+                if actual != -neg_g:
+                    heapq.heappush(heap, (-actual, sid))
+                    continue
+                return j
+            raise ValueError("greedy failed: some element is uncoverable")
+
+        selection = _counting_greedy(flat_a, lens_a, len(sids), select)
+        return [sids[j] for j in selection]
 
     def _greedy(self, uncovered: set) -> None:
         self._phi = {}
@@ -118,24 +242,10 @@ class StableSetCover:
         self._by_level = defaultdict(lambda: defaultdict(set))
         self._pending = []
         self._pending_keys = set()
-        # Bucket-queue greedy: sets keyed by current uncovered-gain.
-        gain = {sid: len(elems & uncovered) if uncovered else 0
-                for sid, elems in self._set_elems.items()}
-        heap = [(-g, sid) for sid, g in gain.items() if g > 0]
-        heapq.heapify(heap)
-        while uncovered:
-            while heap:
-                neg_g, sid = heapq.heappop(heap)
-                actual = len(self._set_elems[sid] & uncovered)
-                if actual == 0:
-                    continue
-                if actual != -neg_g:
-                    heapq.heappush(heap, (-actual, sid))
-                    continue
-                break
-            else:
-                raise ValueError("greedy failed: some element is uncoverable")
+        for sid in self._select_greedy(uncovered):
             won = self._set_elems[sid] & uncovered
+            if not won:
+                continue
             for elem in won:
                 self._phi[elem] = sid
                 self._cov[sid].add(elem)
@@ -144,6 +254,8 @@ class StableSetCover:
             self._level[sid] = j
             for elem in won:
                 self._set_elem_level(elem, j)
+        if uncovered:
+            raise ValueError("greedy failed: some element is uncoverable")
         self._stabilize()
 
     # ------------------------------------------------------------------

@@ -17,14 +17,30 @@ Membership invariant, for every utility ``i`` and time ``t``::
 with the convention ``τ_i = 0`` while the database holds at most ``k``
 tuples (then everything is a top-k tuple).
 
-Each update returns the exact list of membership changes it caused
-(:class:`MembershipDelta`), which FD-RMS feeds to the dynamic set-cover
-layer as the set operations ``σ`` of Algorithm 1.
+Storage layout
+--------------
+Membership lives in a **structure-of-arrays** :class:`MemberStore`, not
+per-utility Python containers: every utility keeps its members as a pair
+of parallel NumPy arrays (tuple ids + admission scores, in arrival
+order), the k largest member scores sit in one ``(M, k)`` matrix (so
+``ω_k`` reads are O(1)), a per-utility running minimum makes "would this
+threshold evict anything?" a single vectorized comparison, and the
+inverted index ``S(p)`` is a pid-indexed table of utility-id arrays.
+Membership changes are recorded into a :class:`DeltaLog` — parallel int
+arrays — instead of per-change :class:`MembershipDelta` objects; the
+object form is materialized only at the public API boundary.
+
+Each update returns the exact list of membership changes it caused,
+which FD-RMS feeds to the dynamic set-cover layer as the set operations
+``σ`` of Algorithm 1. The recorded order is part of the engine contract
+(the stable cover is history-dependent), so every path — vectorized
+bootstrap, batched insert runs, deletions — emits deltas in exactly the
+per-operation order of the original per-member implementation.
 """
 
 from __future__ import annotations
 
-import bisect
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +53,11 @@ from repro.utils import check_epsilon, check_k
 ADD = "+"
 REMOVE = "-"
 
+#: Integer delta codes used by :class:`DeltaLog` (sign convention:
+#: positive = member added, negative = member removed).
+ADD_CODE = 1
+REMOVE_CODE = -1
+
 #: Score-threshold tolerance shared by membership updates and the audit
 #: paths (``ApproxTopKIndex`` internals, ``FDRMS.verify``). Scores are
 #: computed by different BLAS kernels along different code paths (bulk
@@ -45,6 +66,18 @@ REMOVE = "-"
 #: against a threshold therefore allow this absolute slack instead of
 #: hardcoding ``1e-12`` at each site.
 SCORE_TOL = 1e-12
+
+_EMPTY_IDS = np.empty(0, dtype=np.intp)
+_EMPTY_SCORES = np.empty(0, dtype=np.float64)
+
+#: Tuple-index staging threshold. Insertions never query the tuple
+#: index, so freshly inserted points are *staged* and flushed into the
+#: tree in bulk (one vectorized wave load) once this many accumulate —
+#: or earlier, the moment a tree query is needed. Per-point descent
+#: costs then amortize even when insert runs are short.
+_STAGE_LIMIT = 512
+
+_MISSING = object()
 
 
 def _default_index_factory(ids, points, d: int) -> KDTree:
@@ -63,61 +96,403 @@ class MembershipDelta:
     kind: str  # ADD or REMOVE
 
 
-class _MemberList:
-    """Sorted container of (score, tuple_id) pairs for one utility.
+class DeltaLog:
+    """Membership changes of one operation as parallel int arrays.
 
-    Ascending by (score, id); supports O(log s) insert/remove, O(1)
-    k-th-largest lookup, and bulk eviction of the low-score prefix. A
-    side id → score map makes removal address members by id alone, so a
-    member is always removed under the exact score it was stored with —
-    re-deriving the score at removal time is fragile, because different
-    BLAS kernels can disagree in the last ulp (see :data:`SCORE_TOL`).
+    Rows are ``(u_index, tuple_id, kind_code)`` in emission order; the
+    hot consumers (the FD-RMS cover layer) read the raw columns, while
+    :meth:`to_deltas` materializes :class:`MembershipDelta` objects for
+    the public API.
     """
 
-    __slots__ = ("entries", "score_by_id")
+    __slots__ = ("_u", "_pid", "_kind", "_n")
 
     def __init__(self) -> None:
-        self.entries: list[tuple[float, int]] = []
-        self.score_by_id: dict[int, float] = {}
+        # Columns are allocated lazily: many operations (weak inserts,
+        # deletes of non-members) produce no deltas at all.
+        self._u = _EMPTY_IDS
+        self._pid = _EMPTY_IDS
+        self._kind = np.empty(0, dtype=np.int8)
+        self._n = 0
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._n
 
-    def __contains__(self, tuple_id: int) -> bool:
-        return tuple_id in self.score_by_id
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        cap = self._u.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap, 16)
+        for name in ("_u", "_pid", "_kind"):
+            old = getattr(self, name)
+            fresh = np.empty(new_cap, dtype=old.dtype)
+            fresh[: self._n] = old[: self._n]
+            setattr(self, name, fresh)
 
-    def add(self, score: float, tuple_id: int) -> None:
-        bisect.insort(self.entries, (score, tuple_id))
-        self.score_by_id[tuple_id] = score
+    def append(self, u: int, pid: int, kind: int) -> None:
+        self._reserve(1)
+        n = self._n
+        self._u[n] = u
+        self._pid[n] = pid
+        self._kind[n] = kind
+        self._n = n + 1
 
-    def score_of(self, tuple_id: int) -> float:
-        """The score ``tuple_id`` was stored with."""
-        return self.score_by_id[tuple_id]
+    def extend_one_pid(self, us, pid: int, kind: int) -> None:
+        """Record ``pid`` joining/leaving every utility in ``us`` (in order)."""
+        us = np.asarray(us, dtype=np.intp)
+        if us.size == 0:
+            return
+        self._reserve(us.size)
+        n, e = self._n, self._n + us.size
+        self._u[n:e] = us
+        self._pid[n:e] = pid
+        self._kind[n:e] = kind
+        self._n = e
 
-    def remove(self, tuple_id: int) -> float:
-        """Remove ``tuple_id``; returns the score it was stored with."""
-        score = self.score_by_id.pop(tuple_id, None)
-        if score is None:
-            raise KeyError(f"tuple {tuple_id} not in member list")
-        idx = bisect.bisect_left(self.entries, (score, tuple_id))
-        del self.entries[idx]
+    def extend_one_utility(self, u: int, pids, kind: int) -> None:
+        """Record every tuple in ``pids`` (in order) joining/leaving ``u``."""
+        pids = np.asarray(pids, dtype=np.intp)
+        if pids.size == 0:
+            return
+        self._reserve(pids.size)
+        n, e = self._n, self._n + pids.size
+        self._u[n:e] = u
+        self._pid[n:e] = pids
+        self._kind[n:e] = kind
+        self._n = e
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(u_index, tuple_id, kind_code)`` rows as trimmed views."""
+        n = self._n
+        return self._u[:n], self._pid[:n], self._kind[:n]
+
+    def to_deltas(self) -> list[MembershipDelta]:
+        """Materialize the log as :class:`MembershipDelta` objects."""
+        u, pid, kind = self.columns()
+        return [MembershipDelta(int(i), int(p), ADD if k > 0 else REMOVE)
+                for i, p, k in zip(u.tolist(), pid.tolist(), kind.tolist())]
+
+
+class MemberStore:
+    """Structure-of-arrays store of every ``Φ_{k,ε}(u_i)`` plus ``S(p)``.
+
+    Per utility ``i`` the members are two parallel arrays (ids and the
+    scores they were admitted with) kept in **arrival order** with
+    amortized-doubling growth; a member is always removed under the
+    exact score it was stored with — re-deriving the score at removal
+    time is fragile, because different BLAS kernels can disagree in the
+    last ulp (see :data:`SCORE_TOL`). Two derived structures make the
+    hot reads O(1):
+
+    * ``(M, k)`` matrix of each utility's k largest member scores
+      (ascending per row, ``-inf``-padded while a list holds fewer than
+      ``k`` members) — :meth:`kth_largest` / :meth:`max_score` read it
+      directly, and a whole batch of thresholds is one gather;
+    * a per-utility running **minimum** member score, so "does threshold
+      τ evict anything?" is one vectorized comparison instead of a scan.
+
+    The inverted index ``S(p)`` is a pid-indexed table of utility-id
+    arrays (pids are dense, never reused), with swap-removal — no
+    per-tuple Python sets.
+    """
+
+    __slots__ = ("_k", "_m", "_row_ids", "_row_scores", "_row_len",
+                 "_topk", "_min", "_inv_rows", "_inv_len")
+
+    def __init__(self, m_total: int, k: int) -> None:
+        self._m = int(m_total)
+        self._k = int(k)
+        self._row_ids: list[np.ndarray] = [_EMPTY_IDS] * self._m
+        self._row_scores: list[np.ndarray] = [_EMPTY_SCORES] * self._m
+        self._row_len = np.zeros(self._m, dtype=np.int64)
+        self._topk = np.full((self._m, self._k), -np.inf)
+        self._min = np.full(self._m, np.inf)
+        self._inv_rows: list[np.ndarray | None] = []
+        self._inv_len: list[int] = []
+
+    # -- member rows ---------------------------------------------------
+    def size(self, i: int) -> int:
+        return int(self._row_len[i])
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, scores)`` of utility ``i`` in arrival order (views)."""
+        n = int(self._row_len[i])
+        return self._row_ids[i][:n], self._row_scores[i][:n]
+
+    def members_sorted(self, i: int) -> list[int]:
+        """Member ids ascending by (score, id) — the legacy list order."""
+        ids, scores = self.row(i)
+        if ids.size == 0:
+            return []
+        return ids[np.lexsort((ids, scores))].tolist()
+
+    def score_of(self, i: int, pid: int) -> float:
+        """The score ``pid`` was stored with in utility ``i``."""
+        n = int(self._row_len[i])
+        if n == 0:
+            raise KeyError(f"tuple {pid} not in member list")
+        match = self._row_ids[i][:n] == pid
+        p = int(match.argmax())
+        if not match[p]:
+            raise KeyError(f"tuple {pid} not in member list")
+        return float(self._row_scores[i][p])
+
+    def kth_largest(self, i: int) -> float:
+        """``ω_k(u_i, P)`` read off the member list (members ⊇ top-k).
+
+        A member list smaller than ``k`` can only happen while the
+        database holds fewer than ``k`` tuples (then τ = 0 and members =
+        all tuples); the smallest stored score (0.0 when empty) is
+        returned so threshold formulas degrade exactly as the reference
+        implementation did.
+        """
+        if self._row_len[i] >= self._k:
+            return float(self._topk[i, 0])
+        if self._row_len[i] == 0:
+            return 0.0
+        return float(self._min[i])
+
+    def max_score(self, i: int) -> float:
+        """Largest stored member score of utility ``i`` (0.0 if empty)."""
+        if self._row_len[i] == 0:
+            return 0.0
+        return float(self._topk[i, self._k - 1])
+
+    def kth_vector(self, idxs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`kth_largest` for full rows (len >= k)."""
+        return self._topk[idxs, 0]
+
+    def min_vector(self, idxs: np.ndarray) -> np.ndarray:
+        """Smallest stored member score per utility in ``idxs``."""
+        return self._min[idxs]
+
+    # -- mutation ------------------------------------------------------
+    def _append(self, i: int, pid: int, score: float) -> None:
+        n = int(self._row_len[i])
+        ids = self._row_ids[i]
+        if n == ids.shape[0]:
+            cap = max(4, 2 * n)
+            grown = np.empty(cap, dtype=np.intp)
+            grown[:n] = ids
+            ids = self._row_ids[i] = grown
+            grown_s = np.empty(cap, dtype=np.float64)
+            grown_s[:n] = self._row_scores[i][:n]
+            self._row_scores[i] = grown_s
+        ids[n] = pid
+        self._row_scores[i][n] = score
+        self._row_len[i] = n + 1
+
+    def _topk_absorb(self, idxs: np.ndarray, scores: np.ndarray) -> None:
+        """Fold one new score per row into the top-k score matrix."""
+        if self._k == 1:
+            self._topk[idxs, 0] = np.maximum(self._topk[idxs, 0], scores)
+        else:
+            cat = np.column_stack([self._topk[idxs], scores])
+            cat.sort(axis=1)
+            self._topk[idxs] = cat[:, 1:]
+
+    def add_one(self, i: int, score: float, pid: int) -> None:
+        """Add one member to one utility (inverted index included)."""
+        self._append(i, pid, score)
+        row = self._topk[i]
+        if score > row[0]:
+            row = np.append(row, score)
+            row.sort()
+            self._topk[i] = row[1:]
+        if score < self._min[i]:
+            self._min[i] = score
+        self.add_owner(pid, i)
+
+    def add_members(self, idxs: np.ndarray, scores: np.ndarray,
+                    pid: int) -> None:
+        """Fresh tuple ``pid`` joins every utility in ``idxs`` at once.
+
+        ``pid`` must be new to the store (tuple ids are never reused),
+        so its inverted row is exactly ``idxs``.
+        """
+        for i, s in zip(idxs.tolist(), scores.tolist()):
+            self._append(i, pid, s)
+        self._topk_absorb(idxs, scores)
+        self._min[idxs] = np.minimum(self._min[idxs], scores)
+        self._ensure_pid(pid)
+        self._inv_rows[pid] = np.array(idxs, dtype=np.intp)
+        self._inv_len[pid] = int(idxs.size)
+
+    def remove(self, i: int, pid: int, *, drop_owner: bool = True) -> float:
+        """Remove ``pid`` from utility ``i``; returns its stored score.
+
+        Arrival order of the remaining members is preserved. The top-k
+        score matrix is repaired only when the removed score could sit
+        in it (a member strictly below ``ω_k`` cannot); in the engine
+        that case is always followed by :meth:`replace_row`, so the
+        repair is effectively free on the hot path. A caller about to
+        discard the whole inverted row of ``pid`` anyway (tuple
+        deletion) passes ``drop_owner=False`` and calls
+        :meth:`clear_owners` once instead.
+        """
+        n = int(self._row_len[i])
+        if n == 0:
+            raise KeyError(f"tuple {pid} not in member list")
+        ids = self._row_ids[i]
+        match = ids[:n] == pid
+        p = int(match.argmax())
+        if not match[p]:
+            raise KeyError(f"tuple {pid} not in member list")
+        scores = self._row_scores[i]
+        score = float(scores[p])
+        ids[p:n - 1] = ids[p + 1:n]
+        scores[p:n - 1] = scores[p + 1:n]
+        self._row_len[i] = n - 1
+        if n == 1:
+            self._min[i] = np.inf
+        elif score == self._min[i]:
+            self._min[i] = scores[:n - 1].min()
+        if score >= self._topk[i, 0]:
+            self._recompute_topk(i)
+        if drop_owner:
+            self.remove_owner(pid, i)
         return score
 
-    def kth_largest(self, k: int) -> float:
-        """Score of the k-th best member (requires ``len >= k``)."""
-        return self.entries[-k][0]
+    def evict_below(self, i: int, tau: float) -> tuple[np.ndarray, np.ndarray]:
+        """Drop all members of ``i`` with score < ``tau``.
 
-    def evict_below(self, threshold: float) -> list[tuple[float, int]]:
-        """Drop and return all entries with score < threshold."""
-        idx = bisect.bisect_left(self.entries, (threshold, -1))
-        evicted = self.entries[:idx]
-        del self.entries[:idx]
-        for _, tid in evicted:
-            del self.score_by_id[tid]
-        return evicted
+        Returns the evicted ``(scores, ids)`` ascending by (score, id) —
+        the emission order of the legacy sorted member list. The
+        inverted index is *not* touched; the caller interleaves owner
+        removal with delta recording.
+        """
+        n = int(self._row_len[i])
+        ids, scores = self._row_ids[i][:n], self._row_scores[i][:n]
+        evict = scores < tau
+        if not evict.any():
+            return _EMPTY_SCORES, _EMPTY_IDS
+        ev_ids, ev_scores = ids[evict], scores[evict]
+        order = np.lexsort((ev_ids, ev_scores))
+        keep_ids, keep_scores = ids[~evict], scores[~evict]
+        m = keep_ids.size
+        self._row_ids[i][:m] = keep_ids
+        self._row_scores[i][:m] = keep_scores
+        self._row_len[i] = m
+        self._min[i] = keep_scores.min() if m else np.inf
+        if ev_scores.max() >= self._topk[i, 0]:
+            # Unreachable through the engine (τ never exceeds ω_k, so
+            # top-k members survive eviction), but keeps the store
+            # self-consistent for arbitrary thresholds.
+            self._recompute_topk(i)
+        return ev_scores[order], ev_ids[order]
 
-    def ids(self) -> list[int]:
-        return [tid for _, tid in self.entries]
+    def replace_row(self, i: int, ids: np.ndarray, scores: np.ndarray) -> None:
+        """Install a fresh member row (arrival order = array order).
+
+        Recomputes the derived top-k scores and minimum; the inverted
+        index is the caller's responsibility (it knows the exact
+        add/remove sets).
+        """
+        n = ids.shape[0]
+        self._row_ids[i] = np.array(ids, dtype=np.intp)
+        self._row_scores[i] = np.array(scores, dtype=np.float64)
+        self._row_len[i] = n
+        self._recompute_topk(i)
+        self._min[i] = scores.min() if n else np.inf
+
+    def _recompute_topk(self, i: int) -> None:
+        """Rebuild row ``i`` of the top-k score matrix from its members."""
+        n = int(self._row_len[i])
+        scores = self._row_scores[i][:n]
+        k = self._k
+        row = np.full(k, -np.inf)
+        if n > k:
+            row[:] = np.partition(scores, n - k)[n - k:]
+            row.sort()
+        elif n:
+            row[k - n:] = np.sort(scores)
+        self._topk[i] = row
+
+    def set_row_bootstrap(self, i: int, ids: np.ndarray, scores: np.ndarray,
+                          topk_row: np.ndarray, min_score: float) -> None:
+        """Bootstrap fill of one utility with precomputed derived state.
+
+        ``ids``/``scores`` may be views into a shared extraction buffer;
+        rows are disjoint slices, so later in-place compaction cannot
+        alias, and the first append reallocates into owned storage.
+        """
+        self._row_ids[i] = ids
+        self._row_scores[i] = scores
+        self._row_len[i] = ids.shape[0]
+        self._topk[i] = topk_row
+        self._min[i] = min_score
+
+    # -- inverted index ------------------------------------------------
+    def _ensure_pid(self, pid: int) -> None:
+        if pid >= len(self._inv_rows):
+            grow = pid + 1 - len(self._inv_rows)
+            self._inv_rows.extend([None] * grow)
+            self._inv_len.extend([0] * grow)
+
+    def set_inverted_bootstrap(self, pids: np.ndarray, starts: np.ndarray,
+                               ends: np.ndarray, owners: np.ndarray) -> None:
+        """Bulk-install ``S(p)`` rows as slices of one owner array."""
+        if pids.size == 0:
+            return
+        self._ensure_pid(int(pids[-1]))
+        inv_rows, inv_len = self._inv_rows, self._inv_len
+        for pid, s, e in zip(pids.tolist(), starts.tolist(), ends.tolist()):
+            inv_rows[pid] = owners[s:e]
+            inv_len[pid] = e - s
+
+    def owners(self, pid: int) -> np.ndarray:
+        """``S(p)`` as an unordered utility-id array (a view)."""
+        if pid < 0 or pid >= len(self._inv_rows):
+            return _EMPTY_IDS
+        row = self._inv_rows[pid]
+        if row is None:
+            return _EMPTY_IDS
+        return row[: self._inv_len[pid]]
+
+    def owners_sorted(self, pid: int) -> list[int]:
+        return sorted(self.owners(pid).tolist())
+
+    def sets_containing(self, pid: int) -> frozenset[int]:
+        return frozenset(self.owners(pid).tolist())
+
+    def add_owner(self, pid: int, i: int) -> None:
+        self._ensure_pid(pid)
+        n = self._inv_len[pid]
+        row = self._inv_rows[pid]
+        if row is None or n == row.shape[0]:
+            cap = max(4, 2 * n)
+            grown = np.empty(cap, dtype=np.intp)
+            if n:
+                grown[:n] = row[:n]
+            row = self._inv_rows[pid] = grown
+        row[n] = i
+        self._inv_len[pid] = n + 1
+
+    def clear_owners(self, pid: int) -> None:
+        """Drop the whole inverted row of ``pid`` (tuple deletion)."""
+        if 0 <= pid < len(self._inv_rows):
+            self._inv_rows[pid] = None
+            self._inv_len[pid] = 0
+
+    def kth_vector_mixed(self, idxs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`kth_largest` honoring the short-row cases."""
+        lens = self._row_len[idxs]
+        return np.where(lens >= self._k, self._topk[idxs, 0],
+                        np.where(lens == 0, 0.0, self._min[idxs]))
+
+    def remove_owner(self, pid: int, i: int) -> None:
+        """Drop utility ``i`` from ``S(pid)`` (swap-removal, unordered)."""
+        n = self._inv_len[pid]
+        if n == 0:
+            return
+        row = self._inv_rows[pid]
+        match = row[:n] == i
+        p = int(match.argmax())
+        if not match[p]:
+            return
+        row[p] = row[n - 1]
+        self._inv_len[pid] = n - 1
 
 
 class ApproxTopKIndex:
@@ -145,6 +520,12 @@ class ApproxTopKIndex:
         ablation/benchmark hook; any object with the ``ConeTree``
         interface (``activate`` / ``set_threshold`` / ``threshold`` /
         ``reached_by``) works.
+
+    Attributes
+    ----------
+    build_profile : dict[str, float]
+        Cold-start phase breakdown in seconds (tree builds, bootstrap
+        GEMM + partition, membership fill, threshold activation).
     """
 
     def __init__(self, db: Database, utilities, k: int, eps: float, *,
@@ -156,15 +537,23 @@ class ApproxTopKIndex:
         self._m_total = self._u.shape[0]
         self._k = check_k(k)
         self._eps = check_epsilon(eps)
-        self._members: list[_MemberList] = [_MemberList() for _ in range(self._m_total)]
-        self._inverted: dict[int, set[int]] = {}
+        self._store = MemberStore(self._m_total, self._k)
+        self.build_profile: dict[str, float] = {}
         ids, pts = db.snapshot()
         if index_factory is None:
             index_factory = _default_index_factory
+        t0 = time.perf_counter()
         self._kdtree = index_factory(ids, pts, db.d)
+        # Staged (pid -> point) insertions not yet in the tuple index;
+        # see _stage_point / _flush_staged.
+        self._staged: dict[int, np.ndarray] = {}
+        t1 = time.perf_counter()
         if cone_factory is None:
             cone_factory = ConeTree
         self._cone = cone_factory(self._u)
+        t2 = time.perf_counter()
+        self.build_profile["kdtree_build"] = t1 - t0
+        self.build_profile["conetree_build"] = t2 - t1
         self._bootstrap(ids, pts)
 
     # ------------------------------------------------------------------
@@ -188,11 +577,20 @@ class ApproxTopKIndex:
 
     def members_of(self, u_index: int) -> list[int]:
         """Tuple ids currently in ``Φ_{k,ε}(u_index, P_t)``."""
-        return self._members[u_index].ids()
+        return self._store.members_sorted(u_index)
+
+    def member_row(self, u_index: int) -> np.ndarray:
+        """Member ids of one utility as a raw array (arrival order).
+
+        Order-free bulk access for array consumers (the set-cover size
+        probes of Algorithm 2); :meth:`members_of` keeps the sorted-list
+        contract.
+        """
+        return self._store.row(u_index)[0]
 
     def sets_containing(self, tuple_id: int) -> frozenset[int]:
         """``S(p)``: utility indices whose approximate top-k holds ``tuple_id``."""
-        return frozenset(self._inverted.get(tuple_id, frozenset()))
+        return self._store.sets_containing(tuple_id)
 
     def threshold(self, u_index: int) -> float:
         """Current ``τ_i`` of utility ``u_index``."""
@@ -207,21 +605,26 @@ class ApproxTopKIndex:
         Returns the new tuple id and the membership deltas (the new tuple
         joining sets, plus any tuples evicted when thresholds rose).
         """
+        pid, log = self.insert_log(point)
+        return pid, log.to_deltas()
+
+    def insert_log(self, point) -> tuple[int, DeltaLog]:
+        """:meth:`insert` returning the raw :class:`DeltaLog` (hot path)."""
         pid = self._db.insert(point)
         vec = self._db.point(pid)
-        self._kdtree.insert(pid, vec)
-        deltas: list[MembershipDelta] = []
+        self._stage_point(pid, vec)
+        log = DeltaLog()
         n = len(self._db)
         row = self._u @ vec
         if n <= self._k + 1:
             # While |P| <= k everything is a top-k tuple (τ = 0); at
             # |P| = k + 1 thresholds become meaningful for the first
             # time. Either way every utility absorbs the point.
-            reached = range(self._m_total)
+            reached = np.arange(self._m_total, dtype=np.intp)
         else:
-            reached = self._cone.reached_by(vec)
-        self._absorb_new_tuple(pid, row, n, reached, deltas)
-        return pid, deltas
+            reached = np.asarray(self._cone.reached_by(vec), dtype=np.intp)
+        self._absorb_new_tuple(pid, row, n, reached, log)
+        return pid, log
 
     def begin_insert_run(self, points) -> "_InsertRun":
         """Start a batched run of consecutive insertions.
@@ -265,136 +668,207 @@ class ApproxTopKIndex:
         was among the exact top-k of a utility, the k-d tree recomputes
         ``ω_k`` and a range query rebuilds the member set.
         """
+        return self.delete_log(tuple_id).to_deltas()
+
+    def delete_log(self, tuple_id: int) -> DeltaLog:
+        """:meth:`delete` returning the raw :class:`DeltaLog` (hot path)."""
         self._db.delete(tuple_id)
-        self._kdtree.delete(tuple_id)
-        affected = sorted(self._inverted.get(tuple_id, frozenset()))
-        deltas: list[MembershipDelta] = []
-        for i in affected:
-            # The stored score is the value the member was admitted with;
-            # comparing it (within SCORE_TOL) against the stored k-th
-            # member score decides whether ω_k may have dropped.
-            score = self._members[i].score_of(tuple_id)
-            was_topk = (len(self._db) < self._k
-                        or score >= self._kth_member_score(i) - SCORE_TOL)
-            self._remove_member(i, tuple_id, deltas)
-            if was_topk:
-                self._rebuild_utility(i, deltas)
-        return deltas
+        if self._staged.pop(tuple_id, _MISSING) is _MISSING:
+            self._kdtree.delete(tuple_id)
+        store = self._store
+        affected = np.asarray(store.owners_sorted(tuple_id), dtype=np.intp)
+        log = DeltaLog()
+        if affected.size == 0:
+            return log
+        n_db = len(self._db)
+        # ω_k per affected utility, read before any removal (a shrinking
+        # list changes it); the admission score comes back from the
+        # removal itself — one row scan per utility. Comparing the two
+        # (within SCORE_TOL) decides whether ω_k may have dropped.
+        kth = store.kth_vector_mixed(affected)
+        rebuild: list[int] = []
+        scores = np.empty(affected.size)
+        for pos, i in enumerate(affected.tolist()):
+            scores[pos] = store.remove(i, tuple_id, drop_owner=False)
+        store.clear_owners(tuple_id)
+        if n_db < self._k:
+            was_topk = np.ones(affected.size, dtype=bool)
+        else:
+            was_topk = scores >= kth - SCORE_TOL
+        rebuild_pos = np.flatnonzero(was_topk)
+        if rebuild_pos.size == 0:
+            log.extend_one_pid(affected, tuple_id, REMOVE_CODE)
+            return log
+        # Interleave: each utility's REMOVE precedes its rebuild deltas.
+        prev = 0
+        for p in rebuild_pos.tolist():
+            log.extend_one_pid(affected[prev:p + 1], tuple_id, REMOVE_CODE)
+            self._rebuild_utility(int(affected[p]), log)
+            prev = p + 1
+        log.extend_one_pid(affected[prev:], tuple_id, REMOVE_CODE)
+        return log
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _bootstrap(self, ids: np.ndarray, pts: np.ndarray) -> None:
-        """Vectorized initial computation of every ``Φ_{k,ε}``."""
-        n = ids.shape[0]
-        if n == 0:
-            for i in range(self._m_total):
-                self._cone.activate(i, 0.0)
+    def _stage_point(self, pid: int, vec: np.ndarray) -> None:
+        """Buffer one insertion for the tuple index (flush when full)."""
+        self._staged[pid] = vec
+        if len(self._staged) >= _STAGE_LIMIT:
+            self._flush_staged()
+
+    def _flush_staged(self) -> None:
+        """Load every staged point into the tuple index in one batch."""
+        staged = self._staged
+        if not staged:
             return
-        chunk = max(1, int(4_000_000 // max(1, n)))
-        for start in range(0, self._m_total, chunk):
-            block = self._u[start:start + chunk]
-            scores = pts @ block.T  # (n, b)
-            if n <= self._k:
-                taus = np.zeros(block.shape[0])
-            else:
-                kth = np.partition(scores, n - self._k, axis=0)[n - self._k]
-                taus = (1.0 - self._eps) * kth
-            for col in range(block.shape[0]):
-                i = start + col
-                tau = float(taus[col])
-                hit = np.flatnonzero(scores[:, col] >= tau)
-                mlist = self._members[i]
-                for row in hit:
-                    pid = int(ids[row])
-                    mlist.add(float(scores[row, col]), pid)
-                    self._inverted.setdefault(pid, set()).add(i)
-                self._cone.activate(i, tau)
+        ids = np.fromiter(staged.keys(), dtype=np.intp, count=len(staged))
+        pts = np.asarray(list(staged.values()), dtype=np.float64)
+        staged.clear()
+        bulk = getattr(self._kdtree, "insert_many", None)
+        if bulk is not None:
+            bulk(ids, pts)
+        else:  # alternate tuple indexes (e.g. the quadtree)
+            for pid, vec in zip(ids.tolist(), pts):
+                self._kdtree.insert(pid, vec)
 
-    def _kth_member_score(self, i: int) -> float:
-        """``ω_k(u_i, P)`` read off the member list (members ⊇ top-k)."""
-        mlist = self._members[i]
-        if len(mlist) < self._k:
-            # Member list smaller than k can only happen while n < k,
-            # where τ = 0 and members = all tuples.
-            return mlist.entries[0][0] if mlist.entries else 0.0
-        return mlist.kth_largest(self._k)
+    def _bootstrap(self, ids: np.ndarray, pts: np.ndarray) -> None:
+        """Vectorized initial computation of every ``Φ_{k,ε}``.
 
-    def _add_member(self, i: int, score: float, pid: int,
-                    deltas: list[MembershipDelta]) -> None:
-        self._members[i].add(score, pid)
-        self._inverted.setdefault(pid, set()).add(i)
-        deltas.append(MembershipDelta(i, pid, ADD))
-
-    def _remove_member(self, i: int, pid: int,
-                       deltas: list[MembershipDelta]) -> None:
-        self._members[i].remove(pid)
-        owners = self._inverted.get(pid)
-        if owners is not None:
-            owners.discard(i)
-            if not owners:
-                del self._inverted[pid]
-        deltas.append(MembershipDelta(i, pid, REMOVE))
+        One GEMM + one partition per utility chunk produce scores,
+        thresholds, and the ``(M, k)`` top-score matrix; memberships are
+        extracted with a single boolean scatter per chunk and installed
+        as array slices — no per-member Python loop. The inverted index
+        is assembled once at the end from the flat (pid, utility) pairs.
+        """
+        n = ids.shape[0]
+        m_total, k, store = self._m_total, self._k, self._store
+        t_gemm = t_fill = 0.0
+        inv_pids: list[np.ndarray] = []
+        inv_owners: list[np.ndarray] = []
+        all_taus = np.zeros(m_total)
+        if n > 0:
+            chunk = max(1, int(4_000_000 // max(1, n)))
+            for start in range(0, m_total, chunk):
+                block = self._u[start:start + chunk]
+                b = block.shape[0]
+                t0 = time.perf_counter()
+                scores = pts @ block.T  # (n, b)
+                if n <= k:
+                    taus = np.zeros(b)
+                    topk_rows = np.full((b, k), -np.inf)
+                    topk_rows[:, k - n:] = np.sort(scores, axis=0).T
+                else:
+                    part = np.partition(scores, range(n - k, n), axis=0)
+                    topk_rows = part[n - k:].T  # (b, k) ascending
+                    taus = (1.0 - self._eps) * topk_rows[:, 0]
+                t1 = time.perf_counter()
+                # Column-major membership extraction: one boolean gather
+                # yields every utility's members (ascending row order,
+                # matching the legacy per-column fill).
+                hits = scores.T >= taus[:, None]  # (b, n)
+                counts = hits.sum(axis=1)
+                bounds = np.r_[0, np.cumsum(counts)]
+                cols, rows = np.nonzero(hits)
+                member_pids = ids[rows]
+                member_scores = scores.T[hits]
+                mins = np.minimum.reduceat(member_scores, bounds[:-1]) \
+                    if member_scores.size else np.empty(0)
+                for col in range(b):
+                    s, e = bounds[col], bounds[col + 1]
+                    store.set_row_bootstrap(
+                        start + col, member_pids[s:e], member_scores[s:e],
+                        topk_rows[col], float(mins[col]) if e > s else np.inf)
+                inv_pids.append(member_pids)
+                inv_owners.append(cols + start)
+                all_taus[start:start + b] = taus
+                t_gemm += t1 - t0
+                t_fill += time.perf_counter() - t1
+        t2 = time.perf_counter()
+        if inv_pids:
+            pids = np.concatenate(inv_pids)
+            owners = np.concatenate(inv_owners).astype(np.intp)
+            # Stable sort by pid keeps owners ascending within each pid
+            # (pairs are generated utility-major).
+            order = np.argsort(pids, kind="stable")
+            pids, owners = pids[order], owners[order]
+            upids_pos = np.flatnonzero(np.r_[True, pids[1:] != pids[:-1]])
+            starts = upids_pos
+            ends = np.r_[upids_pos[1:], pids.size]
+            store.set_inverted_bootstrap(pids[starts], starts, ends, owners)
+        t3 = time.perf_counter()
+        bulk_activate = getattr(self._cone, "activate_many", None)
+        if bulk_activate is not None:
+            bulk_activate(np.arange(m_total, dtype=np.intp), all_taus)
+        else:
+            for i in range(m_total):
+                self._cone.activate(i, float(all_taus[i]))
+        t4 = time.perf_counter()
+        self.build_profile["bootstrap_gemm"] = t_gemm
+        self.build_profile["membership_fill"] = t_fill + (t3 - t2)
+        self.build_profile["threshold_activate"] = t4 - t3
 
     def _absorb_new_tuple(self, pid: int, row: np.ndarray, n: int,
-                          reached, deltas: list[MembershipDelta]) -> None:
-        """Membership maintenance for one inserted tuple.
+                          reached: np.ndarray, log: DeltaLog) -> None:
+        """Membership maintenance for one inserted tuple, vectorized.
 
         ``row`` is the tuple's precomputed score against every utility,
         ``n`` the database size *as of this operation* (batched runs
         pre-load the database, so ``len(db)`` would run ahead), and
-        ``reached`` the utility indices whose threshold the tuple meets.
+        ``reached`` the (ascending) utility indices whose threshold the
+        tuple meets. Thresholds for the whole reach are refreshed with
+        one gather; only utilities whose minimum member score falls
+        below their new τ pay an eviction pass. Deltas are emitted in
+        the legacy per-utility order: each utility's ADD, then its
+        evictions ascending by (score, id).
         """
-        refresh = n > self._k
-        batcher = getattr(self._cone, "set_thresholds", None)
-        collect: list[tuple[int, float]] | None = \
-            [] if (refresh and batcher is not None) else None
-        for i in reached:
-            i = int(i)
-            self._add_member(i, float(row[i]), pid, deltas)
-            if refresh:
-                self._refresh_threshold(i, deltas, n, collect)
-        if collect:
-            batcher([i for i, _ in collect], [t for _, t in collect])
-
-    def _refresh_threshold(self, i: int, deltas: list[MembershipDelta],
-                           n: int | None = None,
-                           collect: list[tuple[int, float]] | None = None
-                           ) -> None:
-        """Recompute ``τ_i`` from the member list and evict the fallen.
-
-        Valid whenever the member list still contains the exact top-k
-        (always true after additions; deletions of top-k tuples go
-        through :meth:`_rebuild_utility` instead). ``n`` overrides the
-        database size for batched runs; with ``collect`` the cone-tree
-        threshold write is deferred so the caller can flush one batched
-        ``set_thresholds`` per operation.
-        """
-        if n is None:
-            n = len(self._db)
+        if reached.size == 0:
+            return
+        store = self._store
+        scores = row[reached]
+        store.add_members(reached, scores, pid)
         if n <= self._k:
-            tau = 0.0
+            # τ stays 0 while |P| <= k: no refresh, no eviction.
+            log.extend_one_pid(reached, pid, ADD_CODE)
+            return
+        taus = (1.0 - self._eps) * store.kth_vector(reached)
+        evict_pos = np.flatnonzero(store.min_vector(reached) < taus)
+        if evict_pos.size == 0:
+            log.extend_one_pid(reached, pid, ADD_CODE)
         else:
-            tau = (1.0 - self._eps) * self._kth_member_score(i)
-        for score, pid in self._members[i].evict_below(tau):
-            owners = self._inverted.get(pid)
-            if owners is not None:
-                owners.discard(i)
-                if not owners:
-                    del self._inverted[pid]
-            deltas.append(MembershipDelta(i, pid, REMOVE))
-        if collect is not None:
-            collect.append((i, tau))
+            prev = 0
+            for p in evict_pos.tolist():
+                # The evicting utility's own ADD precedes its REMOVEs.
+                log.extend_one_pid(reached[prev:p + 1], pid, ADD_CODE)
+                i = int(reached[p])
+                _, ev_ids = store.evict_below(i, float(taus[p]))
+                for evicted in ev_ids.tolist():
+                    store.remove_owner(evicted, i)
+                log.extend_one_utility(i, ev_ids, REMOVE_CODE)
+                prev = p + 1
+            log.extend_one_pid(reached[prev:], pid, ADD_CODE)
+        batcher = getattr(self._cone, "set_thresholds", None)
+        if batcher is not None:
+            batcher(reached, taus)
         else:
-            self._cone.set_threshold(i, tau)
+            for i, tau in zip(reached.tolist(), taus.tolist()):
+                self._cone.set_threshold(i, float(tau))
 
-    def _rebuild_utility(self, i: int, deltas: list[MembershipDelta]) -> None:
+    def _rebuild_utility(self, i: int, log: DeltaLog) -> None:
         """Recompute ``Φ_{k,ε}(u_i)`` from the k-d tree after a top-k loss."""
+        self._flush_staged()  # the queries below must see every tuple
         u = self._u[i]
         n = len(self._db)
+        store = self._store
+        cur_ids, cur_scores = store.row(i)
         if n == 0:
-            for pid in self._members[i].ids():
-                self._remove_member(i, pid, deltas)
+            # Emit removals in the legacy sorted-list order.
+            order = np.lexsort((cur_ids, cur_scores))
+            gone = cur_ids[order].copy()
+            store.replace_row(i, _EMPTY_IDS, _EMPTY_SCORES)
+            for pid in gone.tolist():
+                store.remove_owner(pid, i)
+            log.extend_one_utility(i, gone, REMOVE_CODE)
             self._cone.set_threshold(i, 0.0)
             return
         if n <= self._k:
@@ -402,15 +876,24 @@ class ApproxTopKIndex:
         else:
             _, topk_scores = self._kdtree.top_k(u, self._k)
             tau = (1.0 - self._eps) * float(topk_scores[-1])
-        current = dict(self._members[i].score_by_id)
-        ids, scores = self._kdtree.range_query(u, tau)
-        fresh = {int(pid): float(s) for pid, s in zip(ids, scores)}
-        for pid in current:
-            if pid not in fresh:
-                self._remove_member(i, pid, deltas)
-        for pid, score in fresh.items():
-            if pid not in current:
-                self._add_member(i, score, pid, deltas)
+        fresh_ids, fresh_scores = self._kdtree.range_query(u, tau)
+        fresh_ids = np.asarray(fresh_ids, dtype=np.intp)
+        stale = ~np.isin(cur_ids, fresh_ids)
+        added = ~np.isin(fresh_ids, cur_ids)
+        gone = cur_ids[stale].copy()
+        new_ids = fresh_ids[added]
+        new_scores = np.asarray(fresh_scores)[added]
+        # Survivors keep their admission order and stored scores; fresh
+        # members append in query order (descending score) — exactly the
+        # legacy dict-replay order.
+        store.replace_row(i, np.concatenate([cur_ids[~stale], new_ids]),
+                          np.concatenate([cur_scores[~stale], new_scores]))
+        for pid in gone.tolist():
+            store.remove_owner(pid, i)
+        log.extend_one_utility(i, gone, REMOVE_CODE)
+        for pid in new_ids.tolist():
+            store.add_owner(int(pid), i)
+        log.extend_one_utility(i, new_ids, ADD_CODE)
         self._cone.set_threshold(i, tau)
 
     def _thresholds_vector(self) -> np.ndarray:
@@ -444,13 +927,23 @@ class _InsertRun:
         self._index = index
         self._n0 = len(index._db)
         self._pids = index._db.insert_many(pts)
-        tree = index._kdtree
-        bulk = getattr(tree, "insert_many", None)
-        if bulk is not None:
-            bulk(self._pids, pts)
-        else:  # alternate tuple indexes (e.g. the quadtree)
-            for pid, vec in zip(self._pids, pts):
-                tree.insert(int(pid), vec)
+        if pts.shape[0] >= _STAGE_LIMIT:
+            # Big runs go straight to the tree's own bulk loader; short
+            # runs accumulate in the staging buffer instead, so their
+            # per-point descents amortize across many runs.
+            index._flush_staged()
+            bulk = getattr(index._kdtree, "insert_many", None)
+            if bulk is not None:
+                bulk(self._pids, pts)
+            else:  # alternate tuple indexes (e.g. the quadtree)
+                for pid, vec in zip(self._pids, pts):
+                    index._kdtree.insert(int(pid), vec)
+        else:
+            staged = index._staged
+            for pid, vec in zip(self._pids.tolist(), pts):
+                staged[pid] = vec
+            if len(staged) >= _STAGE_LIMIT:
+                index._flush_staged()
         self._scores = pts @ index._u.T
         self._pos = 0
 
@@ -465,6 +958,11 @@ class _InsertRun:
 
     def step(self) -> tuple[int, list[MembershipDelta]]:
         """Run the membership maintenance of the next insertion."""
+        pid, log = self.step_log()
+        return pid, log.to_deltas()
+
+    def step_log(self) -> tuple[int, DeltaLog]:
+        """:meth:`step` returning the raw :class:`DeltaLog` (hot path)."""
         if self._pos >= len(self._pids):
             raise StopIteration("insert run exhausted")
         index = self._index
@@ -473,10 +971,10 @@ class _InsertRun:
         pid = int(self._pids[t])
         row = self._scores[t]
         n = self._n0 + t + 1  # sequential database size after this op
-        deltas: list[MembershipDelta] = []
+        log = DeltaLog()
         if n <= index._k + 1:
-            reached = range(index._m_total)
+            reached = np.arange(index._m_total, dtype=np.intp)
         else:
             reached = np.flatnonzero(row >= index._thresholds_vector())
-        index._absorb_new_tuple(pid, row, n, reached, deltas)
-        return pid, deltas
+        index._absorb_new_tuple(pid, row, n, reached, log)
+        return pid, log

@@ -82,8 +82,8 @@ class ConeTree:
         self._leaf_of = np.full(self._m_total, -1, dtype=np.int32)
         self._n_nodes = 0
         self._pool_fill = 0
-        root = self._build(np.arange(self._m_total), -1)
-        assert root == 0 and self._pool_fill == self._m_total
+        self._build(np.arange(self._m_total))
+        assert self._pool_fill == self._m_total
         self._trim()
 
     # ------------------------------------------------------------------
@@ -158,6 +158,46 @@ class ConeTree:
         self._active[idx] = True
         self._tau[idx] = float(tau)
         self._bubble_up(int(self._leaf_of[idx]))
+
+    def activate_many(self, idxs, taus) -> None:
+        """Bulk :meth:`activate`: one bottom-up ``τ_min`` rebuild.
+
+        The cold-start path activates every utility at once; repairing
+        ``τ_min`` leaf-by-leaf would bubble the same root path M times,
+        so instead the whole vector is recomputed in a single sweep.
+        """
+        idxs = np.asarray(idxs, dtype=np.intp).reshape(-1)
+        taus = np.asarray(taus, dtype=np.float64).reshape(-1)
+        if idxs.shape != taus.shape:
+            raise ValueError("idxs and taus must be aligned")
+        self._active[idxs] = True
+        self._tau[idxs] = taus
+        self._recompute_tau_min()
+
+    def _recompute_tau_min(self) -> None:
+        """Rebuild every node's ``τ_min`` bottom-up in one pass."""
+        n = self._n_nodes
+        eff = np.where(self._active, self._tau, np.inf)
+        pool_vals = eff[self._member_pool]
+        leaves = np.flatnonzero(self._is_leaf[:n])
+        # Leaf slices partition the member pool; reduceat needs them in
+        # pool order (= leaf creation order, not node-id order).
+        leaves = leaves[np.argsort(self._mem_start[leaves], kind="stable")]
+        if leaves.size:
+            nonempty = self._mem_end[leaves] > self._mem_start[leaves]
+            mins = np.minimum.reduceat(pool_vals,
+                                       self._mem_start[leaves[nonempty]]) \
+                if nonempty.any() else np.empty(0)
+            self._tau_min[leaves[nonempty]] = mins
+            self._tau_min[leaves[~nonempty]] = np.inf
+        tau_min, left, right = self._tau_min, self._left, self._right
+        is_leaf = self._is_leaf
+        # Children are allocated after their parent (pre-order), so a
+        # reverse scan sees both children before every internal node.
+        for node in range(n - 1, -1, -1):
+            if not is_leaf[node]:
+                l, r = tau_min[left[node]], tau_min[right[node]]
+                tau_min[node] = l if l < r else r
 
     def deactivate(self, idx: int) -> None:
         """Mark utility ``idx`` inactive (it will never match queries)."""
@@ -261,40 +301,52 @@ class ConeTree:
         self._mem_end = self._mem_end[:n].copy()
         self._is_leaf = self._is_leaf[:n].copy()
 
-    def _build(self, members: np.ndarray, parent: int) -> int:
-        """Recursively build the subtree over ``members``; returns node id.
+    def _build(self, members: np.ndarray) -> None:
+        """Bulk-build the tree over ``members`` with an explicit stack.
 
         Same construction as Ram & Gray: the cone axis is the normalized
         mean direction, and splits seed a 2-means style partition around
-        the two most separated members.
+        the two most separated members. The stack visits nodes in
+        pre-order (parent, full left subtree, right subtree), matching
+        the numbering the recursive formulation would assign, without
+        Python recursion depth limits on skewed splits.
         """
-        node = self._alloc_node(parent)
-        vecs = self._u[members]
-        mean = vecs.mean(axis=0)
-        norm = float(np.linalg.norm(mean))
-        axis_dir = mean / norm if norm > 0 else vecs[0]
-        self._axis_dir[node] = axis_dir
-        cosines = np.clip(vecs @ axis_dir, -1.0, 1.0)
-        cos_w = float(cosines.min())
-        self._cos_omega[node] = cos_w
-        self._sin_omega[node] = float(np.sqrt(max(0.0, 1.0 - cos_w * cos_w)))
-        if members.size <= self._leaf_capacity:
-            return self._set_leaf(node, members)
-        # Split around the two most separated members (2-means style seed
-        # selection used by Ram & Gray), assigning by nearer angular seed.
-        far_a = int(np.argmin(cosines))
-        cos_to_a = np.clip(vecs @ vecs[far_a], -1.0, 1.0)
-        far_b = int(np.argmin(cos_to_a))
-        cos_to_b = np.clip(vecs @ vecs[far_b], -1.0, 1.0)
-        go_left = cos_to_a >= cos_to_b
-        if go_left.all() or not go_left.any():
-            return self._set_leaf(node, members)
-        left = self._build(members[go_left], node)
-        right = self._build(members[~go_left], node)
-        # Child ids are assigned after the recursion; record the links.
-        self._left[node] = left
-        self._right[node] = right
-        return node
+        stack: list[tuple[np.ndarray, int, bool]] = [(members, -1, False)]
+        while stack:
+            group, parent, is_right = stack.pop()
+            node = self._alloc_node(parent)
+            if parent >= 0:
+                if is_right:
+                    self._right[parent] = node
+                else:
+                    self._left[parent] = node
+            vecs = self._u[group]
+            mean = vecs.mean(axis=0)
+            norm = float(np.linalg.norm(mean))
+            axis_dir = mean / norm if norm > 0 else vecs[0]
+            self._axis_dir[node] = axis_dir
+            cosines = np.clip(vecs @ axis_dir, -1.0, 1.0)
+            cos_w = float(cosines.min())
+            self._cos_omega[node] = cos_w
+            self._sin_omega[node] = float(
+                np.sqrt(max(0.0, 1.0 - cos_w * cos_w)))
+            if group.size <= self._leaf_capacity:
+                self._set_leaf(node, group)
+                continue
+            # Split around the two most separated members (2-means style
+            # seed selection), assigning by nearer angular seed.
+            far_a = int(np.argmin(cosines))
+            cos_to_a = np.clip(vecs @ vecs[far_a], -1.0, 1.0)
+            far_b = int(np.argmin(cos_to_a))
+            cos_to_b = np.clip(vecs @ vecs[far_b], -1.0, 1.0)
+            go_left = cos_to_a >= cos_to_b
+            if go_left.all() or not go_left.any():
+                self._set_leaf(node, group)
+                continue
+            # LIFO: push right first so the left subtree is numbered
+            # (and its leaves pooled) entirely before the right one.
+            stack.append((group[~go_left], node, True))
+            stack.append((group[go_left], node, False))
 
     def _set_leaf(self, node: int, members: np.ndarray) -> int:
         start = self._pool_fill

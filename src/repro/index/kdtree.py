@@ -100,13 +100,30 @@ class KDTree:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, ids, points, *, leaf_capacity: int = _LEAF_CAPACITY) -> "KDTree":
-        """Bulk-build a tree from aligned ``ids`` and ``points`` arrays."""
+        """Bulk-build a tree from aligned ``ids`` and ``points`` arrays.
+
+        A true O(n log n) construction: the point pool is filled with
+        one scatter and the tree comes from a single recursive median
+        split (:meth:`_build_into`) — no per-point routing, bucket
+        appends, or overflow splitting. The resulting structure is
+        identical to inserting the batch into an empty tree.
+        """
         pts = as_point_matrix(points)
         ids = np.asarray(list(ids), dtype=np.intp)
-        if ids.shape[0] != pts.shape[0]:
+        n = ids.shape[0]
+        if n != pts.shape[0]:
             raise ValueError("ids and points must have equal length")
         tree = cls(pts.shape[1], leaf_capacity=leaf_capacity)
-        tree.insert_many(ids, pts)
+        if n == 0:
+            return tree
+        tree._slot_of = dict(zip(ids.tolist(), range(n)))
+        if len(tree._slot_of) != n:
+            raise KeyError("duplicate tuple ids in batch")
+        tree._grow_pool(n)
+        tree._pts[:n] = pts
+        tree._ids[:n] = ids
+        tree._n_slots = n
+        tree._build_into(0, np.arange(n, dtype=np.intp), -1)
         return tree
 
     def __len__(self) -> int:
@@ -143,8 +160,13 @@ class KDTree:
         p = np.asarray(path, dtype=np.intp)
         self._total[p] += 1
         self._alive[p] += 1
-        self._box_min[p] = np.minimum(self._box_min[p], vec)
-        self._box_max[p] = np.maximum(self._box_max[p], vec)
+        # Boxes nest along the path, so a point inside the leaf box is
+        # inside every ancestor box — the common case for in-distribution
+        # arrivals skips the box maintenance entirely.
+        leaf_min, leaf_max = self._box_min[node], self._box_max[node]
+        if (vec < leaf_min).any() or (vec > leaf_max).any():
+            self._box_min[p] = np.minimum(self._box_min[p], vec)
+            self._box_max[p] = np.maximum(self._box_max[p], vec)
         self._bucket_append(node, slot)
         if self._bucket_len[node] > self._leaf_capacity:
             self._split_leaf(node)
@@ -168,9 +190,9 @@ class KDTree:
         uniq = np.unique(ids)
         if uniq.size != ids.size:
             raise KeyError("duplicate tuple ids in batch")
-        for tid in ids:
-            if int(tid) in self._slot_of:
-                raise KeyError(f"tuple id {int(tid)} already present")
+        if not self._slot_of.keys().isdisjoint(ids.tolist()):
+            dup = next(int(t) for t in ids if int(t) in self._slot_of)
+            raise KeyError(f"tuple id {dup} already present")
         if ids.shape[0] < 8:
             # Tiny batches: the wave machinery costs more than it saves.
             for tid, vec in zip(ids, pts):
@@ -217,22 +239,21 @@ class KDTree:
         self._bucket_remove(leaf, slot)
         self._free_slots.append(slot)
         # ``alive`` drops immediately; ``total`` only resets on rebuild, so
-        # the ratio measures decay since the subtree was last built.
-        parent = self._parent
+        # the ratio measures decay since the subtree was last built. The
+        # walk decrements and decay-checks inline — scalar reads on the
+        # short leaf-to-root path beat gather/scatter array ops here.
+        parent, alive, total = self._parent, self._alive, self._total
+        cap = self._leaf_capacity
         node = leaf
-        path = [leaf]
-        while True:
+        rebuild_candidate = -1
+        while node >= 0:
+            a = int(alive[node]) - 1
+            alive[node] = a
+            t = int(total[node])
+            # Highest decayed node wins (the walk ends at the root).
+            if a * 2 < t and t > cap:
+                rebuild_candidate = node
             node = int(parent[node])
-            if node < 0:
-                break
-            path.append(node)
-        p = np.asarray(path, dtype=np.intp)
-        self._alive[p] -= 1
-        decayed = np.flatnonzero(
-            (self._alive[p] * 2 < self._total[p])
-            & (self._total[p] > self._leaf_capacity))
-        # Highest decayed node wins (deepest in ``path`` order is last).
-        rebuild_candidate = int(p[decayed[-1]]) if decayed.size else -1
         if rebuild_candidate >= 0:
             alive_slots = self._collect_alive(rebuild_candidate)
             self._free_subtree_children(rebuild_candidate)
@@ -365,8 +386,7 @@ class KDTree:
             self._n_slots += fresh
         self._pts[slots] = pts
         self._ids[slots] = ids
-        for i in range(n):
-            self._slot_of[int(ids[i])] = int(slots[i])
+        self._slot_of.update(zip(ids.tolist(), slots.tolist()))
         return slots
 
     def _grow_pool(self, need: int) -> None:

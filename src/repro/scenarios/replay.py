@@ -62,6 +62,9 @@ class ReplayResult:
     n_operations: int
     n_batches: int
     update_seconds: float
+    #: Engine build time (session construction over the initial
+    #: database) — cold-start regressions are visible per scenario.
+    init_seconds: float = 0.0
     snapshots: list[ReplaySnapshot] = field(default_factory=list)
     counters: dict[str, Any] = field(default_factory=dict)
     op_latencies_ms: np.ndarray = field(
@@ -122,6 +125,7 @@ class ReplayResult:
             "trace_hash": self.trace_hash,
             "n_operations": self.n_operations,
             "n_batches": self.n_batches,
+            "init_seconds": round(self.init_seconds, 4),
             "update_seconds": round(self.update_seconds, 4),
             "ops_per_second": round(
                 self.n_operations / self.update_seconds, 1)
@@ -192,8 +196,10 @@ def replay_trace(trace: Trace, algorithm: str = "fd-rms", *, r: int,
     workload = trace.workload
     routed = {key: value for key, value in dict(options or {}).items()
               if spec.accepts_var_kwargs or key in spec.option_names}
+    t_init = time.perf_counter()
     session = open_session(workload.initial, r, k=k, algo=algorithm,
                            seed=seed, **routed)
+    init_seconds = time.perf_counter() - t_init
     if evaluator is None:
         evaluator = RegretEvaluator(workload.d, n_samples=eval_samples,
                                     seed=EVAL_SEED)
@@ -224,7 +230,8 @@ def replay_trace(trace: Trace, algorithm: str = "fd-rms", *, r: int,
         scenario=trace.scenario, algorithm=spec.display_name,
         trace_hash=trace.content_hash,
         n_operations=workload.n_operations, n_batches=n_batches,
-        update_seconds=total, snapshots=snapshots,
+        update_seconds=total, init_seconds=init_seconds,
+        snapshots=snapshots,
         counters=dict(session.stats()), op_latencies_ms=latencies)
 
 

@@ -165,13 +165,64 @@ class DynamicSkyline:
         self._on_skyline.add(tuple_id)
 
     def _rebuild(self) -> None:
-        """Recompute skyline + witnesses from the database contents."""
+        """Recompute skyline + witnesses from the database contents.
+
+        Equivalent to reclassifying every tuple in descending sum order
+        (the incremental path), but vectorized: in that order a later
+        tuple can never dominate an earlier one (dominance implies a
+        strictly larger sum), so the skyline only grows and each
+        dominated tuple's witness is simply its smallest-id skyline
+        dominator — both computable with array sweeps instead of a
+        per-tuple re-sort of the partial skyline.
+        """
         self._on_skyline.clear()
         self._witness.clear()
         self._children.clear()
         ids, pts = self._db.snapshot()
-        if ids.size == 0:
+        n = ids.size
+        if n == 0:
             return
         order = np.argsort(-pts.sum(axis=1), kind="stable")
-        for row in order:
-            self._reclassify(int(ids[int(row)]))
+        spts = pts[order]
+        sids = ids[order]
+        # Pass 1: the skyline, testing each tuple against the (growing)
+        # matrix of skyline points found so far.
+        sky_mat = np.empty((n, pts.shape[1]))
+        n_sky = 0
+        sky_rows: list[int] = []
+        for j in range(n):
+            p = spts[j]
+            if n_sky:
+                sky = sky_mat[:n_sky]
+                if ((sky >= p).all(axis=1) & (sky > p).any(axis=1)).any():
+                    continue
+            sky_mat[n_sky] = p
+            n_sky += 1
+            sky_rows.append(j)
+        sky_ids = sids[sky_rows]
+        self._on_skyline.update(sky_ids.tolist())
+        if n_sky == n:
+            return
+        # Pass 2: witnesses. Every dominator of q sits on the final
+        # skyline side with a larger sum, so the incremental witness —
+        # the smallest-id dominator on the skyline as of q's turn — is
+        # the smallest-id skyline dominator overall.
+        dominated = np.ones(n, dtype=bool)
+        dominated[sky_rows] = False
+        dom_pts = spts[dominated]
+        dom_ids = sids[dominated]
+        sky = sky_mat[:n_sky]
+        big = np.iinfo(np.intp).max
+        chunk = max(1, int(2_000_000 // max(1, n_sky)))
+        for start in range(0, dom_ids.size, chunk):
+            block = dom_pts[start:start + chunk]
+            ge = (sky[None, :, :] >= block[:, None, :]).all(axis=2)
+            gt = (sky[None, :, :] > block[:, None, :]).any(axis=2)
+            wit = np.where(ge & gt, sky_ids[None, :], big).min(axis=1)
+            for q, w in zip(dom_ids[start:start + chunk].tolist(),
+                            wit.tolist()):
+                self._witness[q] = w
+                children = self._children.get(w)
+                if children is None:
+                    children = self._children[w] = set()
+                children.add(q)

@@ -1,0 +1,181 @@
+"""Parity fuzz: the array-backed :class:`MemberStore` vs a reference.
+
+The membership core of the FD-RMS hot path is a structure-of-arrays
+store (`repro.core.topk.MemberStore`); its contract — arrival-order
+member rows, admission scores returned on removal, (score, id)-ordered
+eviction emission, O(1) ``ω_k`` reads, the inverted index ``S(p)`` —
+was previously implemented with sorted Python lists and dict-of-sets.
+These tests drive both implementations through seeded randomized
+operation streams and demand exact agreement, then run the full engine
+over random workloads (single ops and batches) and check
+``verify(deep=True)`` plus batched/sequential solution equality.
+"""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.core.fdrms import FDRMS
+from repro.core.topk import MemberStore
+from repro.data.database import DELETE, INSERT, Database, Operation
+
+
+class _ReferenceStore:
+    """The legacy pure-Python membership layer, kept small and slow.
+
+    Sorted (score, id) entry lists plus an id -> score side map per
+    utility, and a dict-of-sets inverted index — the implementation the
+    array-backed store replaced, retained here as the parity oracle.
+    """
+
+    def __init__(self, m_total: int, k: int) -> None:
+        self._k = k
+        self._entries = [[] for _ in range(m_total)]
+        self._score_by_id = [{} for _ in range(m_total)]
+        self._inverted: dict[int, set[int]] = {}
+
+    def add_one(self, i, score, pid):
+        bisect.insort(self._entries[i], (score, pid))
+        self._score_by_id[i][pid] = score
+        self._inverted.setdefault(pid, set()).add(i)
+
+    def add_members(self, idxs, scores, pid):
+        for i, s in zip(idxs, scores):
+            self.add_one(int(i), float(s), pid)
+
+    def remove(self, i, pid):
+        score = self._score_by_id[i].pop(pid)
+        idx = bisect.bisect_left(self._entries[i], (score, pid))
+        del self._entries[i][idx]
+        self._inverted[pid].discard(i)
+        return score
+
+    def evict_below(self, i, tau):
+        idx = bisect.bisect_left(self._entries[i], (tau, -1))
+        evicted = self._entries[i][:idx]
+        del self._entries[i][:idx]
+        for score, pid in evicted:
+            del self._score_by_id[i][pid]
+            self._inverted[pid].discard(i)
+        return ([s for s, _ in evicted], [p for _, p in evicted])
+
+    def members_sorted(self, i):
+        return [pid for _, pid in self._entries[i]]
+
+    def kth_largest(self, i):
+        entries = self._entries[i]
+        if len(entries) < self._k:
+            return entries[0][0] if entries else 0.0
+        return entries[-self._k][0]
+
+    def max_score(self, i):
+        return self._entries[i][-1][0] if self._entries[i] else 0.0
+
+    def sets_containing(self, pid):
+        return frozenset(self._inverted.get(pid, frozenset()))
+
+
+def _compare(store: MemberStore, ref: _ReferenceStore, m: int, pids) -> None:
+    for i in range(m):
+        assert store.members_sorted(i) == ref.members_sorted(i), i
+        assert store.kth_largest(i) == ref.kth_largest(i), i
+        assert store.max_score(i) == ref.max_score(i), i
+    for pid in pids:
+        assert store.sets_containing(pid) == ref.sets_containing(pid), pid
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("k", [1, 3])
+def test_store_matches_reference_under_random_ops(seed, k):
+    rng = np.random.default_rng(seed)
+    m = 12
+    store, ref = MemberStore(m, k), _ReferenceStore(m, k)
+    live: dict[int, list[int]] = {}   # pid -> utilities holding it
+    next_pid = 0
+    for _ in range(300):
+        roll = rng.random()
+        if roll < 0.45 or not live:
+            # A fresh tuple joins a random utility subset (batch add).
+            count = 1 + int(rng.integers(m))
+            idxs = np.sort(rng.choice(m, size=count, replace=False))
+            scores = rng.random(count)
+            store.add_members(idxs.astype(np.intp), scores, next_pid)
+            ref.add_members(idxs, scores, next_pid)
+            live[next_pid] = [int(i) for i in idxs]
+            next_pid += 1
+        elif roll < 0.75:
+            # A random member is removed from every utility holding it.
+            pid = int(rng.choice(list(live)))
+            for i in live.pop(pid):
+                got = store.remove(i, pid)
+                want = ref.remove(i, pid)
+                assert got == want, (pid, i)
+        else:
+            # A threshold rises on one utility; evictions must agree
+            # value-for-value *and* in emission order.
+            i = int(rng.integers(m))
+            tau = float(rng.random())
+            got_scores, got_ids = store.evict_below(i, tau)
+            want_scores, want_ids = ref.evict_below(i, tau)
+            assert got_ids.tolist() == want_ids, i
+            assert got_scores.tolist() == want_scores, i
+            for pid in got_ids.tolist():
+                store.remove_owner(pid, i)
+                owners = live.get(pid)
+                if owners is not None and i in owners:
+                    owners.remove(i)
+        _compare(store, ref, m, range(next_pid))
+
+
+def test_store_missing_member_raises():
+    store = MemberStore(4, 1)
+    store.add_one(2, 0.5, 7)
+    with pytest.raises(KeyError):
+        store.remove(2, 8)
+    with pytest.raises(KeyError):
+        store.score_of(1, 7)
+    assert store.score_of(2, 7) == 0.5
+
+
+def test_store_replace_row_recomputes_derived_state():
+    store = MemberStore(2, 2)
+    store.add_members(np.asarray([0], dtype=np.intp),
+                      np.asarray([0.9]), 1)
+    store.replace_row(0, np.asarray([5, 6, 7], dtype=np.intp),
+                      np.asarray([0.3, 0.8, 0.5]))
+    assert store.kth_largest(0) == 0.5
+    assert store.max_score(0) == 0.8
+    assert store.members_sorted(0) == [5, 7, 6]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_engine_randomized_ops_verify_and_batch_parity(seed):
+    """End-to-end: random op streams, deep verify + solution equality."""
+    rng = np.random.default_rng(100 + seed)
+    pts = rng.random((90, 3))
+    ops = []
+    alive = list(range(90))
+    next_pid = 90
+    for _ in range(120):
+        if rng.random() < 0.6 or len(alive) < 5:
+            ops.append(Operation(INSERT, rng.random(3)))
+            alive.append(next_pid)
+            next_pid += 1
+        else:
+            victim = alive.pop(int(rng.integers(len(alive))))
+            ops.append(Operation(DELETE, pts[0], tuple_id=victim))
+
+    single = FDRMS(Database(pts), 1, 6, 0.1, m_max=32, seed=seed)
+    for op in ops:
+        if op.kind == INSERT:
+            single.insert(op.point)
+        else:
+            single.delete(op.tuple_id)
+    batched = FDRMS(Database(pts), 1, 6, 0.1, m_max=32, seed=seed)
+    batched.apply_batch(ops)
+
+    single.verify(deep=True)
+    batched.verify(deep=True)
+    assert single.result() == batched.result()
+    assert single.statistics() == batched.statistics()

@@ -46,8 +46,7 @@ class TestVerify:
                 break
         assert victim is not None
         i, pid = victim
-        entry = next(e for e in topk._members[i].entries if e[1] == pid)
-        topk._members[i].entries.remove(entry)
+        topk._store.remove(i, pid)
         with pytest.raises(AssertionError):
             algo.verify(deep=True)
 
