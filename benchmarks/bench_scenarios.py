@@ -17,12 +17,25 @@ as a ``{"<scenario>:n=<n>:seed=<seed>": "sha256:..."}`` golden file —
 used to regenerate ``benchmarks/scenario_hashes.json``, which the CI
 scenario-matrix job pins with ``repro replay --expect-hashes``.
 
+``--baseline PATH`` reads a committed ``BENCH_scenarios.json`` before
+this run overwrites it and records, per (scenario, algorithm), the
+baseline's ops/second and the fresh-vs-baseline throughput ratio.
+``--gate-scenarios`` turns that into a hard gate: the named scenarios'
+gate algorithm must reach ``--min-speedup × (1 - --tolerance)`` of the
+baseline throughput or the process exits non-zero (the perf-smoke CI
+job runs this; the tolerance absorbs runner-to-runner wall-clock
+noise, same philosophy as ``bench_hotpath.py --baseline``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scenarios.py --quick
     PYTHONPATH=src python benchmarks/bench_scenarios.py          # full
     PYTHONPATH=src python benchmarks/bench_scenarios.py --n 400 \
         --hashes-only --write-hashes benchmarks/scenario_hashes.json
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick \
+        --baseline BENCH_scenarios.json \
+        --gate-scenarios delete-heavy mixed-batch \
+        --min-speedup 1.3 --tolerance 0.5
 """
 
 from __future__ import annotations
@@ -60,6 +73,10 @@ def main(argv=None) -> int:
                     default=["FD-RMS", "Greedy"])
     ap.add_argument("--quick", action="store_true",
                     help="small sizes for CI (n=300, 400 eval samples)")
+    ap.add_argument("--repeats", type=int, default=1,
+                    help="replays per (scenario, algorithm); the "
+                         "fastest wall time is recorded (one-shot "
+                         "throughput numbers are noisy)")
     ap.add_argument("--hashes-only", action="store_true",
                     help="compile and hash only; skip the replays")
     ap.add_argument("--write-hashes", type=Path, default=None,
@@ -67,10 +84,38 @@ def main(argv=None) -> int:
     ap.add_argument("--out", type=Path,
                     default=Path(__file__).resolve().parents[1]
                     / "BENCH_scenarios.json")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="committed BENCH_scenarios.json to compare "
+                         "throughput against (read before --out "
+                         "overwrites it)")
+    ap.add_argument("--gate-scenarios", nargs="+", default=None,
+                    dest="gate_scenarios", metavar="SCENARIO",
+                    help="fail unless these scenarios reach the gated "
+                         "speedup vs the baseline")
+    ap.add_argument("--gate-algorithm", default="FD-RMS",
+                    dest="gate_algorithm",
+                    help="algorithm whose throughput the gate checks")
+    ap.add_argument("--min-speedup", type=float, default=1.0,
+                    dest="min_speedup",
+                    help="required fresh/baseline ops-per-second ratio")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed relative shortfall of the required "
+                         "ratio (absorbs machine differences)")
     args = ap.parse_args(argv)
     if args.quick:
         args.n = min(args.n, 300)
         args.eval_samples = min(args.eval_samples, 400)
+
+    baseline = None
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        base_cfg = baseline.get("config", {})
+        if args.gate_scenarios and base_cfg.get("n") != args.n:
+            # Ops/second scale with n; a cross-size comparison would
+            # gate nothing meaningful.
+            print(f"note: baseline measured at n={base_cfg.get('n')}, "
+                  f"this run uses n={args.n}; throughput ratios are "
+                  "approximate")
 
     report: dict = {
         "benchmark": "scenarios",
@@ -85,6 +130,7 @@ def main(argv=None) -> int:
     options = {"eps": args.eps, "m_max": args.m_max}
     hashes: dict[str, str] = {}
     stable = True
+    deterministic = True
     for name in scenario_names():
         scenario = get_scenario(name)
         trace = scenario.compile(seed=args.seed, n=args.n)
@@ -118,14 +164,39 @@ def main(argv=None) -> int:
             res = replay_trace(trace, algo, r=r_eff, k=args.k,
                                seed=args.seed, evaluator=evaluator,
                                options=options)
-            entry["algorithms"][res.algorithm] = res.to_dict()
+            for _ in range(max(0, args.repeats - 1)):
+                again_res = replay_trace(trace, algo, r=r_eff, k=args.k,
+                                         seed=args.seed,
+                                         evaluator=evaluator,
+                                         options=options)
+                if (again_res.determinism_digest()
+                        != res.determinism_digest()):
+                    deterministic = False
+                    print(f"FAIL: {name}/{algo} replays disagree "
+                          "digest-for-digest", file=sys.stderr)
+                if again_res.update_seconds < res.update_seconds:
+                    res = again_res
+            summary = res.to_dict()
             lat = res.latency_percentiles()
-            ops_s = (res.n_operations / res.update_seconds
-                     if res.update_seconds > 0 else float("inf"))
+            ops_s = (res.ops_per_second if res.ops_per_second is not None
+                     else float("inf"))
+            speedup_note = ""
+            if baseline is not None:
+                prev = (baseline.get("scenarios", {}).get(name, {})
+                        .get("algorithms", {}).get(res.algorithm, {})
+                        .get("ops_per_second"))
+                if prev:
+                    summary["baseline_ops_per_second"] = prev
+                    summary["speedup_vs_baseline"] = round(
+                        ops_s / float(prev), 2)
+                    speedup_note = (f"  ({summary['speedup_vs_baseline']:.2f}x "
+                                    "vs baseline)")
+            entry["algorithms"][res.algorithm] = summary
             print(f"{res.algorithm:>12}: init {res.init_seconds:6.2f}s  "
                   f"updates {res.update_seconds:7.2f}s "
                   f"({ops_s:9.0f} op/s)  p50 {lat['p50']:7.3f} ms  "
-                  f"p99 {lat['p99']:7.3f} ms  mean mrr {res.mean_mrr:.4f}")
+                  f"p99 {lat['p99']:7.3f} ms  mean mrr {res.mean_mrr:.4f}"
+                  f"{speedup_note}")
 
     if args.write_hashes:
         args.write_hashes.write_text(json.dumps(hashes, indent=2,
@@ -138,8 +209,51 @@ def main(argv=None) -> int:
         print("FAIL: scenario compilation is not deterministic",
               file=sys.stderr)
         return 1
+    if not deterministic:
+        print("FAIL: replays of the same trace disagree "
+              "digest-for-digest", file=sys.stderr)
+        return 1
+    if args.gate_scenarios and not args.hashes_only:
+        if not _check_gate(report, args):
+            return 1
     print("OK: every scenario compiled to a stable trace hash")
     return 0
+
+
+def _check_gate(report: dict, args) -> bool:
+    """Throughput gate against the committed scenario baseline.
+
+    Every gated scenario's gate algorithm must reach ``min_speedup ×
+    (1 - tolerance)`` of the baseline's recorded ops/second. A gated
+    scenario without a comparable baseline entry fails loudly — a
+    silently skipped gate reads as a pass.
+    """
+    ok = True
+    for name in args.gate_scenarios:
+        entry = (report.get("scenarios", {}).get(name, {})
+                 .get("algorithms", {}).get(args.gate_algorithm))
+        if not entry or "speedup_vs_baseline" not in entry:
+            print(f"FAIL: perf gate for {name!r}/{args.gate_algorithm} "
+                  "has no baseline to compare against (missing "
+                  "--baseline entry?)", file=sys.stderr)
+            ok = False
+            continue
+        got = float(entry["speedup_vs_baseline"])
+        floor = args.min_speedup * (1.0 - args.tolerance)
+        if got < floor:
+            print(f"FAIL: {name}: {args.gate_algorithm} throughput "
+                  f"{got:.2f}x of baseline fell below {floor:.2f}x "
+                  f"(required {args.min_speedup:.2f}x, tolerance "
+                  f"{args.tolerance:.0%})", file=sys.stderr)
+            ok = False
+        else:
+            print(f"perf gate: {name}: {args.gate_algorithm} "
+                  f"{got:.2f}x of baseline >= {floor:.2f}x "
+                  f"(required {args.min_speedup:.2f}x, tolerance "
+                  f"{args.tolerance:.0%})")
+    if ok:
+        print("OK: scenario throughput gate passed")
+    return ok
 
 
 if __name__ == "__main__":

@@ -86,6 +86,16 @@ class Session(abc.ABC):
         """
         return [self.apply(op) for op in ops]
 
+    def delete_many(self, tuple_ids) -> None:
+        """Delete a batch of tuples.
+
+        Semantically identical to calling :meth:`delete` per id — same
+        final result, same counters — but engines that support batching
+        override this with their bulk deletion pipeline.
+        """
+        for tuple_id in tuple_ids:
+            self.delete(tuple_id)
+
     def update(self, tuple_id: int, point) -> int:
         """Value update = delete + insert (§II-B); returns the new id."""
         self.delete(tuple_id)
@@ -166,8 +176,10 @@ class FDRMSSession(Session):
         """Batched updates through :meth:`FDRMS.apply_batch`.
 
         Consecutive insertions are scored with one ``(batch × M)`` GEMM
-        and bulk-loaded into the flat tuple index; the maintained result
-        is identical to applying the operations one by one.
+        and bulk-loaded into the flat tuple index; consecutive
+        deletions are bulk-removed with tombstoned tuple-index repairs;
+        the maintained result is identical to applying the operations
+        one by one.
         """
         ops = list(ops)
         start = time.perf_counter()
@@ -178,6 +190,15 @@ class FDRMSSession(Session):
             key = "inserts" if op.kind == INSERT else "deletes"
             self._counters[key] += 1
         return out
+
+    def delete_many(self, tuple_ids) -> None:
+        """Batched deletions through :meth:`FDRMS.delete_many`."""
+        ids = list(tuple_ids)
+        start = time.perf_counter()
+        self.engine.delete_many(ids)
+        self.last_apply_seconds = time.perf_counter() - start
+        self.algo_seconds += self.last_apply_seconds
+        self._counters["deletes"] += len(ids)
 
     def result(self) -> list[int]:
         return self.engine.result()
@@ -294,6 +315,25 @@ class RecomputeSession(Session):
                 changed = True
             self.last_changed = changed
             self.dirty = self.dirty or changed
+
+    def delete_many(self, tuple_ids) -> None:
+        """Bulk removal with the skyline re-synced once at the end.
+
+        As with :meth:`insert`/:meth:`delete`, skyline maintenance is
+        not charged to ``algo_seconds`` — only the lazy solver run is,
+        at the next read.
+        """
+        ids = list(tuple_ids)
+        if not ids:
+            return
+        self._db.delete_many(ids)
+        self._counters["deletes"] += len(ids)
+        if self._skyline is not None:
+            changed = self._skyline.rebuild()
+        else:
+            changed = True
+        self.last_changed = bool(changed)
+        self.dirty = self.dirty or self.last_changed
 
     # -- reads ---------------------------------------------------------
     def pool(self) -> tuple[np.ndarray, np.ndarray]:

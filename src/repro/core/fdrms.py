@@ -177,19 +177,26 @@ class FDRMS:
 
         Equivalent to applying each :class:`~repro.data.Operation` with
         :meth:`insert` / :meth:`delete` in order — same final result,
-        same statistics — but runs of consecutive insertions flow
-        through the top-k maintainer's batched insert run: the database
-        and tuple index are bulk-loaded and the whole run's scores come
-        from one ``(batch × M)`` GEMM, while the membership deltas are
-        still materialized per operation and fed to the set-cover layer
-        in arrival order (the stable cover is history-dependent, so
-        coalescing across operations would change the result).
+        same statistics — but runs of same-kind operations flow through
+        the top-k maintainer's batched cursors: insert runs bulk-load
+        the database and tuple index and score the whole run with one
+        ``(batch × M)`` GEMM; delete runs bulk-remove the victims and
+        stage tuple-index tombstones, repairing top-k sets in
+        vectorized waves. The membership deltas are still materialized
+        per operation and fed to the set-cover layer in arrival order
+        (the stable cover is history-dependent, so coalescing across
+        operations would change the result).
         """
         out: list[int | None] = []
         for run in iter_op_runs(ops):
             if run[0].kind != INSERT:
+                cursor = self._topk.begin_delete_run(
+                    [op.tuple_id for op in run])
                 for op in run:
-                    self.delete(op.tuple_id)
+                    n_after = cursor.n_before - 1
+                    log = cursor.step_log()
+                    self._absorb_delete_deltas(int(op.tuple_id), log,
+                                               n_after)
                     out.append(None)
                 continue
             cursor = self._topk.begin_insert_run(
@@ -204,24 +211,59 @@ class FDRMS:
     def delete(self, tuple_id: int) -> None:
         """Process ``Δ_t = <p, ->``."""
         log = self._topk.delete_log(tuple_id)
+        self._absorb_delete_deltas(int(tuple_id), log, len(self._db))
+
+    def delete_many(self, tuple_ids) -> None:
+        """Process a batch of deletions through the batched pipeline.
+
+        Same final state and statistics as calling :meth:`delete` per
+        id, but the database removal is one bulk operation and the
+        top-k repairs run as waves (see
+        :meth:`ApproxTopKIndex.begin_delete_run`).
+        """
+        ids = [int(t) for t in tuple_ids]
+        if not ids:
+            return
+        cursor = self._topk.begin_delete_run(ids)
+        for tid in ids:
+            n_after = cursor.n_before - 1
+            log = cursor.step_log()
+            self._absorb_delete_deltas(tid, log, n_after)
+
+    def _absorb_delete_deltas(self, tuple_id: int, log: DeltaLog,
+                              n_db: int) -> None:
+        """Cover-layer half of one deletion (shared with batching).
+
+        ``n_db`` is the database size as of this operation (batched
+        runs empty the database up front, so ``len(db)`` would run
+        ahead).
+        """
         self._stats["deletes"] += 1
         self._stats["deltas"] += len(log)
-        if len(self._db) == 0:
+        if n_db == 0:
             self._cover = StableSetCover()
             self._m = self._r
             return
         # Additions first so every element keeps a containing set, then
         # removals of *other* tuples (numerical edge cases), finally the
         # wholesale removal of S(p) with reassignment (Alg. 3 lines 9-12).
+        # The whole burst is one cover batch: violations queue up and a
+        # single stabilize pass repairs the solution at the end.
         u, pid, kind = log.columns()
         active = u < self._m
         adds = active & (kind > 0)
         removes = active & (kind < 0) & (pid != tuple_id)
-        for u_idx, p in zip(u[adds].tolist(), pid[adds].tolist()):
-            self._cover.add_to_set(u_idx, p)
-        for u_idx, p in zip(u[removes].tolist(), pid[removes].tolist()):
-            self._cover.remove_from_set(u_idx, p)
-        self._cover.remove_set(tuple_id)
+        cover = self._cover
+        started = cover.begin_batch()
+        try:
+            self._apply_delta_rows(u[adds].tolist(), pid[adds].tolist(),
+                                   kind[adds].tolist())
+            self._apply_delta_rows(u[removes].tolist(),
+                                   pid[removes].tolist(),
+                                   kind[removes].tolist())
+            cover.remove_set(tuple_id)
+        finally:
+            cover.end_batch(started)
         if self._cover.solution_size() != self._r:
             self._update_m()
 
@@ -340,20 +382,77 @@ class FDRMS:
         if membership:
             self._cover.build(membership)
 
+    def _apply_delta_rows(self, us: list, ps: list, ks: list) -> None:
+        """Feed ordered (elem, set, kind) delta rows to the cover.
+
+        The top-k maintainer emits deltas in natural runs — one tuple
+        joining many utilities (an insertion's reach), or one utility
+        gaining/losing many tuples (evictions and repairs) — so the
+        scan hands each maximal run to the cover's bulk operation
+        instead of one σ at a time. Must be called inside a cover
+        batch; run grouping does not change the result (insertions make
+        no assignment decisions, and a removal run reassigns its
+        element once at the end, which is the documented group
+        semantics).
+        """
+        cover = self._cover
+        n = len(us)
+        i = 0
+        while i < n:
+            k0, u0, p0 = ks[i], us[i], ps[i]
+            j = i + 1
+            if j < n and ks[j] == k0 and ps[j] == p0 and us[j] != u0:
+                while j < n and ks[j] == k0 and ps[j] == p0:
+                    j += 1
+                if k0 > 0:
+                    cover.add_elems_to_set(us[i:j], p0)
+                else:
+                    for u_idx in us[i:j]:
+                        cover.remove_from_set(u_idx, p0)
+                i = j
+                continue
+            while j < n and ks[j] == k0 and us[j] == u0:
+                j += 1
+            if k0 > 0:
+                cover.add_elem_to_sets(u0, ps[i:j])
+            else:
+                cover.remove_elem_from_sets(u0, ps[i:j])
+            i = j
+
     def _apply_deltas(self, log: DeltaLog) -> None:
-        """Translate top-k membership deltas into Algorithm 1 operations."""
+        """Translate top-k membership deltas into Algorithm 1 operations.
+
+        One operation's delta burst runs as a single cover batch, so the
+        violation queue is drained once at the end instead of after
+        every σ.
+        """
         u, pid, kind = log.columns()
         if u.size == 0:
             return
         keep = u < self._m
-        add_to_set = self._cover.add_to_set
-        remove_from_set = self._cover.remove_from_set
-        for u_idx, p, code in zip(u[keep].tolist(), pid[keep].tolist(),
-                                  kind[keep].tolist()):
-            if code > 0:
-                add_to_set(u_idx, p)
+        u, pid, kind = u[keep], pid[keep], kind[keep]
+        cover = self._cover
+        started = cover.begin_batch()
+        try:
+            adds = kind > 0
+            add_pids = pid[adds]
+            if add_pids.size and (add_pids == add_pids[0]).all():
+                # Insert-shaped burst: every addition is the new tuple
+                # joining its reached utilities. Additions commute with
+                # the eviction removals under a deferred stabilize
+                # (removals read only levels and φ, which additions
+                # never touch; each utility's own addition already
+                # precedes its evictions in the log), so the whole
+                # reach is installed with one vectorized call.
+                cover.add_elems_to_set(u[adds].tolist(), int(add_pids[0]))
+                rem = ~adds
+                self._apply_delta_rows(u[rem].tolist(), pid[rem].tolist(),
+                                       kind[rem].tolist())
             else:
-                remove_from_set(u_idx, p)
+                self._apply_delta_rows(u.tolist(), pid.tolist(),
+                                       kind.tolist())
+        finally:
+            cover.end_batch(started)
 
     def _update_m(self) -> None:
         """Algorithm 4: resize the active utility prefix until |C| = r."""

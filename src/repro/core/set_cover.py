@@ -16,26 +16,90 @@ Theorem 1: any stable solution is ``(2 + 2·log2 m)``-approximate.
 This implementation supports the four operations of Algorithm 1 —
 element insertion/removal in the universe and element insertion/removal
 in a candidate set — plus whole-set removal (needed when a tuple is
-deleted). To find Condition-2 violations without scanning all of ``𝒮``,
-it maintains for every candidate set a partition of its member elements
-by their *assignment level* (``_by_level``); any bucket reaching
-``2^{j+1}`` enqueues a violation, and STABILIZE drains the queue
-(lowest level first). A step cap guards the (practically unreached)
-worst case by falling back to a fresh greedy solution, which is stable
-by Lemma 1.
+deleted).
+
+Storage layout
+--------------
+Elements and sets are identified by **small nonnegative integers**
+(FD-RMS uses utility indices and tuple ids; both are dense), and every
+piece of per-element / per-set state lives in flat NumPy arrays indexed
+by those ids — the same structure-of-arrays discipline as
+:class:`repro.core.topk.MemberStore`:
+
+* the membership relation is a pair of adjacency tables (id-indexed
+  lists of integer arrays with amortized-doubling growth and
+  swap-removal), one per direction;
+* the solution state is four id-indexed arrays: ``φ`` (assigned set or
+  -1), the element's assignment level, the set's level (-1 = not in
+  ``C``), and ``|cov(S)|``;
+* instead of materialized per-(set, level) buckets, a dense
+  ``(sets × levels)`` **count matrix** tracks ``|S ∩ A_j|``; a bucket's
+  members are recovered on demand (one vectorized filter of the set's
+  member row) only when STABILIZE actually absorbs it;
+* the Condition-2 dirty queue is a binary heap of packed ``(level <<
+  48) | set_id`` integer keys deduplicated by a ``(sets × levels)``
+  boolean matrix.
+
+``frozenset`` views of elements/sets exist only at the public API
+boundary (:meth:`solution`, :meth:`members`, :meth:`sets_of`, ...); no
+internal step builds a Python set or dict.
+
+Determinism contract
+--------------------
+Every choice the maintenance makes is canonical in the ids — ties
+always break toward the **smallest id**: GREEDY ties (largest current
+gain first), the reassignment target of an orphaned element (highest
+level first, then smallest set id), the processing order of orphans
+and of absorbed bucket members (ascending element id), and the drain
+order of the violation queue (lowest level, then smallest set id).
+The maintained solution is therefore a pure function of the operation
+history — independent of hash-table layout, platform, or interpreter —
+which is what makes replay determinism digests reproducible by
+specification.
+
+To find Condition-2 violations without scanning all of ``𝒮``, any
+count-matrix cell reaching ``2^{j+1}`` enqueues a violation, and
+STABILIZE drains the queue (lowest level first). A step cap guards the
+(practically unreached) worst case by falling back to a fresh greedy
+solution, which is stable by Lemma 1. :meth:`batch` defers the drain
+across a group of membership operations — the engine wraps each tuple
+update in one batch, so a single operation's burst of membership deltas
+pays **one** stabilize pass instead of one per delta.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import defaultdict
+from contextlib import contextmanager
 
 import numpy as np
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+#: Bits reserved for the set id inside a packed dirty-queue key; the
+#: level occupies the bits above. Heap order on the packed integer is
+#: exactly the lexicographic (level, set id) order Algorithm 1 wants.
+_KEY_BITS = 48
 
 
 def _level_of(size: int) -> int:
     """Level index ``j`` with ``2^j <= size < 2^{j+1}`` (size >= 1)."""
     return size.bit_length() - 1
+
+
+def _check_id(key, kind: str) -> int:
+    if type(key) is int:  # fast path: the engine passes plain ints
+        if key >= 0:
+            return key
+        raise ValueError(f"{kind} ids must be nonnegative, got {key}")
+    if isinstance(key, (bool, np.bool_)) or not isinstance(
+            key, (int, np.integer)):
+        raise TypeError(f"{kind} ids must be nonnegative ints, "
+                        f"got {key!r}")
+    key = int(key)
+    if key < 0:
+        raise ValueError(f"{kind} ids must be nonnegative, got {key}")
+    return key
 
 
 def _counting_greedy(flat: np.ndarray, lens: np.ndarray, n_sets: int,
@@ -92,10 +156,11 @@ def greedy_cover_size(elem_rows) -> int:
     element ``e``. The selection rule is exactly the one of
     :meth:`StableSetCover.build` — largest current uncovered-gain first,
     ties toward the smallest set id (``np.unique`` sorts, so the dense
-    argmax tie-break matches the heap's) — so the returned size equals
-    ``cover.build(...); cover.solution_size()`` without paying for any
-    Python set/dict state. FD-RMS uses this for the Algorithm 2 binary
-    search, where only the size of each probe's cover matters.
+    argmax tie-break matches the stateful build's) — so the returned
+    size equals ``cover.build(...); cover.solution_size()`` without
+    paying for any membership state. FD-RMS uses this for the
+    Algorithm 2 binary search, where only the size of each probe's
+    cover matters.
     """
     n_elems = len(elem_rows)
     if n_elems == 0:
@@ -108,57 +173,304 @@ def greedy_cover_size(elem_rows) -> int:
     return len(_counting_greedy(dense, lens, sids.size, _select_max_gain))
 
 
+class _Adjacency:
+    """Id-indexed rows of integer ids with swap-removal.
+
+    One instance per membership direction (element -> owning sets and
+    set -> member elements). Rows grow by amortized doubling; removal
+    swaps the last entry into the vacated slot, so rows are unordered —
+    every consumer that needs a canonical order sorts the (small) slice
+    it looks at. With ``track=True`` a position map shadows each row,
+    making the σ-dedup membership test and each removal O(1) instead of
+    an array scan (element rows hold every tuple of the utility's
+    approximate top-k, which is large at scale); the maps carry no
+    ordered state — every decision reads the arrays.
+    """
+
+    __slots__ = ("_rows", "_lens", "_pos")
+
+    def __init__(self, *, track: bool = False) -> None:
+        self._rows: list[np.ndarray | None] = []
+        self._lens: list[int] = []
+        self._pos: list[dict | None] | None = [] if track else None
+
+    def ensure(self, idx: int) -> None:
+        if idx < len(self._rows):
+            return
+        grow = idx + 1 - len(self._rows)
+        self._rows.extend([None] * grow)
+        self._lens.extend([0] * grow)
+        if self._pos is not None:
+            self._pos.extend([None] * grow)
+
+    def degree(self, idx: int) -> int:
+        if idx >= len(self._rows):
+            return 0
+        return self._lens[idx]
+
+    def row(self, idx: int) -> np.ndarray:
+        """The ids adjacent to ``idx`` (an unordered array view)."""
+        if idx >= len(self._rows) or self._rows[idx] is None:
+            return _EMPTY_IDS
+        return self._rows[idx][: self._lens[idx]]
+
+    def contains(self, idx: int, other: int) -> bool:
+        if self._pos is not None:
+            if idx >= len(self._rows) or self._pos[idx] is None:
+                return False
+            return other in self._pos[idx]
+        return bool((self.row(idx) == other).any())
+
+    def _grow_row(self, idx: int, need: int) -> np.ndarray:
+        n = self._lens[idx]
+        row = self._rows[idx]
+        if row is None or need > row.shape[0]:
+            grown = np.empty(max(4, need, 2 * n), dtype=np.int64)
+            if n:
+                grown[:n] = row[:n]
+            row = self._rows[idx] = grown
+        return row
+
+    def add(self, idx: int, other: int) -> None:
+        self.ensure(idx)
+        n = self._lens[idx]
+        row = self._grow_row(idx, n + 1)
+        row[n] = other
+        self._lens[idx] = n + 1
+        if self._pos is not None:
+            if self._pos[idx] is None:
+                self._pos[idx] = {}
+            self._pos[idx][other] = n
+
+    def remove(self, idx: int, other: int) -> bool:
+        """Drop ``other`` from row ``idx``; False when absent."""
+        n = self.degree(idx)
+        if n == 0:
+            return False
+        row = self._rows[idx]
+        if self._pos is not None:
+            pos = self._pos[idx]
+            if pos is None:
+                return False
+            p = pos.pop(other, None)
+            if p is None:
+                return False
+            last = int(row[n - 1])
+            if p != n - 1:
+                row[p] = last
+                pos[last] = p
+            self._lens[idx] = n - 1
+            return True
+        match = row[:n] == other
+        p = int(match.argmax())
+        if not match[p]:
+            return False
+        row[p] = row[n - 1]
+        self._lens[idx] = n - 1
+        return True
+
+    def extend(self, idx: int, others: np.ndarray) -> None:
+        """Bulk-append ``others`` (all new to the row) to row ``idx``."""
+        self.ensure(idx)
+        n = self._lens[idx]
+        need = n + others.shape[0]
+        row = self._grow_row(idx, need)
+        row[n:need] = others
+        self._lens[idx] = need
+        if self._pos is not None:
+            pos = self._pos[idx]
+            if pos is None:
+                pos = self._pos[idx] = {}
+            for p, other in enumerate(others.tolist(), start=n):
+                pos[other] = p
+
+    def append_each(self, idxs: list[int], other: int) -> None:
+        """Append ``other`` to every row in ``idxs`` (one call, no dups)."""
+        if not idxs:
+            return
+        self.ensure(max(idxs))
+        rows, lens, poss = self._rows, self._lens, self._pos
+        for idx in idxs:
+            n = lens[idx]
+            row = rows[idx]
+            if row is None or n == row.shape[0]:
+                grown = np.empty(max(4, 2 * n), dtype=np.int64)
+                if n:
+                    grown[:n] = row[:n]
+                row = rows[idx] = grown
+            row[n] = other
+            lens[idx] = n + 1
+            if poss is not None:
+                if poss[idx] is None:
+                    poss[idx] = {}
+                poss[idx][other] = n
+
+    def remove_many(self, idx: int, others: np.ndarray) -> np.ndarray:
+        """Drop every id in ``others`` present in row ``idx``.
+
+        Returns the removed ids in row (arrival) order; absent ids are
+        ignored.
+        """
+        n = self.degree(idx)
+        if n == 0:
+            return _EMPTY_IDS
+        row = self._rows[idx]
+        if self._pos is not None:
+            # Position-indexed rows: O(group) swap-removals, but the
+            # returned order must still be the pre-removal row order.
+            pos = self._pos[idx]
+            if pos is None:
+                return _EMPTY_IDS
+            hits = [(p, o) for o in others.tolist()
+                    if (p := pos.get(o)) is not None]
+            if not hits:
+                return _EMPTY_IDS
+            hits.sort()
+            removed = np.asarray([o for _, o in hits], dtype=np.int64)
+            for o in removed.tolist():
+                p = pos.pop(o)
+                last = int(row[n - 1])
+                if p != n - 1:
+                    row[p] = last
+                    pos[last] = p
+                n -= 1
+            self._lens[idx] = n
+            return removed
+        hit = (row[:n, None] == others).any(axis=1)
+        removed = row[:n][hit].copy()
+        if removed.size:
+            keep = row[:n][~hit]
+            row[: keep.size] = keep
+            self._lens[idx] = int(keep.size)
+        return removed
+
+    def clear(self, idx: int) -> None:
+        if idx < len(self._rows):
+            self._rows[idx] = None
+            self._lens[idx] = 0
+            if self._pos is not None:
+                self._pos[idx] = None
+
+
 class StableSetCover:
     """A dynamically maintained, stable set-cover solution.
 
-    Elements and sets are identified by hashable keys (FD-RMS uses
-    integer utility indices and tuple ids). The instance owns the
-    membership relation: mutate it only through the public methods.
+    Elements and sets are identified by small nonnegative integer ids
+    (FD-RMS uses utility indices and tuple ids); all internal state is
+    arrays indexed by those ids. The instance owns the membership
+    relation: mutate it only through the public methods.
     """
 
     def __init__(self) -> None:
-        # Membership relation (the set system Σ).
-        self._elem_sets: dict = defaultdict(set)   # elem -> {sid}
-        self._set_elems: dict = defaultdict(set)   # sid  -> {elem}
-        # Solution state.
-        self._phi: dict = {}                       # elem -> sid
-        self._cov: dict = defaultdict(set)         # sid  -> {elem}
-        self._level: dict = {}                     # sid in C -> level j
-        self._elem_level: dict = {}                # elem -> level of φ(elem)
-        # Per-set partition of member elements by assignment level.
-        self._by_level: dict = defaultdict(lambda: defaultdict(set))
-        # Pending Condition-2 checks: heap of (j, sid) + dedup set.
-        self._pending: list = []
-        self._pending_keys: set = set()
+        self._reset()
         self.stabilize_steps = 0  # cumulative, for diagnostics/benchmarks
+
+    def _reset(self) -> None:
+        # Membership relation (the set system Σ). The owners side
+        # carries the O(1) dedup shadow (σ arrive as raw deltas).
+        self._owners = _Adjacency(track=True)   # elem -> sids
+        self._members = _Adjacency()            # sid  -> elems
+        self._elem_alive = np.zeros(0, dtype=bool)
+        self._n_elems = 0
+        # Solution state, id-indexed.
+        self._phi = np.full(0, -1, dtype=np.int64)         # elem -> sid
+        self._elem_level = np.full(0, -1, dtype=np.int64)  # elem -> j
+        self._level = np.full(0, -1, dtype=np.int64)       # sid -> j
+        self._cov_size = np.zeros(0, dtype=np.int64)       # sid -> |cov|
+        self._n_solution = 0
+        # |S ∩ A_j| counts and the dirty queue over them.
+        self._bucket_counts = np.zeros((8, 0), dtype=np.int64)
+        self._pending: list[int] = []        # heap of (j << 48) | sid
+        self._pending_mask = np.zeros((8, 0), dtype=bool)
+        self._deferred = False
+
+    # ------------------------------------------------------------------
+    # Array growth
+    # ------------------------------------------------------------------
+    def _ensure_elem(self, elem: int) -> None:
+        cap = self._phi.shape[0]
+        if elem < cap:
+            return
+        new_cap = max(elem + 1, 2 * cap, 16)
+        self._phi = self._grow1(self._phi, new_cap, -1)
+        self._elem_level = self._grow1(self._elem_level, new_cap, -1)
+        alive = np.zeros(new_cap, dtype=bool)
+        alive[:cap] = self._elem_alive
+        self._elem_alive = alive
+        self._owners.ensure(elem)
+
+    def _ensure_sid(self, sid: int) -> None:
+        cap = self._level.shape[0]
+        if sid < cap:
+            self._members.ensure(sid)
+            return
+        new_cap = max(sid + 1, 2 * cap, 16)
+        self._level = self._grow1(self._level, new_cap, -1)
+        self._cov_size = self._grow1(self._cov_size, new_cap, 0)
+        levels = self._bucket_counts.shape[0]
+        counts = np.zeros((levels, new_cap), dtype=np.int64)
+        counts[:, :cap] = self._bucket_counts
+        self._bucket_counts = counts
+        mask = np.zeros((levels, new_cap), dtype=bool)
+        mask[:, :cap] = self._pending_mask
+        self._pending_mask = mask
+        self._members.ensure(sid)
+
+    def _ensure_level(self, j: int) -> None:
+        levels = self._bucket_counts.shape[0]
+        if j < levels:
+            return
+        new_levels = max(j + 1, 2 * levels)
+        counts = np.zeros((new_levels, self._bucket_counts.shape[1]),
+                          dtype=np.int64)
+        counts[:levels] = self._bucket_counts
+        self._bucket_counts = counts
+        mask = np.zeros((new_levels, self._pending_mask.shape[1]),
+                        dtype=bool)
+        mask[:levels] = self._pending_mask
+        self._pending_mask = mask
+
+    @staticmethod
+    def _grow1(arr: np.ndarray, new_cap: int, fill) -> np.ndarray:
+        out = np.full(new_cap, fill, dtype=arr.dtype)
+        out[: arr.shape[0]] = arr
+        return out
 
     # ------------------------------------------------------------------
     # Read access
     # ------------------------------------------------------------------
     @property
     def universe(self) -> frozenset:
-        return frozenset(self._elem_sets.keys())
+        return frozenset(np.flatnonzero(self._elem_alive).tolist())
 
     def solution(self) -> frozenset:
         """The sets currently in the cover ``C``."""
-        return frozenset(self._level.keys())
+        return frozenset(np.flatnonzero(self._level >= 0).tolist())
 
     def solution_size(self) -> int:
-        return len(self._level)
+        return self._n_solution
 
     def cover_of(self, sid) -> frozenset:
         """``cov(S)`` of a set (empty if not in the solution)."""
-        return frozenset(self._cov.get(sid, frozenset()))
+        sid = _check_id(sid, "set")
+        if sid >= self._level.shape[0] or self._level[sid] < 0:
+            return frozenset()
+        return frozenset(np.flatnonzero(self._phi == sid).tolist())
 
     def assignment(self, elem):
         """``φ(elem)`` — the covering set of an element."""
-        return self._phi[elem]
+        elem = _check_id(elem, "element")
+        if elem >= self._phi.shape[0] or self._phi[elem] < 0:
+            raise KeyError(elem)
+        return int(self._phi[elem])
 
     def sets_of(self, elem) -> frozenset:
-        return frozenset(self._elem_sets.get(elem, frozenset()))
+        elem = _check_id(elem, "element")
+        return frozenset(self._owners.row(elem).tolist())
 
     def members(self, sid) -> frozenset:
-        return frozenset(self._set_elems.get(sid, frozenset()))
+        sid = _check_id(sid, "set")
+        return frozenset(self._members.row(sid).tolist())
 
     # ------------------------------------------------------------------
     # Bulk (re)construction — GREEDY of Algorithm 1
@@ -172,109 +484,147 @@ class StableSetCover:
         invariant is asserted by :meth:`is_cover` (and, transitively, by
         ``FDRMS.verify``) rather than re-checked here.
         """
-        self._elem_sets = defaultdict(set)
-        self._set_elems = defaultdict(set)
+        self._reset()
         for sid, elems in membership.items():
+            sid = _check_id(sid, "set")
+            self._ensure_sid(sid)
             for elem in elems:
-                self._elem_sets[elem].add(sid)
-                self._set_elems[sid].add(elem)
-        self._greedy(set(self._elem_sets.keys()))
+                elem = _check_id(elem, "element")
+                self._ensure_elem(elem)
+                if not self._elem_alive[elem]:
+                    self._elem_alive[elem] = True
+                    self._n_elems += 1
+                if not self._owners.contains(elem, sid):
+                    self._owners.add(elem, sid)
+                    self._members.add(sid, elem)
+        self._greedy()
 
     def rebuild(self) -> None:
         """Recompute the solution greedily from the current membership."""
-        self._greedy(set(self._elem_sets.keys()))
+        self._greedy()
 
-    def _select_greedy(self, uncovered: set) -> list:
-        """GREEDY selection order, computed over flat integer arrays.
+    def _select_greedy(self, uncovered: np.ndarray) -> list[int]:
+        """GREEDY selection order over the flat membership arrays.
 
-        Returns the sids the classic lazy-heap greedy would pick, in
-        order: the heap pops entries by ``(-gain, sid)`` and re-keys
-        stale ones downward, which selects the set with the largest
-        *current* gain, ties toward the smaller sid. Here the per-pop
-        ``len(set & set)`` recomputation is replaced by a dense gain
-        vector maintained with counting updates; the heap (still keyed
-        by raw sids, so any mutually comparable ids work) only arbitrates
-        ties.
+        Selects the set with the largest *current* gain, ties toward
+        the smaller set id; gains are maintained as a dense counting
+        vector, and a lazy heap (keyed by set id) only arbitrates ties
+        — exactly the classic lazy-heap greedy, without recomputing any
+        ``len(set & set)`` per pop.
         """
-        if not uncovered or not self._set_elems:
+        elems = np.flatnonzero(uncovered)
+        if elems.size == 0:
             return []
-        sids = list(self._set_elems.keys())
-        sid_index = {sid: j for j, sid in enumerate(sids)}
-        flat: list[int] = []
-        lens: list[int] = []
-        for elem, owners in self._elem_sets.items():
-            if elem not in uncovered:
-                continue
-            row = [sid_index[s] for s in owners]
-            flat.extend(row)
-            lens.append(len(row))
-        if not lens:
-            return []
-        flat_a = np.asarray(flat, dtype=np.intp)
-        lens_a = np.asarray(lens, dtype=np.intp)
-        heap = [(-int(g), sid)
-                for sid, g in zip(sids, np.bincount(flat_a,
-                                                    minlength=len(sids)))
-                if g > 0]
+        rows = [self._owners.row(e) for e in elems.tolist()]
+        lens = np.fromiter((r.shape[0] for r in rows), np.intp, elems.size)
+        flat = np.concatenate(rows) if rows else _EMPTY_IDS
+        n_sets = self._level.shape[0]
+        heap = [(-int(g), sid) for sid, g in enumerate(
+            np.bincount(flat, minlength=n_sets).tolist()) if g > 0]
         heapq.heapify(heap)
 
         def select(gains: np.ndarray) -> int:
             while heap:
                 neg_g, sid = heapq.heappop(heap)
-                j = sid_index[sid]
-                actual = int(gains[j])
+                actual = int(gains[sid])
                 if actual == 0:
                     continue
                 if actual != -neg_g:
                     heapq.heappush(heap, (-actual, sid))
                     continue
-                return j
+                return sid
             raise ValueError("greedy failed: some element is uncoverable")
 
-        selection = _counting_greedy(flat_a, lens_a, len(sids), select)
-        return [sids[j] for j in selection]
+        return _counting_greedy(flat.astype(np.intp), lens, n_sets, select)
 
-    def _greedy(self, uncovered: set) -> None:
-        self._phi = {}
-        self._cov = defaultdict(set)
-        self._level = {}
-        self._elem_level = {}
-        self._by_level = defaultdict(lambda: defaultdict(set))
-        self._pending = []
-        self._pending_keys = set()
+    def _greedy(self) -> None:
+        self._phi.fill(-1)
+        self._elem_level.fill(-1)
+        self._level.fill(-1)
+        self._cov_size.fill(0)
+        self._n_solution = 0
+        self._bucket_counts.fill(0)
+        self._pending_mask.fill(False)
+        self._pending.clear()
+        uncovered = self._elem_alive.copy()
         for sid in self._select_greedy(uncovered):
-            won = self._set_elems[sid] & uncovered
-            if not won:
+            mem = self._members.row(sid)
+            won = np.sort(mem[uncovered[mem]])
+            if won.size == 0:
                 continue
-            for elem in won:
-                self._phi[elem] = sid
-                self._cov[sid].add(elem)
-            uncovered -= won
-            j = _level_of(len(self._cov[sid]))
+            self._phi[won] = sid
+            uncovered[won] = False
+            self._cov_size[sid] = won.size
+            j = _level_of(int(won.size))
             self._level[sid] = j
-            for elem in won:
-                self._set_elem_level(elem, j)
-        if uncovered:
+            self._n_solution += 1
+            self._ensure_level(j)
+            self._elem_level[won] = j
+            owners = np.concatenate([self._owners.row(e)
+                                     for e in won.tolist()])
+            np.add.at(self._bucket_counts[j], owners, 1)
+            cap = 1 << (j + 1)
+            for s in np.unique(owners).tolist():
+                if self._bucket_counts[j, s] >= cap:
+                    self._queue_push(s, j)
+        if uncovered.any():
             raise ValueError("greedy failed: some element is uncoverable")
-        self._stabilize()
+        self._drain()
 
     # ------------------------------------------------------------------
     # Dynamic operations (the four σ of Algorithm 1 + whole-set removal)
     # ------------------------------------------------------------------
+    def begin_batch(self) -> bool:
+        """Start deferring STABILIZE; returns False if already deferred.
+
+        Pair with :meth:`end_batch` (pass the returned flag) — or use
+        the :meth:`batch` context manager. Split out as plain calls
+        because the engine opens a batch on every tuple update, where
+        generator-based context managers are measurable overhead.
+        """
+        if self._deferred:
+            return False
+        self._deferred = True
+        return True
+
+    def end_batch(self, started: bool = True) -> None:
+        """Stop deferring and run the single stabilize pass."""
+        if not started:
+            return
+        self._deferred = False
+        self._drain()
+
+    @contextmanager
+    def batch(self):
+        """Defer STABILIZE to the end of a group of operations.
+
+        Inside the context, the dynamic operations record Condition-2
+        violations but do not drain the queue; one stabilize pass runs
+        on exit. The engine wraps each tuple update (a burst of
+        membership deltas plus, for deletions, a whole-set removal) in
+        one batch — bulk set-cover repair in a single pass. Nested
+        batches are flattened into the outermost one.
+        """
+        started = self.begin_batch()
+        try:
+            yield self
+        finally:
+            self.end_batch(started)
+
     def add_to_set(self, elem, sid) -> None:
         """σ = (u, S, +): element ``elem`` joins candidate set ``sid``."""
-        if elem not in self._elem_sets:
-            # Membership recorded even for elements outside the universe
-            # view is not supported: callers add elements explicitly.
+        elem = _check_id(elem, "element")
+        sid = _check_id(sid, "set")
+        if elem >= self._elem_alive.shape[0] or not self._elem_alive[elem]:
             raise KeyError(f"element {elem!r} is not in the universe")
-        if sid in self._elem_sets[elem]:
+        if self._owners.contains(elem, sid):
             return
-        self._elem_sets[elem].add(sid)
-        self._set_elems[sid].add(elem)
-        lvl = self._elem_level.get(elem)
-        if lvl is not None:
-            bucket = self._by_level[sid][lvl]
-            bucket.add(elem)
+        self._ensure_sid(sid)
+        self._owners.add(elem, sid)
+        self._members.add(sid, elem)
+        lvl = int(self._elem_level[elem])
+        if lvl >= 0:
+            self._bucket_counts[lvl, sid] += 1
             self._queue_check(sid, lvl)
         self._stabilize()
 
@@ -284,17 +634,151 @@ class StableSetCover:
         If ``elem`` was assigned to ``sid``, it is reassigned to another
         containing set (which must exist, else :class:`ValueError`).
         """
-        if sid not in self._elem_sets.get(elem, ()):  # no-op if absent
-            return
-        self._elem_sets[elem].discard(sid)
-        self._set_elems[sid].discard(elem)
-        if not self._set_elems[sid]:
-            del self._set_elems[sid]
-        lvl = self._elem_level.get(elem)
-        if lvl is not None and sid in self._by_level:
-            self._by_level[sid][lvl].discard(elem)
-        if self._phi.get(elem) == sid:
+        elem = _check_id(elem, "element")
+        sid = _check_id(sid, "set")
+        if not self._owners.remove(elem, sid):
+            return  # no-op if absent
+        self._members.remove(sid, elem)
+        lvl = int(self._elem_level[elem])
+        if lvl >= 0:
+            self._bucket_counts[lvl, sid] -= 1
+        if self._phi[elem] == sid:
             self._unassign(elem, sid)
+            self._assign_somewhere(elem)
+        self._stabilize()
+
+    def add_elems_to_set(self, elems, sid) -> None:
+        """Bulk σ⁺: every element of ``elems`` joins candidate set ``sid``.
+
+        Equivalent to ``add_to_set(e, sid)`` per element inside one
+        :meth:`batch` — membership insertion makes no assignment
+        decisions, so bulk application is a pure vectorization, not a
+        semantic change. ``elems`` must be distinct universe elements
+        that are not yet members of ``sid`` (the engine's delta streams
+        guarantee both).
+        """
+        sid = _check_id(sid, "set")
+        n_elems = len(elems)
+        if n_elems == 0:
+            return
+        self._ensure_sid(sid)
+        if n_elems <= 8:
+            # Small groups: scalar updates beat array-call overhead.
+            alive, elem_level = self._elem_alive, self._elem_level
+            counts = self._bucket_counts
+            for e in elems:
+                if e < 0 or e >= alive.shape[0] or not alive[e]:
+                    raise KeyError(f"element {e!r} is not in the universe")
+            self._members.extend(sid, np.asarray(elems, dtype=np.int64))
+            self._owners.append_each(list(elems), sid)
+            for e in elems:
+                lvl = int(elem_level[e])
+                if lvl >= 0:
+                    c = counts[lvl, sid] + 1
+                    counts[lvl, sid] = c
+                    if c >= (1 << (lvl + 1)):
+                        self._queue_push(sid, lvl)
+            self._stabilize()
+            return
+        elems_arr = np.asarray(elems, dtype=np.int64)
+        bad = (elems_arr < 0) | (elems_arr >= self._elem_alive.shape[0])
+        if bad.any():
+            raise KeyError(f"element {int(elems_arr[bad][0])!r} is not "
+                           "in the universe")
+        alive = self._elem_alive[elems_arr]
+        if not alive.all():
+            missing = elems_arr[~alive][0]
+            raise KeyError(f"element {int(missing)!r} is not in the "
+                           "universe")
+        self._members.extend(sid, elems_arr)
+        self._owners.append_each(elems_arr.tolist(), sid)
+        lv = self._elem_level[elems_arr]
+        lv = lv[lv >= 0]
+        if lv.size:
+            hist = np.bincount(lv)
+            levels = np.flatnonzero(hist)
+            self._bucket_counts[: hist.size, sid] += hist
+            for j in levels.tolist():
+                self._queue_check(sid, int(j))
+        self._stabilize()
+
+    def add_elem_to_sets(self, elem, sids) -> None:
+        """Bulk σ⁺: element ``elem`` joins every candidate set in ``sids``.
+
+        Equivalent to ``add_to_set(elem, s)`` per set inside one
+        :meth:`batch`; ``sids`` must be distinct sets not yet containing
+        ``elem``.
+        """
+        elem = _check_id(elem, "element")
+        if elem >= self._elem_alive.shape[0] or not self._elem_alive[elem]:
+            raise KeyError(f"element {elem!r} is not in the universe")
+        n_sids = len(sids)
+        if n_sids == 0:
+            return
+        if min(sids) < 0:
+            raise ValueError("set ids must be nonnegative")
+        self._ensure_sid(max(sids))
+        lvl = int(self._elem_level[elem])
+        if n_sids <= 8:
+            counts = self._bucket_counts
+            self._owners.extend(elem, np.asarray(sids, dtype=np.int64))
+            self._members.append_each(list(sids), elem)
+            if lvl >= 0:
+                cap = 1 << (lvl + 1)
+                row = counts[lvl]
+                for s in sids:
+                    c = row[s] + 1
+                    row[s] = c
+                    if c >= cap:
+                        self._queue_push(s, lvl)
+            self._stabilize()
+            return
+        sids_arr = np.asarray(sids, dtype=np.int64)
+        self._owners.extend(elem, sids_arr)
+        self._members.append_each(sids_arr.tolist(), elem)
+        if lvl >= 0:
+            row = self._bucket_counts[lvl]
+            row[sids_arr] += 1
+            cap = 1 << (lvl + 1)
+            hot = sids_arr[row[sids_arr] >= cap]
+            for s in hot.tolist():
+                self._queue_push(int(s), lvl)
+        self._stabilize()
+
+    def remove_elem_from_sets(self, elem, sids) -> None:
+        """Bulk σ⁻: element ``elem`` leaves every set in ``sids``.
+
+        All memberships are removed first; if the element's assigned
+        set is among them, it is reassigned **once** against the
+        remaining containing sets (a sequence of ``remove_from_set``
+        calls may reassign repeatedly mid-burst; the engine applies a
+        whole operation's removals as one group, so the single final
+        reassignment is the canonical semantics). Absent memberships
+        are ignored.
+        """
+        elem = _check_id(elem, "element")
+        if elem >= self._elem_alive.shape[0] or not self._elem_alive[elem]:
+            return
+        if len(sids) == 0:
+            return
+        sids_arr = np.asarray(sids, dtype=np.int64)
+        removed = self._owners.remove_many(elem, sids_arr)
+        if removed.size == 0:
+            return
+        removed_list = removed.tolist()
+        for s in removed_list:
+            self._members.remove(s, elem)
+        lvl = int(self._elem_level[elem])
+        if lvl >= 0:
+            row = self._bucket_counts[lvl]
+            if len(removed_list) <= 8:
+                for s in removed_list:
+                    row[s] -= 1
+            else:
+                row[removed] -= 1
+        phi = int(self._phi[elem])
+        if phi >= 0 and phi in removed_list:
+            self._unassign(elem, phi)
             self._assign_somewhere(elem)
         self._stabilize()
 
@@ -304,57 +788,66 @@ class StableSetCover:
         ``member_sids`` lists the candidate sets containing it (must be
         non-empty, otherwise no cover exists).
         """
-        sids = set(member_sids)
+        sids = sorted({_check_id(s, "set") for s in member_sids})
         if not sids:
             raise ValueError(f"element {elem!r} must belong to at least one set")
-        if elem in self._elem_sets:
+        elem = _check_id(elem, "element")
+        self._ensure_elem(elem)
+        if self._elem_alive[elem]:
             raise KeyError(f"element {elem!r} already in the universe")
-        self._elem_sets[elem] = set(sids)
+        self._elem_alive[elem] = True
+        self._n_elems += 1
+        self._owners.clear(elem)
+        self._phi[elem] = -1
+        self._elem_level[elem] = -1
         for sid in sids:
-            self._set_elems[sid].add(elem)
+            self._ensure_sid(sid)
+            self._owners.add(elem, sid)
+            self._members.add(sid, elem)
         self._assign_somewhere(elem)
         self._stabilize()
 
     def remove_element(self, elem) -> None:
         """σ = (u, U, -): an element leaves the universe entirely."""
-        if elem not in self._elem_sets:
+        elem = _check_id(elem, "element")
+        if elem >= self._elem_alive.shape[0] or not self._elem_alive[elem]:
             raise KeyError(f"element {elem!r} not in the universe")
-        sid = self._phi.get(elem)
-        if sid is not None:
+        sid = int(self._phi[elem])
+        if sid >= 0:
             self._unassign(elem, sid)
-        for owner in self._elem_sets.pop(elem):
-            self._set_elems[owner].discard(elem)
-            if not self._set_elems[owner]:
-                self._set_elems.pop(owner)
-            if owner in self._by_level:
-                lvl_map = self._by_level[owner]
-                for bucket in lvl_map.values():
-                    bucket.discard(elem)
-        self._elem_level.pop(elem, None)
+        for owner in self._owners.row(elem).tolist():
+            self._members.remove(owner, elem)
+        self._owners.clear(elem)
+        self._elem_alive[elem] = False
+        self._n_elems -= 1
         self._stabilize()
 
     def remove_set(self, sid) -> None:
         """Remove candidate set ``sid`` (tuple deletion in FD-RMS).
 
-        Every element assigned to it is reassigned; elements merely
-        *containing* it lose the membership.
+        Every element assigned to it is reassigned (in ascending
+        element order); elements merely *containing* it lose the
+        membership.
         """
-        members = self._set_elems.pop(sid, None)
-        if members is None:
+        sid = _check_id(sid, "set")
+        if sid >= self._level.shape[0] or self._members.degree(sid) == 0:
             return
-        for elem in members:
-            self._elem_sets[elem].discard(sid)
-        self._by_level.pop(sid, None)
-        orphans = list(self._cov.get(sid, ()))
-        if sid in self._cov:
-            del self._cov[sid]
-        self._level.pop(sid, None)
-        for elem in orphans:
-            self._phi.pop(elem, None)
-            old = self._elem_level.pop(elem, None)
-            if old is not None:
+        for elem in self._members.row(sid).tolist():
+            self._owners.remove(elem, sid)
+        self._members.clear(sid)
+        self._bucket_counts[:, sid] = 0
+        orphans = np.flatnonzero(self._phi == sid)
+        if self._level[sid] >= 0:
+            self._level[sid] = -1
+            self._n_solution -= 1
+        self._cov_size[sid] = 0
+        for elem in orphans.tolist():
+            self._phi[elem] = -1
+            old = int(self._elem_level[elem])
+            self._elem_level[elem] = -1
+            if old >= 0:
                 self._clear_elem_level(elem, old)
-        for elem in orphans:
+        for elem in orphans.tolist():
             self._assign_somewhere(elem)
         self._stabilize()
 
@@ -363,124 +856,179 @@ class StableSetCover:
     # ------------------------------------------------------------------
     def is_cover(self) -> bool:
         """Every universe element is assigned to a containing set."""
-        for elem, sids in self._elem_sets.items():
-            sid = self._phi.get(elem)
-            if sid is None or sid not in sids:
+        for elem in np.flatnonzero(self._elem_alive).tolist():
+            sid = int(self._phi[elem])
+            if sid < 0 or not self._owners.contains(elem, sid):
                 return False
         return True
 
     def is_stable(self) -> bool:
         """Exhaustively check Definition 2 (both conditions)."""
-        for sid, cover in self._cov.items():
-            if not cover:
+        for sid in np.flatnonzero(self._level >= 0).tolist():
+            size = int(self._cov_size[sid])
+            if size == 0 or self._level[sid] != _level_of(size):
                 return False
-            if self._level.get(sid) != _level_of(len(cover)):
-                return False
-        assigned_at: dict = defaultdict(set)
-        for elem, sid in self._phi.items():
-            assigned_at[self._level[sid]].add(elem)
-        for j, a_j in assigned_at.items():
-            cap = 2 ** (j + 1)
-            for sid, elems in self._set_elems.items():
-                if len(elems & a_j) >= cap:
+        if int(self._cov_size[self._level < 0].sum()) != 0:
+            return False
+        max_level = int(self._elem_level.max(initial=-1))
+        for sid in range(self._level.shape[0]):
+            mem = self._members.row(sid)
+            if mem.size == 0:
+                continue
+            lv = self._elem_level[mem]
+            hist = np.bincount(lv[lv >= 0], minlength=max_level + 1)
+            for j, count in enumerate(hist.tolist()):
+                if count >= (1 << (j + 1)):
                     return False
         return True
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _queue_check(self, sid, j) -> None:
-        if len(self._by_level[sid][j]) >= 2 ** (j + 1):
-            key = (j, sid)
-            if key not in self._pending_keys:
-                self._pending_keys.add(key)
-                heapq.heappush(self._pending, key)
+    def _queue_push(self, sid: int, j: int) -> None:
+        if not self._pending_mask[j, sid]:
+            self._pending_mask[j, sid] = True
+            heapq.heappush(self._pending, (j << _KEY_BITS) | sid)
 
-    def _set_elem_level(self, elem, new_j) -> None:
-        """Move ``elem``'s assignment level to ``new_j`` in all buckets."""
-        old = self._elem_level.get(elem)
+    def _queue_check(self, sid: int, j: int) -> None:
+        if self._bucket_counts[j, sid] >= (1 << (j + 1)):
+            self._queue_push(sid, j)
+
+    def _set_elem_level(self, elem: int, new_j: int) -> None:
+        """Move ``elem``'s assignment level to ``new_j`` in all counts."""
+        old = int(self._elem_level[elem])
         if old == new_j:
             return
-        for sid in self._elem_sets[elem]:
-            lvl_map = self._by_level[sid]
-            if old is not None:
-                lvl_map[old].discard(elem)
-            lvl_map[new_j].add(elem)
-            self._queue_check(sid, new_j)
+        if new_j >= self._bucket_counts.shape[0]:
+            self._ensure_level(new_j)
+        owners = self._owners.row(elem)
+        counts = self._bucket_counts
+        if old >= 0:
+            counts[old][owners] -= 1
+        row = counts[new_j]
+        row[owners] += 1
         self._elem_level[elem] = new_j
+        cap = 1 << (new_j + 1)
+        chk = row[owners] >= cap
+        if chk.any():
+            for sid in owners[chk].tolist():
+                self._queue_push(sid, new_j)
 
-    def _clear_elem_level(self, elem, old_j) -> None:
-        """Drop ``elem`` from the level buckets (it became unassigned)."""
-        for sid in self._elem_sets.get(elem, ()):
-            if sid in self._by_level:
-                self._by_level[sid][old_j].discard(elem)
+    def _move_elems_level(self, elems: np.ndarray, new_j: int) -> None:
+        """Vectorized :meth:`_set_elem_level` for a group of elements.
 
-    def _unassign(self, elem, sid) -> None:
+        Count-equivalent to moving each element in turn: the updates
+        are additive, the target-level counts only grow during the
+        group, and the dedup mask makes the queue pushes a set — so one
+        scatter-add per direction replaces a per-element pass.
+        """
+        if new_j >= self._bucket_counts.shape[0]:
+            self._ensure_level(new_j)
+        counts = self._bucket_counts
+        rows = [self._owners.row(e) for e in elems.tolist()]
+        olds = self._elem_level[elems]
+        all_owners = np.concatenate(rows)
+        old_rep = np.repeat(olds, [r.shape[0] for r in rows])
+        assigned = old_rep >= 0
+        if assigned.any():
+            np.subtract.at(counts, (old_rep[assigned],
+                                    all_owners[assigned]), 1)
+        row = counts[new_j]
+        np.add.at(row, all_owners, 1)
+        self._elem_level[elems] = new_j
+        cap = 1 << (new_j + 1)
+        touched = np.unique(all_owners)
+        hot = touched[row[touched] >= cap]
+        for sid in hot.tolist():
+            self._queue_push(int(sid), new_j)
+
+    def _clear_elem_level(self, elem: int, old_j: int) -> None:
+        """Drop ``elem`` from the level counts (it became unassigned)."""
+        self._bucket_counts[old_j][self._owners.row(elem)] -= 1
+
+    def _unassign(self, elem: int, sid: int) -> None:
         """Remove ``elem`` from ``cov(sid)`` and relevel the donor."""
-        self._cov[sid].discard(elem)
-        self._phi.pop(elem, None)
-        old = self._elem_level.pop(elem, None)
-        if old is not None:
+        self._cov_size[sid] -= 1
+        self._phi[elem] = -1
+        old = int(self._elem_level[elem])
+        self._elem_level[elem] = -1
+        if old >= 0:
             self._clear_elem_level(elem, old)
         self._relevel(sid)
 
-    def _assign_somewhere(self, elem) -> None:
+    def _assign_somewhere(self, elem: int) -> None:
         """Assign ``elem`` to a containing set (RELEVEL included).
 
         Preference order: the containing set already in ``C`` at the
-        highest level (minimizes churn and keeps |C| small), else any
-        containing set, which then joins ``C`` at level 0.
+        highest level (minimizes churn and keeps |C| small), ties and
+        the none-in-C case toward the smallest set id, which then joins
+        ``C`` at level 0.
         """
-        candidates = self._elem_sets.get(elem)
-        if not candidates:
+        candidates = self._owners.row(elem)
+        if candidates.size == 0:
             raise ValueError(f"element {elem!r} has no containing set; "
                              "cover would become infeasible")
-        best, best_level = None, -1
-        for sid in candidates:
-            lvl = self._level.get(sid, -1)
-            if lvl > best_level or (lvl == best_level and best is None):
-                best, best_level = sid, lvl
+        levels = self._level[candidates]
+        best = int(candidates[levels == levels.max()].min())
         self._phi[elem] = best
-        self._cov[best].add(elem)
+        self._cov_size[best] += 1
         self._relevel(best)
-
-    def _relevel(self, sid) -> None:
-        """RELEVEL of Algorithm 1: sync ``sid``'s level with |cov|."""
-        size = len(self._cov.get(sid, ()))
-        if size == 0:
-            self._cov.pop(sid, None)
-            self._level.pop(sid, None)
-            return
-        new_j = _level_of(size)
-        old_j = self._level.get(sid)
-        if old_j == new_j:
-            # Elements may still need bucket sync if freshly assigned.
-            for elem in self._cov[sid]:
-                if self._elem_level.get(elem) != new_j:
-                    self._set_elem_level(elem, new_j)
-            return
-        self._level[sid] = new_j
-        for elem in self._cov[sid]:
+        new_j = int(self._level[best])
+        if self._elem_level[elem] != new_j:
+            # RELEVEL kept the set's level; sync just the new arrival.
             self._set_elem_level(elem, new_j)
 
+    def _relevel(self, sid: int) -> None:
+        """RELEVEL of Algorithm 1: sync ``sid``'s level with |cov|."""
+        size = int(self._cov_size[sid])
+        in_sol = self._level[sid] >= 0
+        if size == 0:
+            if in_sol:
+                self._level[sid] = -1
+                self._n_solution -= 1
+            return
+        new_j = _level_of(size)
+        if not in_sol:
+            self._n_solution += 1
+        if self._level[sid] == new_j:
+            # Cover members were in sync before this size change; any
+            # freshly assigned element is synced by its caller
+            # (_assign_somewhere, the STABILIZE absorption).
+            return
+        self._level[sid] = new_j
+        cov = np.flatnonzero(self._phi == sid)
+        mism = cov[self._elem_level[cov] != new_j]
+        if mism.size == 0:
+            return
+        if mism.size == 1:
+            self._set_elem_level(int(mism[0]), new_j)
+        else:
+            self._move_elems_level(mism, new_j)
+
     def _stabilize(self) -> None:
+        if not self._deferred:
+            self._drain()
+
+    def _drain(self) -> None:
         """STABILIZE of Algorithm 1, violation-queue driven.
 
-        Processes Condition-2 violations lowest level first. A step cap
-        (generous; never hit in our experiments) falls back to a fresh
-        greedy solution, which Lemma 1 guarantees stable.
+        Processes Condition-2 violations lowest level first, then
+        smallest set id; within one absorption, bucket members are
+        absorbed in ascending element id order. A step cap (generous;
+        never hit in our experiments) falls back to a fresh greedy
+        solution, which Lemma 1 guarantees stable.
         """
-        m = max(1, len(self._elem_sets))
+        m = max(1, self._n_elems)
         cap = 64 + 16 * m * (m.bit_length() + 1)
         steps = 0
         while self._pending:
             key = heapq.heappop(self._pending)
-            self._pending_keys.discard(key)
-            j, sid = key
-            if sid not in self._set_elems:
+            j, sid = key >> _KEY_BITS, key & ((1 << _KEY_BITS) - 1)
+            self._pending_mask[j, sid] = False
+            mem = self._members.row(sid)
+            if mem.size == 0:
                 continue
-            bucket = self._by_level[sid][j]
-            if len(bucket) < 2 ** (j + 1):
+            if self._bucket_counts[j, sid] < (1 << (j + 1)):
                 continue
             steps += 1
             self.stabilize_steps += 1
@@ -488,17 +1036,27 @@ class StableSetCover:
                 self.rebuild()
                 return
             # Absorb S ∩ A_j into cov(S); donors shrink and relevel.
-            for elem in list(bucket):
-                owner = self._phi.get(elem)
+            bucket = np.sort(mem[self._elem_level[mem] == j])
+            for elem in bucket.tolist():
+                owner = int(self._phi[elem])
                 if owner == sid:
                     continue
-                if owner is not None:
-                    self._cov[owner].discard(elem)
-                    old = self._elem_level.pop(elem, None)
-                    if old is not None:
+                if owner >= 0:
+                    self._cov_size[owner] -= 1
+                    old = int(self._elem_level[elem])
+                    self._elem_level[elem] = -1
+                    if old >= 0:
                         self._clear_elem_level(elem, old)
-                    self._phi.pop(elem, None)
+                    self._phi[elem] = -1
                     self._relevel(owner)
                 self._phi[elem] = sid
-                self._cov[sid].add(elem)
+                self._cov_size[sid] += 1
             self._relevel(sid)
+            # RELEVEL skips the sync when the level is unchanged; the
+            # absorbed arrivals still need their level set.
+            new_j = int(self._level[sid])
+            mism = bucket[self._elem_level[bucket] != new_j]
+            if mism.size == 1:
+                self._set_elem_level(int(mism[0]), new_j)
+            elif mism.size:
+                self._move_elems_level(mism, new_j)

@@ -73,9 +73,17 @@ _EMPTY_SCORES = np.empty(0, dtype=np.float64)
 #: Tuple-index staging threshold. Insertions never query the tuple
 #: index, so freshly inserted points are *staged* and flushed into the
 #: tree in bulk (one vectorized wave load) once this many accumulate —
-#: or earlier, the moment a tree query is needed. Per-point descent
-#: costs then amortize even when insert runs are short.
+#: or earlier, the moment a tree query is needed. Deletions are staged
+#: symmetrically as *tombstones* and applied with one bulk
+#: ``delete_many`` wave. Per-point descent costs then amortize even
+#: when runs are short.
 _STAGE_LIMIT = 512
+
+#: Database size up to which top-k set repairs skip the tuple index
+#: entirely: one gather of the alive points plus one ``(n × q)`` GEMM
+#: across all q affected utilities replaces q tree descents. Above the
+#: limit the tree's pruning wins and the per-utility query path is used.
+_BRUTE_REPAIR_LIMIT = 16384
 
 _MISSING = object()
 
@@ -544,9 +552,11 @@ class ApproxTopKIndex:
             index_factory = _default_index_factory
         t0 = time.perf_counter()
         self._kdtree = index_factory(ids, pts, db.d)
-        # Staged (pid -> point) insertions not yet in the tuple index;
+        # Staged (pid -> point) insertions not yet in the tuple index,
+        # and staged deletions (tombstones) not yet removed from it;
         # see _stage_point / _flush_staged.
         self._staged: dict[int, np.ndarray] = {}
+        self._tombstones: list[int] = []
         t1 = time.perf_counter()
         if cone_factory is None:
             cone_factory = ConeTree
@@ -640,13 +650,27 @@ class ApproxTopKIndex:
         """
         return _InsertRun(self, points)
 
+    def begin_delete_run(self, tuple_ids) -> "_DeleteRun":
+        """Start a batched run of consecutive deletions.
+
+        All victims are removed from the database up front with one
+        ``delete_many`` (the cursor keeps a pre-batch snapshot so each
+        step still repairs against the alive set *as of its turn*), and
+        tuple-index removals are staged as tombstones flushed in bulk
+        waves. The returned cursor's :meth:`_DeleteRun.step` replays
+        the membership maintenance one operation at a time, so the
+        delta stream is exactly the sequential one.
+        """
+        return _DeleteRun(self, tuple_ids)
+
     def apply_batch(self, ops) -> list[tuple[int | None, list[MembershipDelta]]]:
         """Apply a workload slice; returns per-op ``(id, deltas)`` pairs.
 
         Runs of consecutive insertions go through
         :meth:`begin_insert_run` (one GEMM instead of per-tuple cone
-        traversals); deletions are applied one at a time, since each
-        must see the tuple index exactly as of its turn. The id is the
+        traversals); runs of consecutive deletions go through
+        :meth:`begin_delete_run` (one bulk database removal, tombstoned
+        tuple-index removals, shared repair snapshots). The id is the
         inserted tuple's id for insertions, ``None`` for deletions.
         """
         out: list[tuple[int | None, list[MembershipDelta]]] = []
@@ -656,8 +680,10 @@ class ApproxTopKIndex:
                 for _ in run:
                     out.append(cursor.step())
             else:
-                for op in run:
-                    out.append((None, self.delete(op.tuple_id)))
+                dcursor = self.begin_delete_run(
+                    [op.tuple_id for op in run])
+                for _ in run:
+                    out.append((None, dcursor.step()))
         return out
 
     def delete(self, tuple_id: int) -> list[MembershipDelta]:
@@ -673,20 +699,36 @@ class ApproxTopKIndex:
     def delete_log(self, tuple_id: int) -> DeltaLog:
         """:meth:`delete` returning the raw :class:`DeltaLog` (hot path)."""
         self._db.delete(tuple_id)
+        self._stage_tombstone(int(tuple_id))
+        return self._delete_core(int(tuple_id), len(self._db), None)
+
+    def _stage_tombstone(self, tuple_id: int) -> None:
+        """Buffer one tuple-index removal (flush when the wave fills)."""
         if self._staged.pop(tuple_id, _MISSING) is _MISSING:
-            self._kdtree.delete(tuple_id)
+            self._tombstones.append(tuple_id)
+            if len(self._tombstones) >= _STAGE_LIMIT:
+                self._flush_staged()
+
+    def _delete_core(self, tuple_id: int, n_db: int,
+                     run: "_DeleteRun | None") -> DeltaLog:
+        """Membership maintenance of one deletion (database already
+        updated).
+
+        ``n_db`` is the database size *as of this operation* (batched
+        runs remove the whole batch up front, so ``len(db)`` would run
+        behind); ``run`` supplies the alive-as-of-this-op snapshot for
+        batched wave repairs (``None`` on the sequential path).
+        """
         store = self._store
         affected = np.asarray(store.owners_sorted(tuple_id), dtype=np.intp)
         log = DeltaLog()
         if affected.size == 0:
             return log
-        n_db = len(self._db)
         # ω_k per affected utility, read before any removal (a shrinking
         # list changes it); the admission score comes back from the
         # removal itself — one row scan per utility. Comparing the two
         # (within SCORE_TOL) decides whether ω_k may have dropped.
         kth = store.kth_vector_mixed(affected)
-        rebuild: list[int] = []
         scores = np.empty(affected.size)
         for pos, i in enumerate(affected.tolist()):
             scores[pos] = store.remove(i, tuple_id, drop_owner=False)
@@ -699,11 +741,16 @@ class ApproxTopKIndex:
         if rebuild_pos.size == 0:
             log.extend_one_pid(affected, tuple_id, REMOVE_CODE)
             return log
-        # Interleave: each utility's REMOVE precedes its rebuild deltas.
+        # One wave computes every affected utility's repair against the
+        # same post-deletion state (repairs touch disjoint member rows,
+        # so precomputing them is exactly the sequential result), then
+        # the deltas interleave: each utility's REMOVE precedes its
+        # rebuild deltas.
+        repairs = self._compute_repairs(affected[rebuild_pos], n_db, run)
         prev = 0
-        for p in rebuild_pos.tolist():
+        for p, repair in zip(rebuild_pos.tolist(), repairs):
             log.extend_one_pid(affected[prev:p + 1], tuple_id, REMOVE_CODE)
-            self._rebuild_utility(int(affected[p]), log)
+            self._apply_repair(int(affected[p]), repair, log)
             prev = p + 1
         log.extend_one_pid(affected[prev:], tuple_id, REMOVE_CODE)
         return log
@@ -718,19 +765,33 @@ class ApproxTopKIndex:
             self._flush_staged()
 
     def _flush_staged(self) -> None:
-        """Load every staged point into the tuple index in one batch."""
+        """Sync the tuple index: staged insertions, then tombstones.
+
+        A pid is never in both buffers (deleting a staged pid cancels
+        the staging instead of tombstoning), so the two bulk waves
+        commute with the per-op order they replace.
+        """
         staged = self._staged
-        if not staged:
-            return
-        ids = np.fromiter(staged.keys(), dtype=np.intp, count=len(staged))
-        pts = np.asarray(list(staged.values()), dtype=np.float64)
-        staged.clear()
-        bulk = getattr(self._kdtree, "insert_many", None)
-        if bulk is not None:
-            bulk(ids, pts)
-        else:  # alternate tuple indexes (e.g. the quadtree)
-            for pid, vec in zip(ids.tolist(), pts):
-                self._kdtree.insert(pid, vec)
+        if staged:
+            ids = np.fromiter(staged.keys(), dtype=np.intp,
+                              count=len(staged))
+            pts = np.asarray(list(staged.values()), dtype=np.float64)
+            staged.clear()
+            bulk = getattr(self._kdtree, "insert_many", None)
+            if bulk is not None:
+                bulk(ids, pts)
+            else:  # alternate tuple indexes (e.g. the quadtree)
+                for pid, vec in zip(ids.tolist(), pts):
+                    self._kdtree.insert(pid, vec)
+        if self._tombstones:
+            victims = self._tombstones
+            self._tombstones = []
+            bulk_del = getattr(self._kdtree, "delete_many", None)
+            if bulk_del is not None:
+                bulk_del(victims)
+            else:  # alternate tuple indexes (e.g. the quadtree)
+                for pid in victims:
+                    self._kdtree.delete(pid)
 
     def _bootstrap(self, ids: np.ndarray, pts: np.ndarray) -> None:
         """Vectorized initial computation of every ``Φ_{k,ε}``.
@@ -854,14 +915,59 @@ class ApproxTopKIndex:
             for i, tau in zip(reached.tolist(), taus.tolist()):
                 self._cone.set_threshold(i, float(tau))
 
-    def _rebuild_utility(self, i: int, log: DeltaLog) -> None:
-        """Recompute ``Φ_{k,ε}(u_i)`` from the k-d tree after a top-k loss."""
+    def _compute_repairs(self, idxs: np.ndarray, n_db: int,
+                         run: "_DeleteRun | None") -> list:
+        """Fresh ``(τ, member ids, member scores)`` per utility in ``idxs``.
+
+        All repairs see the same post-deletion database state, so they
+        are computed in one wave. Below :data:`_BRUTE_REPAIR_LIMIT` the
+        alive points are gathered once and scored against every
+        affected utility with a single GEMM — no tuple-index descent at
+        all; above it, each utility pays one pruned ``top_k`` plus one
+        ``range_query`` against the (bulk-synced) tree. Member lists
+        come back descending by score, ties toward the smaller id —
+        the tuple index's output order.
+        """
+        if n_db == 0:
+            return [None] * len(idxs)
+        if n_db <= _BRUTE_REPAIR_LIMIT:
+            if run is not None:
+                ids, pts = run.alive_snapshot()
+            else:
+                ids, pts = self._db.snapshot()
+            scores = pts @ self._u[idxs].T  # (n, q): the repair wave
+            out = []
+            for col in range(idxs.shape[0]):
+                s = scores[:, col]
+                if n_db <= self._k:
+                    tau = 0.0
+                else:
+                    kth = np.partition(s, n_db - self._k)[n_db - self._k]
+                    tau = (1.0 - self._eps) * float(kth)
+                hit = s >= tau
+                hit_ids, hit_scores = ids[hit], s[hit]
+                order = np.lexsort((hit_ids, -hit_scores))
+                out.append((tau, hit_ids[order], hit_scores[order]))
+            return out
         self._flush_staged()  # the queries below must see every tuple
-        u = self._u[i]
-        n = len(self._db)
+        out = []
+        for i in idxs.tolist():
+            u = self._u[i]
+            if n_db <= self._k:
+                tau = 0.0
+            else:
+                _, topk_scores = self._kdtree.top_k(u, self._k)
+                tau = (1.0 - self._eps) * float(topk_scores[-1])
+            fresh_ids, fresh_scores = self._kdtree.range_query(u, tau)
+            out.append((tau, np.asarray(fresh_ids, dtype=np.intp),
+                        np.asarray(fresh_scores)))
+        return out
+
+    def _apply_repair(self, i: int, repair, log: DeltaLog) -> None:
+        """Install one utility's recomputed ``Φ_{k,ε}`` after a top-k loss."""
         store = self._store
         cur_ids, cur_scores = store.row(i)
-        if n == 0:
+        if repair is None:  # database empty
             # Emit removals in the legacy sorted-list order.
             order = np.lexsort((cur_ids, cur_scores))
             gone = cur_ids[order].copy()
@@ -871,12 +977,7 @@ class ApproxTopKIndex:
             log.extend_one_utility(i, gone, REMOVE_CODE)
             self._cone.set_threshold(i, 0.0)
             return
-        if n <= self._k:
-            tau = 0.0
-        else:
-            _, topk_scores = self._kdtree.top_k(u, self._k)
-            tau = (1.0 - self._eps) * float(topk_scores[-1])
-        fresh_ids, fresh_scores = self._kdtree.range_query(u, tau)
+        tau, fresh_ids, fresh_scores = repair
         fresh_ids = np.asarray(fresh_ids, dtype=np.intp)
         stale = ~np.isin(cur_ids, fresh_ids)
         added = ~np.isin(fresh_ids, cur_ids)
@@ -978,3 +1079,82 @@ class _InsertRun:
             reached = np.flatnonzero(row >= index._thresholds_vector())
         index._absorb_new_tuple(pid, row, n, reached, log)
         return pid, log
+
+
+class _DeleteRun:
+    """Cursor over a batched run of consecutive deletions.
+
+    Construction removes every victim from the database with one
+    ``delete_many`` (keeping the returned victim values); each
+    :meth:`step` then performs the membership maintenance of exactly
+    one deletion, in arrival order, against the database state *as of
+    that operation*:
+
+    * the database size is tracked by the cursor (``len(db)`` already
+      reflects the whole batch);
+    * tuple-index removals are staged as tombstones and applied in bulk
+      waves — by the time a step needs a tree query, exactly the
+      victims of operations up to that step have been tombstoned, so
+      the flushed tree matches the sequential one point-for-point;
+    * brute-force repair waves reconstruct the alive-as-of-the-step
+      snapshot from the post-batch database plus the retained values of
+      the not-yet-processed victims — the same rows, in the same
+      ascending-id order, as the sequential path's snapshot.
+
+    The delta stream is therefore identical to calling
+    ``ApproxTopKIndex.delete`` once per victim.
+    """
+
+    __slots__ = ("_index", "_ids", "_victim_pts", "_pos", "_n0")
+
+    def __init__(self, index: ApproxTopKIndex, tuple_ids) -> None:
+        ids = np.asarray(list(tuple_ids), dtype=np.intp)
+        self._index = index
+        self._ids = ids
+        self._n0 = len(index._db)
+        # Atomic bulk removal; the returned values back the snapshots.
+        self._victim_pts = index._db.delete_many(ids)
+        self._pos = 0
+
+    @property
+    def n_before(self) -> int:
+        """Database size before the next (unstepped) operation."""
+        return self._n0 - self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._ids) - self._pos
+
+    def step(self) -> list[MembershipDelta]:
+        """Run the membership maintenance of the next deletion."""
+        return self.step_log().to_deltas()
+
+    def step_log(self) -> DeltaLog:
+        """:meth:`step` returning the raw :class:`DeltaLog` (hot path)."""
+        if self._pos >= len(self._ids):
+            raise StopIteration("delete run exhausted")
+        index = self._index
+        t = self._pos
+        self._pos += 1
+        tid = int(self._ids[t])
+        index._stage_tombstone(tid)
+        # Sequential database size after this op (the db ran ahead).
+        return index._delete_core(tid, self._n0 - (t + 1), self)
+
+    def alive_snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, points)`` alive as of the current step, id-ascending.
+
+        Equals what ``db.snapshot()`` returns on the sequential path at
+        the same operation: the post-batch alive set plus the victims
+        of the not-yet-processed steps.
+        """
+        db = self._index._db
+        base_ids = db.ids()
+        base_pts = db.points()
+        extra = self._ids[self._pos:]
+        if extra.size == 0:
+            return base_ids, base_pts
+        all_ids = np.concatenate([base_ids, extra])
+        all_pts = np.concatenate([base_pts, self._victim_pts[self._pos:]])
+        order = np.argsort(all_ids)
+        return all_ids[order], all_pts[order]

@@ -260,6 +260,93 @@ class KDTree:
             self._build_into(rebuild_candidate, alive_slots,
                              int(self._parent[rebuild_candidate]))
 
+    def delete_many(self, tuple_ids) -> None:
+        """Remove a whole batch of ids; one decay-rebuild pass at the end.
+
+        Query-equivalent to calling :meth:`delete` per id: the alive
+        point set is identical, and rebuild timing only affects internal
+        structure, which queries cannot observe (their output is sorted
+        by (score, id)). Bucket removal and the leaf-to-root counter
+        decrements run once per *leaf* instead of once per point, and
+        decayed subtrees are rebuilt once after all removals. The call
+        is atomic: if any id is absent or duplicated, nothing changes.
+        """
+        ids = np.asarray(list(tuple_ids), dtype=np.intp)
+        if ids.size == 0:
+            return
+        if ids.size < 4:
+            # Tiny batches: the grouping machinery costs more than it
+            # saves (still atomic — validate before mutating).
+            if np.unique(ids).size != ids.size:
+                raise KeyError("duplicate tuple ids in batch")
+            missing = [int(t) for t in ids if int(t) not in self._slot_of]
+            if missing:
+                raise KeyError(f"tuple id {missing[0]} not present")
+            for tid in ids.tolist():
+                self.delete(tid)
+            return
+        if np.unique(ids).size != ids.size:
+            raise KeyError("duplicate tuple ids in batch")
+        slots = np.empty(ids.size, dtype=np.intp)
+        for pos, tid in enumerate(ids.tolist()):
+            slot = self._slot_of.get(tid)
+            if slot is None:
+                raise KeyError(f"tuple id {tid} not present")
+            slots[pos] = slot
+        for tid in ids.tolist():
+            del self._slot_of[tid]
+        self._free_slots.extend(slots.tolist())
+        parent, alive, total = self._parent, self._alive, self._total
+        cap = self._leaf_capacity
+        leaves = self._leaf_of_slot[slots]
+        order = np.argsort(leaves, kind="stable")
+        leaves_s, slots_s = leaves[order], slots[order]
+        starts = np.flatnonzero(np.r_[True, leaves_s[1:] != leaves_s[:-1]])
+        bounds = np.r_[starts, leaves_s.size]
+        # O(1) victim test per bucket entry (np.isin would pay a sort
+        # per leaf): one boolean array over the slot pool.
+        victim = np.zeros(self._pts.shape[0], dtype=bool)
+        victim[slots] = True
+        decayed: dict[int, None] = {}
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            leaf = int(leaves_s[s])
+            group = slots_s[s:e]
+            n = int(self._bucket_len[leaf])
+            bucket = self._buckets[leaf]
+            keep = bucket[:n][~victim[bucket[:n]]]
+            bucket[: keep.size] = keep
+            self._bucket_len[leaf] = keep.size
+            self._leaf_of_slot[group] = -1
+            cnt = int(e - s)
+            node = leaf
+            while node >= 0:
+                a = int(alive[node]) - cnt
+                alive[node] = a
+                t = int(total[node])
+                if a * 2 < t and t > cap:
+                    decayed.setdefault(node, None)
+                node = int(parent[node])
+        # Rebuild shallowest decayed nodes first; anything inside an
+        # already-rebuilt subtree re-checks its (now reset) decay and is
+        # skipped, as are node ids recycled by an earlier rebuild.
+        def _depth(node: int) -> int:
+            d = 0
+            while parent[node] >= 0:
+                node = int(parent[node])
+                d += 1
+            return d
+
+        freed_mark = len(self._free_nodes)
+        for node in sorted(decayed, key=_depth):
+            if node in self._free_nodes[freed_mark:]:
+                continue  # recycled by an earlier rebuild this pass
+            a, t = int(alive[node]), int(total[node])
+            if not (a * 2 < t and t > cap):
+                continue
+            alive_slots = self._collect_alive(node)
+            self._free_subtree_children(node)
+            self._build_into(node, alive_slots, int(parent[node]))
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

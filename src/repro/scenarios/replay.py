@@ -71,6 +71,13 @@ class ReplayResult:
         default_factory=lambda: np.empty(0))
 
     @property
+    def ops_per_second(self) -> float | None:
+        """Per-operation update throughput (None before any update)."""
+        if self.update_seconds <= 0:
+            return None
+        return self.n_operations / self.update_seconds
+
+    @property
     def mean_mrr(self) -> float:
         if not self.snapshots:
             return 0.0
@@ -127,9 +134,8 @@ class ReplayResult:
             "n_batches": self.n_batches,
             "init_seconds": round(self.init_seconds, 4),
             "update_seconds": round(self.update_seconds, 4),
-            "ops_per_second": round(
-                self.n_operations / self.update_seconds, 1)
-            if self.update_seconds > 0 else None,
+            "ops_per_second": round(self.ops_per_second, 1)
+            if self.ops_per_second is not None else None,
             "latency_ms": self.latency_percentiles(),
             "mean_mrr": round(self.mean_mrr, 6),
             "max_mrr": round(self.max_mrr, 6),

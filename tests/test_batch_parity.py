@@ -187,3 +187,61 @@ def test_recompute_session_stats_is_self_consistent(rng):
     second = sess.stats()
     assert first == second
     assert first["solution_size"] == len(sess.result())
+
+
+def test_fdrms_delete_many_matches_sequential(rng):
+    pts = rng.random((200, 3))
+    seq = open_session(pts, r=6, algo="fd-rms", seed=0, m_max=48, eps=0.1)
+    bat = open_session(pts, r=6, algo="fd-rms", seed=0, m_max=48, eps=0.1)
+    victims = rng.permutation(200)[:120].tolist()
+    for tid in victims:
+        seq.delete(tid)
+    bat.delete_many(victims)
+    assert bat.result() == seq.result()
+    assert bat.stats()["deletes"] == seq.stats()["deletes"]
+    assert bat.stats()["solution_size"] == seq.stats()["solution_size"]
+    bat.engine.verify(deep=True)
+
+
+def test_fdrms_delete_run_to_empty_matches_sequential(rng):
+    pts = rng.random((40, 3))
+    seq = open_session(pts, r=4, algo="fd-rms", seed=1, m_max=24, eps=0.1)
+    bat = open_session(pts, r=4, algo="fd-rms", seed=1, m_max=24, eps=0.1)
+    victims = list(range(40))
+    for tid in victims:
+        seq.delete(tid)
+    bat.delete_many(victims)
+    assert bat.result() == seq.result() == []
+    assert len(bat.db) == len(seq.db) == 0
+    # The engines stay usable after draining the database.
+    assert int(bat.insert([0.9, 0.9, 0.9])) == int(seq.insert([0.9, 0.9, 0.9]))
+    assert bat.result() == seq.result()
+
+
+def test_recompute_session_delete_many_matches_sequential(rng):
+    pts = rng.random((150, 3))
+    seq = open_session(pts, r=6, algo="sphere", seed=0)
+    bat = open_session(pts, r=6, algo="sphere", seed=0)
+    victims = rng.permutation(150)[:60].tolist()
+    for tid in victims:
+        seq.delete(tid)
+    bat.delete_many(victims)
+    assert bat.result() == seq.result()
+    assert bat.stats()["deletes"] == seq.stats()["deletes"]
+    assert bat.stats()["skyline_size"] == seq.stats()["skyline_size"]
+
+
+def test_topk_index_delete_run_matches_sequential(rng):
+    pts = rng.random((160, 3))
+    utilities = sample_utilities_with_basis(32, 3, seed=9)
+    dbs = [Database(pts) for _ in range(2)]
+    seq = ApproxTopKIndex(dbs[0], utilities, 2, 0.1)
+    bat = ApproxTopKIndex(dbs[1], utilities, 2, 0.1)
+    victims = rng.permutation(160)[:100].tolist()
+    deltas_seq = [seq.delete(tid) for tid in victims]
+    cursor = bat.begin_delete_run(victims)
+    deltas_bat = [cursor.step() for _ in victims]
+    assert deltas_bat == deltas_seq
+    for i in range(32):
+        assert bat.members_of(i) == seq.members_of(i)
+        assert bat.threshold(i) == seq.threshold(i)

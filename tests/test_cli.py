@@ -153,6 +153,24 @@ class TestCommands:
         assert rc == 2
         assert "trace hash drift" in capsys.readouterr().err
 
+    def test_replay_expect_hashes_drift_with_json_still_exits_nonzero(
+            self, capsys, tmp_path):
+        # Regression pin: requesting --json must not swallow the
+        # trace-hash mismatch — the command still exits 2 and the
+        # metrics file for the failed replay is not written.
+        import json as _json
+        hashes = tmp_path / "hashes.json"
+        hashes.write_text(_json.dumps(
+            {"paper:n=100:seed=0": "sha256:not-the-real-hash"}))
+        json_path = tmp_path / "metrics.json"
+        rc = main(["replay", "paper", "--n", "100", "--r", "6",
+                   "--m-max", "32", "--eval-samples", "300",
+                   "--expect-hashes", str(hashes),
+                   "--json", str(json_path)])
+        assert rc == 2
+        assert "trace hash drift" in capsys.readouterr().err
+        assert not json_path.exists()
+
     def test_replay_expect_hashes_missing_key_fails(self, capsys,
                                                     tmp_path):
         hashes = tmp_path / "hashes.json"

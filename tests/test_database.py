@@ -201,3 +201,43 @@ class TestBulkAndViews:
         ids = db.insert_many(rng.random((7, 3)))
         assert ids.tolist() == list(range(5, 12))
         assert len(db) == 12
+
+
+class TestDeleteMany:
+    def test_matches_repeated_delete(self, rng):
+        pts = rng.random((20, 3))
+        a, b = Database(pts), Database(pts)
+        victims = [3, 17, 4, 9, 11, 0]
+        values = a.delete_many(victims)
+        expect = [b.delete(t) for t in victims]
+        assert np.array_equal(values, np.asarray(expect))
+        assert len(a) == len(b)
+        assert a.ids().tolist() == b.ids().tolist()
+        assert np.array_equal(a.points(), b.points())
+
+    def test_tiny_batch_matches_repeated_delete(self, rng):
+        pts = rng.random((10, 2))
+        a, b = Database(pts), Database(pts)
+        assert np.array_equal(a.delete_many([7, 2]),
+                              np.asarray([b.delete(7), b.delete(2)]))
+        assert a.ids().tolist() == b.ids().tolist()
+
+    def test_empty_batch_is_noop(self, rng):
+        db = Database(rng.random((5, 2)))
+        out = db.delete_many([])
+        assert out.shape == (0, 2)
+        assert len(db) == 5
+
+    @pytest.mark.parametrize("victims", [[1, 99], [1, 1], [2, -1]])
+    def test_invalid_batch_is_atomic(self, rng, victims):
+        db = Database(rng.random((6, 2)))
+        with pytest.raises(KeyError):
+            db.delete_many(victims)
+        assert len(db) == 6  # nothing was deleted
+
+    def test_dead_id_in_large_batch_is_atomic(self, rng):
+        db = Database(rng.random((12, 2)))
+        db.delete(5)
+        with pytest.raises(KeyError, match="5"):
+            db.delete_many([0, 1, 2, 3, 5, 6])
+        assert len(db) == 11

@@ -175,3 +175,54 @@ class TestBulkInsert:
         assert len(tree) == 12
         nodes_after_decay = tree._n_nodes - len(tree._free_nodes)
         assert nodes_after_decay < 64  # shrunk with the data
+
+
+class TestBulkDelete:
+    def test_delete_many_equals_repeated_delete(self, rng):
+        pts = rng.random((300, 4))
+        a = KDTree.build(range(300), pts)
+        b = KDTree.build(range(300), pts)
+        victims = rng.permutation(300)[:180].tolist()
+        a.delete_many(victims)
+        for tid in victims:
+            b.delete(tid)
+        assert len(a) == len(b) == 120
+        for _ in range(15):
+            u = rng.random(4)
+            ids_a, sc_a = a.top_k(u, 7)
+            ids_b, sc_b = b.top_k(u, 7)
+            assert ids_a.tolist() == ids_b.tolist()
+            assert np.allclose(sc_a, sc_b)
+            tau = float(np.quantile(pts @ u, 0.9))
+            r_a, _ = a.range_query(u, tau)
+            r_b, _ = b.range_query(u, tau)
+            assert r_a.tolist() == r_b.tolist()
+
+    def test_delete_many_then_insert_stays_correct(self, rng):
+        pts = rng.random((120, 3))
+        tree = KDTree.build(range(120), pts)
+        tree.delete_many(list(range(0, 120, 2)))
+        fresh = rng.random((30, 3))
+        tree.insert_many(range(200, 230), fresh)
+        alive = {i: pts[i] for i in range(1, 120, 2)}
+        alive.update({200 + i: fresh[i] for i in range(30)})
+        u = rng.random(3)
+        ids, _scores = tree.top_k(u, 9)
+        assert ids.tolist() == _brute_top_k(alive, u, 9)
+
+    def test_delete_many_missing_id_is_atomic(self, rng):
+        pts = rng.random((40, 3))
+        tree = KDTree.build(range(40), pts)
+        with pytest.raises(KeyError):
+            tree.delete_many([1, 2, 3, 4, 999])
+        assert len(tree) == 40
+        u = rng.random(3)
+        ids, _ = tree.top_k(u, 5)
+        assert ids.tolist() == _brute_top_k({i: pts[i] for i in range(40)},
+                                            u, 5)
+
+    def test_delete_many_duplicate_raises(self, rng):
+        tree = KDTree.build(range(10), rng.random((10, 2)))
+        with pytest.raises(KeyError):
+            tree.delete_many([3, 3, 4, 5, 6])
+        assert len(tree) == 10

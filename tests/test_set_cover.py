@@ -48,10 +48,10 @@ class TestLevelOf:
 class TestGreedyBuild:
     def test_tiny_exact(self):
         cover = StableSetCover()
-        cover.build({"a": {1, 2, 3}, "b": {3, 4}, "c": {4}})
+        cover.build({100: {1, 2, 3}, 101: {3, 4}, 102: {4}})
         assert_valid(cover)
         assert cover.solution_size() == 2
-        assert "a" in cover.solution()
+        assert 100 in cover.solution()
 
     def test_greedy_is_stable(self, rng):
         cover = StableSetCover()
@@ -63,8 +63,8 @@ class TestGreedyBuild:
         # element" cannot be expressed through build(); empty sets are
         # simply never selected.
         cover = StableSetCover()
-        cover.build({"a": set(), "b": {1}})
-        assert cover.solution() == frozenset({"b"})
+        cover.build({100: set(), 101: {1}})
+        assert cover.solution() == frozenset({101})
         assert_valid(cover)
 
     def test_theorem1_bound_vs_lp(self, rng):
@@ -91,20 +91,20 @@ class TestDynamicOps:
 
     def test_add_element(self, rng):
         cover = self._base(rng)
-        cover.add_element("x", [0, 1])
+        cover.add_element(1000, [0, 1])
         assert_valid(cover)
-        assert cover.assignment("x") in (0, 1)
+        assert cover.assignment(1000) in (0, 1)
 
     def test_add_element_twice_raises(self, rng):
         cover = self._base(rng)
-        cover.add_element("x", [0])
+        cover.add_element(1000, [0])
         with pytest.raises(KeyError):
-            cover.add_element("x", [0])
+            cover.add_element(1000, [0])
 
     def test_add_element_without_sets_raises(self, rng):
         cover = self._base(rng)
         with pytest.raises(ValueError):
-            cover.add_element("x", [])
+            cover.add_element(1000, [])
 
     def test_remove_element(self, rng):
         cover = self._base(rng)
@@ -115,7 +115,7 @@ class TestDynamicOps:
     def test_remove_unknown_element_raises(self, rng):
         cover = self._base(rng)
         with pytest.raises(KeyError):
-            cover.remove_element("ghost")
+            cover.remove_element(999)
 
     def test_add_to_set(self, rng):
         cover = self._base(rng)
@@ -139,9 +139,9 @@ class TestDynamicOps:
 
     def test_remove_last_containing_set_raises(self):
         cover = StableSetCover()
-        cover.build({"only": {1}})
+        cover.build({100: {1}})
         with pytest.raises(ValueError):
-            cover.remove_from_set(1, "only")
+            cover.remove_from_set(1, 100)
 
     def test_remove_set_reassigns_all(self, rng):
         cover = self._base(rng)
@@ -157,34 +157,72 @@ class TestDynamicOps:
     def test_remove_absent_set_is_noop(self, rng):
         cover = self._base(rng)
         size = cover.solution_size()
-        cover.remove_set("ghost")
+        cover.remove_set(999)
         assert cover.solution_size() == size
+
+    def test_non_int_ids_rejected(self):
+        cover = StableSetCover()
+        with pytest.raises(TypeError):
+            cover.build({"a": {1}})
+        cover.build({0: {1}})
+        with pytest.raises(TypeError):
+            cover.add_to_set(1, "b")
+        with pytest.raises(ValueError):
+            cover.add_element(-3, [0])
+
+    def test_bulk_add_rejects_invalid_elements(self):
+        # Both the scalar (<=8) and vectorized (>8) group paths must
+        # reject negative / unknown element ids instead of silently
+        # corrupting the adjacency state.
+        cover = StableSetCover()
+        cover.build({0: set(range(12))})
+        with pytest.raises(KeyError):
+            cover.add_elems_to_set([1, -1], 5)
+        with pytest.raises(KeyError):
+            cover.add_elems_to_set(list(range(1, 10)) + [-1], 5)
+        with pytest.raises(KeyError):
+            cover.add_elems_to_set(list(range(1, 10)) + [10_000], 5)
+        assert cover.members(5) == frozenset()
+        assert cover.is_cover() and cover.is_stable()
 
 
 class TestStabilizeBehaviour:
     def test_level0_merge(self):
         """Many singleton covers sharing one big set must collapse."""
-        # Elements 0..7; sets s0..s7 with {i}, plus one set B containing
-        # all. Build greedy picks B first, so start from a degenerate
-        # assignment instead: force singletons via dynamic ops.
+        # Elements 0..7; sets 100+i with {i}, plus one set 200
+        # containing all. Build greedy picks the big set first, so start
+        # from a degenerate assignment instead: force singletons via
+        # dynamic ops.
         cover = StableSetCover()
-        cover.build({f"s{i}": {i} for i in range(8)})
+        cover.build({100 + i: {i} for i in range(8)})
         assert cover.solution_size() == 8
         # Now a big set arrives: elements join it one by one. Stability
         # forces absorption once |B ∩ A_0| >= 2.
         for i in range(8):
-            cover.add_to_set(i, "B")
+            cover.add_to_set(i, 200)
         assert_valid(cover)
         assert cover.solution_size() < 8
-        assert "B" in cover.solution()
+        assert 200 in cover.solution()
 
     def test_stabilize_counts_steps(self):
         cover = StableSetCover()
-        cover.build({f"s{i}": {i} for i in range(8)})
+        cover.build({100 + i: {i} for i in range(8)})
         before = cover.stabilize_steps
         for i in range(8):
-            cover.add_to_set(i, "B")
+            cover.add_to_set(i, 200)
         assert cover.stabilize_steps > before
+
+    def test_batch_defers_stabilize_to_exit(self):
+        cover = StableSetCover()
+        cover.build({100 + i: {i} for i in range(8)})
+        with cover.batch():
+            for i in range(8):
+                cover.add_to_set(i, 200)
+            # Violations are queued but not yet drained inside a batch.
+            assert cover.solution_size() == 8
+        assert_valid(cover)
+        assert 200 in cover.solution()
+        assert cover.solution_size() < 8
 
 
 @settings(max_examples=20, deadline=None)

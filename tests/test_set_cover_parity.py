@@ -1,0 +1,441 @@
+"""Parity fuzz: the array-backed :class:`StableSetCover` vs a reference.
+
+The dynamic set-cover maintenance (paper Algorithm 1) is a
+structure-of-arrays implementation with **canonical** tie-breaks: every
+choice — greedy selection, orphan reassignment, violation-queue drain,
+bucket absorption — breaks ties toward the smallest id, so the
+maintained solution is a pure function of the operation history.
+
+``_ReferenceCover`` is the same algorithm written the obvious way —
+dicts, sets, and materialized per-(set, level) buckets, iterated in
+sorted order — and serves as the executable specification. The fuzz
+drives both through seeded randomized interleavings of every dynamic
+operation (element/set insertions and removals, whole-set removals,
+the bulk group forms, deferred-stabilize batches) and demands, after
+every step, identical assignments, solutions, and levels, plus the
+cover/stability invariants on the array implementation.
+"""
+
+import heapq
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.core.set_cover import StableSetCover, _level_of
+
+
+class _ReferenceCover:
+    """Pure-Python canonical stable set cover (the parity oracle)."""
+
+    def __init__(self):
+        self._elem_sets = defaultdict(set)
+        self._set_elems = defaultdict(set)
+        self._phi = {}
+        self._cov = defaultdict(set)
+        self._level = {}
+        self._elem_level = {}
+        self._by_level = defaultdict(lambda: defaultdict(set))
+        self._pending = []
+        self._pending_keys = set()
+        self._deferred = False
+
+    # -- construction --------------------------------------------------
+    def build(self, membership):
+        self.__init__()
+        for sid, elems in membership.items():
+            for elem in elems:
+                self._elem_sets[elem].add(sid)
+                self._set_elems[sid].add(elem)
+        self._greedy()
+
+    def _greedy(self):
+        self._phi = {}
+        self._cov = defaultdict(set)
+        self._level = {}
+        self._elem_level = {}
+        self._by_level = defaultdict(lambda: defaultdict(set))
+        self._pending = []
+        self._pending_keys = set()
+        uncovered = set(self._elem_sets.keys())
+        while uncovered:
+            best, best_gain = None, 0
+            for sid in sorted(self._set_elems):
+                gain = len(self._set_elems[sid] & uncovered)
+                if gain > best_gain:
+                    best, best_gain = sid, gain
+            if best is None:
+                raise ValueError("greedy failed")
+            won = sorted(self._set_elems[best] & uncovered)
+            for elem in won:
+                self._phi[elem] = best
+                self._cov[best].add(elem)
+            uncovered.difference_update(won)
+            j = _level_of(len(won))
+            self._level[best] = j
+            for elem in won:
+                self._set_elem_level(elem, j)
+        self._stabilize()
+
+    # -- dynamic ops ---------------------------------------------------
+    def add_to_set(self, elem, sid):
+        if elem not in self._elem_sets:
+            raise KeyError(elem)
+        if sid in self._elem_sets[elem]:
+            return
+        self._elem_sets[elem].add(sid)
+        self._set_elems[sid].add(elem)
+        lvl = self._elem_level.get(elem)
+        if lvl is not None:
+            self._by_level[sid][lvl].add(elem)
+            self._queue_check(sid, lvl)
+        self._stabilize()
+
+    def add_elems_to_set(self, elems, sid):
+        for elem in elems:
+            if elem not in self._elem_sets:
+                raise KeyError(elem)
+            self._elem_sets[elem].add(sid)
+            self._set_elems[sid].add(elem)
+            lvl = self._elem_level.get(elem)
+            if lvl is not None:
+                self._by_level[sid][lvl].add(elem)
+                self._queue_check(sid, lvl)
+        self._stabilize()
+
+    def add_elem_to_sets(self, elem, sids):
+        if elem not in self._elem_sets:
+            raise KeyError(elem)
+        for sid in sids:
+            self._elem_sets[elem].add(sid)
+            self._set_elems[sid].add(elem)
+            lvl = self._elem_level.get(elem)
+            if lvl is not None:
+                self._by_level[sid][lvl].add(elem)
+                self._queue_check(sid, lvl)
+        self._stabilize()
+
+    def remove_from_set(self, elem, sid):
+        self.remove_elem_from_sets(elem, [sid])
+
+    def remove_elem_from_sets(self, elem, sids):
+        """Group removal: memberships first, then one reassignment."""
+        if elem not in self._elem_sets:
+            return
+        present = [s for s in sids if s in self._elem_sets[elem]]
+        if not present:
+            return
+        lvl = self._elem_level.get(elem)
+        for sid in present:
+            self._elem_sets[elem].discard(sid)
+            self._set_elems[sid].discard(elem)
+            if not self._set_elems[sid]:
+                del self._set_elems[sid]
+            if lvl is not None:
+                self._by_level[sid][lvl].discard(elem)
+        if self._phi.get(elem) in present:
+            self._unassign(elem, self._phi[elem])
+            self._assign_somewhere(elem)
+        self._stabilize()
+
+    def add_element(self, elem, member_sids):
+        sids = set(member_sids)
+        if not sids:
+            raise ValueError(elem)
+        if elem in self._elem_sets:
+            raise KeyError(elem)
+        self._elem_sets[elem] = set(sids)
+        for sid in sids:
+            self._set_elems[sid].add(elem)
+        self._assign_somewhere(elem)
+        self._stabilize()
+
+    def remove_element(self, elem):
+        if elem not in self._elem_sets:
+            raise KeyError(elem)
+        sid = self._phi.get(elem)
+        if sid is not None:
+            self._unassign(elem, sid)
+        for owner in self._elem_sets.pop(elem):
+            self._set_elems[owner].discard(elem)
+            if not self._set_elems[owner]:
+                del self._set_elems[owner]
+            for bucket in self._by_level[owner].values():
+                bucket.discard(elem)
+        self._elem_level.pop(elem, None)
+        self._stabilize()
+
+    def remove_set(self, sid):
+        members = self._set_elems.pop(sid, None)
+        if members is None:
+            return
+        for elem in members:
+            self._elem_sets[elem].discard(sid)
+        self._by_level.pop(sid, None)
+        orphans = sorted(e for e, s in self._phi.items() if s == sid)
+        self._cov.pop(sid, None)
+        self._level.pop(sid, None)
+        for elem in orphans:
+            self._phi.pop(elem, None)
+            old = self._elem_level.pop(elem, None)
+            if old is not None:
+                self._clear_elem_level(elem, old)
+        for elem in orphans:
+            self._assign_somewhere(elem)
+        self._stabilize()
+
+    def begin_batch(self):
+        self._deferred = True
+
+    def end_batch(self):
+        self._deferred = False
+        self._drain()
+
+    # -- internals -----------------------------------------------------
+    def _queue_check(self, sid, j):
+        if len(self._by_level[sid][j]) >= 2 ** (j + 1):
+            key = (j, sid)
+            if key not in self._pending_keys:
+                self._pending_keys.add(key)
+                heapq.heappush(self._pending, key)
+
+    def _set_elem_level(self, elem, new_j):
+        old = self._elem_level.get(elem)
+        if old == new_j:
+            return
+        for sid in self._elem_sets[elem]:
+            if old is not None:
+                self._by_level[sid][old].discard(elem)
+            self._by_level[sid][new_j].add(elem)
+            self._queue_check(sid, new_j)
+        self._elem_level[elem] = new_j
+
+    def _clear_elem_level(self, elem, old_j):
+        for sid in self._elem_sets.get(elem, ()):
+            self._by_level[sid][old_j].discard(elem)
+
+    def _unassign(self, elem, sid):
+        self._cov[sid].discard(elem)
+        self._phi.pop(elem, None)
+        old = self._elem_level.pop(elem, None)
+        if old is not None:
+            self._clear_elem_level(elem, old)
+        self._relevel(sid)
+
+    def _assign_somewhere(self, elem):
+        candidates = self._elem_sets.get(elem)
+        if not candidates:
+            raise ValueError(f"element {elem!r} has no containing set")
+        best_level = max(self._level.get(s, -1) for s in candidates)
+        best = min(s for s in candidates
+                   if self._level.get(s, -1) == best_level)
+        self._phi[elem] = best
+        self._cov[best].add(elem)
+        self._relevel(best)
+
+    def _relevel(self, sid):
+        size = len(self._cov.get(sid, ()))
+        if size == 0:
+            self._cov.pop(sid, None)
+            self._level.pop(sid, None)
+            return
+        new_j = _level_of(size)
+        self._level[sid] = new_j
+        for elem in sorted(self._cov[sid]):
+            self._set_elem_level(elem, new_j)
+
+    def _stabilize(self):
+        if not self._deferred:
+            self._drain()
+
+    def _drain(self):
+        while self._pending:
+            key = heapq.heappop(self._pending)
+            self._pending_keys.discard(key)
+            j, sid = key
+            if sid not in self._set_elems:
+                continue
+            bucket = self._by_level[sid][j]
+            if len(bucket) < 2 ** (j + 1):
+                continue
+            for elem in sorted(bucket):
+                owner = self._phi.get(elem)
+                if owner == sid:
+                    continue
+                if owner is not None:
+                    self._cov[owner].discard(elem)
+                    old = self._elem_level.pop(elem, None)
+                    if old is not None:
+                        self._clear_elem_level(elem, old)
+                    self._phi.pop(elem, None)
+                    self._relevel(owner)
+                self._phi[elem] = sid
+                self._cov[sid].add(elem)
+            self._relevel(sid)
+
+    # -- views ---------------------------------------------------------
+    def solution(self):
+        return frozenset(self._level)
+
+    def assignments(self):
+        return dict(self._phi)
+
+    def universe(self):
+        return frozenset(self._elem_sets)
+
+
+def _array_assignments(cover: StableSetCover):
+    return {elem: cover.assignment(elem) for elem in cover.universe}
+
+
+def _assert_same(cover: StableSetCover, ref: _ReferenceCover):
+    assert cover.universe == ref.universe()
+    assert cover.solution() == ref.solution()
+    assert _array_assignments(cover) == ref.assignments()
+    for sid in ref.solution():
+        assert cover.cover_of(sid) == frozenset(ref._cov[sid])
+    assert cover.is_cover()
+    assert cover.is_stable()
+
+
+def _random_system(rng, n_elems, n_sets, density):
+    membership = {s: set() for s in range(100, 100 + n_sets)}
+    for e in range(n_elems):
+        owners = np.flatnonzero(rng.random(n_sets) < density)
+        if owners.size == 0:
+            owners = [int(rng.integers(n_sets))]
+        for s in owners:
+            membership[100 + int(s)].add(e)
+    return {s: m for s, m in membership.items() if m}
+
+
+def _alive_sids(ref):
+    return sorted(ref._set_elems)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_interleaved_dynamic_ops_parity(seed):
+    """Random interleaved op streams: identical assignments throughout."""
+    rng = np.random.default_rng(seed)
+    n_sets = 12
+    membership = _random_system(rng, 24, n_sets, density=0.3)
+    cover, ref = StableSetCover(), _ReferenceCover()
+    cover.build(membership)
+    ref.build(membership)
+    _assert_same(cover, ref)
+    next_elem = 1000
+    next_sid = 500
+    for _ in range(120):
+        roll = rng.random()
+        elems = sorted(ref.universe())
+        sids = _alive_sids(ref)
+        if roll < 0.2:
+            pool = sids + [next_sid + int(rng.integers(3))]
+            chosen = [pool[int(rng.integers(len(pool)))]
+                      for _ in range(1 + int(rng.integers(3)))]
+            cover.add_element(next_elem, chosen)
+            ref.add_element(next_elem, chosen)
+            next_elem += 1
+        elif roll < 0.3 and len(elems) > 2:
+            victim = elems[int(rng.integers(len(elems)))]
+            cover.remove_element(victim)
+            ref.remove_element(victim)
+        elif roll < 0.5 and elems:
+            e = elems[int(rng.integers(len(elems)))]
+            sid = (sids + [next_sid])[int(rng.integers(len(sids) + 1))]
+            cover.add_to_set(e, sid)
+            ref.add_to_set(e, sid)
+            next_sid += 1
+        elif roll < 0.7 and elems:
+            e = elems[int(rng.integers(len(elems)))]
+            owners = sorted(ref._elem_sets[e])
+            if len(owners) >= 2:
+                s = owners[int(rng.integers(len(owners)))]
+                cover.remove_from_set(e, s)
+                ref.remove_from_set(e, s)
+        elif roll < 0.85 and sids:
+            # Only remove a set whose orphans all have alternatives.
+            for sid in sids:
+                covered = {e for e, s in ref._phi.items() if s == sid}
+                if all(len(ref._elem_sets[e]) >= 2 for e in covered):
+                    cover.remove_set(sid)
+                    ref.remove_set(sid)
+                    break
+        _assert_same(cover, ref)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_bulk_group_ops_parity(seed):
+    """The engine's bulk σ forms match the reference group semantics."""
+    rng = np.random.default_rng(1000 + seed)
+    membership = _random_system(rng, 20, 10, density=0.35)
+    cover, ref = StableSetCover(), _ReferenceCover()
+    cover.build(membership)
+    ref.build(membership)
+    next_sid = 700
+    for _ in range(40):
+        roll = rng.random()
+        elems = sorted(ref.universe())
+        if roll < 0.4 and elems:
+            # A fresh set absorbs a random element group (insert shape).
+            k = 1 + int(rng.integers(min(6, len(elems))))
+            group = sorted(rng.choice(elems, size=k, replace=False)
+                           .tolist())
+            cover.add_elems_to_set(group, next_sid)
+            ref.add_elems_to_set(group, next_sid)
+            next_sid += 1
+        elif roll < 0.7 and elems:
+            # One element joins several sets (repair shape).
+            e = elems[int(rng.integers(len(elems)))]
+            sids = _alive_sids(ref)
+            fresh = [s for s in sids if s not in ref._elem_sets[e]]
+            if fresh:
+                k = 1 + int(rng.integers(min(4, len(fresh))))
+                group = sorted(rng.choice(fresh, size=k, replace=False)
+                               .tolist())
+                cover.add_elem_to_sets(e, group)
+                ref.add_elem_to_sets(e, group)
+        elif elems:
+            # One element leaves several sets at once (eviction shape).
+            e = elems[int(rng.integers(len(elems)))]
+            owners = sorted(ref._elem_sets[e])
+            if len(owners) >= 2:
+                k = 1 + int(rng.integers(len(owners) - 1))
+                group = sorted(rng.choice(owners, size=k, replace=False)
+                               .tolist())
+                cover.remove_elem_from_sets(e, group)
+                ref.remove_elem_from_sets(e, group)
+        _assert_same(cover, ref)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_batched_stabilize_parity(seed):
+    """Deferred-stabilize batches agree with the reference batches."""
+    rng = np.random.default_rng(2000 + seed)
+    membership = _random_system(rng, 18, 8, density=0.4)
+    cover, ref = StableSetCover(), _ReferenceCover()
+    cover.build(membership)
+    ref.build(membership)
+    next_sid = 800
+    for _ in range(25):
+        elems = sorted(ref.universe())
+        with cover.batch():
+            ref.begin_batch()
+            for _ in range(1 + int(rng.integers(4))):
+                e = elems[int(rng.integers(len(elems)))]
+                cover.add_to_set(e, next_sid)
+                ref.add_to_set(e, next_sid)
+            ref.end_batch()
+        next_sid += 1
+        _assert_same(cover, ref)
+
+
+def test_grouped_removal_reassigns_once():
+    """The group form reassigns against the post-group membership."""
+    cover = StableSetCover()
+    cover.build({10: {0, 1}, 11: {0, 2}, 12: {0}})
+    phi0 = cover.assignment(0)
+    others = [s for s in (10, 11, 12) if s != phi0]
+    cover.remove_elem_from_sets(0, [phi0] + others[:1])
+    assert cover.assignment(0) == others[1]
+    assert cover.is_cover() and cover.is_stable()

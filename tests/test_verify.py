@@ -29,7 +29,7 @@ class TestVerify:
         # Sabotage: steal an element's assignment record.
         cover = algo._cover
         elem = next(iter(cover.universe))
-        cover._phi.pop(elem)
+        cover._phi[elem] = -1
         with pytest.raises(AssertionError):
             algo.verify()
 
