@@ -1,0 +1,43 @@
+"""Shared static-typing aliases for the flat-array core.
+
+Centralizing the ``numpy.typing.NDArray`` dtype aliases keeps the
+structure-of-arrays modules honest about which dtype each array carries:
+scores and points are float64, tuple ids and dense indices are intp (the
+platform pointer-sized integer numpy uses for indexing), persisted id
+columns are int64, and masks are bool_.  Import these instead of writing
+``np.ndarray`` so mypy can catch dtype mix-ups at the boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+#: Scores, points, utility vectors, thresholds.
+FloatArray = NDArray[np.float64]
+
+#: Dense indices and tuple ids used for in-memory indexing.
+IndexArray = NDArray[np.intp]
+
+#: Persisted / wire-format integer columns (id lists, delta logs).
+Int64Array = NDArray[np.int64]
+
+#: Boolean masks.
+BoolArray = NDArray[np.bool_]
+
+#: Arrays whose dtype is not statically pinned (adapter boundaries).
+AnyArray = NDArray[Any]
+
+#: Everything ``repro.utils.rng.resolve_rng`` accepts.
+SeedLike = Union[int, np.random.Generator, None]
+
+__all__ = [
+    "AnyArray",
+    "BoolArray",
+    "FloatArray",
+    "IndexArray",
+    "Int64Array",
+    "SeedLike",
+]

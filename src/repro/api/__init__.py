@@ -19,6 +19,8 @@ Submodules are loaded lazily (PEP 562) so that baseline modules can
 
 from __future__ import annotations
 
+from typing import Any
+
 _EXPORTS = {
     "AlgorithmSpec": "repro.api.registry",
     "Capabilities": "repro.api.registry",
@@ -41,7 +43,7 @@ _EXPORTS = {
 __all__ = sorted(_EXPORTS)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     module_name = _EXPORTS.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -25,7 +25,8 @@ import inspect
 import threading
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 
 class UnknownAlgorithmError(KeyError):
@@ -108,8 +109,8 @@ class AlgorithmSpec:
     capabilities: Capabilities = field(default_factory=Capabilities)
     summary: str = ""
     aliases: tuple[str, ...] = ()
-    accepts: frozenset = frozenset()
-    option_names: frozenset = frozenset()
+    accepts: frozenset[str] = frozenset()
+    option_names: frozenset[str] = frozenset()
     accepts_var_kwargs: bool = False
     bench: bool = False             # include in the benchmark factory table
     bench_kwargs: Mapping[str, Any] = field(
@@ -117,8 +118,9 @@ class AlgorithmSpec:
     session_factory: Callable[..., Any] | None = None
 
     # -- invocation ----------------------------------------------------
-    def build_kwargs(self, *, r: int, k: int = 1, seed=None,
-                     options: Mapping[str, Any] | None = None) -> dict:
+    def build_kwargs(self, *, r: int, k: int = 1, seed: Any = None,
+                     options: Mapping[str, Any] | None = None
+                     ) -> dict[str, Any]:
         """Keyword arguments for ``func`` under the normalized convention.
 
         Unknown keys in ``options`` are dropped (they belong to other
@@ -137,8 +139,8 @@ class AlgorithmSpec:
                 kwargs[key] = value
         return kwargs
 
-    def run(self, points, *, r: int, k: int = 1, seed=None,
-            options: Mapping[str, Any] | None = None):
+    def run(self, points: Any, *, r: int, k: int = 1, seed: Any = None,
+            options: Mapping[str, Any] | None = None) -> Any:
         """Invoke the solver; returns row indices into ``points``."""
         return self.func(points, **self.build_kwargs(
             r=r, k=k, seed=seed, options=options))
@@ -185,7 +187,9 @@ def _normalize(name: str) -> str:
     return str(name).strip().lower()
 
 
-def _introspect(func: Callable) -> tuple[frozenset, frozenset, bool]:
+def _introspect(
+        func: Callable[..., Any]
+) -> tuple[frozenset[str], frozenset[str], bool]:
     """Discover the normalized args and extra options ``func`` takes."""
     accepts: set[str] = set()
     options: set[str] = set()
@@ -231,7 +235,8 @@ def register(name: str, *, display_name: str | None = None,
              capabilities: Capabilities | None = None,
              bench: bool = False,
              bench_kwargs: Mapping[str, Any] | None = None,
-             session_factory: Callable[..., Any] | None = None):
+             session_factory: Callable[..., Any] | None = None,
+             ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator registering a solver function under ``name``.
 
     The decorated function is returned unchanged, so direct calls keep
@@ -239,7 +244,7 @@ def register(name: str, *, display_name: str | None = None,
     signature metadata to drive it through the normalized
     ``spec.run(points, r=..., k=..., seed=...)`` convention.
     """
-    def decorate(func: Callable) -> Callable:
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
         accepts, option_names, var_kwargs = _introspect(func)
         register_spec(AlgorithmSpec(
             name=name,

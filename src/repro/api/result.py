@@ -4,9 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
+
+from repro._types import FloatArray, IndexArray
 
 
 @dataclass(frozen=True)
@@ -38,8 +41,8 @@ class RMSResult:
     """
 
     algorithm: str
-    indices: np.ndarray
-    points: np.ndarray
+    indices: IndexArray
+    points: FloatArray
     r: int
     k: int
     n: int

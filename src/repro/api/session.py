@@ -28,9 +28,13 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
+
+from repro._types import FloatArray, IndexArray, SeedLike
 
 from repro.api.registry import (
     AlgorithmSpec,
@@ -58,7 +62,7 @@ class Session(abc.ABC):
 
     # -- updates -------------------------------------------------------
     @abc.abstractmethod
-    def insert(self, point) -> int:
+    def insert(self, point: ArrayLike) -> int:
         """Insert one tuple; returns its new id."""
 
     @abc.abstractmethod
@@ -74,7 +78,7 @@ class Session(abc.ABC):
             return None
         raise ValueError(f"unknown operation kind {op.kind!r}")
 
-    def apply_batch(self, ops) -> list[int | None]:
+    def apply_batch(self, ops: Iterable[Operation]) -> list[int | None]:
         """Apply a sequence of operations; returns per-op ids.
 
         Semantically identical to ``[self.apply(op) for op in ops]`` —
@@ -86,7 +90,7 @@ class Session(abc.ABC):
         """
         return [self.apply(op) for op in ops]
 
-    def delete_many(self, tuple_ids) -> None:
+    def delete_many(self, tuple_ids: Iterable[int]) -> None:
         """Delete a batch of tuples.
 
         Semantically identical to calling :meth:`delete` per id — same
@@ -96,7 +100,7 @@ class Session(abc.ABC):
         for tuple_id in tuple_ids:
             self.delete(tuple_id)
 
-    def update(self, tuple_id: int, point) -> int:
+    def update(self, tuple_id: int, point: ArrayLike) -> int:
         """Value update = delete + insert (§II-B); returns the new id."""
         self.delete(tuple_id)
         return self.insert(point)
@@ -112,7 +116,7 @@ class Session(abc.ABC):
         """Current k-RMS result as sorted tuple ids."""
 
     @abc.abstractmethod
-    def result_points(self) -> np.ndarray:
+    def result_points(self) -> FloatArray:
         """Current result as a ``(|Q|, d)`` matrix."""
 
     def stats(self) -> dict[str, Any]:
@@ -132,8 +136,9 @@ class FDRMSSession(Session):
     ``2 * r`` (FD-RMS requires ``m_max > r``).
     """
 
-    def __init__(self, points, r: int, k: int = 1, *, eps: float = 0.02,
-                 m_max: int = 1024, seed=None) -> None:
+    def __init__(self, points: ArrayLike, r: int, k: int = 1, *,
+                 eps: float | str = 0.02, m_max: int = 1024,
+                 seed: SeedLike = None) -> None:
         super().__init__()
         self.name = "FD-RMS"
         points = np.asarray(points, dtype=float)
@@ -157,7 +162,7 @@ class FDRMSSession(Session):
     def db(self) -> Database:
         return self._db
 
-    def insert(self, point) -> int:
+    def insert(self, point: ArrayLike) -> int:
         start = time.perf_counter()
         pid = self.engine.insert(point)
         self.last_apply_seconds = time.perf_counter() - start
@@ -172,7 +177,7 @@ class FDRMSSession(Session):
         self.algo_seconds += self.last_apply_seconds
         self._counters["deletes"] += 1
 
-    def apply_batch(self, ops) -> list[int | None]:
+    def apply_batch(self, ops: Iterable[Operation]) -> list[int | None]:
         """Batched updates through :meth:`FDRMS.apply_batch`.
 
         Consecutive insertions are scored with one ``(batch × M)`` GEMM
@@ -191,7 +196,7 @@ class FDRMSSession(Session):
             self._counters[key] += 1
         return out
 
-    def delete_many(self, tuple_ids) -> None:
+    def delete_many(self, tuple_ids: Iterable[int]) -> None:
         """Batched deletions through :meth:`FDRMS.delete_many`."""
         ids = list(tuple_ids)
         start = time.perf_counter()
@@ -203,7 +208,7 @@ class FDRMSSession(Session):
     def result(self) -> list[int]:
         return self.engine.result()
 
-    def result_points(self) -> np.ndarray:
+    def result_points(self) -> FloatArray:
         return self.engine.result_points()
 
     def stats(self) -> dict[str, Any]:
@@ -224,7 +229,8 @@ class RecomputeSession(Session):
     result dirty, and the solver runs at the next read.
     """
 
-    def __init__(self, points, solver: Callable[[np.ndarray], Any], *,
+    def __init__(self, points: ArrayLike,
+                 solver: Callable[[FloatArray], Any], *,
                  name: str = "static", use_skyline: bool = True) -> None:
         super().__init__()
         self.name = name
@@ -245,18 +251,19 @@ class RecomputeSession(Session):
         self.recomputes = 0
         self.algo_seconds = 0.0
         self.last_recompute_seconds = 0.0
-        self._cached_ids: np.ndarray | None = None
-        self._cached_points: np.ndarray | None = None
+        self._cached_ids: IndexArray | None = None
+        self._cached_points: FloatArray | None = None
 
     @classmethod
-    def from_spec(cls, spec: AlgorithmSpec, points, *, r: int, k: int = 1,
-                  seed=None,
+    def from_spec(cls, spec: AlgorithmSpec, points: ArrayLike, *,
+                  r: int, k: int = 1,
+                  seed: SeedLike = None,
                   options: Mapping[str, Any] | None = None
                   ) -> "RecomputeSession":
         """Build the session for a registered static algorithm."""
         kwargs = spec.build_kwargs(r=r, k=k, seed=seed, options=options)
 
-        def solver(pool: np.ndarray):
+        def solver(pool: FloatArray) -> Any:
             return spec.func(pool, **kwargs)
 
         return cls(points, solver, name=spec.display_name,
@@ -267,7 +274,7 @@ class RecomputeSession(Session):
         return self._db
 
     # -- updates -------------------------------------------------------
-    def insert(self, point) -> int:
+    def insert(self, point: ArrayLike) -> int:
         pid = self._db.insert(point)
         changed = self._skyline.insert(pid) if self._skyline else True
         self.last_changed = bool(changed)
@@ -282,7 +289,7 @@ class RecomputeSession(Session):
         self.dirty = self.dirty or self.last_changed
         self._counters["deletes"] += 1
 
-    def apply_batch(self, ops) -> list[int | None]:
+    def apply_batch(self, ops: Iterable[Operation]) -> list[int | None]:
         """Sequential fallback with skyline maintenance deferred.
 
         Operations are applied straight to the database (consecutive
@@ -316,7 +323,7 @@ class RecomputeSession(Session):
             self.last_changed = changed
             self.dirty = self.dirty or changed
 
-    def delete_many(self, tuple_ids) -> None:
+    def delete_many(self, tuple_ids: Iterable[int]) -> None:
         """Bulk removal with the skyline re-synced once at the end.
 
         As with :meth:`insert`/:meth:`delete`, skyline maintenance is
@@ -336,7 +343,7 @@ class RecomputeSession(Session):
         self.dirty = self.dirty or self.last_changed
 
     # -- reads ---------------------------------------------------------
-    def pool(self) -> tuple[np.ndarray, np.ndarray]:
+    def pool(self) -> tuple[IndexArray, FloatArray]:
         """Current candidate pool as ``(ids, points)``."""
         if self._skyline is not None:
             return self._skyline.points()
@@ -362,10 +369,12 @@ class RecomputeSession(Session):
 
     def result(self) -> list[int]:
         self._ensure_fresh()
+        assert self._cached_ids is not None  # _ensure_fresh populated it
         return sorted(int(i) for i in self._cached_ids)
 
-    def result_points(self) -> np.ndarray:
+    def result_points(self) -> FloatArray:
         self._ensure_fresh()
+        assert self._cached_points is not None  # _ensure_fresh populated it
         return self._cached_points
 
     def stats(self) -> dict[str, Any]:
@@ -373,6 +382,7 @@ class RecomputeSession(Session):
         # recomputes, algo_seconds, solution_size — describes the same
         # post-recompute state (and a second stats() call agrees).
         self._ensure_fresh()
+        assert self._cached_ids is not None  # _ensure_fresh populated it
         out = super().stats()
         out["recomputes"] = self.recomputes
         out["algo_seconds"] = self.algo_seconds
@@ -383,8 +393,9 @@ class RecomputeSession(Session):
         return out
 
 
-def open_session(points, r: int, k: int = 1, *, algo: str = "fd-rms",
-                 seed=None, **options: Any) -> Session:
+def open_session(points: ArrayLike, r: int, k: int = 1, *,
+                 algo: str = "fd-rms", seed: SeedLike = None,
+                 **options: Any) -> Session:
     """Open a streaming session for any registered algorithm.
 
     Dynamic algorithms (FD-RMS) get their native session; static ones
@@ -406,8 +417,9 @@ def open_session(points, r: int, k: int = 1, *, algo: str = "fd-rms",
 # FD-RMS registration: the one dynamic algorithm in the catalogue.
 # ----------------------------------------------------------------------
 
-def _fdrms_session_factory(points, r, k=1, *, seed=None, eps=0.02,
-                           m_max=1024) -> FDRMSSession:
+def _fdrms_session_factory(points: ArrayLike, r: int, k: int = 1, *,
+                           seed: SeedLike = None, eps: float | str = 0.02,
+                           m_max: int = 1024) -> FDRMSSession:
     return FDRMSSession(points, r, k, eps=eps, m_max=m_max, seed=seed)
 
 
@@ -419,8 +431,9 @@ def _fdrms_session_factory(points, r, k=1, *, seed=None, eps=0.02,
                                     randomized=True, skyline_pool=False),
           bench=True,
           session_factory=_fdrms_session_factory)
-def fdrms_solve(points, r: int, k: int = 1, *, seed=None, eps: float = 0.02,
-                m_max: int = 1024) -> np.ndarray:
+def fdrms_solve(points: ArrayLike, r: int, k: int = 1, *,
+                seed: SeedLike = None, eps: float = 0.02,
+                m_max: int = 1024) -> IndexArray:
     """One-shot FD-RMS: build the dynamic structure, read the result.
 
     Tuple ids of a fresh :class:`~repro.data.Database` are the row

@@ -11,9 +11,13 @@ True
 from __future__ import annotations
 
 import time
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
+
+from repro._types import SeedLike
 
 from repro.api.registry import AlgorithmSpec, get_algorithm
 from repro.api.result import RMSResult
@@ -37,9 +41,11 @@ def _auto_algorithm(n: int, d: int, k: int) -> str:
     return "fd-rms"
 
 
-def solve(points, r: int, k: int = 1, *, algo: str = "auto", seed=None,
+def solve(points: ArrayLike, r: int, k: int = 1, *, algo: str = "auto",
+          seed: SeedLike = None,
           evaluate: bool = False, eval_samples: int = 10_000,
-          eval_utilities=None, **options: Any) -> RMSResult:
+          eval_utilities: ArrayLike | None = None,
+          **options: Any) -> RMSResult:
     """Compute a k-regret minimizing set with any registered algorithm.
 
     Parameters

@@ -56,6 +56,7 @@ def _greedy_cover(reg: np.ndarray, eps: float, r: int) -> np.ndarray | None:
     while not covered.all():
         gains = ok[~covered].sum(axis=0)
         j = int(np.argmax(gains))
+        # reprolint: disable=RPL002 -- int coverage count (bool sum); == 0 is exact
         if gains[j] == 0:
             return None  # some direction uncoverable at this threshold
         selected.append(j)

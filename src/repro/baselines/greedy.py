@@ -108,7 +108,7 @@ def _greedy_lp(pts: np.ndarray, r: int) -> np.ndarray:
             # The witness tuple itself is the top-1 for the witness
             # direction; fall back to the strongest un-chosen candidate.
             scores = pts @ best_dir
-            scores[list(chosen)] = -np.inf
+            scores[sorted(chosen)] = -np.inf
             winner = int(np.argmax(scores))
         chosen.add(winner)
         selected.append(winner)
@@ -133,7 +133,7 @@ def _greedy_sampled(pts: np.ndarray, r: int, n_samples: int,
         winner = int(np.argmax(scores[:, witness]))
         if winner in chosen:
             col = scores[:, witness].copy()
-            col[list(chosen)] = -np.inf
+            col[sorted(chosen)] = -np.inf
             winner = int(np.argmax(col))
         chosen.add(winner)
         selected.append(winner)

@@ -40,6 +40,7 @@ def _greedy_hitting(ok: np.ndarray, r: int) -> np.ndarray | None:
     while not covered.all():
         gains = ok[~covered].sum(axis=0)
         j = int(np.argmax(gains))
+        # reprolint: disable=RPL002 -- int coverage count (bool sum); == 0 is exact
         if gains[j] == 0:
             return None
         selected.append(j)

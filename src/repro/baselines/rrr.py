@@ -76,6 +76,7 @@ def rrr_greedy(points, r: int, k: int = 1, *, n_samples: int = 5_000,
     while not covered.all() and len(selected) < r:
         gains = ok[~covered].sum(axis=0)
         j = int(np.argmax(gains))
+        # reprolint: disable=RPL002 -- int coverage count (bool sum); == 0 is exact
         if gains[j] == 0:  # pragma: no cover - k >= 1 makes rows coverable
             break
         selected.append(j)

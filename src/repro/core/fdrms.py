@@ -22,9 +22,13 @@ operations ``σ`` of Algorithm 1.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
+from repro._types import FloatArray, SeedLike
 from repro.core.set_cover import StableSetCover, greedy_cover_size
 from repro.core.topk import (
     SCORE_TOL,
@@ -67,8 +71,9 @@ class FDRMS:
     """
 
     def __init__(self, db: Database, k: int, r: int, eps: float, *,
-                 m_max: int = 1024, seed=None, index_factory=None,
-                 cone_factory=None) -> None:
+                 m_max: int = 1024, seed: SeedLike = None,
+                 index_factory: Callable[..., Any] | None = None,
+                 cone_factory: Callable[..., Any] | None = None) -> None:
         self._db = db
         self._k = check_k(k)
         self._r = check_size_constraint(r, db.d)
@@ -143,7 +148,7 @@ class FDRMS:
         """Current k-RMS result ``Q_t`` as sorted tuple ids."""
         return sorted(self._cover.solution())
 
-    def result_points(self) -> np.ndarray:
+    def result_points(self) -> FloatArray:
         """Current result as an ``(|Q_t|, d)`` matrix."""
         ids = self.result()
         if not ids:
@@ -153,7 +158,7 @@ class FDRMS:
     # ------------------------------------------------------------------
     # Updates (Algorithm 3)
     # ------------------------------------------------------------------
-    def insert(self, point) -> int:
+    def insert(self, point: ArrayLike) -> int:
         """Process ``Δ_t = <p, +>``; returns the new tuple id."""
         fresh_start = len(self._db) == 0
         pid, log = self._topk.insert_log(point)
@@ -172,7 +177,7 @@ class FDRMS:
         if self._cover.solution_size() != self._r:
             self._update_m()
 
-    def apply_batch(self, ops) -> list[int | None]:
+    def apply_batch(self, ops: Sequence[Any]) -> list[int | None]:
         """Process a workload slice; returns per-op ids (None = delete).
 
         Equivalent to applying each :class:`~repro.data.Operation` with
@@ -213,7 +218,7 @@ class FDRMS:
         log = self._topk.delete_log(tuple_id)
         self._absorb_delete_deltas(int(tuple_id), log, len(self._db))
 
-    def delete_many(self, tuple_ids) -> None:
+    def delete_many(self, tuple_ids: Iterable[int]) -> None:
         """Process a batch of deletions through the batched pipeline.
 
         Same final state and statistics as calling :meth:`delete` per
@@ -281,7 +286,7 @@ class FDRMS:
         invariant. Intended for tests and debugging, not hot paths.
         """
         result = set(self.result())
-        for pid in result:
+        for pid in sorted(result):
             assert pid in self._db, f"result tuple {pid} not alive"
         assert self._cover.is_cover(), "cover infeasible"
         assert self._cover.is_stable(), "cover violates Definition 2"
@@ -310,12 +315,12 @@ class FDRMS:
                 tau = (1.0 - self._eps) * kth
             expect = {int(ids[row])
                       for row in np.flatnonzero(scores >= tau - SCORE_TOL)}
-            for pid in members ^ expect:
+            for pid in sorted(members ^ expect):
                 score = float(self._db.point(pid) @ u)
                 assert abs(score - tau) < 1e-9, (
                     f"membership drift at utility {u_idx}, tuple {pid}")
 
-    def update(self, tuple_id: int, point) -> int:
+    def update(self, tuple_id: int, point: ArrayLike) -> int:
         """Process a value update as deletion + insertion (§II-B).
 
         Returns the new tuple id of the updated tuple (ids are never
@@ -382,7 +387,8 @@ class FDRMS:
         if membership:
             self._cover.build(membership)
 
-    def _apply_delta_rows(self, us: list, ps: list, ks: list) -> None:
+    def _apply_delta_rows(self, us: list[int], ps: list[int],
+                          ks: list[int]) -> None:
         """Feed ordered (elem, set, kind) delta rows to the cover.
 
         The top-k maintainer emits deltas in natural runs — one tuple

@@ -39,6 +39,7 @@ def _greedy_hitting_all(ok: np.ndarray) -> list[int]:
     while not covered.all():
         gains = ok[~covered].sum(axis=0)
         j = int(np.argmax(gains))
+        # reprolint: disable=RPL002 -- int coverage count (bool sum); == 0 is exact
         if gains[j] == 0:
             raise RuntimeError("infeasible hitting instance (ε too small?)")
         selected.append(j)

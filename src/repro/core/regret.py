@@ -18,7 +18,9 @@ score matrices never exceed a bounded memory footprint.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
+from repro._types import FloatArray, SeedLike
 from repro.geometry.hull import extreme_points
 from repro.geometry.lp import worst_case_ratio
 from repro.geometry.sampling import sample_utilities
@@ -33,12 +35,12 @@ from repro.utils import as_point_matrix, check_k, resolve_rng
 # memoized here and shared across calls.
 # ----------------------------------------------------------------------
 
-_SAMPLE_CACHE: dict[tuple, np.ndarray] = {}
+_SAMPLE_CACHE: dict[tuple[int, int, int | None, bool], FloatArray] = {}
 _SAMPLE_CACHE_MAX = 8
 
 
-def cached_test_utilities(n_samples: int, d: int, seed=None, *,
-                          with_basis: bool = False) -> np.ndarray:
+def cached_test_utilities(n_samples: int, d: int, seed: SeedLike = None, *,
+                          with_basis: bool = False) -> FloatArray:
     """A memoized utility test set of ``n_samples`` vectors in ``d`` dims.
 
     ``with_basis=True`` prefixes the ``d`` standard basis vectors (which
@@ -73,7 +75,8 @@ def cached_test_utilities(n_samples: int, d: int, seed=None, *,
     return utilities
 
 
-def k_regret_ratio(u, points_p, points_q, k: int = 1) -> float:
+def k_regret_ratio(u: ArrayLike, points_p: ArrayLike, points_q: ArrayLike,
+                   k: int = 1) -> float:
     """Exact ``rr_k(u, Q)`` for a single utility vector.
 
     ``rr_k(u, Q) = max(0, 1 - ω(u, Q) / ω_k(u, P))``. When ``P`` holds
@@ -93,10 +96,12 @@ def k_regret_ratio(u, points_p, points_q, k: int = 1) -> float:
     return float(max(0.0, 1.0 - best / kth))
 
 
-def max_k_regret_ratio_sampled(points_p, points_q, k: int = 1, *,
-                               n_samples: int = 100_000, seed=None,
+def max_k_regret_ratio_sampled(points_p: ArrayLike, points_q: ArrayLike,
+                               k: int = 1, *,
+                               n_samples: int = 100_000,
+                               seed: SeedLike = None,
                                batch: int = 2048,
-                               utilities=None) -> float:
+                               utilities: ArrayLike | None = None) -> float:
     """Monte-Carlo estimate of ``mrr_k(Q)`` over ``n_samples`` utilities.
 
     This mirrors the paper's measurement protocol (§IV-A): draw a large
@@ -135,8 +140,9 @@ def max_k_regret_ratio_sampled(points_p, points_q, k: int = 1, *,
     return float(np.clip(worst, 0.0, 1.0))
 
 
-def max_regret_ratio_lp(points_p, points_q, *, prefilter: str = "hull",
-                        seed=None) -> float:
+def max_regret_ratio_lp(points_p: ArrayLike, points_q: ArrayLike, *,
+                        prefilter: str = "hull",
+                        seed: SeedLike = None) -> float:
     """Exact ``mrr_1(Q)`` via one LP per candidate tuple (k = 1 only).
 
     The maximum over utilities of ``1 - ω(u, Q)/ω(u, P)`` equals the
@@ -180,7 +186,8 @@ class RegretEvaluator:
     seed : int | Generator | None
     """
 
-    def __init__(self, d: int, *, n_samples: int = 100_000, seed=None) -> None:
+    def __init__(self, d: int, *, n_samples: int = 100_000,
+                 seed: SeedLike = None) -> None:
         if n_samples < d:
             raise ValueError(f"n_samples must be >= d, got {n_samples}")
         # The drawn test set is cached module-wide: building evaluators
@@ -191,14 +198,15 @@ class RegretEvaluator:
         self._d = d
 
     @property
-    def utilities(self) -> np.ndarray:
+    def utilities(self) -> FloatArray:
         return self._utilities
 
     @property
     def n_samples(self) -> int:
         return self._utilities.shape[0]
 
-    def evaluate(self, points_p, points_q, k: int = 1) -> float:
+    def evaluate(self, points_p: ArrayLike, points_q: ArrayLike,
+                 k: int = 1) -> float:
         """Estimated ``mrr_k`` of ``Q`` over ``P`` on the frozen test set."""
         return max_k_regret_ratio_sampled(
             points_p, points_q, k, utilities=self._utilities)

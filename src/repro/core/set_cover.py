@@ -70,9 +70,13 @@ pays **one** stabilize pass instead of one per delta.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable, Iterable, Iterator, Mapping
 from contextlib import contextmanager
+from typing import Any
 
 import numpy as np
+
+from repro._types import AnyArray, Int64Array
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
@@ -87,7 +91,7 @@ def _level_of(size: int) -> int:
     return size.bit_length() - 1
 
 
-def _check_id(key, kind: str) -> int:
+def _check_id(key: Any, kind: str) -> int:
     if type(key) is int:  # fast path: the engine passes plain ints
         if key >= 0:
             return key
@@ -102,8 +106,8 @@ def _check_id(key, kind: str) -> int:
     return key
 
 
-def _counting_greedy(flat: np.ndarray, lens: np.ndarray, n_sets: int,
-                     select) -> list[int]:
+def _counting_greedy(flat: Int64Array, lens: AnyArray, n_sets: int,
+                     select: Callable[[AnyArray], int]) -> list[int]:
     """Shared GREEDY kernel over a flat CSR set system.
 
     ``flat`` holds, element-major, the dense set index of every
@@ -134,6 +138,7 @@ def _counting_greedy(flat: np.ndarray, lens: np.ndarray, n_sets: int,
         won = row[~covered[row]]
         covered[won] = True
         n_uncovered -= int(won.size)
+        # reprolint: disable=RPL008 -- one gather per selected set; total membership bound
         touched = np.concatenate([flat[eptr[e]:eptr[e + 1]]
                                   for e in won.tolist()])
         np.subtract.at(gains, touched, 1)
@@ -141,15 +146,16 @@ def _counting_greedy(flat: np.ndarray, lens: np.ndarray, n_sets: int,
     return selection
 
 
-def _select_max_gain(gains: np.ndarray) -> int:
+def _select_max_gain(gains: AnyArray) -> int:
     """Largest gain, ties toward the smallest dense index (= smallest id)."""
     j = int(np.argmax(gains))
+    # reprolint: disable=RPL002 -- int coverage count (bool sum); == 0 is exact
     if gains[j] == 0:
         raise ValueError("greedy failed: some element is uncoverable")
     return j
 
 
-def greedy_cover_size(elem_rows) -> int:
+def greedy_cover_size(elem_rows: Iterable[AnyArray]) -> int:
     """Solution size of the GREEDY cover over an array set system.
 
     ``elem_rows[e]`` is an integer array of the set ids containing
@@ -190,9 +196,9 @@ class _Adjacency:
     __slots__ = ("_rows", "_lens", "_pos")
 
     def __init__(self, *, track: bool = False) -> None:
-        self._rows: list[np.ndarray | None] = []
+        self._rows: list[Int64Array | None] = []
         self._lens: list[int] = []
-        self._pos: list[dict | None] | None = [] if track else None
+        self._pos: list[dict[int, int] | None] | None = [] if track else None
 
     def ensure(self, idx: int) -> None:
         if idx < len(self._rows):
@@ -208,7 +214,7 @@ class _Adjacency:
             return 0
         return self._lens[idx]
 
-    def row(self, idx: int) -> np.ndarray:
+    def row(self, idx: int) -> Int64Array:
         """The ids adjacent to ``idx`` (an unordered array view)."""
         if idx >= len(self._rows) or self._rows[idx] is None:
             return _EMPTY_IDS
@@ -221,7 +227,7 @@ class _Adjacency:
             return other in self._pos[idx]
         return bool((self.row(idx) == other).any())
 
-    def _grow_row(self, idx: int, need: int) -> np.ndarray:
+    def _grow_row(self, idx: int, need: int) -> Int64Array:
         n = self._lens[idx]
         row = self._rows[idx]
         if row is None or need > row.shape[0]:
@@ -269,7 +275,7 @@ class _Adjacency:
         self._lens[idx] = n - 1
         return True
 
-    def extend(self, idx: int, others: np.ndarray) -> None:
+    def extend(self, idx: int, others: Int64Array) -> None:
         """Bulk-append ``others`` (all new to the row) to row ``idx``."""
         self.ensure(idx)
         n = self._lens[idx]
@@ -294,6 +300,7 @@ class _Adjacency:
             n = lens[idx]
             row = rows[idx]
             if row is None or n == row.shape[0]:
+                # reprolint: disable=RPL008 -- amortized doubling; O(log n) allocs
                 grown = np.empty(max(4, 2 * n), dtype=np.int64)
                 if n:
                     grown[:n] = row[:n]
@@ -305,7 +312,7 @@ class _Adjacency:
                     poss[idx] = {}
                 poss[idx][other] = n
 
-    def remove_many(self, idx: int, others: np.ndarray) -> np.ndarray:
+    def remove_many(self, idx: int, others: Int64Array) -> Int64Array:
         """Drop every id in ``others`` present in row ``idx``.
 
         Returns the removed ids in row (arrival) order; absent ids are
@@ -431,7 +438,7 @@ class StableSetCover:
         self._pending_mask = mask
 
     @staticmethod
-    def _grow1(arr: np.ndarray, new_cap: int, fill) -> np.ndarray:
+    def _grow1(arr: AnyArray, new_cap: int, fill: float) -> AnyArray:
         out = np.full(new_cap, fill, dtype=arr.dtype)
         out[: arr.shape[0]] = arr
         return out
@@ -440,42 +447,42 @@ class StableSetCover:
     # Read access
     # ------------------------------------------------------------------
     @property
-    def universe(self) -> frozenset:
+    def universe(self) -> frozenset[int]:
         return frozenset(np.flatnonzero(self._elem_alive).tolist())
 
-    def solution(self) -> frozenset:
+    def solution(self) -> frozenset[int]:
         """The sets currently in the cover ``C``."""
         return frozenset(np.flatnonzero(self._level >= 0).tolist())
 
     def solution_size(self) -> int:
         return self._n_solution
 
-    def cover_of(self, sid) -> frozenset:
+    def cover_of(self, sid: int) -> frozenset[int]:
         """``cov(S)`` of a set (empty if not in the solution)."""
         sid = _check_id(sid, "set")
         if sid >= self._level.shape[0] or self._level[sid] < 0:
             return frozenset()
         return frozenset(np.flatnonzero(self._phi == sid).tolist())
 
-    def assignment(self, elem):
+    def assignment(self, elem: int) -> int | None:
         """``φ(elem)`` — the covering set of an element."""
         elem = _check_id(elem, "element")
         if elem >= self._phi.shape[0] or self._phi[elem] < 0:
             raise KeyError(elem)
         return int(self._phi[elem])
 
-    def sets_of(self, elem) -> frozenset:
+    def sets_of(self, elem: int) -> frozenset[int]:
         elem = _check_id(elem, "element")
         return frozenset(self._owners.row(elem).tolist())
 
-    def members(self, sid) -> frozenset:
+    def members(self, sid: int) -> frozenset[int]:
         sid = _check_id(sid, "set")
         return frozenset(self._members.row(sid).tolist())
 
     # ------------------------------------------------------------------
     # Bulk (re)construction — GREEDY of Algorithm 1
     # ------------------------------------------------------------------
-    def build(self, membership: dict) -> None:
+    def build(self, membership: Mapping[int, Iterable[int]]) -> None:
         """Install set system ``membership`` (sid -> iterable of elems)
         and compute a fresh greedy solution (stable by Lemma 1).
 
@@ -485,6 +492,7 @@ class StableSetCover:
         ``FDRMS.verify``) rather than re-checked here.
         """
         self._reset()
+        # reprolint: disable=RPL001 -- insertion order IS the canonical build order
         for sid, elems in membership.items():
             sid = _check_id(sid, "set")
             self._ensure_sid(sid)
@@ -503,7 +511,7 @@ class StableSetCover:
         """Recompute the solution greedily from the current membership."""
         self._greedy()
 
-    def _select_greedy(self, uncovered: np.ndarray) -> list[int]:
+    def _select_greedy(self, uncovered: AnyArray) -> list[int]:
         """GREEDY selection order over the flat membership arrays.
 
         Selects the set with the largest *current* gain, ties toward
@@ -523,7 +531,7 @@ class StableSetCover:
             np.bincount(flat, minlength=n_sets).tolist()) if g > 0]
         heapq.heapify(heap)
 
-        def select(gains: np.ndarray) -> int:
+        def select(gains: AnyArray) -> int:
             while heap:
                 neg_g, sid = heapq.heappop(heap)
                 actual = int(gains[sid])
@@ -560,6 +568,7 @@ class StableSetCover:
             self._n_solution += 1
             self._ensure_level(j)
             self._elem_level[won] = j
+            # reprolint: disable=RPL008 -- cold-build gather, not a per-op path
             owners = np.concatenate([self._owners.row(e)
                                      for e in won.tolist()])
             np.add.at(self._bucket_counts[j], owners, 1)
@@ -595,7 +604,7 @@ class StableSetCover:
         self._drain()
 
     @contextmanager
-    def batch(self):
+    def batch(self) -> Iterator[None]:
         """Defer STABILIZE to the end of a group of operations.
 
         Inside the context, the dynamic operations record Condition-2
@@ -611,7 +620,7 @@ class StableSetCover:
         finally:
             self.end_batch(started)
 
-    def add_to_set(self, elem, sid) -> None:
+    def add_to_set(self, elem: int, sid: int) -> None:
         """σ = (u, S, +): element ``elem`` joins candidate set ``sid``."""
         elem = _check_id(elem, "element")
         sid = _check_id(sid, "set")
@@ -628,7 +637,7 @@ class StableSetCover:
             self._queue_check(sid, lvl)
         self._stabilize()
 
-    def remove_from_set(self, elem, sid) -> None:
+    def remove_from_set(self, elem: int, sid: int) -> None:
         """σ = (u, S, -): element ``elem`` leaves candidate set ``sid``.
 
         If ``elem`` was assigned to ``sid``, it is reassigned to another
@@ -647,7 +656,7 @@ class StableSetCover:
             self._assign_somewhere(elem)
         self._stabilize()
 
-    def add_elems_to_set(self, elems, sid) -> None:
+    def add_elems_to_set(self, elems: Iterable[int], sid: int) -> None:
         """Bulk σ⁺: every element of ``elems`` joins candidate set ``sid``.
 
         Equivalent to ``add_to_set(e, sid)`` per element inside one
@@ -702,7 +711,7 @@ class StableSetCover:
                 self._queue_check(sid, int(j))
         self._stabilize()
 
-    def add_elem_to_sets(self, elem, sids) -> None:
+    def add_elem_to_sets(self, elem: int, sids: Iterable[int]) -> None:
         """Bulk σ⁺: element ``elem`` joins every candidate set in ``sids``.
 
         Equivalent to ``add_to_set(elem, s)`` per set inside one
@@ -745,7 +754,7 @@ class StableSetCover:
                 self._queue_push(int(s), lvl)
         self._stabilize()
 
-    def remove_elem_from_sets(self, elem, sids) -> None:
+    def remove_elem_from_sets(self, elem: int, sids: Iterable[int]) -> None:
         """Bulk σ⁻: element ``elem`` leaves every set in ``sids``.
 
         All memberships are removed first; if the element's assigned
@@ -782,7 +791,7 @@ class StableSetCover:
             self._assign_somewhere(elem)
         self._stabilize()
 
-    def add_element(self, elem, member_sids) -> None:
+    def add_element(self, elem: int, member_sids: Iterable[int]) -> None:
         """σ = (u, U, +): a new element joins the universe.
 
         ``member_sids`` lists the candidate sets containing it (must be
@@ -807,7 +816,7 @@ class StableSetCover:
         self._assign_somewhere(elem)
         self._stabilize()
 
-    def remove_element(self, elem) -> None:
+    def remove_element(self, elem: int) -> None:
         """σ = (u, U, -): an element leaves the universe entirely."""
         elem = _check_id(elem, "element")
         if elem >= self._elem_alive.shape[0] or not self._elem_alive[elem]:
@@ -822,7 +831,7 @@ class StableSetCover:
         self._n_elems -= 1
         self._stabilize()
 
-    def remove_set(self, sid) -> None:
+    def remove_set(self, sid: int) -> None:
         """Remove candidate set ``sid`` (tuple deletion in FD-RMS).
 
         Every element assigned to it is reassigned (in ascending
@@ -871,6 +880,7 @@ class StableSetCover:
         if int(self._cov_size[self._level < 0].sum()) != 0:
             return False
         max_level = int(self._elem_level.max(initial=-1))
+        # reprolint: disable=RPL004 -- is_stable is a test/debug invariant check
         for sid in range(self._level.shape[0]):
             mem = self._members.row(sid)
             if mem.size == 0:
@@ -914,7 +924,7 @@ class StableSetCover:
             for sid in owners[chk].tolist():
                 self._queue_push(sid, new_j)
 
-    def _move_elems_level(self, elems: np.ndarray, new_j: int) -> None:
+    def _move_elems_level(self, elems: Int64Array, new_j: int) -> None:
         """Vectorized :meth:`_set_elem_level` for a group of elements.
 
         Count-equivalent to moving each element in turn: the updates

@@ -41,10 +41,14 @@ per-operation order of the original per-member implementation.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
+from repro._types import AnyArray, FloatArray, IndexArray
 from repro.data.database import INSERT, Database, iter_op_runs
 from repro.index.conetree import ConeTree
 from repro.index.kdtree import KDTree
@@ -88,7 +92,7 @@ _BRUTE_REPAIR_LIMIT = 16384
 _MISSING = object()
 
 
-def _default_index_factory(ids, points, d: int) -> KDTree:
+def _default_index_factory(ids: IndexArray, points: FloatArray, d: int) -> KDTree:
     """The default tuple index: a k-d tree (possibly empty)."""
     if len(ids) == 0:
         return KDTree(d)
@@ -134,6 +138,7 @@ class DeltaLog:
         new_cap = max(need, 2 * cap, 16)
         for name in ("_u", "_pid", "_kind"):
             old = getattr(self, name)
+            # reprolint: disable=RPL008 -- amortized doubling; O(log n) allocs
             fresh = np.empty(new_cap, dtype=old.dtype)
             fresh[: self._n] = old[: self._n]
             setattr(self, name, fresh)
@@ -146,7 +151,7 @@ class DeltaLog:
         self._kind[n] = kind
         self._n = n + 1
 
-    def extend_one_pid(self, us, pid: int, kind: int) -> None:
+    def extend_one_pid(self, us: ArrayLike, pid: int, kind: int) -> None:
         """Record ``pid`` joining/leaving every utility in ``us`` (in order)."""
         us = np.asarray(us, dtype=np.intp)
         if us.size == 0:
@@ -158,7 +163,7 @@ class DeltaLog:
         self._kind[n:e] = kind
         self._n = e
 
-    def extend_one_utility(self, u: int, pids, kind: int) -> None:
+    def extend_one_utility(self, u: int, pids: ArrayLike, kind: int) -> None:
         """Record every tuple in ``pids`` (in order) joining/leaving ``u``."""
         pids = np.asarray(pids, dtype=np.intp)
         if pids.size == 0:
@@ -170,7 +175,7 @@ class DeltaLog:
         self._kind[n:e] = kind
         self._n = e
 
-    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def columns(self) -> tuple[IndexArray, IndexArray, NDArray[np.int8]]:
         """``(u_index, tuple_id, kind_code)`` rows as trimmed views."""
         n = self._n
         return self._u[:n], self._pid[:n], self._kind[:n]
@@ -211,19 +216,19 @@ class MemberStore:
     def __init__(self, m_total: int, k: int) -> None:
         self._m = int(m_total)
         self._k = int(k)
-        self._row_ids: list[np.ndarray] = [_EMPTY_IDS] * self._m
-        self._row_scores: list[np.ndarray] = [_EMPTY_SCORES] * self._m
+        self._row_ids: list[IndexArray] = [_EMPTY_IDS] * self._m
+        self._row_scores: list[FloatArray] = [_EMPTY_SCORES] * self._m
         self._row_len = np.zeros(self._m, dtype=np.int64)
         self._topk = np.full((self._m, self._k), -np.inf)
         self._min = np.full(self._m, np.inf)
-        self._inv_rows: list[np.ndarray | None] = []
+        self._inv_rows: list[IndexArray | None] = []
         self._inv_len: list[int] = []
 
     # -- member rows ---------------------------------------------------
     def size(self, i: int) -> int:
         return int(self._row_len[i])
 
-    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+    def row(self, i: int) -> tuple[IndexArray, FloatArray]:
         """``(ids, scores)`` of utility ``i`` in arrival order (views)."""
         n = int(self._row_len[i])
         return self._row_ids[i][:n], self._row_scores[i][:n]
@@ -267,11 +272,11 @@ class MemberStore:
             return 0.0
         return float(self._topk[i, self._k - 1])
 
-    def kth_vector(self, idxs: np.ndarray) -> np.ndarray:
+    def kth_vector(self, idxs: IndexArray) -> FloatArray:
         """Vectorized :meth:`kth_largest` for full rows (len >= k)."""
         return self._topk[idxs, 0]
 
-    def min_vector(self, idxs: np.ndarray) -> np.ndarray:
+    def min_vector(self, idxs: IndexArray) -> FloatArray:
         """Smallest stored member score per utility in ``idxs``."""
         return self._min[idxs]
 
@@ -291,7 +296,7 @@ class MemberStore:
         self._row_scores[i][n] = score
         self._row_len[i] = n + 1
 
-    def _topk_absorb(self, idxs: np.ndarray, scores: np.ndarray) -> None:
+    def _topk_absorb(self, idxs: IndexArray, scores: FloatArray) -> None:
         """Fold one new score per row into the top-k score matrix."""
         if self._k == 1:
             self._topk[idxs, 0] = np.maximum(self._topk[idxs, 0], scores)
@@ -312,7 +317,7 @@ class MemberStore:
             self._min[i] = score
         self.add_owner(pid, i)
 
-    def add_members(self, idxs: np.ndarray, scores: np.ndarray,
+    def add_members(self, idxs: IndexArray, scores: FloatArray,
                     pid: int) -> None:
         """Fresh tuple ``pid`` joins every utility in ``idxs`` at once.
 
@@ -354,6 +359,7 @@ class MemberStore:
         self._row_len[i] = n - 1
         if n == 1:
             self._min[i] = np.inf
+        # reprolint: disable=RPL002 -- exact identity with the cached stored min
         elif score == self._min[i]:
             self._min[i] = scores[:n - 1].min()
         if score >= self._topk[i, 0]:
@@ -362,7 +368,7 @@ class MemberStore:
             self.remove_owner(pid, i)
         return score
 
-    def evict_below(self, i: int, tau: float) -> tuple[np.ndarray, np.ndarray]:
+    def evict_below(self, i: int, tau: float) -> tuple[IndexArray, FloatArray]:
         """Drop all members of ``i`` with score < ``tau``.
 
         Returns the evicted ``(scores, ids)`` ascending by (score, id) —
@@ -390,7 +396,7 @@ class MemberStore:
             self._recompute_topk(i)
         return ev_scores[order], ev_ids[order]
 
-    def replace_row(self, i: int, ids: np.ndarray, scores: np.ndarray) -> None:
+    def replace_row(self, i: int, ids: IndexArray, scores: FloatArray) -> None:
         """Install a fresh member row (arrival order = array order).
 
         Recomputes the derived top-k scores and minimum; the inverted
@@ -417,8 +423,8 @@ class MemberStore:
             row[k - n:] = np.sort(scores)
         self._topk[i] = row
 
-    def set_row_bootstrap(self, i: int, ids: np.ndarray, scores: np.ndarray,
-                          topk_row: np.ndarray, min_score: float) -> None:
+    def set_row_bootstrap(self, i: int, ids: IndexArray, scores: FloatArray,
+                          topk_row: FloatArray, min_score: float) -> None:
         """Bootstrap fill of one utility with precomputed derived state.
 
         ``ids``/``scores`` may be views into a shared extraction buffer;
@@ -438,8 +444,8 @@ class MemberStore:
             self._inv_rows.extend([None] * grow)
             self._inv_len.extend([0] * grow)
 
-    def set_inverted_bootstrap(self, pids: np.ndarray, starts: np.ndarray,
-                               ends: np.ndarray, owners: np.ndarray) -> None:
+    def set_inverted_bootstrap(self, pids: IndexArray, starts: AnyArray,
+                               ends: AnyArray, owners: IndexArray) -> None:
         """Bulk-install ``S(p)`` rows as slices of one owner array."""
         if pids.size == 0:
             return
@@ -449,7 +455,7 @@ class MemberStore:
             inv_rows[pid] = owners[s:e]
             inv_len[pid] = e - s
 
-    def owners(self, pid: int) -> np.ndarray:
+    def owners(self, pid: int) -> IndexArray:
         """``S(p)`` as an unordered utility-id array (a view)."""
         if pid < 0 or pid >= len(self._inv_rows):
             return _EMPTY_IDS
@@ -483,7 +489,7 @@ class MemberStore:
             self._inv_rows[pid] = None
             self._inv_len[pid] = 0
 
-    def kth_vector_mixed(self, idxs: np.ndarray) -> np.ndarray:
+    def kth_vector_mixed(self, idxs: IndexArray) -> FloatArray:
         """Vectorized :meth:`kth_largest` honoring the short-row cases."""
         lens = self._row_len[idxs]
         return np.where(lens >= self._k, self._topk[idxs, 0],
@@ -536,8 +542,10 @@ class ApproxTopKIndex:
         GEMM + partition, membership fill, threshold activation).
     """
 
-    def __init__(self, db: Database, utilities, k: int, eps: float, *,
-                 index_factory=None, cone_factory=None) -> None:
+    def __init__(self, db: Database, utilities: ArrayLike, k: int, eps: float, *,
+                 index_factory: Callable[[IndexArray, FloatArray, int], Any]
+                 | None = None,
+                 cone_factory: Callable[[FloatArray], Any] | None = None) -> None:
         self._db = db
         self._u = np.ascontiguousarray(utilities, dtype=np.float64)
         if self._u.ndim != 2 or self._u.shape[1] != db.d:
@@ -555,7 +563,7 @@ class ApproxTopKIndex:
         # Staged (pid -> point) insertions not yet in the tuple index,
         # and staged deletions (tombstones) not yet removed from it;
         # see _stage_point / _flush_staged.
-        self._staged: dict[int, np.ndarray] = {}
+        self._staged: dict[int, FloatArray] = {}
         self._tombstones: list[int] = []
         t1 = time.perf_counter()
         if cone_factory is None:
@@ -582,14 +590,14 @@ class ApproxTopKIndex:
         """Number of utility vectors in the pool (M)."""
         return self._m_total
 
-    def utility(self, idx: int) -> np.ndarray:
+    def utility(self, idx: int) -> FloatArray:
         return self._u[idx].copy()
 
     def members_of(self, u_index: int) -> list[int]:
         """Tuple ids currently in ``Φ_{k,ε}(u_index, P_t)``."""
         return self._store.members_sorted(u_index)
 
-    def member_row(self, u_index: int) -> np.ndarray:
+    def member_row(self, u_index: int) -> IndexArray:
         """Member ids of one utility as a raw array (arrival order).
 
         Order-free bulk access for array consumers (the set-cover size
@@ -609,7 +617,7 @@ class ApproxTopKIndex:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def insert(self, point) -> tuple[int, list[MembershipDelta]]:
+    def insert(self, point: ArrayLike) -> tuple[int, list[MembershipDelta]]:
         """Insert ``point`` into the database; maintain all top-k sets.
 
         Returns the new tuple id and the membership deltas (the new tuple
@@ -618,7 +626,7 @@ class ApproxTopKIndex:
         pid, log = self.insert_log(point)
         return pid, log.to_deltas()
 
-    def insert_log(self, point) -> tuple[int, DeltaLog]:
+    def insert_log(self, point: ArrayLike) -> tuple[int, DeltaLog]:
         """:meth:`insert` returning the raw :class:`DeltaLog` (hot path)."""
         pid = self._db.insert(point)
         vec = self._db.point(pid)
@@ -636,7 +644,7 @@ class ApproxTopKIndex:
         self._absorb_new_tuple(pid, row, n, reached, log)
         return pid, log
 
-    def begin_insert_run(self, points) -> "_InsertRun":
+    def begin_insert_run(self, points: ArrayLike) -> "_InsertRun":
         """Start a batched run of consecutive insertions.
 
         All tuples are stored in the database and the tuple index up
@@ -650,7 +658,7 @@ class ApproxTopKIndex:
         """
         return _InsertRun(self, points)
 
-    def begin_delete_run(self, tuple_ids) -> "_DeleteRun":
+    def begin_delete_run(self, tuple_ids: Iterable[int]) -> "_DeleteRun":
         """Start a batched run of consecutive deletions.
 
         All victims are removed from the database up front with one
@@ -663,7 +671,9 @@ class ApproxTopKIndex:
         """
         return _DeleteRun(self, tuple_ids)
 
-    def apply_batch(self, ops) -> list[tuple[int | None, list[MembershipDelta]]]:
+    def apply_batch(
+        self, ops: Sequence[Any]
+    ) -> list[tuple[int | None, list[MembershipDelta]]]:
         """Apply a workload slice; returns per-op ``(id, deltas)`` pairs.
 
         Runs of consecutive insertions go through
@@ -758,7 +768,7 @@ class ApproxTopKIndex:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _stage_point(self, pid: int, vec: np.ndarray) -> None:
+    def _stage_point(self, pid: int, vec: FloatArray) -> None:
         """Buffer one insertion for the tuple index (flush when full)."""
         self._staged[pid] = vec
         if len(self._staged) >= _STAGE_LIMIT:
@@ -775,6 +785,7 @@ class ApproxTopKIndex:
         if staged:
             ids = np.fromiter(staged.keys(), dtype=np.intp,
                               count=len(staged))
+            # reprolint: disable=RPL001 -- staging dict order is op order (aligned)
             pts = np.asarray(list(staged.values()), dtype=np.float64)
             staged.clear()
             bulk = getattr(self._kdtree, "insert_many", None)
@@ -793,7 +804,7 @@ class ApproxTopKIndex:
                 for pid in victims:
                     self._kdtree.delete(pid)
 
-    def _bootstrap(self, ids: np.ndarray, pts: np.ndarray) -> None:
+    def _bootstrap(self, ids: IndexArray, pts: FloatArray) -> None:
         """Vectorized initial computation of every ``Φ_{k,ε}``.
 
         One GEMM + one partition per utility chunk produce scores,
@@ -805,8 +816,8 @@ class ApproxTopKIndex:
         n = ids.shape[0]
         m_total, k, store = self._m_total, self._k, self._store
         t_gemm = t_fill = 0.0
-        inv_pids: list[np.ndarray] = []
-        inv_owners: list[np.ndarray] = []
+        inv_pids: list[IndexArray] = []
+        inv_owners: list[IndexArray] = []
         all_taus = np.zeros(m_total)
         if n > 0:
             chunk = max(1, int(4_000_000 // max(1, n)))
@@ -816,6 +827,7 @@ class ApproxTopKIndex:
                 t0 = time.perf_counter()
                 scores = pts @ block.T  # (n, b)
                 if n <= k:
+                    # reprolint: disable=RPL008 -- per-GEMM-chunk, not per-op
                     taus = np.zeros(b)
                     topk_rows = np.full((b, k), -np.inf)
                     topk_rows[:, k - n:] = np.sort(scores, axis=0).T
@@ -833,8 +845,11 @@ class ApproxTopKIndex:
                 cols, rows = np.nonzero(hits)
                 member_pids = ids[rows]
                 member_scores = scores.T[hits]
-                mins = np.minimum.reduceat(member_scores, bounds[:-1]) \
-                    if member_scores.size else np.empty(0)
+                if member_scores.size:
+                    mins = np.minimum.reduceat(member_scores, bounds[:-1])
+                else:
+                    # reprolint: disable=RPL008 -- per-GEMM-chunk, not per-op
+                    mins = np.empty(0)
                 for col in range(b):
                     s, e = bounds[col], bounds[col + 1]
                     store.set_row_bootstrap(
@@ -869,8 +884,8 @@ class ApproxTopKIndex:
         self.build_profile["membership_fill"] = t_fill + (t3 - t2)
         self.build_profile["threshold_activate"] = t4 - t3
 
-    def _absorb_new_tuple(self, pid: int, row: np.ndarray, n: int,
-                          reached: np.ndarray, log: DeltaLog) -> None:
+    def _absorb_new_tuple(self, pid: int, row: FloatArray, n: int,
+                          reached: AnyArray, log: DeltaLog) -> None:
         """Membership maintenance for one inserted tuple, vectorized.
 
         ``row`` is the tuple's precomputed score against every utility,
@@ -915,8 +930,9 @@ class ApproxTopKIndex:
             for i, tau in zip(reached.tolist(), taus.tolist()):
                 self._cone.set_threshold(i, float(tau))
 
-    def _compute_repairs(self, idxs: np.ndarray, n_db: int,
-                         run: "_DeleteRun | None") -> list:
+    def _compute_repairs(self, idxs: IndexArray, n_db: int,
+                         run: "_DeleteRun | None"
+                         ) -> list[tuple[float, IndexArray, FloatArray] | None]:
         """Fresh ``(τ, member ids, member scores)`` per utility in ``idxs``.
 
         All repairs see the same post-deletion database state, so they
@@ -937,6 +953,7 @@ class ApproxTopKIndex:
                 ids, pts = self._db.snapshot()
             scores = pts @ self._u[idxs].T  # (n, q): the repair wave
             out = []
+            # reprolint: disable=RPL004 -- one pass per repaired utility (q small);
             for col in range(idxs.shape[0]):
                 s = scores[:, col]
                 if n_db <= self._k:
@@ -963,7 +980,12 @@ class ApproxTopKIndex:
                         np.asarray(fresh_scores)))
         return out
 
-    def _apply_repair(self, i: int, repair, log: DeltaLog) -> None:
+    def _apply_repair(
+        self,
+        i: int,
+        repair: tuple[float, IndexArray, FloatArray] | None,
+        log: DeltaLog,
+    ) -> None:
         """Install one utility's recomputed ``Φ_{k,ε}`` after a top-k loss."""
         store = self._store
         cur_ids, cur_scores = store.row(i)
@@ -997,7 +1019,7 @@ class ApproxTopKIndex:
         log.extend_one_utility(i, new_ids, ADD_CODE)
         self._cone.set_threshold(i, tau)
 
-    def _thresholds_vector(self) -> np.ndarray:
+    def _thresholds_vector(self) -> FloatArray:
         """All ``τ_i`` as one vector (from the cone tree when possible)."""
         getter = getattr(self._cone, "thresholds", None)
         if getter is not None:
@@ -1021,7 +1043,7 @@ class _InsertRun:
 
     __slots__ = ("_index", "_pids", "_scores", "_pos", "_n0")
 
-    def __init__(self, index: ApproxTopKIndex, points) -> None:
+    def __init__(self, index: ApproxTopKIndex, points: ArrayLike) -> None:
         pts = np.asarray(points, dtype=np.float64)
         if pts.ndim == 1:
             pts = pts.reshape(1, -1)
@@ -1107,7 +1129,7 @@ class _DeleteRun:
 
     __slots__ = ("_index", "_ids", "_victim_pts", "_pos", "_n0")
 
-    def __init__(self, index: ApproxTopKIndex, tuple_ids) -> None:
+    def __init__(self, index: ApproxTopKIndex, tuple_ids: Iterable[int]) -> None:
         ids = np.asarray(list(tuple_ids), dtype=np.intp)
         self._index = index
         self._ids = ids
@@ -1141,7 +1163,7 @@ class _DeleteRun:
         # Sequential database size after this op (the db ran ahead).
         return index._delete_core(tid, self._n0 - (t + 1), self)
 
-    def alive_snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+    def alive_snapshot(self) -> tuple[IndexArray, FloatArray]:
         """``(ids, points)`` alive as of the current step, id-ascending.
 
         Equals what ``db.snapshot()`` returns on the sequential path at

@@ -35,6 +35,9 @@ utilities in one bottom-up sweep over the affected nodes.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
+
+from repro._types import AnyArray, BoolArray, FloatArray, IndexArray
 
 _LEAF_CAPACITY = 8
 
@@ -51,7 +54,8 @@ class ConeTree:
         Maximum number of utilities per leaf.
     """
 
-    def __init__(self, utilities, *, leaf_capacity: int = _LEAF_CAPACITY) -> None:
+    def __init__(self, utilities: ArrayLike, *,
+                 leaf_capacity: int = _LEAF_CAPACITY) -> None:
         utils = np.ascontiguousarray(utilities, dtype=np.float64)
         if utils.ndim != 2 or utils.shape[0] == 0:
             raise ValueError("utilities must be a non-empty (M, d) array")
@@ -98,7 +102,7 @@ class ConeTree:
         """Current threshold of utility ``idx`` (``inf`` while inactive)."""
         return float(self._tau[idx])
 
-    def thresholds(self) -> np.ndarray:
+    def thresholds(self) -> FloatArray:
         """Read-only view of all thresholds (``inf`` marks inactive).
 
         Batch callers compare a precomputed score row against this
@@ -108,7 +112,7 @@ class ConeTree:
         view.flags.writeable = False
         return view
 
-    def active_mask(self) -> np.ndarray:
+    def active_mask(self) -> BoolArray:
         """Read-only view of the active flags."""
         view = self._active.view()
         view.flags.writeable = False
@@ -120,13 +124,14 @@ class ConeTree:
     def set_threshold(self, idx: int, tau: float) -> None:
         """Set utility ``idx``'s threshold and repair ``τ_min`` upwards."""
         tau = float(tau)
+        # reprolint: disable=RPL002 -- exact write-back identity (skip if unchanged)
         if self._tau[idx] == tau:
             return  # τ_min already consistent
         self._tau[idx] = tau
         if self._active[idx]:
             self._bubble_up(int(self._leaf_of[idx]))
 
-    def set_thresholds(self, idxs, taus) -> None:
+    def set_thresholds(self, idxs: ArrayLike, taus: ArrayLike) -> None:
         """Batch :meth:`set_threshold`: one bottom-up ``τ_min`` repair.
 
         ``idxs``/``taus`` are aligned arrays; inactive utilities get
@@ -140,6 +145,7 @@ class ConeTree:
             raise ValueError("idxs and taus must be aligned")
         if idxs.size == 0:
             return
+        # reprolint: disable=RPL002 -- exact write-back identity (skip if unchanged)
         changed = self._tau[idxs] != taus
         idxs, taus = idxs[changed], taus[changed]
         if idxs.size == 0:
@@ -159,7 +165,7 @@ class ConeTree:
         self._tau[idx] = float(tau)
         self._bubble_up(int(self._leaf_of[idx]))
 
-    def activate_many(self, idxs, taus) -> None:
+    def activate_many(self, idxs: ArrayLike, taus: ArrayLike) -> None:
         """Bulk :meth:`activate`: one bottom-up ``τ_min`` rebuild.
 
         The cold-start path activates every utility at once; repairing
@@ -208,7 +214,7 @@ class ConeTree:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def reached_by(self, point) -> list[int]:
+    def reached_by(self, point: ArrayLike) -> list[int]:
         """Active utility indices with ``<u_i, point> >= τ_i``.
 
         This is the insertion-time filter of Algorithm 3: utilities whose
@@ -224,9 +230,12 @@ class ConeTree:
             return [int(i) for i in
                     np.flatnonzero(self._active & (self._tau <= 0.0))]
         p_dir = p / p_norm
-        candidates: list[np.ndarray] = []
-        frontier = (np.zeros(1, dtype=np.intp)
-                    if self._tau_min[0] != np.inf else np.empty(0, np.intp))
+        candidates: list[IndexArray] = []
+        # reprolint: disable=RPL002 -- +inf sentinel check, exact by construction
+        if self._tau_min[0] != np.inf:
+            frontier = np.zeros(1, dtype=np.intp)
+        else:
+            frontier = np.empty(0, np.intp)
         while frontier.size:
             # Cone bound for the whole frontier in one gathered mat-vec.
             cos_t = np.clip(self._axis_dir[frontier] @ p_dir, -1.0, 1.0)
@@ -245,6 +254,7 @@ class ConeTree:
             if internals.size:
                 kids = np.concatenate(
                     [self._left[internals], self._right[internals]])
+                # reprolint: disable=RPL002 -- +inf sentinel check, exact by construction
                 frontier = kids[self._tau_min[kids] != np.inf].astype(np.intp)
             else:
                 break
@@ -270,7 +280,7 @@ class ConeTree:
     def _grow_nodes(self) -> None:
         cap = self._left.shape[0]
         new_cap = 2 * cap
-        def grow1(arr, fill):
+        def grow1(arr: AnyArray, fill: float) -> AnyArray:
             out = np.full(new_cap, fill, dtype=arr.dtype)
             out[:cap] = arr
             return out
@@ -301,7 +311,7 @@ class ConeTree:
         self._mem_end = self._mem_end[:n].copy()
         self._is_leaf = self._is_leaf[:n].copy()
 
-    def _build(self, members: np.ndarray) -> None:
+    def _build(self, members: IndexArray) -> None:
         """Bulk-build the tree over ``members`` with an explicit stack.
 
         Same construction as Ram & Gray: the cone axis is the normalized
@@ -311,7 +321,7 @@ class ConeTree:
         the numbering the recursive formulation would assign, without
         Python recursion depth limits on skewed splits.
         """
-        stack: list[tuple[np.ndarray, int, bool]] = [(members, -1, False)]
+        stack: list[tuple[IndexArray, int, bool]] = [(members, -1, False)]
         while stack:
             group, parent, is_right = stack.pop()
             node = self._alloc_node(parent)
@@ -348,7 +358,7 @@ class ConeTree:
             stack.append((group[~go_left], node, True))
             stack.append((group[go_left], node, False))
 
-    def _set_leaf(self, node: int, members: np.ndarray) -> int:
+    def _set_leaf(self, node: int, members: IndexArray) -> int:
         start = self._pool_fill
         end = start + members.size
         self._member_pool[start:end] = members
@@ -378,6 +388,7 @@ class ConeTree:
                 l = tau_min[self._left[node]]
                 r = tau_min[self._right[node]]
                 fresh = l if l < r else r
+            # reprolint: disable=RPL002 -- exact write-back identity (skip if unchanged)
             if fresh == tau_min[node]:
                 return
             tau_min[node] = fresh

@@ -40,8 +40,12 @@ loose box only weakens pruning, never correctness.
 
 from __future__ import annotations
 
-import numpy as np
+from collections.abc import Iterable
 
+import numpy as np
+from numpy.typing import ArrayLike
+
+from repro._types import AnyArray, FloatArray, IndexArray
 from repro.utils import as_point_matrix
 
 _LEAF_CAPACITY = 16
@@ -81,7 +85,7 @@ class KDTree:
         self._box_max = np.full((cap, self._d), -np.inf, dtype=np.float64)
         self._total = np.zeros(cap, dtype=np.int64)
         self._alive = np.zeros(cap, dtype=np.int64)
-        self._buckets: list[np.ndarray | None] = [None] * cap
+        self._buckets: list[IndexArray | None] = [None] * cap
         self._bucket_len = np.zeros(cap, dtype=np.int64)
         self._n_nodes = 1                                  # node 0 = root
         self._free_nodes: list[int] = []
@@ -99,7 +103,8 @@ class KDTree:
     # Construction / updates
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, ids, points, *, leaf_capacity: int = _LEAF_CAPACITY) -> "KDTree":
+    def build(cls, ids: Iterable[int], points: ArrayLike, *,
+              leaf_capacity: int = _LEAF_CAPACITY) -> "KDTree":
         """Bulk-build a tree from aligned ``ids`` and ``points`` arrays.
 
         A true O(n log n) construction: the point pool is filled with
@@ -136,7 +141,7 @@ class KDTree:
     def d(self) -> int:
         return self._d
 
-    def insert(self, tuple_id: int, point) -> None:
+    def insert(self, tuple_id: int, point: ArrayLike) -> None:
         """Insert a point under ``tuple_id`` (must be fresh)."""
         if tuple_id in self._slot_of:
             raise KeyError(f"tuple id {tuple_id} already present")
@@ -171,7 +176,7 @@ class KDTree:
         if self._bucket_len[node] > self._leaf_capacity:
             self._split_leaf(node)
 
-    def insert_many(self, ids, points) -> None:
+    def insert_many(self, ids: Iterable[int], points: ArrayLike) -> None:
         """Insert a whole batch, routing all points level-by-level.
 
         Equivalent to calling :meth:`insert` per row, but the descent,
@@ -227,8 +232,8 @@ class KDTree:
             group = slots[order[s:e]]
             self._bucket_extend(leaf, group)
             if self._bucket_len[leaf] > self._leaf_capacity:
-                bucket = self._buckets[leaf][: self._bucket_len[leaf]].copy()
-                self._build_into(leaf, bucket, int(self._parent[leaf]))
+                self._build_into(leaf, self._bucket_view(leaf).copy(),
+                                 int(self._parent[leaf]))
 
     def delete(self, tuple_id: int) -> None:
         """Remove ``tuple_id``; rebuilds decayed subtrees opportunistically."""
@@ -260,7 +265,7 @@ class KDTree:
             self._build_into(rebuild_candidate, alive_slots,
                              int(self._parent[rebuild_candidate]))
 
-    def delete_many(self, tuple_ids) -> None:
+    def delete_many(self, tuple_ids: Iterable[int]) -> None:
         """Remove a whole batch of ids; one decay-rebuild pass at the end.
 
         Query-equivalent to calling :meth:`delete` per id: the alive
@@ -350,7 +355,7 @@ class KDTree:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def top_k(self, u, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def top_k(self, u: ArrayLike, k: int) -> tuple[IndexArray, FloatArray]:
         """Best-first top-k by inner product with nonnegative ``u``.
 
         Returns ``(ids, scores)`` sorted best-first with ties broken
@@ -382,7 +387,7 @@ class KDTree:
             leaves, internals = sel[leaf_mask], sel[~leaf_mask]
             if leaves.size:
                 slots = np.concatenate(
-                    [self._buckets[n][: self._bucket_len[n]] for n in leaves])
+                    [self._bucket_view(int(n)) for n in leaves])
                 if slots.size:
                     cand_scores = self._pts[slots] @ u
                     all_scores = np.concatenate([best_scores, cand_scores])
@@ -404,7 +409,8 @@ class KDTree:
                     bounds = np.concatenate([bounds, kid_bounds])
         return best_ids, best_scores
 
-    def range_query(self, u, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+    def range_query(self, u: ArrayLike,
+                    threshold: float) -> tuple[IndexArray, FloatArray]:
         """All ids with ``<u, p> >= threshold``; returns ``(ids, scores)``.
 
         Output is sorted by descending score, ties toward smaller id.
@@ -413,7 +419,7 @@ class KDTree:
         if u.shape[0] != self._d:
             raise ValueError(f"u has d={u.shape[0]}, expected {self._d}")
         threshold = float(threshold)
-        hit_slots: list[np.ndarray] = []
+        hit_slots: list[IndexArray] = []
         frontier = np.zeros(1, dtype=np.intp) if self._alive[0] > 0 \
             else np.empty(0, dtype=np.intp)
         while frontier.size:
@@ -424,7 +430,7 @@ class KDTree:
             leaf_mask = self._axis[frontier] < 0
             for n in frontier[leaf_mask]:
                 if self._bucket_len[n]:
-                    hit_slots.append(self._buckets[n][: self._bucket_len[n]])
+                    hit_slots.append(self._bucket_view(int(n)))
             internals = frontier[~leaf_mask]
             if internals.size:
                 kids = np.concatenate(
@@ -447,7 +453,7 @@ class KDTree:
     # ------------------------------------------------------------------
     # Internals — point pool
     # ------------------------------------------------------------------
-    def _new_slot(self, tuple_id: int, vec: np.ndarray) -> int:
+    def _new_slot(self, tuple_id: int, vec: FloatArray) -> int:
         if self._free_slots:
             slot = self._free_slots.pop()
         else:
@@ -460,7 +466,7 @@ class KDTree:
         self._slot_of[tuple_id] = slot
         return slot
 
-    def _new_slots(self, ids: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    def _new_slots(self, ids: IndexArray, pts: FloatArray) -> IndexArray:
         n = ids.shape[0]
         slots = np.empty(n, dtype=np.intp)
         reuse = min(len(self._free_slots), n)
@@ -521,7 +527,7 @@ class KDTree:
     def _grow_nodes(self) -> None:
         cap = self._axis.shape[0]
         new_cap = 2 * cap
-        def grow1(arr, fill):
+        def grow1(arr: AnyArray, fill: float) -> AnyArray:
             out = np.full(new_cap, fill, dtype=arr.dtype)
             out[:cap] = arr
             return out
@@ -557,7 +563,7 @@ class KDTree:
         self._bucket_len[leaf] = n + 1
         self._leaf_of_slot[slot] = leaf
 
-    def _bucket_extend(self, leaf: int, slots: np.ndarray) -> None:
+    def _bucket_extend(self, leaf: int, slots: IndexArray) -> None:
         bucket = self._buckets[leaf]
         n = int(self._bucket_len[leaf])
         need = n + slots.size
@@ -566,15 +572,22 @@ class KDTree:
                       2 * (bucket.shape[0] if bucket is not None else 0))
             grown = np.empty(cap, dtype=np.intp)
             if n:
+                assert bucket is not None  # n > 0 implies an allocated bucket
                 grown[:n] = bucket[:n]
             bucket = self._buckets[leaf] = grown
         bucket[n:need] = slots
         self._bucket_len[leaf] = need
         self._leaf_of_slot[slots] = leaf
 
+    def _bucket_view(self, node: int) -> IndexArray:
+        bucket = self._buckets[node]
+        assert bucket is not None  # callers only pass populated leaves
+        return bucket[: self._bucket_len[node]]
+
     def _bucket_remove(self, leaf: int, slot: int) -> None:
         bucket = self._buckets[leaf]
         n = int(self._bucket_len[leaf])
+        assert bucket is not None  # only populated leaves reach here
         # Buckets are tiny; a list scan beats allocating a mask array.
         pos = bucket[:n].tolist().index(slot)
         bucket[pos] = bucket[n - 1]
@@ -584,7 +597,7 @@ class KDTree:
     # ------------------------------------------------------------------
     # Internals — (re)building subtrees
     # ------------------------------------------------------------------
-    def _build_into(self, node: int, slots: np.ndarray, parent: int) -> None:
+    def _build_into(self, node: int, slots: IndexArray, parent: int) -> None:
         """(Re)build the subtree rooted at ``node`` from ``slots``.
 
         Median split on the widest axis, recursing via an explicit stack;
@@ -626,7 +639,7 @@ class KDTree:
             stack.append((left, group[mask], idx))
             stack.append((right, group[~mask], idx))
 
-    def _set_leaf(self, idx: int, group: np.ndarray) -> None:
+    def _set_leaf(self, idx: int, group: IndexArray) -> None:
         bucket = np.empty(max(group.size, self._leaf_capacity + 1),
                           dtype=np.intp)
         bucket[: group.size] = group
@@ -659,8 +672,8 @@ class KDTree:
         self._build_into(left, left_slots, leaf)
         self._build_into(right, right_slots, leaf)
 
-    def _collect_alive(self, node: int) -> np.ndarray:
-        out: list[np.ndarray] = []
+    def _collect_alive(self, node: int) -> IndexArray:
+        out: list[IndexArray] = []
         stack = [node]
         while stack:
             cur = stack.pop()

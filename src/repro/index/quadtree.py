@@ -168,7 +168,7 @@ class QuadTree:
                     elif entry > best[0]:
                         heapq.heapreplace(best, entry)
             else:
-                for child in node.children.values():
+                for _, child in sorted(node.children.items()):
                     if child.alive > 0:
                         bound = float(child.hi @ u)
                         if len(best) < k or bound >= best[0][0]:
@@ -197,7 +197,7 @@ class QuadTree:
                         hits_ids.append(tid)
                         hits_scores.append(score)
             else:
-                stack.extend(node.children.values())
+                stack.extend(child for _, child in sorted(node.children.items()))
         if not hits_ids:
             return (np.empty(0, dtype=np.intp), np.empty(0))
         ids = np.asarray(hits_ids, dtype=np.intp)

@@ -200,7 +200,7 @@ def replay_trace(trace: Trace, algorithm: str = "fd-rms", *, r: int,
     """
     spec = get_algorithm(algorithm)
     workload = trace.workload
-    routed = {key: value for key, value in dict(options or {}).items()
+    routed = {key: value for key, value in sorted(dict(options or {}).items())
               if spec.accepts_var_kwargs or key in spec.option_names}
     t_init = time.perf_counter()
     session = open_session(workload.initial, r, k=k, algo=algorithm,

@@ -31,9 +31,12 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from pathlib import Path
 from types import MappingProxyType
-from typing import Any, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 import numpy as np
+
+from repro._types import FloatArray
 
 from repro.data.database import DELETE, INSERT, Operation
 from repro.data.workload import DynamicWorkload
@@ -134,7 +137,7 @@ def jsonable_scalar(value: Any, *, round_floats: int | None = None) -> Any:
     return value
 
 
-def _point_list(point: np.ndarray) -> list[float]:
+def _point_list(point: FloatArray) -> list[float]:
     return [float(v) for v in point]
 
 
@@ -158,7 +161,8 @@ def _header(trace: Trace, *, content_hash: str | None) -> dict[str, Any]:
     return header
 
 
-def _canonical_lines(trace: Trace, *, content_hash: str | None):
+def _canonical_lines(trace: Trace, *,
+                     content_hash: str | None) -> Iterator[str]:
     yield json.dumps(_header(trace, content_hash=content_hash),
                      sort_keys=True, separators=(",", ":"))
     for tid, row in enumerate(trace.workload.initial):
@@ -169,7 +173,7 @@ def _canonical_lines(trace: Trace, *, content_hash: str | None):
                          separators=(",", ":"))
 
 
-def save_trace(trace: Trace, path) -> str:
+def save_trace(trace: Trace, path: str | Path) -> str:
     """Write ``trace`` as JSONL; returns its ``sha256:`` content hash."""
     content_hash = trace.content_hash
     with Path(path).open("w", encoding="utf-8") as handle:
@@ -179,7 +183,7 @@ def save_trace(trace: Trace, path) -> str:
     return content_hash
 
 
-def load_trace(path, *, verify: bool = True) -> Trace:
+def load_trace(path: str | Path, *, verify: bool = True) -> Trace:
     """Reload a trace saved with :func:`save_trace`.
 
     With ``verify=True`` (default) the recomputed content hash must
@@ -204,7 +208,7 @@ def load_trace(path, *, verify: bool = True) -> Trace:
         initial = np.empty((n_initial, d), dtype=np.float64)
         operations: list[Operation] = []
 
-        def body_line(what: str):
+        def body_line(what: str) -> tuple[Any, Any, Any]:
             line = handle.readline()
             try:
                 tag, tid, values = json.loads(line)

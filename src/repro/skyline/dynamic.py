@@ -106,7 +106,7 @@ class DynamicSkyline:
                     raise AssertionError(
                         "non-skyline tuple with children must have a witness"
                     )
-                for child in children:
+                for child in sorted(children):
                     self._witness[child] = witness
                 self._children.setdefault(witness, set()).update(children)
             return False

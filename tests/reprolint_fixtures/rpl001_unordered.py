@@ -1,0 +1,25 @@
+# fixture-relpath: src/repro/core/_fx_rpl001.py
+"""Unordered set/dict iteration inside a determinism-scoped module."""
+
+
+def iterate_set_literal():
+    total = 0
+    for item in {3, 1, 2}:
+        total += item
+    return total
+
+
+def iterate_dict_keys(mapping):
+    out = []
+    for key in mapping.keys():
+        out.append(key)
+    return out
+
+
+def materialize_local_set(values):
+    seen = set(values)
+    return list(seen)
+
+
+def sorted_iteration_is_fine(mapping):
+    return [key for key in sorted(mapping)]

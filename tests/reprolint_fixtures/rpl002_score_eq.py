@@ -1,0 +1,12 @@
+# fixture-relpath: src/repro/core/_fx_rpl002.py
+"""Exact float equality on score-like names."""
+
+
+def compare_scores(score, kth_score):
+    if score == kth_score:
+        return True
+    return score != 0.5
+
+
+def tolerant_compare_is_fine(score, kth_score):
+    return abs(score - kth_score) <= 1e-12

@@ -1,0 +1,16 @@
+# fixture-relpath: src/repro/core/_fx_rpl003.py
+"""Global RNG access vs. seeded generators."""
+import random
+
+import numpy as np
+
+
+def draw_bad(n):
+    noise = np.random.rand(n)
+    jitter = random.random()
+    return noise, jitter
+
+
+def draw_good_is_fine(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)

@@ -1,0 +1,28 @@
+# fixture-relpath: src/repro/core/topk.py
+"""Per-element Python loops over arrays in a hot-path module."""
+import numpy as np
+
+
+def per_element_sum(arr):
+    total = 0.0
+    for i in range(len(arr)):
+        total += arr[i]
+    return total
+
+
+def per_row(mat):
+    acc = []
+    for i in range(mat.shape[0]):
+        acc.append(mat[i].sum())
+    return acc
+
+
+def tolist_append(arr):
+    out = []
+    for value in arr.tolist():
+        out.append(value * 2)
+    return out
+
+
+def vectorized_is_fine(arr):
+    return float(np.sum(arr))

@@ -1,0 +1,15 @@
+# fixture-relpath: src/repro/core/_fx_rpl005.py
+"""Wall-clock reads outside the timing shim."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    label = datetime.now()
+    return started, label
+
+
+def monotonic_is_fine():
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0

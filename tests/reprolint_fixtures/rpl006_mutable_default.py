@@ -1,0 +1,16 @@
+# fixture-relpath: src/repro/core/_fx_rpl006.py
+"""Mutable default arguments."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def fresh_default_is_fine(item, bucket=None):
+    return (bucket or []) + [item]

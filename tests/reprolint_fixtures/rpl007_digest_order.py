@@ -1,0 +1,16 @@
+# fixture-relpath: src/repro/utils/_fx_rpl007.py
+"""Digest fed from an unordered comprehension."""
+import hashlib
+
+
+def digest_of(mapping):
+    digest = hashlib.sha256()
+    digest.update(repr({k: v for k, v in mapping.items()}).encode())
+    return digest.hexdigest()
+
+
+def canonical_digest_is_fine(mapping):
+    digest = hashlib.sha256()
+    for key in sorted(mapping):
+        digest.update(repr((key, mapping[key])).encode())
+    return digest.hexdigest()

@@ -1,0 +1,20 @@
+# fixture-relpath: src/repro/core/set_cover.py
+"""Array allocation inside per-op loops of the flat-array core."""
+import numpy as np
+
+
+def repair_loop(rows):
+    outputs = []
+    for row in rows:
+        scratch = np.zeros(row.size)
+        scratch[row] = 1.0
+        outputs.append(scratch.sum())
+    return outputs
+
+
+def hoisted_scratch_is_fine(rows, scratch):
+    outputs = []
+    for row in rows:
+        scratch[:] = 0.0
+        outputs.append(scratch[row].sum())
+    return outputs

@@ -1,0 +1,13 @@
+# fixture-relpath: src/repro/core/_fx_rpl009.py
+"""Suppression pragmas: justified ones hide, bare ones are themselves flagged."""
+import numpy as np
+
+
+def suppressed_draw(n):
+    # reprolint: disable=RPL003 -- fixture: exercising a justified suppression
+    return np.random.rand(n)
+
+
+def bare_pragma(n):
+    # reprolint: disable=RPL003
+    return np.random.rand(n)

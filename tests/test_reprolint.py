@@ -1,0 +1,212 @@
+"""Tests for the reprolint determinism/hot-path linter.
+
+Three layers:
+
+* the fixture corpus under ``tests/reprolint_fixtures/`` — one file per
+  rule, linted under the repo-relative path declared on its first line
+  and compared against a golden ``.expected`` diagnostics file;
+* suppression semantics — trailing vs. standalone pragmas, mandatory
+  justifications (RPL009), multi-code pragmas, and ``skip-file``;
+* path scoping — scoped rules fire only inside their declared prefixes
+  and ``respect_scope=False`` widens them everywhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint.cli import main
+from tools.reprolint.engine import lint_source
+from tools.reprolint.rules import RULES
+
+FIXTURE_DIR = Path(__file__).parent / "reprolint_fixtures"
+FIXTURES = sorted(FIXTURE_DIR.glob("rpl*.py"))
+
+
+def _fixture_relpath(source: str) -> str:
+    first = source.splitlines()[0]
+    assert first.startswith("# fixture-relpath:"), first
+    return first.split(":", 1)[1].strip()
+
+
+# ----------------------------------------------------------------------
+# Fixture corpus against golden diagnostics
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_matches_golden(fixture: Path) -> None:
+    source = fixture.read_text(encoding="utf-8")
+    relpath = _fixture_relpath(source)
+    result = lint_source(source, relpath)
+    got = [d.render(with_hint=False) for d in result.active]
+    expected = fixture.with_suffix(".expected").read_text(
+        encoding="utf-8").splitlines()
+    assert got == expected
+
+
+def test_corpus_covers_every_rule() -> None:
+    """Each RPL code appears in at least one golden file."""
+    seen: set[str] = set()
+    for fixture in FIXTURES:
+        expected = fixture.with_suffix(".expected").read_text(
+            encoding="utf-8")
+        seen.update(code for code in RULES if f" {code} " in expected)
+    assert seen == set(RULES)
+
+
+def test_fixture_diagnostics_carry_fixit_hints() -> None:
+    """Every rendered diagnostic can carry its rule's fix-it message."""
+    source = FIXTURES[0].read_text(encoding="utf-8")
+    result = lint_source(source, _fixture_relpath(source))
+    assert result.active
+    for diag in result.active:
+        rendered = diag.render(with_hint=True)
+        assert RULES[diag.code].fixit in rendered
+
+
+# ----------------------------------------------------------------------
+# Suppression semantics
+# ----------------------------------------------------------------------
+
+_RNG_LINE = "value = np.random.rand(3)"
+
+
+def _codes(result, *, include_suppressed: bool = False) -> list[str]:
+    diags = result.diagnostics if include_suppressed else result.active
+    return [d.code for d in diags]
+
+
+def test_trailing_pragma_suppresses_its_own_line() -> None:
+    src = ("import numpy as np\n"
+           f"{_RNG_LINE}  # reprolint: disable=RPL003 -- test fixture\n")
+    result = lint_source(src, "src/repro/core/x.py")
+    assert _codes(result) == []
+    assert _codes(result, include_suppressed=True) == ["RPL003"]
+
+
+def test_standalone_pragma_suppresses_next_line_only() -> None:
+    src = ("import numpy as np\n"
+           "# reprolint: disable=RPL003 -- test fixture\n"
+           f"{_RNG_LINE}\n"
+           f"other = np.random.rand(2)\n")
+    result = lint_source(src, "src/repro/core/x.py")
+    assert [(d.code, d.line) for d in result.active] == [("RPL003", 4)]
+
+
+def test_unjustified_pragma_reports_rpl009_and_does_not_suppress() -> None:
+    src = ("import numpy as np\n"
+           f"{_RNG_LINE}  # reprolint: disable=RPL003\n")
+    result = lint_source(src, "src/repro/core/x.py")
+    assert sorted(_codes(result)) == ["RPL003", "RPL009"]
+
+
+def test_pragma_with_multiple_codes() -> None:
+    src = ("import numpy as np\n"
+           "import time\n"
+           "t = time.time(); v = np.random.rand(1)"
+           "  # reprolint: disable=RPL003,RPL005 -- test fixture\n")
+    result = lint_source(src, "src/repro/core/x.py")
+    assert _codes(result) == []
+    assert sorted(_codes(result, include_suppressed=True)) == \
+        ["RPL003", "RPL005"]
+
+
+def test_skip_file_pragma() -> None:
+    src = ("# reprolint: skip-file -- generated test input\n"
+           "import numpy as np\n"
+           f"{_RNG_LINE}\n")
+    result = lint_source(src, "src/repro/core/x.py")
+    assert result.skipped
+    assert _codes(result) == []
+
+
+def test_unknown_code_in_pragma_is_rpl009() -> None:
+    src = ("import numpy as np\n"
+           f"{_RNG_LINE}  # reprolint: disable=RPL999 -- no such rule\n")
+    result = lint_source(src, "src/repro/core/x.py")
+    assert "RPL009" in _codes(result)
+
+
+# ----------------------------------------------------------------------
+# Path scoping
+# ----------------------------------------------------------------------
+
+_SET_LOOP = "for item in {3, 1, 2}:\n    print(item)\n"
+
+
+def test_rpl001_scoped_to_deterministic_modules() -> None:
+    in_scope = lint_source(_SET_LOOP, "src/repro/core/x.py")
+    out_of_scope = lint_source(_SET_LOOP, "examples/demo.py")
+    assert _codes(in_scope) == ["RPL001"]
+    assert _codes(out_of_scope) == []
+
+
+def test_no_scope_flag_widens_every_rule() -> None:
+    widened = lint_source(_SET_LOOP, "examples/demo.py",
+                          respect_scope=False)
+    assert _codes(widened) == ["RPL001"]
+
+
+def test_rpl005_excludes_timing_shim_and_replay() -> None:
+    src = "import time\nnow = time.time()\n"
+    assert _codes(lint_source(src, "src/repro/utils/timing.py")) == []
+    assert _codes(lint_source(src, "src/repro/scenarios/replay.py")) == []
+    assert _codes(lint_source(src, "src/repro/core/x.py")) == ["RPL005"]
+
+
+def test_rpl008_only_in_hot_alloc_modules() -> None:
+    src = ("import numpy as np\n"
+           "for _ in range(3):\n"
+           "    buf = np.zeros(4)\n")
+    assert _codes(lint_source(src, "src/repro/core/topk.py")) == ["RPL008"]
+    assert _codes(lint_source(src, "src/repro/baselines/greedy.py")) == []
+
+
+def test_select_restricts_rules() -> None:
+    src = ("import numpy as np\n"
+           "import time\n"
+           "t = time.time()\n"
+           "v = np.random.rand(1)\n")
+    result = lint_source(src, "src/repro/core/x.py", select=["RPL005"])
+    assert _codes(result) == ["RPL005"]
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+
+def test_cli_exit_zero_on_clean_tree(capsys, tmp_path: Path) -> None:
+    clean = tmp_path / "clean.py"
+    clean.write_text("import numpy as np\n\n\ndef f(x: int) -> int:\n"
+                     "    return x + 1\n", encoding="utf-8")
+    assert main([str(clean)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_exit_one_on_diagnostics(capsys, tmp_path: Path) -> None:
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(bucket=[]):\n    return bucket\n",
+                     encoding="utf-8")
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL006" in out
+
+
+def test_cli_exit_two_on_parse_error(capsys, tmp_path: Path) -> None:
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n", encoding="utf-8")
+    assert main([str(broken)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_fixture_corpus_reports_correct_codes(capsys) -> None:
+    """The on-disk corpus is only linted when explicitly included."""
+    assert main([str(FIXTURE_DIR), "--include-fixtures"]) == 1
+    out = capsys.readouterr().out
+    # Scoped rules don't apply at tests/... paths, but the unscoped
+    # determinism rules must fire at their fixture locations.
+    assert "rpl003_global_rng.py:9:12: RPL003" in out
+    assert "rpl005_wall_clock.py:8:14: RPL005" in out
+    assert "rpl006_mutable_default.py:5:25: RPL006" in out

@@ -1,0 +1,26 @@
+"""reprolint — repo-specific determinism & hot-path static analysis.
+
+An AST-based linter (stdlib only) that machine-checks the FD-RMS repo's
+determinism/parity contract: canonical iteration order, SCORE_TOL float
+comparisons, seeded RNG plumbing, vectorized hot paths, monotonic timing,
+and allocation-free per-op loops.  See README.md "Static analysis".
+"""
+
+from tools.reprolint.engine import (
+    Diagnostic,
+    LintResult,
+    lint_file,
+    lint_source,
+    run_paths,
+)
+from tools.reprolint.rules import RULES, Rule
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "lint_file",
+    "lint_source",
+    "run_paths",
+]

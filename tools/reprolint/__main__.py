@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m tools.reprolint``."""
+
+from tools.reprolint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Command-line front end: ``python -m tools.reprolint src tests benchmarks``.
+
+Exit codes: 0 = clean, 1 = active diagnostics, 2 = usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from tools.reprolint.engine import LintResult, run_paths
+from tools.reprolint.rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "repo-specific determinism & hot-path linter for the FD-RMS codebase"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print per-code diagnostic counts after the findings",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print diagnostics silenced by disable pragmas",
+    )
+    parser.add_argument(
+        "--no-scope",
+        action="store_true",
+        help="ignore per-rule path scopes (audit mode; noisy by design)",
+    )
+    parser.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="lint tests/reprolint_fixtures (excluded by default; it is a corpus "
+        "of deliberate violations)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="diagnostic format; 'github' emits workflow ::error annotations",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    width = max(len(rule.name) for rule in RULES.values())
+    for code in sorted(RULES):
+        rule = RULES[code]
+        scope = ", ".join(rule.include) if rule.include else "everywhere"
+        if rule.exclude:
+            scope += f" (except {', '.join(rule.exclude)})"
+        print(f"{code}  {rule.name:<{width}}  {rule.summary}")
+        print(f"{'':6}  {'':{width}}  scope: {scope}")
+        print(f"{'':6}  {'':{width}}  fix: {rule.fixit}")
+
+
+def _render(result_list: list[LintResult], args: argparse.Namespace) -> int:
+    active_total = 0
+    suppressed_total = 0
+    counts: Counter[str] = Counter()
+    for result in result_list:
+        for diag in result.diagnostics:
+            if diag.suppressed:
+                suppressed_total += 1
+                if not args.show_suppressed:
+                    continue
+                prefix = "[suppressed] "
+            else:
+                active_total += 1
+                counts[diag.code] += 1
+                prefix = ""
+            if args.format == "github" and not diag.suppressed:
+                print(
+                    f"::error file={diag.path},line={diag.line},"
+                    f"col={diag.col + 1},title={diag.code}::{diag.message}"
+                )
+            else:
+                print(prefix + diag.render())
+    if args.statistics:
+        print()
+        files = len(result_list)
+        skipped = sum(1 for r in result_list if r.skipped)
+        print(
+            f"reprolint: {files} files checked ({skipped} skip-file'd), "
+            f"{active_total} diagnostics, {suppressed_total} suppressed"
+        )
+        for code in sorted(counts):
+            print(f"  {code} {RULES[code].name}: {counts[code]}")
+    return 1 if active_total else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        unknown = sorted(set(select) - set(RULES))
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(unknown)}")
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"path(s) not found: {', '.join(missing)}")
+    try:
+        results = run_paths(
+            args.paths,
+            select=select,
+            respect_scope=not args.no_scope,
+            include_fixtures=args.include_fixtures,
+        )
+    except SyntaxError as exc:
+        print(f"reprolint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+    return _render(results, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

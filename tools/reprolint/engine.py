@@ -1,0 +1,749 @@
+"""reprolint engine: suppression parsing, the AST checker, and path walking.
+
+The checker is a single-pass :class:`ast.NodeVisitor` that evaluates every
+rule whose path scope covers the file being linted.  Suppressions are
+comment pragmas::
+
+    # reprolint: disable=RPL001,RPL008 -- why this occurrence is intentional
+    # reprolint: skip-file -- why the whole file is exempt
+
+A ``disable`` pragma on its own line suppresses matching diagnostics on the
+next line; a trailing pragma suppresses its own line.  The justification
+after ``--`` is mandatory — a pragma without one is itself reported as
+RPL009 and suppresses nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from tools.reprolint.rules import (
+    ALLOWED_NP_RANDOM,
+    DIGEST_CONSTRUCTORS,
+    HOT_ALLOC_CALLS,
+    MUTABLE_FACTORIES,
+    RULES,
+    STDLIB_RANDOM_FUNCS,
+    WALL_CLOCK_CALLS,
+    Rule,
+    is_digest_receiver,
+    is_score_like,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "lint_source",
+    "lint_file",
+    "run_paths",
+    "iter_python_files",
+]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``path:line:col: CODE message (hint: fixit)``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    suppressed: bool = False
+
+    def render(self, *, with_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        rule = RULES.get(self.code)
+        if with_hint and rule is not None:
+            text += f" (hint: {rule.fixit})"
+        return text
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Diagnostics for one file plus whether the file was skip-file'd."""
+
+    path: str
+    diagnostics: tuple[Diagnostic, ...]
+    skipped: bool = False
+
+    @property
+    def active(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if not d.suppressed)
+
+
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*(?P<body>.*)$")
+_DISABLE_RE = re.compile(
+    r"disable\s*=\s*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+_SKIP_FILE_RE = re.compile(r"skip-file(?:\s*--\s*(?P<why>.*))?$")
+
+
+class _Suppressions:
+    """Parsed pragma state for one file."""
+
+    def __init__(self) -> None:
+        self.by_line: dict[int, frozenset[str]] = {}
+        self.skip_file = False
+        self.errors: list[tuple[int, int, str]] = []
+
+    def covers(self, line: int, code: str) -> bool:
+        return code in self.by_line.get(line, frozenset())
+
+
+def _parse_suppressions(source: str) -> _Suppressions:
+    sup = _Suppressions()
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return sup
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        line, col = tok.start
+        body = match.group("body").strip()
+        skip = _SKIP_FILE_RE.match(body)
+        if skip is not None:
+            why = (skip.group("why") or "").strip()
+            if not why:
+                sup.errors.append(
+                    (line, col, "skip-file pragma without a justification")
+                )
+            elif line <= 10:
+                sup.skip_file = True
+            else:
+                sup.errors.append(
+                    (line, col, "skip-file pragma must be in the first 10 lines")
+                )
+            continue
+        disable = _DISABLE_RE.match(body)
+        if disable is None:
+            sup.errors.append((line, col, f"unrecognized reprolint pragma {body!r}"))
+            continue
+        codes = frozenset(c.strip() for c in disable.group("codes").split(","))
+        unknown = sorted(c for c in codes if c not in RULES)
+        why = (disable.group("why") or "").strip()
+        if unknown:
+            sup.errors.append((line, col, f"unknown rule code(s): {', '.join(unknown)}"))
+            continue
+        if "RPL009" in codes:
+            sup.errors.append((line, col, "RPL009 is not suppressible"))
+            continue
+        if not why:
+            sup.errors.append(
+                (line, col, f"disable={','.join(sorted(codes))} without a justification")
+            )
+            continue
+        # A standalone pragma guards the next line; a trailing one its own.
+        prefix = lines[line - 1][:col] if line - 1 < len(lines) else ""
+        target = line + 1 if not prefix.strip() else line
+        sup.by_line[target] = sup.by_line.get(target, frozenset()) | codes
+    return sup
+
+
+# ---------------------------------------------------------------------------
+# unordered-expression classification (shared by RPL001 / RPL007)
+# ---------------------------------------------------------------------------
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+
+def _unordered_reason(node: ast.expr, local_unordered: frozenset[str]) -> str | None:
+    """Describe why ``node`` evaluates to an unordered collection, else None."""
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return f"{func.id}() result"
+        if isinstance(func, ast.Attribute) and func.attr in _DICT_VIEWS:
+            return f".{func.attr}() view"
+        return None
+    if isinstance(node, ast.Name) and node.id in local_unordered:
+        return f"set/dict-valued local {node.id!r}"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        left = _unordered_reason(node.left, local_unordered)
+        right = _unordered_reason(node.right, local_unordered)
+        if left is not None or right is not None:
+            return "set-algebra expression"
+    return None
+
+
+def _collect_unordered_locals(scope: ast.AST) -> frozenset[str]:
+    """Names in ``scope`` whose every binding is an unordered collection.
+
+    Conservative single-pass dataflow: a name qualifies only when *all* its
+    assignments (in this scope, excluding nested function/class bodies) bind
+    an unordered expression, and it is never rebound by a loop target,
+    ``with``-as, parameter, or augmented assignment.
+    """
+    assigned: dict[str, list[ast.expr | None]] = {}
+
+    def note(name: str, value: ast.expr | None) -> None:
+        assigned.setdefault(name, []).append(value)
+
+    def target_names(target: ast.expr) -> Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from target_names(elt)
+        elif isinstance(target, ast.Starred):
+            yield from target_names(target.value)
+
+    class Collector(ast.NodeVisitor):
+        def visit_Assign(self, node: ast.Assign) -> None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    note(target.id, node.value)
+                else:
+                    for name in target_names(target):
+                        note(name, None)
+            self.generic_visit(node)
+
+        def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                note(node.target.id, node.value)
+            self.generic_visit(node)
+
+        def visit_AugAssign(self, node: ast.AugAssign) -> None:
+            for name in target_names(node.target):
+                note(name, None)
+            self.generic_visit(node)
+
+        def visit_For(self, node: ast.For) -> None:
+            for name in target_names(node.target):
+                note(name, None)
+            self.generic_visit(node)
+
+        def visit_withitem(self, node: ast.withitem) -> None:
+            if node.optional_vars is not None:
+                for name in target_names(node.optional_vars):
+                    note(name, None)
+            self.generic_visit(node)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is not scope:
+                note(node.name, None)
+            else:
+                for arg in ast.walk(node.args):
+                    if isinstance(arg, ast.arg):
+                        note(arg.arg, None)
+                for stmt in node.body:
+                    self.visit(stmt)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            if node is not scope:
+                note(node.name, None)
+            else:
+                for arg in ast.walk(node.args):
+                    if isinstance(arg, ast.arg):
+                        note(arg.arg, None)
+                for stmt in node.body:
+                    self.visit(stmt)
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            if node is not scope:
+                note(node.name, None)
+            else:
+                for stmt in node.body:
+                    self.visit(stmt)
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            return None
+
+        def visit_Global(self, node: ast.Global) -> None:
+            for name in node.names:
+                note(name, None)
+
+        def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+            for name in node.names:
+                note(name, None)
+
+    Collector().visit(scope)
+    unordered: set[str] = set()
+    for name, values in assigned.items():
+        if values and all(
+            v is not None and _unordered_reason(v, frozenset()) is not None
+            for v in values
+        ):
+            unordered.add(name)
+    return frozenset(unordered)
+
+
+# ---------------------------------------------------------------------------
+# the checker
+# ---------------------------------------------------------------------------
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for pure Name/Attribute chains, else None."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _terminal_identifier(node: ast.expr) -> str | None:
+    """Rightmost identifier of a Name/Attribute/Subscript chain."""
+    cur: ast.expr = node
+    while isinstance(cur, (ast.Subscript, ast.Starred)):
+        cur = cur.value
+    if isinstance(cur, ast.Attribute):
+        return cur.attr
+    if isinstance(cur, ast.Name):
+        return cur.id
+    return None
+
+
+_ITER_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter", "map"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, relpath: str, active: frozenset[str]) -> None:
+        self.relpath = relpath
+        self.active = active
+        self.diagnostics: list[Diagnostic] = []
+        self._loop_depth = 0
+        self._scope_stack: list[frozenset[str]] = []
+
+    # -- helpers ----------------------------------------------------------
+
+    def report(self, code: str, node: ast.AST, message: str) -> None:
+        if code in self.active:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            self.diagnostics.append(Diagnostic(self.relpath, line, col, code, message))
+
+    @property
+    def _locals(self) -> frozenset[str]:
+        return self._scope_stack[-1] if self._scope_stack else frozenset()
+
+    def _unordered(self, node: ast.expr) -> str | None:
+        return _unordered_reason(node, self._locals)
+
+    def _check_iteration_site(self, iterable: ast.expr, where: str) -> None:
+        reason = self._unordered(iterable)
+        if reason is not None:
+            self.report(
+                "RPL001",
+                iterable,
+                f"{where} iterates a {reason}; ordering is not canonical",
+            )
+
+    # -- scope management --------------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._scope_stack.append(_collect_unordered_locals(node))
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        outer_depth = self._loop_depth
+        self._loop_depth = 0
+        self._scope_stack.append(_collect_unordered_locals(node))
+        self.generic_visit(node)
+        self._scope_stack.pop()
+        self._loop_depth = outer_depth
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- RPL006: mutable defaults -----------------------------------------
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is None:
+                continue
+            bad: str | None = None
+            if isinstance(default, (ast.List, ast.ListComp)):
+                bad = "list"
+            elif isinstance(default, (ast.Dict, ast.DictComp)):
+                bad = "dict"
+            elif isinstance(default, (ast.Set, ast.SetComp)):
+                bad = "set"
+            elif isinstance(default, ast.Call):
+                name = _terminal_identifier(default.func)
+                if name in MUTABLE_FACTORIES:
+                    bad = name
+            if bad is not None:
+                self.report(
+                    "RPL006", default, f"mutable default argument ({bad} value)"
+                )
+
+    # -- RPL001 / RPL004 / RPL008: loops ----------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration_site(node.iter, "for loop")
+        self._check_per_element_loop(node)
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration_site(node.iter, "async for loop")
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def _check_per_element_loop(self, node: ast.For) -> None:
+        iterator = node.iter
+        if isinstance(iterator, ast.Call):
+            func_name = _terminal_identifier(iterator.func)
+            if func_name == "range" and len(iterator.args) == 1:
+                arg = iterator.args[0]
+                extent: str | None = None
+                if (
+                    isinstance(arg, ast.Call)
+                    and _terminal_identifier(arg.func) == "len"
+                ):
+                    extent = "range(len(...))"
+                elif (
+                    isinstance(arg, ast.Subscript)
+                    and _terminal_identifier(arg.value) == "shape"
+                ):
+                    extent = "range(arr.shape[...])"
+                elif (
+                    isinstance(arg, ast.Attribute) and arg.attr == "size"
+                ):
+                    extent = "range(arr.size)"
+                if extent is not None:
+                    self.report(
+                        "RPL004",
+                        node,
+                        f"per-element index loop ({extent}) over an array extent",
+                    )
+                    return
+            if (
+                isinstance(iterator.func, ast.Attribute)
+                and iterator.func.attr == "tolist"
+                and _is_append_only_body(node.body)
+            ):
+                self.report(
+                    "RPL004",
+                    node,
+                    "per-element .tolist() loop accumulating via .append",
+                )
+
+    # -- comprehensions (RPL001) ------------------------------------------
+
+    def _check_comprehension(
+        self,
+        node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp,
+        kind: str,
+    ) -> None:
+        for gen in node.generators:
+            self._check_iteration_site(gen.iter, kind)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node, "list comprehension")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comprehension(node, "set comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node, "dict comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node, "generator expression")
+
+    # -- RPL002: float equality on score-like names ------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_excused_operand(left) or _is_excused_operand(right):
+                continue
+            for side in (left, right):
+                name = _terminal_identifier(side)
+                if name is not None and is_score_like(name):
+                    self.report(
+                        "RPL002",
+                        node,
+                        f"exact float {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"on score-like name {name!r}",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- RPL003 / RPL005 / RPL007 / RPL008: calls & attributes -------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = _dotted_name(node)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in {"np", "numpy"}
+                and parts[1] == "random"
+                and parts[2] not in ALLOWED_NP_RANDOM
+            ):
+                self.report(
+                    "RPL003", node, f"global numpy RNG access ({dotted})"
+                )
+            elif (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in STDLIB_RANDOM_FUNCS
+            ):
+                self.report(
+                    "RPL003", node, f"global stdlib RNG access ({dotted})"
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            if dotted in WALL_CLOCK_CALLS:
+                self.report("RPL005", node, f"wall-clock read ({dotted}())")
+            if dotted in HOT_ALLOC_CALLS and self._loop_depth > 0:
+                self.report(
+                    "RPL008",
+                    node,
+                    f"{dotted}() allocates inside a per-op loop",
+                )
+        func_name = _terminal_identifier(node.func)
+        if func_name in _ITER_CONSUMERS:
+            for arg in node.args:
+                reason = self._unordered(arg)
+                if reason is not None:
+                    self.report(
+                        "RPL001",
+                        arg,
+                        f"{func_name}() materializes a {reason} in "
+                        "non-canonical order",
+                    )
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            for arg in node.args:
+                reason = self._unordered(arg)
+                if reason is not None:
+                    self.report(
+                        "RPL001",
+                        arg,
+                        f"str.join over a {reason}; ordering is not canonical",
+                    )
+        self._check_digest_call(node, dotted, func_name)
+        self.generic_visit(node)
+
+    def _check_digest_call(
+        self, node: ast.Call, dotted: str | None, func_name: str | None
+    ) -> None:
+        is_digest = False
+        if func_name in DIGEST_CONSTRUCTORS:
+            is_digest = True
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "update":
+            receiver = _terminal_identifier(node.func.value)
+            if receiver is not None and is_digest_receiver(receiver):
+                is_digest = True
+        if not is_digest:
+            return
+        for arg in node.args:
+            target = arg
+            # encode()/repr()/str() wrappers don't impose an ordering.
+            while isinstance(target, ast.Call) and (
+                (
+                    isinstance(target.func, ast.Attribute)
+                    and target.func.attr == "encode"
+                    and isinstance(target.func.value, ast.expr)
+                )
+                or _terminal_identifier(target.func) in {"repr", "str", "bytes"}
+            ):
+                if isinstance(target.func, ast.Attribute):
+                    target = target.func.value
+                elif target.args:
+                    target = target.args[0]
+                else:
+                    break
+            reason = self._unordered(target)
+            if reason is not None:
+                self.report(
+                    "RPL007",
+                    arg,
+                    f"digest input is a {reason}; hash depends on arbitrary order",
+                )
+
+
+def _is_excused_operand(node: ast.expr) -> bool:
+    """Comparisons against None / strings are identity-ish, not float math."""
+    return isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, str)
+    )
+
+
+def _is_append_only_body(body: list[ast.stmt]) -> bool:
+    """True when every statement is (conditionally) ``x.append(...)``."""
+    if not body:
+        return False
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            if not _is_append_only_body(stmt.body):
+                return False
+            if stmt.orelse and not _is_append_only_body(stmt.orelse):
+                return False
+        elif isinstance(stmt, ast.Expr):
+            call = stmt.value
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "append"
+            ):
+                return False
+        else:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    *,
+    select: Iterable[str] | None = None,
+    respect_scope: bool = True,
+) -> LintResult:
+    """Lint ``source`` as if it lived at repo-relative ``relpath``."""
+    relpath = relpath.replace("\\", "/")
+    sup = _parse_suppressions(source)
+    diagnostics: list[Diagnostic] = [
+        Diagnostic(relpath, line, col, "RPL009", message)
+        for line, col, message in sup.errors
+    ]
+    if sup.skip_file:
+        return LintResult(relpath, tuple(diagnostics), skipped=True)
+    chosen = frozenset(select) if select is not None else frozenset(RULES)
+    active = frozenset(
+        code
+        for code, rule in RULES.items()
+        if code in chosen and (not respect_scope or rule.applies_to(relpath))
+    )
+    tree = ast.parse(source, filename=relpath)
+    checker = _Checker(relpath, active)
+    checker.visit(tree)
+    for diag in checker.diagnostics:
+        if sup.covers(diag.line, diag.code):
+            diag = Diagnostic(
+                diag.path, diag.line, diag.col, diag.code, diag.message, True
+            )
+        diagnostics.append(diag)
+    diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
+    return LintResult(relpath, tuple(diagnostics))
+
+
+def lint_file(
+    path: Path,
+    root: Path,
+    *,
+    select: Iterable[str] | None = None,
+    respect_scope: bool = True,
+) -> LintResult:
+    resolved = path.resolve()
+    try:
+        relpath = resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        # Outside the root (e.g. an absolute path to a scratch file):
+        # lint it under its absolute path, where no scoped rule applies.
+        relpath = resolved.as_posix()
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, relpath, select=select, respect_scope=respect_scope)
+
+
+_SKIP_DIRS = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".mypy_cache",
+        ".ruff_cache",
+        ".pytest_cache",
+        ".hypothesis",
+        "build",
+        "dist",
+        ".venv",
+        "venv",
+        "node_modules",
+    }
+)
+
+
+def iter_python_files(
+    paths: Iterable[Path], *, include_fixtures: bool = False
+) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (deterministic sorted order)."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for sub in sorted(path.rglob("*.py")):
+            parts = set(sub.parts)
+            if parts & _SKIP_DIRS:
+                continue
+            if not include_fixtures and "reprolint_fixtures" in parts:
+                continue
+            yield sub
+
+
+def run_paths(
+    paths: Iterable[str | Path],
+    *,
+    root: str | Path | None = None,
+    select: Iterable[str] | None = None,
+    respect_scope: bool = True,
+    include_fixtures: bool = False,
+) -> list[LintResult]:
+    """Lint every Python file under ``paths``; root defaults to the CWD."""
+    root_path = Path(root) if root is not None else Path.cwd()
+    results: list[LintResult] = []
+    for file_path in iter_python_files(
+        (Path(p) for p in paths), include_fixtures=include_fixtures
+    ):
+        results.append(
+            lint_file(
+                file_path, root_path, select=select, respect_scope=respect_scope
+            )
+        )
+    return results
