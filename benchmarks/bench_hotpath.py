@@ -31,6 +31,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -45,6 +46,8 @@ from repro.data.workload import (
     make_skewed_workload,
 )
 from repro.index.kdtree import KDTree
+from repro.persist.atomic import write_json_atomic
+from repro.persist.checkpoint import load_checkpoint, save_checkpoint
 
 from _legacy_seed import LegacyConeTree, LegacyKDTree
 
@@ -82,12 +85,16 @@ def _drive_batched(engine: FDRMS, ops) -> float:
     return time.perf_counter() - start
 
 
-def _bench_workload(name: str, initial, ops, *, skip_legacy: bool) -> dict:
+def _bench_workload(name: str, initial, ops, *,
+                    skip_legacy: bool) -> tuple[dict, FDRMS]:
+    """Returns the report entry and the driven flat-batched engine
+    (reused by the checkpoint-restore benchmark)."""
     print(f"\n--- workload {name}: |P0|={initial.shape[0]}, "
           f"{len(ops)} ops ---")
     out: dict = {"n_initial": int(initial.shape[0]), "n_ops": len(ops),
                  "engines": {}}
     results = {}
+    kept: FDRMS | None = None
     plan = [("flat_batched", False, _drive_batched),
             ("flat_single_op", False, _drive_single)]
     if not skip_legacy:
@@ -98,6 +105,8 @@ def _bench_workload(name: str, initial, ops, *, skip_legacy: bool) -> dict:
         init_s = time.perf_counter() - t0
         seconds = drive(engine, ops)
         results[label] = engine.result()
+        if label == "flat_batched":
+            kept = engine
         ops_per_s = len(ops) / seconds
         out["engines"][label] = {
             "init_seconds": round(init_s, 4),
@@ -136,6 +145,39 @@ def _bench_workload(name: str, initial, ops, *, skip_legacy: bool) -> dict:
         print(f"speedup: batched vs seed single-op "
               f"{out['batched_vs_seed_speedup']:.2f}x, "
               f"vs flat single-op {out['batched_vs_single_speedup']:.2f}x")
+    assert kept is not None
+    return out, kept
+
+
+def _bench_restore(engine: FDRMS, cold_init_seconds: float) -> dict:
+    """Checkpoint the driven engine and time a warm restore.
+
+    The restore must reproduce the live engine's ``state_digest()``
+    exactly; the reported speedup is machine-relative (cold init and
+    restore timed in the same process), which is what the CI perf gate
+    pins.
+    """
+    live_digest = engine.state_digest()
+    out: dict = {"n_alive": len(engine.database)}
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = Path(tmp) / "ckpt"
+        t0 = time.perf_counter()
+        save_checkpoint(engine, ckpt)
+        out["save_seconds"] = round(time.perf_counter() - t0, 4)
+        t0 = time.perf_counter()
+        restored, _manifest = load_checkpoint(ckpt)
+        restore_s = time.perf_counter() - t0
+    assert restored.state_digest() == live_digest, \
+        "restored engine diverged from the live one"
+    out["restore_seconds"] = round(restore_s, 4)
+    out["cold_init_seconds"] = round(cold_init_seconds, 4)
+    out["restore_speedup_vs_cold"] = round(cold_init_seconds / restore_s, 2)
+    print(f"\n--- checkpoint restore (n={out['n_alive']}) ---\n"
+          f"save {out['save_seconds']:6.2f}s  "
+          f"restore {restore_s:6.3f}s  "
+          f"cold init {cold_init_seconds:6.2f}s  "
+          f"({out['restore_speedup_vs_cold']:.2f}x faster than cold, "
+          "digest verified)")
     return out
 
 
@@ -218,19 +260,25 @@ def main(argv=None) -> int:
 
     mixed = make_skewed_workload(pts, insert_fraction=0.5,
                                  n_operations=args.ops, seed=3)
-    report["workloads"]["mixed_50_50"] = _bench_workload(
+    mixed_out, mixed_engine = _bench_workload(
         "mixed 50/50 churn", mixed.initial, mixed.operations,
         skip_legacy=args.skip_legacy)
+    report["workloads"]["mixed_50_50"] = mixed_out
+
+    report["restore"] = _bench_restore(
+        mixed_engine,
+        mixed_out["engines"]["flat_batched"]["init_seconds"])
+    del mixed_engine
 
     if not args.quick:
         paper = make_paper_workload(pts[: args.n // 2], seed=4)
-        report["workloads"]["paper_iv_a"] = _bench_workload(
+        report["workloads"]["paper_iv_a"], _ = _bench_workload(
             "paper §IV-A (insert phase, then delete phase)",
             paper.initial, paper.operations, skip_legacy=args.skip_legacy)
         print("\n--- index query throughput ---")
         report["queries"] = _bench_queries(args.n, args.d, n_queries=30)
 
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_json_atomic(args.out, report)
     print(f"\nwrote {args.out}")
 
     floor_ok = all(w["batched_vs_single_speedup"] >= 1.0
@@ -238,6 +286,10 @@ def main(argv=None) -> int:
     if not floor_ok:
         print("FAIL: batched update throughput fell below the "
               "single-op path", file=sys.stderr)
+        return 1
+    if report["restore"]["restore_speedup_vs_cold"] < 1.0:
+        print("FAIL: warm checkpoint restore is slower than a cold "
+              "start", file=sys.stderr)
         return 1
     if baseline is not None and not _check_baseline(report, baseline,
                                                    args.tolerance):
@@ -258,6 +310,21 @@ def _check_baseline(report: dict, baseline: dict, tolerance: float) -> bool:
     """
     ok = True
     compared = 0
+
+    def gate(scope: str, label: str, committed: float, got: float) -> None:
+        nonlocal ok, compared
+        compared += 1
+        floor = committed * (1.0 - tolerance)
+        if got < floor:
+            print(f"FAIL: {scope}: {label} {got:.2f}x fell below "
+                  f"{floor:.2f}x ({(1 - tolerance):.0%} of the "
+                  f"committed {committed:.2f}x)", file=sys.stderr)
+            ok = False
+        else:
+            print(f"regression gate: {scope}: {label} {got:.2f}x >= "
+                  f"{floor:.2f}x (committed {committed:.2f}x, "
+                  f"tolerance {tolerance:.0%})")
+
     gates = (("batched_vs_single_speedup", "batched-vs-single speedup"),
              ("init_speedup_vs_seed", "init speedup vs seed trees"))
     for name, fresh in report["workloads"].items():
@@ -267,19 +334,14 @@ def _check_baseline(report: dict, baseline: dict, tolerance: float) -> bool:
         for key, label in gates:
             if key not in base or key not in fresh:
                 continue
-            compared += 1
-            committed = float(base[key])
-            floor = committed * (1.0 - tolerance)
-            got = float(fresh[key])
-            if got < floor:
-                print(f"FAIL: {name}: {label} {got:.2f}x fell below "
-                      f"{floor:.2f}x ({(1 - tolerance):.0%} of the "
-                      f"committed {committed:.2f}x)", file=sys.stderr)
-                ok = False
-            else:
-                print(f"regression gate: {name}: {label} {got:.2f}x >= "
-                      f"{floor:.2f}x (committed {committed:.2f}x, "
-                      f"tolerance {tolerance:.0%})")
+            gate(name, label, float(base[key]), float(fresh[key]))
+    base_restore = baseline.get("restore", {})
+    fresh_restore = report.get("restore", {})
+    if ("restore_speedup_vs_cold" in base_restore
+            and "restore_speedup_vs_cold" in fresh_restore):
+        gate("restore", "warm-restore speedup vs cold init",
+             float(base_restore["restore_speedup_vs_cold"]),
+             float(fresh_restore["restore_speedup_vs_cold"]))
     if compared == 0:
         # A baseline that shares no workload with the fresh report means
         # the gate checked nothing — fail loudly instead of rubber-

@@ -49,6 +49,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.regret import RegretEvaluator
+from repro.persist.atomic import write_json_atomic
 from repro.scenarios import (
     get_scenario,
     hash_key,
@@ -199,11 +200,10 @@ def main(argv=None) -> int:
                   f"{speedup_note}")
 
     if args.write_hashes:
-        args.write_hashes.write_text(json.dumps(hashes, indent=2,
-                                                sort_keys=True) + "\n")
+        write_json_atomic(args.write_hashes, hashes, sort_keys=True)
         print(f"\ngolden hashes written to {args.write_hashes}")
     if not args.hashes_only:
-        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        write_json_atomic(args.out, report)
         print(f"\nwrote {args.out}")
     if not stable:
         print("FAIL: scenario compilation is not deterministic",

@@ -134,11 +134,28 @@ class FDRMSSession(Session):
     ``eps="auto"`` asks :func:`repro.core.tuning.suggest_epsilon` for a
     data-driven ε, and an ``m_max`` not exceeding ``r`` is widened to
     ``2 * r`` (FD-RMS requires ``m_max > r``).
+
+    Durability (both optional):
+
+    * ``snapshot`` — a checkpoint directory. The session restores the
+      engine from it (verified end to end, WAL tail rolled forward)
+      instead of paying the cold start; any detected fault — torn
+      write, bit flip, version skew, partial WAL — degrades gracefully
+      to a cold start from ``points``, recorded under
+      ``stats()["recovery"]``. A restored session never silently
+      diverges: the restore path re-checks the engine's logical state
+      digest at every stage.
+    * ``wal`` — a write-ahead-log directory. Every applied operation is
+      appended (write-ahead) so a later ``snapshot=`` open can roll
+      forward to the exact pre-crash state. After a cold start the
+      stale log is discarded: its operations are not part of the fresh
+      engine's history.
     """
 
     def __init__(self, points: ArrayLike, r: int, k: int = 1, *,
                  eps: float | str = 0.02, m_max: int = 1024,
-                 seed: SeedLike = None) -> None:
+                 seed: SeedLike = None,
+                 snapshot: Any = None, wal: Any = None) -> None:
         super().__init__()
         self.name = "FD-RMS"
         points = np.asarray(points, dtype=float)
@@ -147,22 +164,93 @@ class FDRMSSession(Session):
             eps = suggest_epsilon(points, k, r, seed=seed)
         if m_max <= r:
             m_max = 2 * r
-        self._db = Database(points)
+        self.recovery: dict[str, Any] | None = None
+        self._wal = None
+        engine = None
         start = time.perf_counter()
-        self.engine = FDRMS(self._db, k, r, float(eps), m_max=m_max,
-                            seed=seed)
-        self.init_seconds = time.perf_counter() - start
-        #: Cold-start phase breakdown (seconds) from the engine: tree
-        #: builds, bootstrap GEMM, membership fill, set-cover greedy.
-        self.init_profile = dict(self.engine.init_profile)
+        if snapshot is not None:
+            engine = self._try_restore(snapshot, wal, k=k, r=r,
+                                       eps=eps, m_max=m_max)
+        if engine is not None:
+            self.engine = engine
+            self._db = engine.database
+            self.init_seconds = time.perf_counter() - start
+            self.init_profile = {"restore": self.init_seconds}
+            stats = engine.statistics()
+            self._counters["inserts"] = int(stats["inserts"])
+            self._counters["deletes"] = int(stats["deletes"])
+        else:
+            self._db = Database(points)
+            self.engine = FDRMS(self._db, k, r, float(eps), m_max=m_max,
+                                seed=seed)
+            self.init_seconds = time.perf_counter() - start
+            #: Cold-start phase breakdown (seconds) from the engine:
+            #: tree builds, bootstrap GEMM, membership fill, set-cover
+            #: greedy — or {"restore": seconds} on a warm restore.
+            self.init_profile = dict(self.engine.init_profile)
+        if wal is not None:
+            from repro.persist.wal import WriteAheadLog
+            # A restored engine resumes its log; a cold-started one
+            # must not inherit operations it never saw.
+            self._wal = WriteAheadLog(wal, fresh=engine is None)
         self.algo_seconds = 0.0
         self.last_apply_seconds = 0.0
+
+    def _try_restore(self, snapshot: Any, wal: Any, *, k: int, r: int,
+                     eps: float, m_max: int) -> FDRMS | None:
+        """Verified restore; ``None`` (+ recovery record) on any fault."""
+        from repro.persist.checkpoint import CheckpointError
+        from repro.persist.recovery import restore_engine
+        from repro.persist.wal import WALError
+        try:
+            engine, info = restore_engine(snapshot, wal=wal)
+            if (engine.k, engine.r, engine.m_max) != (k, r, m_max) or \
+                    engine.eps != float(eps):
+                raise CheckpointError(
+                    f"checkpoint config (k={engine.k}, r={engine.r}, "
+                    f"eps={engine.eps}, m_max={engine.m_max}) does not "
+                    f"match the requested session (k={k}, r={r}, "
+                    f"eps={eps}, m_max={m_max})")
+        except (CheckpointError, WALError) as exc:
+            self.recovery = {"mode": "cold_start", "cold_starts": 1,
+                             "error": f"{type(exc).__name__}: {exc}"}
+            return None
+        self.recovery = dict(info)
+        self.recovery["cold_starts"] = 0
+        return engine
+
+    def checkpoint(self, directory: Any) -> dict[str, Any]:
+        """Write a verified checkpoint of the current engine state.
+
+        Any attached WAL is synced first and its head position recorded
+        in the manifest, so a later restore replays exactly the
+        operations applied after this call. Returns the manifest.
+        """
+        from repro.persist.checkpoint import save_checkpoint
+        position = 0
+        if self._wal is not None:
+            self._wal.sync()
+            position = self._wal.position
+        return save_checkpoint(self.engine, directory,
+                               wal_position=position)
+
+    def _log_ops(self, ops: list[Operation]) -> None:
+        if self._wal is not None:
+            self._wal.append(ops)
+
+    def close(self) -> None:
+        """Flush and close the attached WAL (no-op without one)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
     @property
     def db(self) -> Database:
         return self._db
 
     def insert(self, point: ArrayLike) -> int:
+        self._log_ops([Operation(INSERT, np.asarray(point, dtype=float),
+                                 None)])
         start = time.perf_counter()
         pid = self.engine.insert(point)
         self.last_apply_seconds = time.perf_counter() - start
@@ -171,6 +259,7 @@ class FDRMSSession(Session):
         return pid
 
     def delete(self, tuple_id: int) -> None:
+        self._log_ops([Operation(DELETE, None, int(tuple_id))])
         start = time.perf_counter()
         self.engine.delete(tuple_id)
         self.last_apply_seconds = time.perf_counter() - start
@@ -187,6 +276,7 @@ class FDRMSSession(Session):
         one by one.
         """
         ops = list(ops)
+        self._log_ops(ops)
         start = time.perf_counter()
         out = self.engine.apply_batch(ops)
         self.last_apply_seconds = time.perf_counter() - start
@@ -199,6 +289,7 @@ class FDRMSSession(Session):
     def delete_many(self, tuple_ids: Iterable[int]) -> None:
         """Batched deletions through :meth:`FDRMS.delete_many`."""
         ids = list(tuple_ids)
+        self._log_ops([Operation(DELETE, None, int(i)) for i in ids])
         start = time.perf_counter()
         self.engine.delete_many(ids)
         self.last_apply_seconds = time.perf_counter() - start
@@ -216,6 +307,11 @@ class FDRMSSession(Session):
         out.update(self.engine.statistics())
         out["algo_seconds"] = self.algo_seconds
         out["init_seconds"] = self.init_seconds
+        # Only sessions that asked for durability report recovery state:
+        # adding the key unconditionally would perturb the pinned replay
+        # determinism digests for plain sessions.
+        if self.recovery is not None:
+            out["recovery"] = dict(self.recovery)
         return out
 
 
@@ -419,8 +515,10 @@ def open_session(points: ArrayLike, r: int, k: int = 1, *,
 
 def _fdrms_session_factory(points: ArrayLike, r: int, k: int = 1, *,
                            seed: SeedLike = None, eps: float | str = 0.02,
-                           m_max: int = 1024) -> FDRMSSession:
-    return FDRMSSession(points, r, k, eps=eps, m_max=m_max, seed=seed)
+                           m_max: int = 1024, snapshot: Any = None,
+                           wal: Any = None) -> FDRMSSession:
+    return FDRMSSession(points, r, k, eps=eps, m_max=m_max, seed=seed,
+                        snapshot=snapshot, wal=wal)
 
 
 @register("fd-rms", display_name="FD-RMS",
@@ -433,12 +531,14 @@ def _fdrms_session_factory(points: ArrayLike, r: int, k: int = 1, *,
           session_factory=_fdrms_session_factory)
 def fdrms_solve(points: ArrayLike, r: int, k: int = 1, *,
                 seed: SeedLike = None, eps: float = 0.02,
-                m_max: int = 1024) -> IndexArray:
+                m_max: int = 1024, snapshot: Any = None,
+                wal: Any = None) -> IndexArray:
     """One-shot FD-RMS: build the dynamic structure, read the result.
 
     Tuple ids of a fresh :class:`~repro.data.Database` are the row
     indices of ``points``, so the returned array indexes the input
     matrix like every static baseline.
     """
-    session = FDRMSSession(points, r, k, eps=eps, m_max=m_max, seed=seed)
+    session = FDRMSSession(points, r, k, eps=eps, m_max=m_max, seed=seed,
+                           snapshot=snapshot, wal=wal)
     return np.asarray(session.result(), dtype=np.intp)

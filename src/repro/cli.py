@@ -255,6 +255,57 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_snapshot_save(args) -> int:
+    from repro.api import open_session
+    from repro.scenarios import (
+        UnknownArrivalError,
+        UnknownScenarioError,
+        get_scenario,
+    )
+    from repro.scenarios.replay import floor_r
+    try:
+        scenario = get_scenario(args.scenario)
+        trace = scenario.compile(seed=args.seed, n=args.n)
+    except (UnknownScenarioError, UnknownArrivalError) as exc:
+        raise CLIError(str(exc)) from None
+    r_eff = floor_r(args.r, trace.d)
+    session = open_session(trace.workload.initial, r_eff, args.k,
+                           algo="fd-rms", seed=args.seed, eps=args.eps,
+                           m_max=args.m_max, wal=args.wal)
+    session.apply_batch(list(trace.workload.operations))
+    manifest = session.checkpoint(args.out)
+    session.close()
+    print(f"checkpoint written to {args.out} "
+          f"({trace.n_operations} ops applied)")
+    print(f"state digest: {manifest['state_digest']}")
+    print(f"wal position: {manifest['wal_position']}")
+    return 0
+
+
+def cmd_snapshot_load(args) -> int:
+    from repro.persist import CheckpointError, WALError, restore_engine
+    try:
+        engine, info = restore_engine(args.directory, wal=args.wal)
+    except (CheckpointError, WALError) as exc:
+        raise CLIError(str(exc)) from None
+    print(f"restored: k={engine.k} r={engine.r} eps={engine.eps} "
+          f"m_max={engine.m_max} n={len(engine.database)}")
+    print(f"replayed ops: {info['replayed_ops']}")
+    print(f"state digest: {info['state_digest']}")
+    return 0
+
+
+def cmd_snapshot_verify(args) -> int:
+    from repro.persist import CheckpointError, verify_checkpoint
+    try:
+        manifest = verify_checkpoint(args.directory)
+    except CheckpointError as exc:
+        raise CLIError(str(exc)) from None
+    print(f"checkpoint OK: {len(manifest['arrays'])} arrays verified")
+    print(f"state digest: {manifest['state_digest']}")
+    return 0
+
+
 def cmd_minsize(args) -> int:
     from repro.core.minsize import min_size_curve
     pts = _load(args)
@@ -338,6 +389,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSON file of expected trace hashes "
                            "(fails on drift)")
     p_rp.set_defaults(func=cmd_replay)
+
+    p_snap = sub.add_parser(
+        "snapshot", help="save, restore, or verify engine checkpoints")
+    snap_sub = p_snap.add_subparsers(dest="snapshot_command", required=True)
+
+    p_ss = snap_sub.add_parser(
+        "save", help="run a scenario through FD-RMS and checkpoint it")
+    p_ss.add_argument("scenario",
+                      help="scenario name (see `repro scenarios`)")
+    p_ss.add_argument("--out", required=True,
+                      help="checkpoint directory to write")
+    p_ss.add_argument("--wal", default=None,
+                      help="also keep a write-ahead log in this directory")
+    p_ss.add_argument("--n", type=int, default=None,
+                      help="dataset size (default: the scenario's)")
+    p_ss.add_argument("--seed", type=int, default=0)
+    p_ss.add_argument("--k", type=int, default=1)
+    p_ss.add_argument("--r", type=int, default=10)
+    p_ss.add_argument("--eps", type=float, default=0.1)
+    p_ss.add_argument("--m-max", type=int, default=128, dest="m_max")
+    p_ss.set_defaults(func=cmd_snapshot_save)
+
+    p_sl = snap_sub.add_parser(
+        "load", help="restore a checkpoint (rolling a WAL forward)")
+    p_sl.add_argument("directory", help="checkpoint directory")
+    p_sl.add_argument("--wal", default=None,
+                      help="replay this write-ahead log past the "
+                           "checkpoint position")
+    p_sl.set_defaults(func=cmd_snapshot_load)
+
+    p_sv = snap_sub.add_parser(
+        "verify", help="fully verify a checkpoint (digests + restore)")
+    p_sv.add_argument("directory", help="checkpoint directory")
+    p_sv.set_defaults(func=cmd_snapshot_verify)
 
     p_ms = sub.add_parser("minsize", help="epsilon vs |Q| trade-off curve")
     _add_common(p_ms)

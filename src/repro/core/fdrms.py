@@ -21,6 +21,7 @@ operations ``σ`` of Algorithm 1.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections.abc import Callable, Iterable, Sequence
 from typing import Any
@@ -38,6 +39,14 @@ from repro.core.topk import (
 from repro.data.database import INSERT, Database, iter_op_runs
 from repro.geometry.sampling import sample_utilities_with_basis
 from repro.utils import check_epsilon, check_k, check_size_constraint
+
+
+def _sub(arrays: dict[str, Any], prefix: str) -> dict[str, Any]:
+    """Strip ``prefix`` from the keys of a composite state mapping."""
+    n = len(prefix)
+    # reprolint: disable=RPL001 -- key relabeling; consumers read by name
+    return {key[n:]: val for key, val in arrays.items()
+            if key.startswith(prefix)}
 
 
 class FDRMS:
@@ -154,6 +163,101 @@ class FDRMS:
         if not ids:
             return np.empty((0, self._db.d))
         return self._db.points(ids)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def export_state(self) -> tuple[dict[str, Any], dict[str, Any]]:
+        """``(config, arrays)`` snapshot of the full engine state.
+
+        ``config`` is JSON-able (scalars + counters) and travels in the
+        checkpoint manifest; ``arrays`` is a flat name → ndarray mapping
+        ready for ``np.savez``. Together they are sufficient to rebuild
+        an engine that is *physically* identical — same tree layout,
+        free-list order, adjacency order — so every future operation
+        takes exactly the same path as in the exported instance.
+        """
+        config: dict[str, Any] = {
+            "k": self._k, "r": self._r, "eps": self._eps,
+            "m_max": self._m_max, "m": self._m, "d": self._db.d,
+            "stats": dict(self._stats),
+        }
+        arrays: dict[str, Any] = {}
+        for prefix, sub in (("db_", self._db.export_state()),
+                            ("topk_", self._topk.export_state()),
+                            ("cover_", self._cover.export_state())):
+            # reprolint: disable=RPL001 -- key relabeling; read by name
+            for key, val in sub.items():
+                arrays[prefix + key] = val
+        return config, arrays
+
+    @classmethod
+    def from_state(cls, config: dict[str, Any],
+                   arrays: dict[str, Any]) -> "FDRMS":
+        """Rebuild an engine from :meth:`export_state` output."""
+        self = object.__new__(cls)
+        db = Database.from_state(_sub(arrays, "db_"))
+        if db.d != int(config["d"]):
+            raise ValueError("database dimension does not match config")
+        self._db = db
+        self._k = check_k(int(config["k"]))
+        self._r = check_size_constraint(int(config["r"]), db.d)
+        self._eps = check_epsilon(float(config["eps"]))
+        self._m_max = int(config["m_max"])
+        if self._m_max <= self._r:
+            raise ValueError("m_max must exceed r")
+        self._topk = ApproxTopKIndex.from_state(
+            _sub(arrays, "topk_"), db, self._k, self._eps)
+        self._cover = StableSetCover.from_state(_sub(arrays, "cover_"))
+        m = int(config["m"])
+        if not self._r <= m <= self._m_max:
+            raise ValueError(f"active prefix m={m} out of range")
+        self._m = m
+        stats = config["stats"]
+        self._stats = {"inserts": int(stats["inserts"]),
+                       "deletes": int(stats["deletes"]),
+                       "deltas": int(stats["deltas"]),
+                       "m_changes": int(stats["m_changes"]),
+                       "cover_rebuilds": int(stats["cover_rebuilds"])}
+        self.init_profile = {}
+        return self
+
+    def state_digest(self) -> str:
+        """sha256 over the engine's *logical* state.
+
+        Hashes only observable state — alive tuples, member rows in
+        arrival order, thresholds, the cover assignment, counters —
+        never physical layout (tree shape, array capacities, free-list
+        or adjacency order). Two engines that reached the same logical
+        state through different execution paths (cold start vs restore,
+        batched vs sequential) digest identically; this is the parity
+        check behind crash recovery.
+        """
+        h = hashlib.sha256()
+
+        def absorb(name: str, arr: Any) -> None:
+            a = np.ascontiguousarray(arr)
+            h.update(f"{name}:{a.dtype.str}:{a.shape}".encode())
+            h.update(a.tobytes())
+
+        absorb("config", np.asarray(
+            [self._k, self._r, self._m, self._m_max], dtype=np.int64))
+        absorb("eps", np.asarray([self._eps]))
+        ids, pts = self._db.snapshot()
+        order = np.argsort(ids)
+        absorb("db_ids", ids[order])
+        absorb("db_points", pts[order])
+        for name, arr in self._topk.logical_arrays():
+            absorb("topk_" + name, arr)
+        for name, arr in self._cover.logical_arrays():
+            absorb("cover_" + name, arr)
+        # reprolint: disable=RPL007 -- keys sorted: digest input is ordered
+        for key in sorted(self._stats):
+            absorb("stat_" + key,
+                   np.asarray([self._stats[key]], dtype=np.int64))
+        absorb("stabilize_steps", np.asarray(
+            [self._cover.stabilize_steps], dtype=np.int64))
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Updates (Algorithm 3)

@@ -358,6 +358,43 @@ class _Adjacency:
             if self._pos is not None:
                 self._pos[idx] = None
 
+    # -- persistence ---------------------------------------------------
+    def export_rows(self) -> tuple[Int64Array, Int64Array]:
+        """``(lens, flat)`` CSR packing of every row, in row order.
+
+        Row order is preserved exactly: swap-removal makes it
+        physically arbitrary but history-dependent, and a restored
+        instance must take the same future paths as the exported one.
+        """
+        lens = np.asarray(self._lens, dtype=np.int64)
+        rows = [self._rows[i][: int(lens[i])]
+                for i in np.flatnonzero(lens).tolist()]
+        flat = np.concatenate(rows) if rows else _EMPTY_IDS
+        return lens, flat
+
+    @classmethod
+    def import_rows(cls, lens, flat, *, track: bool = False) -> "_Adjacency":
+        """Rebuild from :meth:`export_rows`; position maps are derived."""
+        adj = cls(track=track)
+        lens = np.asarray(lens, dtype=np.int64)
+        flat = np.asarray(flat, dtype=np.int64).copy()
+        if int(lens.sum()) != flat.shape[0]:
+            raise ValueError("adjacency rows are inconsistent with lens")
+        n = lens.shape[0]
+        adj._lens = [int(x) for x in lens]
+        adj._rows = [None] * n
+        if track:
+            adj._pos = [None] * n
+        pos = 0
+        for i in np.flatnonzero(lens).tolist():
+            ln = int(lens[i])
+            row = flat[pos:pos + ln]
+            pos += ln
+            adj._rows[i] = row
+            if track:
+                adj._pos[i] = {int(v): p for p, v in enumerate(row)}
+        return adj
+
 
 class StableSetCover:
     """A dynamically maintained, stable set-cover solution.
@@ -442,6 +479,105 @@ class StableSetCover:
         out = np.full(new_cap, fill, dtype=arr.dtype)
         out[: arr.shape[0]] = arr
         return out
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Flat-array snapshot of the full cover state (checkpointing).
+
+        Only valid between operations: the dirty queue must be drained
+        and no batch open, which every public entry point guarantees on
+        return.
+        """
+        if self._pending or self._deferred:
+            raise ValueError(
+                "cannot export a set cover mid-batch or with pending work")
+        owners_lens, owners_flat = self._owners.export_rows()
+        members_lens, members_flat = self._members.export_rows()
+        return {
+            "owners_lens": owners_lens,
+            "owners_flat": owners_flat,
+            "members_lens": members_lens,
+            "members_flat": members_flat,
+            "elem_alive": self._elem_alive.copy(),
+            "phi": self._phi.copy(),
+            "elem_level": self._elem_level.copy(),
+            "level": self._level.copy(),
+            "cov_size": self._cov_size.copy(),
+            "n_elems": np.int64(self._n_elems),
+            "stabilize_steps": np.int64(self.stabilize_steps),
+        }
+
+    @classmethod
+    def from_state(cls, state) -> "StableSetCover":
+        """Rebuild a cover from :meth:`export_state` arrays.
+
+        Bucket counts and the (empty) dirty queue are derived, not
+        stored: ``|S ∩ A_j|`` is one scatter-add over the alive covered
+        elements.
+        """
+        cover = cls()
+        cover._owners = _Adjacency.import_rows(
+            state["owners_lens"], state["owners_flat"], track=True)
+        cover._members = _Adjacency.import_rows(
+            state["members_lens"], state["members_flat"])
+        cover._elem_alive = np.asarray(state["elem_alive"],
+                                       dtype=bool).copy()
+        cover._phi = np.asarray(state["phi"], dtype=np.int64).copy()
+        cover._elem_level = np.asarray(state["elem_level"],
+                                       dtype=np.int64).copy()
+        cover._level = np.asarray(state["level"], dtype=np.int64).copy()
+        cover._cov_size = np.asarray(state["cov_size"],
+                                     dtype=np.int64).copy()
+        n_elems = int(state["n_elems"])
+        ecap, scap = cover._phi.shape[0], cover._level.shape[0]
+        if not (cover._elem_alive.shape[0] == ecap
+                == cover._elem_level.shape[0]
+                and cover._cov_size.shape[0] == scap
+                and 0 <= n_elems <= ecap):
+            raise ValueError("set-cover state arrays are inconsistent")
+        cover._n_elems = n_elems
+        cover._n_solution = int((cover._level >= 0).sum())
+        cover.stabilize_steps = int(state["stabilize_steps"])
+        if ecap:
+            cover._owners.ensure(ecap - 1)
+        if scap:
+            cover._members.ensure(scap - 1)
+        levels = max(8, int(cover._elem_level.max(initial=-1)) + 1,
+                     int(cover._level.max(initial=-1)) + 1)
+        counts = np.zeros((levels, scap), dtype=np.int64)
+        for elem in np.flatnonzero(cover._elem_alive).tolist():
+            j = int(cover._elem_level[elem])
+            if j >= 0:
+                counts[j, cover._owners.row(elem)] += 1
+        cover._bucket_counts = counts
+        cover._pending = []
+        cover._pending_mask = np.zeros((levels, scap), dtype=bool)
+        return cover
+
+    def logical_arrays(self):
+        """Yield ``(name, array)`` pairs covering the logical state.
+
+        Feeds the engine state digest. The membership relation is
+        rendered canonically (owner rows sorted per element) because
+        adjacency row order is physical; φ, levels and cover sizes are
+        logical outputs of the stable-cover algorithm and hash as-is.
+        """
+        alive = np.flatnonzero(self._elem_alive)
+        yield "alive_elems", alive
+        yield "phi", self._phi[alive]
+        yield "elem_level", self._elem_level[alive]
+        yield "set_level", self._level
+        yield "cov_size", self._cov_size
+        owner_lens = np.asarray([self._owners.degree(int(e)) for e in alive],
+                                dtype=np.int64)
+        yield "owner_lens", owner_lens
+        rows = [np.sort(self._owners.row(int(e))) for e in alive.tolist()]
+        yield "owners_sorted", (np.concatenate(rows) if rows
+                                else _EMPTY_IDS)
+        yield "stabilize_steps", np.asarray([self.stabilize_steps],
+                                            dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Read access

@@ -99,6 +99,14 @@ def _default_index_factory(ids: IndexArray, points: FloatArray, d: int) -> KDTre
     return KDTree.build(ids, points)
 
 
+def _sub_state(state: dict, prefix: str) -> dict:
+    """Strip ``prefix`` from the keys of a composite state dict."""
+    n = len(prefix)
+    # reprolint: disable=RPL001 -- key relabeling; consumers read by name
+    return {key[n:]: val for key, val in state.items()
+            if key.startswith(prefix)}
+
+
 @dataclass(frozen=True)
 class MembershipDelta:
     """One change of ``Φ_{k,ε}(u, P)``: tuple ``pid`` joined/left set ``u``."""
@@ -508,6 +516,80 @@ class MemberStore:
         row[p] = row[n - 1]
         self._inv_len[pid] = n - 1
 
+    # -- persistence ---------------------------------------------------
+    def export_state(self) -> dict:
+        """Flat-array snapshot: member rows packed CSR in arrival order.
+
+        Arrival order is logical state (removal deltas replay it), so
+        rows concatenate exactly as stored; the inverted index is
+        unordered by contract but serialized as-is for cheapness.
+        """
+        m = self._m
+        lens = self._row_len
+        ids_flat = (np.concatenate([self._row_ids[i][: int(lens[i])]
+                                    for i in range(m)])
+                    if m else np.empty(0, dtype=np.intp))
+        scores_flat = (np.concatenate([self._row_scores[i][: int(lens[i])]
+                                       for i in range(m)])
+                       if m else np.empty(0, dtype=np.float64))
+        inv_len = np.asarray(self._inv_len, dtype=np.int64)
+        inv_flat = ([self._inv_rows[p][: int(inv_len[p])]
+                     for p in np.flatnonzero(inv_len).tolist()])
+        return {
+            "row_len": lens.copy(),
+            "ids_flat": ids_flat,
+            "scores_flat": scores_flat,
+            "topk": self._topk.copy(),
+            "min": self._min.copy(),
+            "inv_len": inv_len,
+            "inv_flat": (np.concatenate(inv_flat) if inv_flat
+                         else np.empty(0, dtype=np.intp)),
+        }
+
+    @classmethod
+    def from_state(cls, state, m_total: int, k: int) -> "MemberStore":
+        """Rebuild a store from :meth:`export_state` arrays.
+
+        Rows are installed as disjoint views of the flat arrays (the
+        bootstrap pattern): in-place compaction cannot alias across
+        rows, and the first append reallocates into owned storage.
+        """
+        store = cls(m_total, k)
+        lens = np.asarray(state["row_len"], dtype=np.int64)
+        if lens.shape[0] != m_total:
+            raise ValueError("member-store state does not match pool size")
+        store._row_len = lens.copy()
+        ids_flat = np.asarray(state["ids_flat"], dtype=np.intp).copy()
+        scores_flat = np.asarray(state["scores_flat"],
+                                 dtype=np.float64).copy()
+        bounds = np.zeros(m_total + 1, dtype=np.int64)
+        np.cumsum(lens, out=bounds[1:])
+        if int(bounds[-1]) != ids_flat.shape[0] or \
+                scores_flat.shape[0] != ids_flat.shape[0]:
+            raise ValueError("member rows are inconsistent with row_len")
+        for i in range(m_total):
+            s, e = int(bounds[i]), int(bounds[i + 1])
+            if e > s:
+                store._row_ids[i] = ids_flat[s:e]
+                store._row_scores[i] = scores_flat[s:e]
+        topk = np.ascontiguousarray(state["topk"], dtype=np.float64)
+        if topk.shape != (m_total, k):
+            raise ValueError("top-k matrix shape mismatch")
+        store._topk = topk.copy()
+        store._min = np.asarray(state["min"], dtype=np.float64).copy()
+        inv_len = np.asarray(state["inv_len"], dtype=np.int64)
+        inv_flat = np.asarray(state["inv_flat"], dtype=np.intp).copy()
+        store._inv_len = [int(x) for x in inv_len]
+        store._inv_rows = [None] * inv_len.shape[0]
+        pos = 0
+        for p in np.flatnonzero(inv_len).tolist():
+            ln = int(inv_len[p])
+            store._inv_rows[p] = inv_flat[pos:pos + ln]
+            pos += ln
+        if pos != inv_flat.shape[0]:
+            raise ValueError("inverted rows are inconsistent with inv_len")
+        return store
+
 
 class ApproxTopKIndex:
     """Maintains ``Φ_{k,ε}(u_i, P_t)`` for a pool of ``M`` utilities.
@@ -803,6 +885,72 @@ class ApproxTopKIndex:
             else:  # alternate tuple indexes (e.g. the quadtree)
                 for pid in victims:
                     self._kdtree.delete(pid)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Flat-array snapshot of the index (checkpointing).
+
+        Staged tuple-index work is flushed first — the staging buffers
+        are a pure physical optimization, so an empty-buffer snapshot is
+        logically identical and restore starts clean. Only the default
+        tree types serialize; custom factories have no schema.
+        """
+        if type(self._kdtree) is not KDTree or \
+                type(self._cone) is not ConeTree:
+            raise TypeError(
+                "only the default KDTree/ConeTree indexes are serializable")
+        self._flush_staged()
+        state = {"u": self._u.copy()}
+        for prefix, sub in (("kd_", self._kdtree.export_state()),
+                            ("cone_", self._cone.export_state()),
+                            ("ms_", self._store.export_state())):
+            # reprolint: disable=RPL001 -- key relabeling; read by name
+            for key, val in sub.items():
+                state[prefix + key] = val
+        return state
+
+    @classmethod
+    def from_state(cls, state, db: Database, k: int,
+                   eps: float) -> "ApproxTopKIndex":
+        """Rebuild an index from :meth:`export_state` arrays."""
+        self = object.__new__(cls)
+        self._db = db
+        self._u = np.ascontiguousarray(state["u"], dtype=np.float64).copy()
+        if self._u.ndim != 2 or self._u.shape[1] != db.d:
+            raise ValueError("utilities must be (M, d) with d matching "
+                             "the database")
+        self._m_total = self._u.shape[0]
+        self._k = check_k(k)
+        self._eps = check_epsilon(eps)
+        self._store = MemberStore.from_state(
+            _sub_state(state, "ms_"), self._m_total, self._k)
+        self._kdtree = KDTree.from_state(_sub_state(state, "kd_"))
+        self._staged = {}
+        self._tombstones = []
+        self._cone = ConeTree(self._u)
+        self._cone.restore_state(_sub_state(state, "cone_"))
+        self.build_profile = {}
+        return self
+
+    def logical_arrays(self):
+        """Yield ``(name, array)`` pairs covering the logical state.
+
+        Feeds the engine state digest: utilities, member rows in arrival
+        order, the threshold/active vectors. Derived structures (top-k
+        matrix, running mins, inverted index, tree layout) are functions
+        of these and the database, so they are deliberately excluded —
+        the digest must be invariant to physical layout.
+        """
+        self._flush_staged()
+        yield "u", self._u
+        ms = self._store.export_state()
+        yield "member_len", ms["row_len"]
+        yield "member_ids", ms["ids_flat"]
+        yield "member_scores", ms["scores_flat"]
+        yield "tau", np.asarray(self._thresholds_vector())
+        yield "active", np.asarray(self._cone.active_mask())
 
     def _bootstrap(self, ids: IndexArray, pts: FloatArray) -> None:
         """Vectorized initial computation of every ``Φ_{k,ε}``.

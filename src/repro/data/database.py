@@ -308,6 +308,39 @@ class Database:
                 out.extend(self.apply(op) for op in run)
         return out
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Flat-array snapshot of the full state (checkpointing).
+
+        The exported tape preserves tuple-id numbering exactly,
+        including the permanently dead ids left by deletions.
+        """
+        used = self._used
+        return {
+            "d": np.int64(self._d),
+            "data": self._data[:used].copy(),
+            "alive": self._alive[:used].copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state) -> "Database":
+        """Rebuild a database from :meth:`export_state` arrays."""
+        d = int(state["d"])
+        data = np.ascontiguousarray(state["data"], dtype=np.float64)
+        alive = np.asarray(state["alive"], dtype=bool).copy()
+        if data.ndim != 2 or data.shape[1] != d or \
+                alive.shape[0] != data.shape[0]:
+            raise ValueError("database state arrays are inconsistent")
+        db = cls(d=d)
+        if data.shape[0]:
+            db._data = data
+            db._alive = alive
+            db._used = data.shape[0]
+            db._size = int(alive.sum())
+        return db
+
     def _grow(self, need: int | None = None) -> None:
         """Grow the backing storage by doubling (amortized O(1) inserts)."""
         new_cap = max(8, 2 * self._data.shape[0])

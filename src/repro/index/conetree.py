@@ -121,6 +121,27 @@ class ConeTree:
     def is_active(self, idx: int) -> bool:
         return bool(self._active[idx])
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Dynamic state only: the static tree is a pure function of the
+        utility matrix, so restore rebuilds it and re-installs τ."""
+        return {
+            "tau": self._tau.copy(),
+            "active": self._active.copy(),
+        }
+
+    def restore_state(self, state) -> None:
+        """Install thresholds/activity from :meth:`export_state`."""
+        tau = np.asarray(state["tau"], dtype=np.float64)
+        active = np.asarray(state["active"], dtype=bool)
+        if tau.shape != (self._m_total,) or active.shape != (self._m_total,):
+            raise ValueError("cone state does not match this utility pool")
+        self._tau[:] = tau
+        self._active[:] = active
+        self._recompute_tau_min()
+
     def set_threshold(self, idx: int, tau: float) -> None:
         """Set utility ``idx``'s threshold and repair ``τ_min`` upwards."""
         tau = float(tau)

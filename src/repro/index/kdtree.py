@@ -451,6 +451,100 @@ class KDTree:
         return ids[order], scores[order]
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Flat-array snapshot of the full tree state (checkpointing).
+
+        Node arrays are trimmed to the allocated prefix, leaf buckets are
+        packed CSR-style, and both free lists are kept in their exact
+        order (``.pop()`` recycles the *last* entry, so the order shapes
+        future allocations and is part of restore fidelity).
+        """
+        n, ns = self._n_nodes, self._n_slots
+        lens = self._bucket_len[:n]
+        has_bucket = np.asarray([b is not None for b in self._buckets[:n]],
+                                dtype=bool)
+        flat = [self._buckets[i][: int(lens[i])]
+                for i in np.flatnonzero(has_bucket).tolist()]
+        bucket_flat = (np.concatenate(flat) if flat
+                       else np.empty(0, dtype=np.intp))
+        return {
+            "d": np.int64(self._d),
+            "leaf_capacity": np.int64(self._leaf_capacity),
+            "axis": self._axis[:n].copy(),
+            "split": self._split[:n].copy(),
+            "left": self._left[:n].copy(),
+            "right": self._right[:n].copy(),
+            "parent": self._parent[:n].copy(),
+            "box_min": self._box_min[:n].copy(),
+            "box_max": self._box_max[:n].copy(),
+            "total": self._total[:n].copy(),
+            "alive": self._alive[:n].copy(),
+            "bucket_len": lens.copy(),
+            "has_bucket": has_bucket,
+            "bucket_flat": bucket_flat,
+            "free_nodes": np.asarray(self._free_nodes, dtype=np.int64),
+            "pts": self._pts[:ns].copy(),
+            "ids": self._ids[:ns].copy(),
+            "leaf_of_slot": self._leaf_of_slot[:ns].copy(),
+            "free_slots": np.asarray(self._free_slots, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_state(cls, state) -> "KDTree":
+        """Rebuild a tree from :meth:`export_state` arrays.
+
+        The restored instance is physically identical to the exported
+        one (same node layout, bucket contents, free-list order), so
+        every future operation takes exactly the same path.
+        """
+        tree = cls(int(state["d"]),
+                   leaf_capacity=int(state["leaf_capacity"]))
+        axis = np.asarray(state["axis"], dtype=np.int32).copy()
+        n = axis.shape[0]
+        if n < 1:
+            raise ValueError("kdtree state must hold at least the root")
+        tree._axis = axis
+        tree._split = np.asarray(state["split"], dtype=np.float64).copy()
+        tree._left = np.asarray(state["left"], dtype=np.int32).copy()
+        tree._right = np.asarray(state["right"], dtype=np.int32).copy()
+        tree._parent = np.asarray(state["parent"], dtype=np.int32).copy()
+        tree._box_min = np.ascontiguousarray(state["box_min"],
+                                             dtype=np.float64).copy()
+        tree._box_max = np.ascontiguousarray(state["box_max"],
+                                             dtype=np.float64).copy()
+        tree._total = np.asarray(state["total"], dtype=np.int64).copy()
+        tree._alive = np.asarray(state["alive"], dtype=np.int64).copy()
+        lens = np.asarray(state["bucket_len"], dtype=np.int64).copy()
+        tree._bucket_len = lens
+        has_bucket = np.asarray(state["has_bucket"], dtype=bool)
+        flat = np.asarray(state["bucket_flat"], dtype=np.intp)
+        tree._buckets = [None] * n
+        pos = 0
+        for i in np.flatnonzero(has_bucket).tolist():
+            ln = int(lens[i])
+            bucket = np.empty(max(ln, tree._leaf_capacity + 1),
+                              dtype=np.intp)
+            bucket[:ln] = flat[pos:pos + ln]
+            pos += ln
+            tree._buckets[i] = bucket
+        tree._n_nodes = n
+        tree._free_nodes = [int(x) for x in state["free_nodes"]]
+        pts = np.ascontiguousarray(state["pts"], dtype=np.float64).copy()
+        tree._pts = pts
+        tree._ids = np.asarray(state["ids"], dtype=np.intp).copy()
+        tree._leaf_of_slot = np.asarray(state["leaf_of_slot"],
+                                        dtype=np.int32).copy()
+        tree._n_slots = pts.shape[0]
+        tree._free_slots = [int(x) for x in state["free_slots"]]
+        # Live slots are exactly those sitting in a leaf bucket.
+        tree._slot_of = {int(tree._ids[s]): s
+                         for s in np.flatnonzero(
+                             tree._leaf_of_slot >= 0).tolist()}
+        return tree
+
+    # ------------------------------------------------------------------
     # Internals — point pool
     # ------------------------------------------------------------------
     def _new_slot(self, tuple_id: int, vec: FloatArray) -> int:

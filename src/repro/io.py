@@ -19,6 +19,7 @@ Formats
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -26,8 +27,36 @@ import numpy as np
 from repro.bench.harness import RunResult, SnapshotRecord
 from repro.data.database import DELETE, INSERT, Database, Operation
 from repro.data.workload import DynamicWorkload
+from repro.persist.atomic import write_text_atomic, write_via_handle_atomic
 
 _FORMAT_VERSION = 1
+
+
+class FileFormatError(ValueError):
+    """A saved file is corrupt, the wrong kind, or a future version."""
+
+
+def _load_npz(path, expected_kind: str) -> dict[str, np.ndarray]:
+    """Read an npz bundle, mapping every corruption to a typed error.
+
+    Truncated files, binary garbage, bad zip members, and missing
+    fields all raise :class:`FileFormatError`; a missing *file* stays
+    ``FileNotFoundError`` (absent and corrupt are different failures).
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            _check(path, data, expected_kind)
+            return {name: data[name] for name in data.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError) as exc:
+        raise FileFormatError(
+            f"{path}: not a readable npz bundle: {exc}") from exc
+    except ValueError as exc:
+        if isinstance(exc, FileFormatError):
+            raise
+        raise FileFormatError(
+            f"{path}: not a readable npz bundle: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -35,11 +64,15 @@ _FORMAT_VERSION = 1
 # ----------------------------------------------------------------------
 
 def save_database(db: Database, path) -> None:
-    """Save the alive tuples of ``db`` (ids + values) to ``path``."""
+    """Save the alive tuples of ``db`` (ids + values) to ``path``.
+
+    The write is atomic (tmp + fsync + ``os.replace``): a crash leaves
+    either the previous file or the complete new one.
+    """
     ids, pts = db.snapshot()
-    np.savez_compressed(path, version=_FORMAT_VERSION, kind="database",
-                        ids=ids, points=pts, d=db.d,
-                        capacity=db.capacity)
+    write_via_handle_atomic(path, lambda h: np.savez_compressed(
+        h, version=_FORMAT_VERSION, kind="database",
+        ids=ids, points=pts, d=db.d, capacity=db.capacity))
 
 
 def load_database(path) -> Database:
@@ -47,13 +80,16 @@ def load_database(path) -> Database:
 
     Tuple ids are preserved: ids missing from the stored set (deleted
     before saving) stay permanently dead in the reloaded instance.
+    Corrupt or future-version files raise :class:`FileFormatError`.
     """
-    with np.load(path, allow_pickle=False) as data:
-        _check(data, "database")
+    data = _load_npz(path, "database")
+    try:
         ids = data["ids"].astype(np.intp)
         pts = data["points"]
         d = int(data["d"])
         capacity = int(data["capacity"])
+    except KeyError as exc:
+        raise FileFormatError(f"{path}: missing field {exc}") from exc
     db = Database(d=d)
     cursor = 0
     alive = set(int(i) for i in ids)
@@ -85,22 +121,27 @@ def save_workload(workload: DynamicWorkload, path) -> None:
         op_points = np.vstack([op.point for op in workload.operations])
     else:
         op_points = np.empty((0, workload.d))
-    np.savez_compressed(path, version=_FORMAT_VERSION, kind="workload",
-                        initial=workload.initial, kinds=kinds, ids=ids,
-                        op_points=op_points,
-                        snapshots=np.asarray(workload.snapshots,
-                                             dtype=np.int64))
+    write_via_handle_atomic(path, lambda h: np.savez_compressed(
+        h, version=_FORMAT_VERSION, kind="workload",
+        initial=workload.initial, kinds=kinds, ids=ids,
+        op_points=op_points,
+        snapshots=np.asarray(workload.snapshots, dtype=np.int64)))
 
 
 def load_workload(path) -> DynamicWorkload:
-    """Reload a workload saved with :func:`save_workload`."""
-    with np.load(path, allow_pickle=False) as data:
-        _check(data, "workload")
+    """Reload a workload saved with :func:`save_workload`.
+
+    Corrupt or future-version files raise :class:`FileFormatError`.
+    """
+    data = _load_npz(path, "workload")
+    try:
         initial = data["initial"]
         kinds = data["kinds"]
         ids = data["ids"]
         op_points = data["op_points"]
         snapshots = tuple(int(s) for s in data["snapshots"])
+    except KeyError as exc:
+        raise FileFormatError(f"{path}: missing field {exc}") from exc
     ops = []
     for i in range(kinds.shape[0]):
         kind = INSERT if kinds[i] == 1 else DELETE
@@ -128,14 +169,18 @@ def save_run_result(result: RunResult, path) -> None:
             for s in result.snapshots
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    write_text_atomic(path, json.dumps(payload, indent=2))
 
 
 def load_run_result(path) -> RunResult:
     """Reload a run result saved with :func:`save_run_result`."""
-    payload = json.loads(Path(path).read_text())
-    if payload.get("kind") != "run_result":
-        raise ValueError(f"{path} is not a saved run result")
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FileFormatError(f"{path}: not a readable JSON result: "
+                              f"{exc}") from exc
+    if not isinstance(payload, dict) or payload.get("kind") != "run_result":
+        raise FileFormatError(f"{path} is not a saved run result")
     snapshots = [SnapshotRecord(**snap) for snap in payload["snapshots"]]
     return RunResult(algorithm=payload["algorithm"],
                      n_operations=payload["n_operations"],
@@ -143,11 +188,12 @@ def load_run_result(path) -> RunResult:
                      snapshots=snapshots)
 
 
-def _check(data, expected_kind: str) -> None:
+def _check(path, data, expected_kind: str) -> None:
     kind = str(data["kind"]) if "kind" in data else "?"
     if kind != expected_kind:
-        raise ValueError(f"file holds a {kind!r}, expected {expected_kind!r}")
+        raise FileFormatError(
+            f"{path}: file holds a {kind!r}, expected {expected_kind!r}")
     version = int(data["version"]) if "version" in data else -1
     if version > _FORMAT_VERSION:
-        raise ValueError(f"file format v{version} is newer than this "
-                         f"library (v{_FORMAT_VERSION})")
+        raise FileFormatError(f"{path}: file format v{version} is newer "
+                              f"than this library (v{_FORMAT_VERSION})")

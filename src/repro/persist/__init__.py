@@ -1,0 +1,45 @@
+"""Crash-safe persistence: checkpoints, WAL, verified recovery.
+
+Public surface:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` /
+  :func:`verify_checkpoint` — versioned npz + manifest engine snapshots
+  with per-array sha256 digests (:class:`CheckpointError` on any fault);
+* :class:`WriteAheadLog` / :func:`read_wal` — append-mode operation log
+  sharing the scenario-trace line format (:class:`WALError` on any
+  fault);
+* :func:`restore_engine` — load → verify → roll the WAL tail forward,
+  with digest-checked exact parity against a never-restarted engine;
+* :mod:`repro.persist.atomic` — the tmp+fsync+``os.replace`` write
+  primitives every durable writer uses;
+* :mod:`repro.persist.faults` — deterministic fault injection for
+  durability tests.
+"""
+
+from repro.persist.atomic import (
+    write_bytes_atomic,
+    write_json_atomic,
+    write_text_atomic,
+)
+from repro.persist.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from repro.persist.recovery import restore_engine
+from repro.persist.wal import WALError, WriteAheadLog, read_wal
+
+__all__ = [
+    "CheckpointError",
+    "WALError",
+    "WriteAheadLog",
+    "load_checkpoint",
+    "read_wal",
+    "restore_engine",
+    "save_checkpoint",
+    "verify_checkpoint",
+    "write_bytes_atomic",
+    "write_json_atomic",
+    "write_text_atomic",
+]

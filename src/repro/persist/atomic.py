@@ -1,0 +1,94 @@
+"""Atomic, durable file writes: tmp file + fsync + ``os.replace``.
+
+Every writer in the persistence layer (and the benchmark JSON emitters)
+funnels through this module, so a crash at any instant leaves either the
+old file or the new file — never a truncated hybrid. This is the single
+place allowed to open files for writing non-atomically (the tmp file
+itself); reprolint rule RPL010 enforces that elsewhere in ``persist/``
+and ``io.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "fsync_directory",
+    "replace_atomic",
+    "write_bytes_atomic",
+    "write_json_atomic",
+    "write_text_atomic",
+    "write_via_handle_atomic",
+]
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory entry to disk (best effort).
+
+    After ``os.replace`` the new *name* lives in the directory; fsyncing
+    the directory makes the rename itself durable. Platforms that cannot
+    open directories for reading are silently skipped.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _tmp_path(path: Path) -> Path:
+    """Deterministic sibling tmp name (same filesystem as the target)."""
+    return path.with_name(path.name + ".tmp")
+
+
+def replace_atomic(tmp: str | Path, path: str | Path) -> None:
+    """Atomically move a fully written tmp file onto its target."""
+    tmp, path = Path(tmp), Path(path)
+    os.replace(tmp, path)
+    fsync_directory(path.parent)
+
+
+def write_via_handle_atomic(path: str | Path,
+                            write: Callable[[Any], None], *,
+                            mode: str = "wb") -> None:
+    """Run ``write(handle)`` against a tmp file, fsync, then replace.
+
+    The generic building block: callers that need a real file handle
+    (``np.savez``, line-by-line writers) pass a callback; everything
+    else uses the convenience wrappers below.
+    """
+    path = Path(path)
+    tmp = _tmp_path(path)
+    # reprolint: disable=RPL010 -- this IS the atomic-write primitive
+    with tmp.open(mode) as handle:
+        write(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    replace_atomic(tmp, path)
+
+
+def write_bytes_atomic(path: str | Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    write_via_handle_atomic(path, lambda h: h.write(data), mode="wb")
+
+
+def write_text_atomic(path: str | Path, text: str, *,
+                      encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    write_bytes_atomic(path, text.encode(encoding))
+
+
+def write_json_atomic(path: str | Path, obj: Any, *,
+                      indent: int | None = 2,
+                      sort_keys: bool = False) -> None:
+    """Atomically replace ``path`` with ``obj`` serialized as JSON."""
+    write_text_atomic(path, json.dumps(obj, indent=indent,
+                                       sort_keys=sort_keys) + "\n")

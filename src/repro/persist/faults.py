@@ -1,0 +1,86 @@
+"""Deterministic fault injection for durability tests.
+
+Small file-level mutators that simulate the crash/corruption modes the
+persistence layer must survive: torn writes (truncation at a byte
+offset), single-bit flips, missing or renamed files, version skew, and
+partial WAL tails. Each helper is deterministic — no randomness — so a
+failing fault-matrix case replays exactly.
+
+These are test utilities, but they live in the package (not ``tests/``)
+so the CLI and future chaos harnesses can reuse them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "append_garbage",
+    "bump_json_version",
+    "flip_bit",
+    "rename_away",
+    "truncate_at",
+    "truncate_last_bytes",
+]
+
+
+def truncate_at(path: str | Path, size: int) -> None:
+    """Simulate a torn write: keep only the first ``size`` bytes."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[:max(0, int(size))])
+
+
+def truncate_last_bytes(path: str | Path, count: int) -> None:
+    """Drop the final ``count`` bytes (a partial tail record)."""
+    data = Path(path).read_bytes()
+    truncate_at(path, len(data) - int(count))
+
+
+def flip_bit(path: str | Path, byte_offset: int, bit: int = 0) -> None:
+    """Flip one bit in place (silent media corruption)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path} is empty; nothing to corrupt")
+    data[byte_offset % len(data)] ^= 1 << (int(bit) % 8)
+    path.write_bytes(bytes(data))
+
+
+def rename_away(path: str | Path, suffix: str = ".missing") -> Path:
+    """Make a file vanish (returns where it went, for restoration)."""
+    path = Path(path)
+    target = path.with_name(path.name + suffix)
+    path.rename(target)
+    return target
+
+
+def append_garbage(path: str | Path,
+                   data: bytes = b"\x00\xff\x80garbage") -> None:
+    """Append binary garbage (a corrupted tail)."""
+    path = Path(path)
+    with path.open("ab") as handle:
+        handle.write(data)
+
+
+def bump_json_version(path: str | Path, version: int = 999) -> None:
+    """Rewrite a JSON/JSONL file's ``version`` field (format skew).
+
+    Works on both a JSON document (checkpoint manifest) and the header
+    line of a JSONL file (WAL segment, trace).
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    try:
+        obj = json.loads(text)
+        obj["version"] = int(version)
+        path.write_text(json.dumps(obj, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    except json.JSONDecodeError:
+        head, _, rest = text.partition("\n")
+        obj = json.loads(head)
+        obj["version"] = int(version)
+        path.write_text(json.dumps(obj, sort_keys=True,
+                                   separators=(",", ":"))
+                        + "\n" + rest, encoding="utf-8")

@@ -1,0 +1,261 @@
+"""Append-mode write-ahead log of engine operations.
+
+The WAL shares the scenario-trace line format (PR 3): each segment is a
+JSONL file whose first line is a header object and whose remaining lines
+are ``[kind, tuple_id, point-or-null]`` operation records — exactly what
+``json.dumps([op.kind, op.tuple_id, ...])`` produces for a trace body
+line. Segments rotate at a configurable operation count and are named by
+sequence number (``wal-00000001.jsonl``); each header records the global
+operation index its segment starts at, so the chain is self-validating.
+
+Durability is tunable per workload:
+
+* ``fsync="always"`` — fsync after every :meth:`WriteAheadLog.append`;
+* ``fsync="batch"`` (default) — flush every append, fsync on segment
+  rotation, :meth:`WriteAheadLog.sync` and close;
+* ``fsync="never"`` — flush only (tests, throwaway runs).
+
+Readers are strict: a missing segment, a broken header chain, a partial
+or malformed tail line, binary garbage, or a future format version all
+raise a typed :class:`WALError` naming the file and line. Recovery
+treats any :class:`WALError` as "the log cannot be trusted past this
+point is unknowable" and degrades to a cold start — it never silently
+truncates or skips records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, TextIO
+
+import numpy as np
+
+from repro.data.database import DELETE, INSERT, Operation
+
+__all__ = ["WALError", "WriteAheadLog", "read_wal", "wal_position"]
+
+_KIND = "fdrms-wal"
+_FORMAT_VERSION = 1
+_SEGMENT_GLOB = "wal-*.jsonl"
+_FSYNC_POLICIES = ("always", "batch", "never")
+
+
+class WALError(RuntimeError):
+    """The write-ahead log is missing, malformed, or untrustworthy."""
+
+
+def _segment_name(seq: int) -> str:
+    return f"wal-{seq:08d}.jsonl"
+
+
+def _segments(directory: Path) -> list[Path]:
+    return sorted(directory.glob(_SEGMENT_GLOB))
+
+
+def _op_line(op: Operation) -> str:
+    point = None if op.point is None else [float(v) for v in op.point]
+    return json.dumps([op.kind, op.tuple_id, point],
+                      separators=(",", ":"))
+
+
+def _parse_header(path: Path, line: str, expect_seq: int,
+                  expect_start: int) -> None:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WALError(f"{path}:1: malformed segment header") from exc
+    if not isinstance(header, dict) or header.get("kind") != _KIND:
+        raise WALError(f"{path}:1: not a WAL segment header")
+    version = int(header.get("version", -1))
+    if version > _FORMAT_VERSION:
+        raise WALError(f"{path}:1: WAL format v{version} is newer than "
+                       f"this library (v{_FORMAT_VERSION})")
+    if version < 1:
+        raise WALError(f"{path}:1: bad WAL version {version}")
+    if int(header.get("segment", -1)) != expect_seq:
+        raise WALError(f"{path}:1: segment number "
+                       f"{header.get('segment')} breaks the chain "
+                       f"(expected {expect_seq})")
+    if int(header.get("start_op", -1)) != expect_start:
+        raise WALError(f"{path}:1: start_op {header.get('start_op')} "
+                       f"breaks the chain (expected {expect_start})")
+
+
+def _parse_op(path: Path, lineno: int, line: str) -> Operation:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WALError(
+            f"{path}:{lineno}: partial or malformed WAL record") from exc
+    if (not isinstance(record, list) or len(record) != 3
+            or record[0] not in (INSERT, DELETE)):
+        raise WALError(f"{path}:{lineno}: bad WAL record {record!r}")
+    kind, tid, values = record
+    point = None if values is None else np.asarray(values,
+                                                   dtype=np.float64)
+    return Operation(kind, point,
+                     tuple_id=None if tid is None else int(tid))
+
+
+def _iter_records(directory: Path) -> Iterator[Operation]:
+    """Every operation in the log, strictly validated."""
+    segments = _segments(directory)
+    if not segments:
+        return
+    position = 0
+    for seq, path in enumerate(segments):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                lines = handle.read().split("\n")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise WALError(f"{path}: unreadable WAL segment: {exc}") \
+                from exc
+        if not lines or not lines[0]:
+            raise WALError(f"{path}:1: empty WAL segment")
+        _parse_header(path, lines[0], seq, position)
+        if lines[-1] != "":
+            raise WALError(f"{path}:{len(lines)}: torn final record "
+                           f"(no trailing newline)")
+        for lineno, line in enumerate(lines[1:-1], start=2):
+            yield _parse_op(path, lineno, line)
+            position += 1
+
+
+def read_wal(directory: str | Path,
+             start: int = 0) -> tuple[list[Operation], int]:
+    """Read the log; returns ``(ops[start:], head_position)``.
+
+    ``start`` is the global operation index to begin at (a checkpoint's
+    ``wal_position``). Raises :class:`WALError` if the log is malformed
+    or holds fewer than ``start`` operations (the checkpoint claims
+    state the log never saw — one of the two is not ours).
+    """
+    directory = Path(directory)
+    ops = list(_iter_records(directory))
+    if start > len(ops):
+        raise WALError(
+            f"{directory}: log holds {len(ops)} operations but the "
+            f"checkpoint claims position {start}")
+    return ops[start:], len(ops)
+
+
+def wal_position(directory: str | Path) -> int:
+    """Number of operations in the log (validating the whole chain)."""
+    return read_wal(directory)[1]
+
+
+class WriteAheadLog:
+    """Appender with segment rotation and a configurable fsync policy.
+
+    Opening an existing directory validates the full chain and resumes
+    appending after the last record; a malformed log raises
+    :class:`WALError` (pass ``fresh=True`` to discard it and start over,
+    which is what a cold-starting session does).
+    """
+
+    def __init__(self, directory: str | Path, *,
+                 segment_ops: int = 4096,
+                 fsync: str = "batch",
+                 fresh: bool = False) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of "
+                             f"{_FSYNC_POLICIES}, got {fsync!r}")
+        if segment_ops < 1:
+            raise ValueError("segment_ops must be >= 1")
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._segment_ops = int(segment_ops)
+        self._fsync = fsync
+        self._handle: TextIO | None = None
+        if fresh:
+            for path in _segments(self._dir):
+                path.unlink()
+        segments = _segments(self._dir)
+        self._position = wal_position(self._dir)
+        self._seq = len(segments)  # next segment to create
+        self._seg_count = 0
+        if segments:
+            # Resume the last segment if it still has room (``_seq``
+            # stays at len(segments): it names the next segment to
+            # create once this one fills).
+            last_count = self._position - self._segment_start(segments)
+            if last_count < self._segment_ops:
+                self._seg_count = last_count
+                # Records are the unit of atomicity; torn tails are
+                # detected on read.
+                # reprolint: disable=RPL010 -- append-mode log resume
+                self._handle = segments[-1].open("a", encoding="utf-8")
+
+    @staticmethod
+    def _segment_start(segments: list[Path]) -> int:
+        with segments[-1].open("r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        return int(header["start_op"])
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def position(self) -> int:
+        """Global index of the next operation to be appended."""
+        return self._position
+
+    def _open_segment(self) -> TextIO:
+        path = self._dir / _segment_name(self._seq)
+        header = {"kind": _KIND, "version": _FORMAT_VERSION,
+                  "segment": self._seq, "start_op": self._position}
+        # Atomicity is per record (torn tails are detected on read),
+        # not per file.
+        # reprolint: disable=RPL010 -- append-mode log segment
+        handle = path.open("a", encoding="utf-8")
+        handle.write(json.dumps(header, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+        self._seq += 1
+        self._seg_count = 0
+        return handle
+
+    def append(self, ops: Any) -> int:
+        """Append operations; returns the new head position."""
+        for op in ops:
+            if self._handle is None:
+                self._handle = self._open_segment()
+            self._handle.write(_op_line(op) + "\n")
+            self._position += 1
+            self._seg_count += 1
+            if self._seg_count >= self._segment_ops:
+                self._rotate()
+        if self._handle is not None:
+            self._handle.flush()
+            if self._fsync == "always":
+                os.fsync(self._handle.fileno())
+        return self._position
+
+    def _rotate(self) -> None:
+        assert self._handle is not None
+        self._handle.flush()
+        if self._fsync != "never":
+            os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._handle = None
+
+    def sync(self) -> None:
+        """Force everything appended so far to disk."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self._fsync != "never":
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

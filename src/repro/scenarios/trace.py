@@ -194,7 +194,9 @@ def load_trace(path: str | Path, *, verify: bool = True) -> Trace:
     with path.open("r", encoding="utf-8") as handle:
         try:
             header = json.loads(handle.readline())
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # UnicodeDecodeError covers binary garbage: text-mode reads
+            # decode lazily, so it surfaces at readline, not open.
             raise TraceFormatError(f"{path}: malformed header") from exc
         if not isinstance(header, dict) or header.get("kind") != _KIND:
             raise TraceFormatError(f"{path} is not a scenario trace")
@@ -209,9 +211,10 @@ def load_trace(path: str | Path, *, verify: bool = True) -> Trace:
         operations: list[Operation] = []
 
         def body_line(what: str) -> tuple[Any, Any, Any]:
-            line = handle.readline()
+            # UnicodeDecodeError (binary garbage mid-file) is a
+            # ValueError subclass, so it maps to TraceFormatError too.
             try:
-                tag, tid, values = json.loads(line)
+                tag, tid, values = json.loads(handle.readline())
             except (json.JSONDecodeError, TypeError, ValueError) as exc:
                 raise TraceFormatError(
                     f"{path}: truncated or malformed {what} line") from exc
@@ -229,7 +232,12 @@ def load_trace(path: str | Path, *, verify: bool = True) -> Trace:
             operations.append(Operation(
                 kind, np.asarray(values, dtype=np.float64),
                 tuple_id=None if tid is None else int(tid)))
-        if handle.readline().strip():
+        try:
+            trailing = handle.readline().strip()
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(f"{path}: binary garbage after "
+                                   f"{n_ops} operations") from exc
+        if trailing:
             raise TraceFormatError(f"{path}: trailing data after "
                                    f"{n_ops} operations")
     workload = DynamicWorkload(

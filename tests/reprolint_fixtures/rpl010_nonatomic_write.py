@@ -1,0 +1,44 @@
+# fixture-relpath: src/repro/persist/example.py
+"""In-place file writes inside the durability-critical persistence layer."""
+import json
+
+import numpy as np
+
+from repro.persist.atomic import write_via_handle_atomic
+
+
+def bare_write(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def path_open_write(path, blob):
+    with path.open("wb") as handle:
+        handle.write(blob)
+
+
+def savez_in_place(path, arrays):
+    np.savez(path, **arrays)
+
+
+def convenience_writer(path, text):
+    path.write_text(text, encoding="utf-8")
+
+
+def dynamic_mode(path, mode):
+    return path.open(mode)
+
+
+def read_side_is_fine(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def atomic_savez_is_fine(path, arrays):
+    write_via_handle_atomic(path, lambda h: np.savez(h, **arrays))
+
+
+def suppressed_append_log(path, line):
+    # reprolint: disable=RPL010 -- append-mode log; atomicity is per record
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")

@@ -118,6 +118,43 @@ class TestCommands:
         assert payload[0]["scenario"] == "mixed-batch"
         assert payload[0]["trace_hash"].startswith("sha256:")
 
+    def test_snapshot_save_verify_load_round_trip(self, capsys, tmp_path):
+        ckpt, wal = tmp_path / "ckpt", tmp_path / "wal"
+        rc = main(["snapshot", "save", "delete-heavy", "--n", "200",
+                   "--out", str(ckpt), "--wal", str(wal), "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written" in out and "state digest: " in out
+        saved_digest = [ln for ln in out.splitlines()
+                        if ln.startswith("state digest: ")][0]
+        assert main(["snapshot", "verify", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint OK" in out and saved_digest in out
+        assert main(["snapshot", "load", str(ckpt),
+                     "--wal", str(wal)]) == 0
+        out = capsys.readouterr().out
+        assert "restored: " in out and saved_digest in out
+        assert "replayed ops: 0" in out
+
+    def test_snapshot_verify_detects_corruption(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        assert main(["snapshot", "save", "paper", "--n", "150",
+                     "--out", str(ckpt), "--seed", "1"]) == 0
+        capsys.readouterr()
+        from repro.persist import faults
+        from repro.persist.checkpoint import STATE_NAME
+        faults.flip_bit(ckpt / STATE_NAME, 4096)
+        assert main(["snapshot", "verify", str(ckpt)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+
+    def test_snapshot_load_missing_directory_one_line_error(self, capsys,
+                                                            tmp_path):
+        rc = main(["snapshot", "load", str(tmp_path / "nope")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1 and "manifest" in err
+
     def test_replay_unknown_scenario_one_line_error(self, capsys):
         rc = main(["replay", "bogus"])
         assert rc == 2

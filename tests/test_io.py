@@ -8,6 +8,7 @@ from repro.core.regret import RegretEvaluator
 from repro.data import Database, make_paper_workload
 from repro.data.database import INSERT
 from repro.io import (
+    FileFormatError,
     load_database,
     load_run_result,
     load_workload,
@@ -97,3 +98,61 @@ class TestRunResultRoundtrip:
         (tmp_path / "x.json").write_text('{"kind": "other"}')
         with pytest.raises(ValueError):
             load_run_result(tmp_path / "x.json")
+
+
+class TestErrorPaths:
+    """Corrupt, truncated, or future-version files raise FileFormatError
+    (a ValueError), never a bare zipfile/json/unicode exception."""
+
+    @pytest.fixture
+    def db_file(self, tmp_path, small_cloud):
+        path = tmp_path / "db.npz"
+        save_database(Database(small_cloud), path)
+        return path
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_database(tmp_path / "absent.npz")
+
+    def test_truncated_npz(self, db_file):
+        data = db_file.read_bytes()
+        db_file.write_bytes(data[: len(data) // 2])
+        with pytest.raises(FileFormatError):
+            load_database(db_file)
+
+    def test_binary_garbage(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"\x00\xff\x80 not a zip archive")
+        with pytest.raises(FileFormatError):
+            load_database(path)
+        with pytest.raises(FileFormatError):
+            load_workload(path)
+
+    def test_future_version_rejected(self, tmp_path, small_cloud, rng):
+        db_path = tmp_path / "db.npz"
+        db = Database(small_cloud)
+        np.savez_compressed(db_path, version=999, kind="database",
+                            ids=db.ids(), points=db.points(),
+                            d=db.d, capacity=db.capacity)
+        with pytest.raises(FileFormatError, match="newer"):
+            load_database(db_path)
+        wl = make_paper_workload(rng.random((50, 3)), seed=2)
+        wl_path = tmp_path / "wl.npz"
+        save_workload(wl, wl_path)
+        data = dict(np.load(wl_path))
+        data["version"] = np.int64(999)
+        np.savez_compressed(wl_path, **data)
+        with pytest.raises(FileFormatError, match="newer"):
+            load_workload(wl_path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "db.npz"
+        np.savez_compressed(path, version=1, kind="database")
+        with pytest.raises(FileFormatError, match="missing field"):
+            load_database(path)
+
+    def test_run_result_garbage(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_bytes(b"\x80\x81 not json")
+        with pytest.raises(FileFormatError):
+            load_run_result(path)

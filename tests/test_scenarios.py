@@ -228,6 +228,41 @@ class TestTraceIO:
         with pytest.raises(TraceFormatError, match="not a scenario trace"):
             load_trace(path)
 
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="malformed header"):
+            load_trace(path)
+
+    def test_truncated_last_line_rejected(self, tmp_path):
+        """A torn final record (cut mid-line) is a typed error naming
+        the line, never a bare json.JSONDecodeError."""
+        trace = get_scenario("paper").compile(seed=9, n=80)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])  # cut into the final op record
+        with pytest.raises(TraceFormatError, match="truncated or malformed"):
+            load_trace(path)
+
+    def test_binary_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_bytes(b"\x80\x81\xfe\xff binary garbage")
+        with pytest.raises(TraceFormatError, match="malformed header"):
+            load_trace(path)
+
+    def test_binary_garbage_mid_file_rejected(self, tmp_path):
+        trace = get_scenario("paper").compile(seed=9, n=80)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        with path.open("ab") as handle:
+            handle.write(b"\x80\x81\xfe\xff trailing binary\n")
+        # The buffered text reader decodes in chunks, so the
+        # UnicodeDecodeError can surface at an earlier readline; either
+        # way it maps to TraceFormatError, never a bare decode error.
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
 
 class TestGoldenHashes:
     """Pin cross-run/cross-platform trace determinism at the CI size.

@@ -28,9 +28,12 @@ from tools.reprolint.rules import (
     DIGEST_CONSTRUCTORS,
     HOT_ALLOC_CALLS,
     MUTABLE_FACTORIES,
+    NONATOMIC_SAVE_CALLS,
+    NONATOMIC_WRITE_ATTRS,
     RULES,
     STDLIB_RANDOM_FUNCS,
     WALL_CLOCK_CALLS,
+    WRITE_MODE_CHARS,
     Rule,
     is_digest_receiver,
     is_score_like,
@@ -329,6 +332,7 @@ class _Checker(ast.NodeVisitor):
         self.diagnostics: list[Diagnostic] = []
         self._loop_depth = 0
         self._scope_stack: list[frozenset[str]] = []
+        self._lambda_stack: list[frozenset[str]] = []
 
     # -- helpers ----------------------------------------------------------
 
@@ -378,7 +382,23 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
+        params = frozenset(
+            arg.arg
+            for arg in [
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+            ]
+        )
+        self._lambda_stack.append(params)
         self.generic_visit(node)
+        self._lambda_stack.pop()
+
+    @property
+    def _lambda_params(self) -> frozenset[str]:
+        if not self._lambda_stack:
+            return frozenset()
+        return frozenset().union(*self._lambda_stack)
 
     # -- RPL006: mutable defaults -----------------------------------------
 
@@ -564,7 +584,60 @@ class _Checker(ast.NodeVisitor):
                         f"str.join over a {reason}; ordering is not canonical",
                     )
         self._check_digest_call(node, dotted, func_name)
+        self._check_nonatomic_write(node, dotted)
         self.generic_visit(node)
+
+    # -- RPL010: in-place writes in durability-critical modules ------------
+
+    def _check_nonatomic_write(self, node: ast.Call, dotted: str | None) -> None:
+        if dotted in NONATOMIC_SAVE_CALLS:
+            # np.savez(handle, ...) through a lambda parameter is the
+            # write_via_handle_atomic idiom: the handle is the tmp file.
+            target = node.args[0] if node.args else None
+            if not (
+                isinstance(target, ast.Name) and target.id in self._lambda_params
+            ):
+                self.report(
+                    "RPL010", node, f"{dotted}() writes its target in place"
+                )
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in NONATOMIC_WRITE_ATTRS
+        ):
+            self.report(
+                "RPL010",
+                node,
+                f".{node.func.attr}() replaces the file non-atomically",
+            )
+            return
+        mode_arg: ast.expr | None = None
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode_arg = node.args[1] if len(node.args) > 1 else None
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "open"
+            and (dotted is None or not dotted.startswith("os."))
+        ):
+            # Path.open / handle-like .open; os.open takes int flags and
+            # is used read-only here (directory fsync).
+            mode_arg = node.args[0] if node.args else None
+        else:
+            return
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode_arg = kw.value
+        if mode_arg is None:
+            return  # default mode is read-only
+        if isinstance(mode_arg, ast.Constant) and isinstance(mode_arg.value, str):
+            if not (WRITE_MODE_CHARS & set(mode_arg.value)):
+                return
+            desc = f"open(..., {mode_arg.value!r})"
+        else:
+            # A dynamic mode in a durability-critical module deserves a
+            # look (and a pragma if it is genuinely the atomic primitive).
+            desc = "open() with a non-literal mode"
+        self.report("RPL010", node, f"{desc} writes in place")
 
     def _check_digest_call(
         self, node: ast.Call, dotted: str | None, func_name: str | None

@@ -149,6 +149,24 @@ RPL009 = _register(
     )
 )
 
+RPL010 = _register(
+    Rule(
+        code="RPL010",
+        name="non-atomic-write",
+        summary=(
+            "non-atomic file write (bare open-for-writing / np.savez / "
+            ".write_text) in a durability-critical module"
+        ),
+        fixit=(
+            "write a tmp sibling, fsync, then os.replace onto the target "
+            "(use repro.persist.atomic)"
+        ),
+        include=("src/repro/persist/", "src/repro/io.py"),
+        # The fault injector corrupts files in place by design.
+        exclude=("src/repro/persist/faults.py",),
+    )
+)
+
 
 #: Name segments that mark an identifier as score-like for RPL002.
 SCORE_SEGMENTS = frozenset(
@@ -249,6 +267,24 @@ HOT_ALLOC_CALLS = frozenset(
         "numpy.concatenate",
     }
 )
+
+#: Dotted call names that write an npy/npz file in place (RPL010).
+NONATOMIC_SAVE_CALLS = frozenset(
+    {
+        "np.save",
+        "np.savez",
+        "np.savez_compressed",
+        "numpy.save",
+        "numpy.savez",
+        "numpy.savez_compressed",
+    }
+)
+
+#: ``Path`` convenience writers that replace a file in place (RPL010).
+NONATOMIC_WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
+
+#: ``open``-mode characters that make the call a write (RPL010).
+WRITE_MODE_CHARS = frozenset("wxa+")
 
 #: Constructors whose results are mutable containers (RPL006).
 MUTABLE_FACTORIES = frozenset(
