@@ -177,6 +177,10 @@ def cmd_replay(args) -> int:
     names = scenario_names() if replay_all else [args.scenario]
     specs = _resolve_specs(args.algorithms)
     options = {"eps": args.eps, "m_max": args.m_max}
+    if args.workers is not None:
+        # Execution backend only — replay digests are worker-count
+        # invariant, which the CI scenario matrix checks explicitly.
+        options["parallel"] = args.workers
     expected = None
     if args.expect_hashes:
         expected = json.loads(Path(args.expect_hashes).read_text())
@@ -383,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "(a directory when replaying 'all')")
     p_rp.add_argument("--json", default=None, dest="json_out",
                       help="write replay metrics as JSON to this path")
+    p_rp.add_argument("--workers", type=int, default=None,
+                      help="FD-RMS execution backend: 0/1 = serial "
+                           "canonical-block backend, N >= 2 = N "
+                           "shared-memory workers (digests are "
+                           "worker-count invariant); default: inline "
+                           "engine")
     p_rp.add_argument("--check-determinism", action="store_true",
                       help="compile and replay twice; fail on any drift")
     p_rp.add_argument("--expect-hashes", default=None,

@@ -52,6 +52,9 @@ from repro._types import AnyArray, FloatArray, IndexArray
 from repro.data.database import INSERT, Database, iter_op_runs
 from repro.index.conetree import ConeTree
 from repro.index.kdtree import KDTree
+from repro.parallel import blocks as _pblocks
+from repro.parallel.backend import ExecutionBackend
+from repro.parallel.compiled import eviction_positions, reached_utilities
 from repro.utils import check_epsilon, check_k
 
 ADD = "+"
@@ -627,8 +630,10 @@ class ApproxTopKIndex:
     def __init__(self, db: Database, utilities: ArrayLike, k: int, eps: float, *,
                  index_factory: Callable[[IndexArray, FloatArray, int], Any]
                  | None = None,
-                 cone_factory: Callable[[FloatArray], Any] | None = None) -> None:
+                 cone_factory: Callable[[FloatArray], Any] | None = None,
+                 backend: ExecutionBackend | None = None) -> None:
         self._db = db
+        self._backend = backend
         self._u = np.ascontiguousarray(utilities, dtype=np.float64)
         if self._u.ndim != 2 or self._u.shape[1] != db.d:
             raise ValueError("utilities must be (M, d) with d matching the database")
@@ -912,11 +917,13 @@ class ApproxTopKIndex:
         return state
 
     @classmethod
-    def from_state(cls, state, db: Database, k: int,
-                   eps: float) -> "ApproxTopKIndex":
+    def from_state(cls, state, db: Database, k: int, eps: float,
+                   backend: ExecutionBackend | None = None
+                   ) -> "ApproxTopKIndex":
         """Rebuild an index from :meth:`export_state` arrays."""
         self = object.__new__(cls)
         self._db = db
+        self._backend = backend
         self._u = np.ascontiguousarray(state["u"], dtype=np.float64).copy()
         if self._u.ndim != 2 or self._u.shape[1] != db.d:
             raise ValueError("utilities must be (M, d) with d matching "
@@ -967,8 +974,39 @@ class ApproxTopKIndex:
         inv_pids: list[IndexArray] = []
         inv_owners: list[IndexArray] = []
         all_taus = np.zeros(m_total)
-        if n > 0:
-            chunk = max(1, int(4_000_000 // max(1, n)))
+        if n > 0 and self._backend is not None:
+            # Backend path: the same canonical chunks (the rule below is
+            # shared via repro.parallel.blocks), each computed by the
+            # bootstrap_chunk kernel — the exact per-chunk NumPy calls
+            # of the inline loop — then installed strictly in chunk
+            # order. Byte-identical to the inline path at any worker
+            # count.
+            backend = self._backend
+            chunks = _pblocks.bootstrap_chunks(n, m_total)
+            t0 = time.perf_counter()
+            pts_ref = backend.ship(pts)
+            ids_ref = backend.ship(ids)
+            u_ref = backend.share("u", 0, self._u)
+            results = backend.map_blocks("bootstrap_chunk", [
+                {"pts": pts_ref, "ids": ids_ref, "u": u_ref,
+                 "start": start, "end": end, "k": k, "eps": self._eps}
+                for start, end in chunks])
+            t1 = time.perf_counter()
+            t_gemm = t1 - t0
+            for (start, end), chunk_out in zip(chunks, results):
+                (taus, topk_rows, bounds, cols,
+                 member_pids, member_scores, mins) = chunk_out
+                for col in range(end - start):
+                    s, e = bounds[col], bounds[col + 1]
+                    store.set_row_bootstrap(
+                        start + col, member_pids[s:e], member_scores[s:e],
+                        topk_rows[col], float(mins[col]) if e > s else np.inf)
+                inv_pids.append(member_pids)
+                inv_owners.append(cols + start)
+                all_taus[start:end] = taus
+            t_fill = time.perf_counter() - t1
+        elif n > 0:
+            chunk = max(1, int(_pblocks.BOOTSTRAP_CHUNK_ELEMS // max(1, n)))
             for start in range(0, m_total, chunk):
                 block = self._u[start:start + chunk]
                 b = block.shape[0]
@@ -1056,7 +1094,7 @@ class ApproxTopKIndex:
             log.extend_one_pid(reached, pid, ADD_CODE)
             return
         taus = (1.0 - self._eps) * store.kth_vector(reached)
-        evict_pos = np.flatnonzero(store.min_vector(reached) < taus)
+        evict_pos = eviction_positions(store.min_vector(reached), taus)
         if evict_pos.size == 0:
             log.extend_one_pid(reached, pid, ADD_CODE)
         else:
@@ -1099,6 +1137,23 @@ class ApproxTopKIndex:
                 ids, pts = run.alive_snapshot()
             else:
                 ids, pts = self._db.snapshot()
+            backend = self._backend
+            q = idxs.shape[0]
+            if backend is not None and \
+                    n_db * q >= _pblocks.REPAIR_PAR_MIN_ELEMS:
+                # Shard the wave over canonical column blocks of the
+                # gathered utilities; block results extend in order.
+                ids_ref = backend.ship(ids)
+                pts_ref = backend.ship(pts)
+                u_ref = backend.ship(self._u[idxs])
+                wave: list[tuple[float, IndexArray, FloatArray] | None] = []
+                for block in backend.map_blocks("repair_columns", [
+                        {"ids": ids_ref, "pts": pts_ref, "u_sel": u_ref,
+                         "start": s, "end": e, "n_db": n_db,
+                         "k": self._k, "eps": self._eps}
+                        for s, e in _pblocks.repair_col_blocks(q)]):
+                    wave.extend(block)
+                return wave
             scores = pts @ self._u[idxs].T  # (n, q): the repair wave
             out = []
             # reprolint: disable=RPL004 -- one pass per repaired utility (q small);
@@ -1215,7 +1270,21 @@ class _InsertRun:
                 staged[pid] = vec
             if len(staged) >= _STAGE_LIMIT:
                 index._flush_staged()
-        self._scores = pts @ index._u.T
+        backend = index._backend
+        if backend is not None and \
+                pts.shape[0] * index._m_total >= _pblocks.SCORE_PAR_MIN_ELEMS:
+            # Shard the (batch × M) GEMM over canonical row blocks and
+            # stack in block order; the dispatch threshold and block
+            # size are pure functions of problem size, so any worker
+            # count (or the serial backend) produces the same bits.
+            pts_ref = backend.ship(pts)
+            u_ref = backend.share("u", 0, index._u)
+            row_scores = backend.map_blocks("score_rows", [
+                {"pts": pts_ref, "u": u_ref, "start": s, "end": e}
+                for s, e in _pblocks.score_row_blocks(pts.shape[0])])
+            self._scores = np.concatenate(row_scores, axis=0)
+        else:
+            self._scores = pts @ index._u.T
         self._pos = 0
 
     @property
@@ -1246,7 +1315,10 @@ class _InsertRun:
         if n <= index._k + 1:
             reached = np.arange(index._m_total, dtype=np.intp)
         else:
-            reached = np.flatnonzero(row >= index._thresholds_vector())
+            # Exact comparison through the feature-detected compiled
+            # shim (numba prange when available, same NumPy expression
+            # otherwise) — identical results either way.
+            reached = reached_utilities(row, index._thresholds_vector())
         index._absorb_new_tuple(pid, row, n, reached, log)
         return pid, log
 

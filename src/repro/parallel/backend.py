@@ -1,0 +1,256 @@
+"""Execution backends: serial fallback and shared-memory workers.
+
+A backend executes canonical block waves (see :mod:`repro.parallel.blocks`)
+through the kernel registry (:mod:`repro.parallel.kernels`). The engine
+builds one payload dict per block, marks large arrays with
+:meth:`ExecutionBackend.share` (long-lived, version-stamped) or
+:meth:`ExecutionBackend.ship` (per-wave), and calls
+:meth:`ExecutionBackend.map_blocks`; results always come back **in
+block order**, which is what makes the reduction deterministic.
+
+* :class:`SerialBackend` runs every block inline in the main process.
+* :class:`SharedMemoryBackend` fans blocks out to a lazily-started
+  ``ProcessPoolExecutor`` whose workers map the shared segments
+  zero-copy. If the pool breaks (a worker died — e.g. OOM-killed or
+  crashed mid-bootstrap), the wave is transparently recomputed inline:
+  kernels are pure and every block is the same NumPy call either way,
+  so the results — and all downstream digests — are unchanged. The
+  backend stays degraded (serial) from then on and exposes
+  :attr:`SharedMemoryBackend.degraded`.
+
+Both backends produce byte-identical results for the same block
+decomposition; worker count never influences block boundaries or
+reduction order. ``resolve_backend`` maps the user-facing
+``parallel=`` option to a backend instance (or ``None`` for the
+historical inline engine paths).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .kernels import KERNELS
+from .shm import ShmArena, ShmRef, WorkerAttachments
+
+
+class ParallelExecutionError(RuntimeError):
+    """A parallel wave failed and could not be recovered."""
+
+
+class ExecutionBackend:
+    """Interface shared by the serial and shared-memory backends."""
+
+    workers: int = 1
+
+    def share(self, key: str, token: Any, arr: NDArray[Any]) -> Any:
+        """Register a long-lived array; returns the payload handle."""
+        raise NotImplementedError
+
+    def ship(self, arr: NDArray[Any]) -> Any:
+        """Register a per-wave array; released after the next wave."""
+        raise NotImplementedError
+
+    def map_blocks(
+        self, kernel: str, payloads: list[dict[str, Any]]
+    ) -> list[Any]:
+        """Run ``kernel`` over ``payloads``; results in payload order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline fallback: same canonical blocks, no worker processes.
+
+    ``share``/``ship`` normalize to C-contiguous layout — the layout
+    the shared-memory transport always produces — so kernels see
+    identically-strided operands on both backends and GEMM bits match.
+    """
+
+    workers = 1
+
+    def share(self, key: str, token: Any, arr: NDArray[Any]) -> Any:
+        return np.ascontiguousarray(arr)
+
+    def ship(self, arr: NDArray[Any]) -> Any:
+        return np.ascontiguousarray(arr)
+
+    def map_blocks(
+        self, kernel: str, payloads: list[dict[str, Any]]
+    ) -> list[Any]:
+        fn = KERNELS[kernel]
+        return [fn(**payload) for payload in payloads]
+
+    def close(self) -> None:
+        pass
+
+
+# Worker-process state: one attachment cache per process, created on
+# first use (works under both fork and spawn start methods).
+_worker_attachments: WorkerAttachments | None = None
+
+
+def _resolve_payload(
+    payload: dict[str, Any], attachments: WorkerAttachments
+) -> dict[str, Any]:
+    return {
+        key: attachments.resolve(val) if isinstance(val, ShmRef) else val
+        for key, val in payload.items()
+    }
+
+
+def _worker_run(kernel: str, payload: dict[str, Any]) -> Any:
+    """Entry point executed inside a worker process."""
+    global _worker_attachments
+    if _worker_attachments is None:
+        _worker_attachments = WorkerAttachments()
+    fn = KERNELS[kernel]
+    return fn(**_resolve_payload(payload, _worker_attachments))
+
+
+class SharedMemoryBackend(ExecutionBackend):
+    """Fan canonical block waves out over a process pool.
+
+    ``workers`` is the pool size; the block decomposition never depends
+    on it, so any worker count (including this backend vs
+    :class:`SerialBackend`) produces byte-identical results.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 2:
+            raise ValueError("SharedMemoryBackend needs workers >= 2; "
+                             "use SerialBackend for inline execution")
+        self.workers = workers
+        self._start_method = start_method
+        self._arena = ShmArena()
+        self._transient: list[ShmRef] = []
+        self._executor: ProcessPoolExecutor | None = None
+        self.degraded = False
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing as mp
+
+            method = self._start_method
+            if method is None:
+                methods = mp.get_all_start_methods()
+                method = "fork" if "fork" in methods else methods[0]
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=mp.get_context(method)
+            )
+        return self._executor
+
+    def share(self, key: str, token: Any, arr: NDArray[Any]) -> Any:
+        if self.degraded:
+            return arr
+        return self._arena.publish(key, token, arr)
+
+    def ship(self, arr: NDArray[Any]) -> Any:
+        if self.degraded:
+            return arr
+        ref = self._arena.ship(arr)
+        self._transient.append(ref)
+        return ref
+
+    def _view(self, val: Any) -> Any:
+        return self._arena.view(val) if isinstance(val, ShmRef) else val
+
+    def _run_inline(
+        self, kernel: str, payloads: list[dict[str, Any]]
+    ) -> list[Any]:
+        fn = KERNELS[kernel]
+        return [
+            fn(**{key: self._view(val) for key, val in payload.items()})
+            for payload in payloads
+        ]
+
+    def map_blocks(
+        self, kernel: str, payloads: list[dict[str, Any]]
+    ) -> list[Any]:
+        try:
+            if self.degraded:
+                return self._run_inline(kernel, payloads)
+            executor = self._ensure_executor()
+            try:
+                futures = [
+                    executor.submit(_worker_run, kernel, payload)
+                    for payload in payloads
+                ]
+                return [future.result() for future in futures]
+            except (BrokenProcessPool, OSError, RuntimeError):
+                # A worker died mid-wave (crash, OOM kill). Kernels are
+                # pure and blocks canonical, so recomputing the whole
+                # wave inline yields byte-identical results; stay
+                # degraded so later waves skip the broken pool.
+                self._shutdown_executor()
+                self.degraded = True
+                return self._run_inline(kernel, payloads)
+        finally:
+            for ref in self._transient:
+                self._arena.release(ref)
+            self._transient.clear()
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._executor = None
+
+    def close(self) -> None:
+        self._shutdown_executor()
+        self._arena.close()
+
+    def __del__(self) -> None:  # best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def resolve_backend(
+    parallel: int | str | ExecutionBackend | None,
+) -> ExecutionBackend | None:
+    """Map the user-facing ``parallel=`` option to a backend.
+
+    * ``None`` — no backend: the engine keeps its historical inline
+      code paths, byte-for-byte.
+    * ``0``/``1``/``"serial"`` — :class:`SerialBackend`: canonical
+      block decomposition, executed inline.
+    * ``n >= 2`` — :class:`SharedMemoryBackend` with ``n`` workers.
+    * ``"auto"`` — worker count from ``os.cpu_count()`` (serial on a
+      single-core host).
+    * an :class:`ExecutionBackend` instance — used as-is.
+    """
+    if parallel is None:
+        return None
+    if isinstance(parallel, ExecutionBackend):
+        return parallel
+    if isinstance(parallel, str):
+        if parallel == "serial":
+            return SerialBackend()
+        if parallel == "auto":
+            count = os.cpu_count() or 1
+            return (SharedMemoryBackend(count) if count >= 2
+                    else SerialBackend())
+        try:
+            parallel = int(parallel)
+        except ValueError:
+            raise ValueError(
+                f"parallel must be an int, 'serial', 'auto', or a "
+                f"backend instance; got {parallel!r}"
+            ) from None
+    count = int(parallel)
+    if count < 0:
+        raise ValueError(f"parallel must be >= 0, got {count}")
+    if count <= 1:
+        return SerialBackend()
+    return SharedMemoryBackend(count)

@@ -1,0 +1,69 @@
+"""Feature-detected compiled kernels for the per-op scalar tails.
+
+When numba is importable, the reach test of ``_InsertRun.step_log``
+(``row >= thresholds`` over all M utilities) and the eviction scan of
+``_absorb_new_tuple`` (``min_vector < taus`` over the reach) run
+through ``@njit(parallel=True)`` comparison kernels; otherwise the
+pure-NumPy expressions run. Both paths are **exact element-wise
+comparisons** — no reductions, no reassociation — so their results are
+identical by construction and the compiled path is digest-invisible.
+The set-cover dirty-queue drain is deliberately *not* compiled: it is
+coupled to the heap and MemberStore absorption loop through Python
+objects, and the determinism risk of reimplementing it outweighs its
+per-op cost (see docs/BENCHMARKS.md).
+
+``HAVE_NUMBA`` reports which path is live; tests assert fallback
+behavior so CI (which does not install numba) exercises the NumPy
+branch.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+try:  # feature detection only — numba is an optional accelerator
+    import numba  # type: ignore[import-not-found]
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None  # type: ignore[assignment]
+    HAVE_NUMBA = False
+
+FloatArray = NDArray[np.float64]
+IndexArray = NDArray[np.intp]
+
+
+if HAVE_NUMBA:
+
+    @numba.njit(parallel=True, cache=True)  # pragma: no cover - optional
+    def _ge_mask(row: Any, taus: Any) -> Any:
+        n = row.shape[0]
+        out = np.empty(n, np.bool_)
+        for i in numba.prange(n):
+            out[i] = row[i] >= taus[i]
+        return out
+
+    @numba.njit(parallel=True, cache=True)  # pragma: no cover - optional
+    def _lt_mask(mins: Any, taus: Any) -> Any:
+        n = mins.shape[0]
+        out = np.empty(n, np.bool_)
+        for i in numba.prange(n):
+            out[i] = mins[i] < taus[i]
+        return out
+
+
+def reached_utilities(row: FloatArray, thresholds: FloatArray) -> IndexArray:
+    """Ascending indices where ``row >= thresholds`` (insert reach)."""
+    if HAVE_NUMBA:  # pragma: no cover - optional accelerator
+        return np.flatnonzero(_ge_mask(row, thresholds))
+    return np.flatnonzero(row >= thresholds)
+
+
+def eviction_positions(mins: FloatArray, taus: FloatArray) -> IndexArray:
+    """Ascending positions where ``mins < taus`` (eviction candidates)."""
+    if HAVE_NUMBA:  # pragma: no cover - optional accelerator
+        return np.flatnonzero(_lt_mask(mins, taus))
+    return np.flatnonzero(mins < taus)

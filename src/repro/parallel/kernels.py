@@ -1,0 +1,133 @@
+"""Pure per-block kernels executed by the parallel backends.
+
+Each kernel is the *exact* per-block computation of the engine loop it
+shards — same NumPy calls, same slice shapes, same operand layouts —
+so a block computed in a worker process is byte-identical to the same
+block computed inline by the serial backend (and, for the bootstrap,
+to the default non-parallel engine, whose historical chunk rule the
+canonical decomposition reuses). Kernels are pure functions of their
+inputs: no engine state, no mutation, no RNG, no wall clock. All
+mutation (MemberStore fills, delta emission) stays in the main process
+and consumes kernel results strictly in block order.
+
+Kernels must be module-level (picklable by reference) and are looked
+up by name through :data:`KERNELS` so the worker entrypoint never
+unpickles code objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+from numpy.typing import NDArray
+
+FloatArray = NDArray[np.float64]
+IndexArray = NDArray[np.intp]
+
+#: Result of one bootstrap chunk: ``(taus, topk_rows, bounds, cols,
+#: member_pids, member_scores, mins)`` — everything the main process
+#: needs to install the chunk's MemberStore rows and inverted-index
+#: fragment without touching the score matrix again.
+BootstrapChunkResult = tuple[
+    FloatArray, FloatArray, IndexArray, IndexArray,
+    IndexArray, FloatArray, FloatArray,
+]
+
+#: Result of one repair column: ``(tau, member_ids, member_scores)``.
+RepairResult = tuple[float, IndexArray, FloatArray]
+
+
+def bootstrap_chunk(
+    pts: FloatArray,
+    ids: IndexArray,
+    u: FloatArray,
+    start: int,
+    end: int,
+    k: int,
+    eps: float,
+) -> BootstrapChunkResult:
+    """One utility chunk of the vectorized bootstrap.
+
+    Mirrors the chunk body of ``ApproxTopKIndex._bootstrap`` — the
+    GEMM, the top-k partition, and the column-major membership
+    extraction — returning the raw arrays for the main process to
+    install. ``u`` is the full utility pool; the chunk is the row
+    slice ``u[start:end]``, exactly as the serial loop slices it.
+    """
+    n = pts.shape[0]
+    block = u[start:end]
+    b = block.shape[0]
+    scores = pts @ block.T  # (n, b)
+    if n <= k:
+        taus = np.zeros(b)
+        topk_rows = np.full((b, k), -np.inf)
+        topk_rows[:, k - n:] = np.sort(scores, axis=0).T
+    else:
+        part = np.partition(scores, range(n - k, n), axis=0)
+        topk_rows = part[n - k:].T  # (b, k) ascending
+        taus = (1.0 - eps) * topk_rows[:, 0]
+    hits = scores.T >= taus[:, None]  # (b, n)
+    counts = hits.sum(axis=1)
+    bounds = np.r_[0, np.cumsum(counts)]
+    cols, rows = np.nonzero(hits)
+    member_pids = ids[rows]
+    member_scores = scores.T[hits]
+    if member_scores.size:
+        mins = np.minimum.reduceat(member_scores, bounds[:-1])
+    else:
+        mins = np.empty(0)
+    return (taus, topk_rows, bounds, cols, member_pids,
+            member_scores, mins)
+
+
+def score_rows(
+    pts: FloatArray,
+    u: FloatArray,
+    start: int,
+    end: int,
+) -> FloatArray:
+    """One row block of the ``(batch × M)`` insert-run scoring GEMM."""
+    return pts[start:end] @ u.T
+
+
+def repair_columns(
+    ids: IndexArray,
+    pts: FloatArray,
+    u_sel: FloatArray,
+    start: int,
+    end: int,
+    n_db: int,
+    k: int,
+    eps: float,
+) -> list[RepairResult]:
+    """One column block of a brute-force delete-repair wave.
+
+    ``u_sel`` is the gathered ``(q, d)`` matrix of affected utilities;
+    this kernel scores the alive snapshot against columns
+    ``[start, end)`` and rebuilds each one's membership exactly as the
+    serial brute path does: k-th score partition → τ, ``>= τ`` gather,
+    and the canonical (-score, id) lexsort order.
+    """
+    scores = pts @ u_sel[start:end].T  # (n, block)
+    out: list[RepairResult] = []
+    # reprolint: disable=RPL004 -- one pass per repaired utility (block small)
+    for col in range(end - start):
+        s = scores[:, col]
+        if n_db <= k:
+            tau = 0.0
+        else:
+            kth = np.partition(s, n_db - k)[n_db - k]
+            tau = (1.0 - eps) * float(kth)
+        hit = s >= tau
+        hit_ids, hit_scores = ids[hit], s[hit]
+        order = np.lexsort((hit_ids, -hit_scores))
+        out.append((tau, hit_ids[order], hit_scores[order]))
+    return out
+
+
+KERNELS: dict[str, Callable[..., Any]] = {
+    "bootstrap_chunk": bootstrap_chunk,
+    "score_rows": score_rows,
+    "repair_columns": repair_columns,
+}

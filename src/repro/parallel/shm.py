@@ -1,0 +1,146 @@
+"""Shared-memory transport for the parallel execution backend.
+
+Large, read-only kernel inputs (the database points, the utility pool,
+per-wave gather buffers) are shipped to workers as
+:class:`multiprocessing.shared_memory.SharedMemory` segments instead of
+being pickled: workers map the segment and build a zero-copy NumPy view
+over it. A :class:`ShmRef` is the picklable handle — segment name plus
+shape/dtype — that crosses the process boundary.
+
+Ownership rules:
+
+* The **arena** (main process) creates every segment and is the only
+  unlinker. ``publish`` caches long-lived arrays under a caller-chosen
+  key + version token so repeated waves over the same array reuse one
+  segment; ``ship`` creates a transient segment that the backend
+  releases right after the wave completes.
+* **Workers** attach read-only and never unlink. Attachments to cached
+  segments are memoized per process; transient attachments are closed
+  as soon as the kernel returns.
+
+Results flow back pickled (they are small and variable-sized:
+membership index fragments, repair lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Picklable handle to a NumPy array living in a shared segment.
+
+    ``cache`` tells the worker whether the segment is long-lived (safe
+    to memoize the attachment) or transient (close after use).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    cache: bool = False
+
+
+class ShmArena:
+    """Owner of all shared segments created by one backend instance."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        # key -> (token, ref); reused while the token matches.
+        self._published: dict[str, tuple[Any, ShmRef]] = {}
+        self._counter = 0
+
+    def _create(self, arr: NDArray[Any], cache: bool) -> ShmRef:
+        data = np.ascontiguousarray(arr)
+        self._counter += 1
+        seg = shared_memory.SharedMemory(
+            create=True, size=max(1, data.nbytes)
+        )
+        view: NDArray[Any] = np.ndarray(
+            data.shape, dtype=data.dtype, buffer=seg.buf
+        )
+        view[...] = data
+        self._segments[seg.name] = seg
+        return ShmRef(seg.name, data.shape, data.dtype.str, cache)
+
+    def publish(self, key: str, token: Any, arr: NDArray[Any]) -> ShmRef:
+        """Share a long-lived array, reusing the segment while ``token``
+        (a caller-maintained version stamp) is unchanged."""
+        hit = self._published.get(key)
+        if hit is not None and hit[0] == token:
+            return hit[1]
+        if hit is not None:
+            self._release(hit[1].name)
+        ref = self._create(arr, cache=True)
+        self._published[key] = (token, ref)
+        return ref
+
+    def ship(self, arr: NDArray[Any]) -> ShmRef:
+        """Share a transient array; release with :meth:`release`."""
+        return self._create(arr, cache=False)
+
+    def _release(self, name: str) -> None:
+        seg = self._segments.pop(name, None)
+        if seg is None:
+            return
+        try:
+            seg.close()
+        finally:
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+
+    def release(self, ref: ShmRef) -> None:
+        self._release(ref.name)
+
+    def view(self, ref: ShmRef) -> NDArray[Any]:
+        """Zero-copy main-process view of an owned segment (used by the
+        shared-memory backend's inline degraded mode)."""
+        seg = self._segments[ref.name]
+        return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+
+    def close(self) -> None:
+        for name in list(self._segments):
+            self._release(name)
+        self._published.clear()
+
+    def __del__(self) -> None:  # best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class WorkerAttachments:
+    """Per-worker-process cache of attached shared segments."""
+
+    def __init__(self) -> None:
+        self._cached: dict[str, tuple[shared_memory.SharedMemory, Any]] = {}
+
+    def resolve(self, ref: ShmRef) -> NDArray[Any]:
+        if ref.cache and ref.name in self._cached:
+            return self._cached[ref.name][1]
+        # NOTE: CPython registers the segment with resource_tracker on
+        # attach as well as on create. Under the fork start method the
+        # tracker process is shared with the arena's, so this is a
+        # set no-op; the arena remains the sole unlinker. (Do NOT
+        # unregister here: that would drop the arena's own entry from
+        # the shared tracker.)
+        seg = shared_memory.SharedMemory(name=ref.name)
+        arr: NDArray[Any] = np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf
+        )
+        if ref.cache:
+            self._cached[ref.name] = (seg, arr)
+            return arr
+        # Transient: copy out so the segment can be closed immediately
+        # (the arena may unlink it as soon as the wave completes).
+        out = arr.copy()
+        seg.close()
+        return out

@@ -147,14 +147,17 @@ def _read_arrays(directory: Path,
     return arrays
 
 
-def load_checkpoint(directory: str | Path) -> tuple["FDRMS",
-                                                    dict[str, Any]]:
+def load_checkpoint(directory: str | Path,
+                    parallel: int | str | None = None
+                    ) -> tuple["FDRMS", dict[str, Any]]:
     """Load and fully verify a checkpoint; returns ``(engine, manifest)``.
 
     Verification is end to end: manifest kind/version, per-array sha256
     digests, structural validation during state import, and finally the
     restored engine's logical ``state_digest()`` against the digest
     recorded at save time. Any failure raises :class:`CheckpointError`.
+    ``parallel`` selects the restored engine's execution backend; it is
+    a physical option, never part of the checkpoint.
     """
     from repro.core.fdrms import FDRMS
 
@@ -162,7 +165,8 @@ def load_checkpoint(directory: str | Path) -> tuple["FDRMS",
     manifest = _read_manifest(directory)
     arrays = _read_arrays(directory, manifest)
     try:
-        engine = FDRMS.from_state(manifest["config"], arrays)
+        engine = FDRMS.from_state(manifest["config"], arrays,
+                                  parallel=parallel)
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
             f"{directory}: checkpoint state rejected: {exc}") from exc

@@ -36,7 +36,8 @@ __all__ = ["restore_engine"]
 
 
 def restore_engine(snapshot: str | Path, *,
-                   wal: str | Path | None = None
+                   wal: str | Path | None = None,
+                   parallel: int | str | None = None
                    ) -> tuple["FDRMS", dict[str, Any]]:
     """Restore an engine from a checkpoint, rolling the WAL forward.
 
@@ -47,7 +48,7 @@ def restore_engine(snapshot: str | Path, *,
     :class:`CheckpointError` or :class:`WALError` on any detected
     fault — callers decide whether that means cold start.
     """
-    engine, manifest = load_checkpoint(snapshot)
+    engine, manifest = load_checkpoint(snapshot, parallel=parallel)
     info: dict[str, Any] = {
         "mode": "restored",
         "checkpoint_digest": manifest["state_digest"],

@@ -214,31 +214,38 @@ def replay_trace(trace: Trace, algorithm: str = "fd-rms", *, r: int,
     snapshots: list[ReplaySnapshot] = []
     total = 0.0
     n_batches = 0
-    for start, stop in batch_slices(trace):
-        ops = workload.operations[start:stop]
-        t0 = time.perf_counter()
-        session.apply_batch(ops)
-        seconds = time.perf_counter() - t0
-        total += seconds
-        n_batches += 1
-        latencies[start:stop] = 1e3 * seconds / len(ops)
-        if stop in marks:
-            result_ids = tuple(session.result())
-            q = session.result_points()
-            points = session.db.points()
-            mrr = (evaluator.evaluate(points, q, k)
-                   if q.shape[0] and points.shape[0] else 0.0)
-            snapshots.append(ReplaySnapshot(
-                op_index=stop, db_size=len(session.db),
-                result_size=len(result_ids), result_ids=result_ids,
-                mrr=float(mrr)))
-    return ReplayResult(
-        scenario=trace.scenario, algorithm=spec.display_name,
-        trace_hash=trace.content_hash,
-        n_operations=workload.n_operations, n_batches=n_batches,
-        update_seconds=total, init_seconds=init_seconds,
-        snapshots=snapshots,
-        counters=dict(session.stats()), op_latencies_ms=latencies)
+    try:
+        for start, stop in batch_slices(trace):
+            ops = workload.operations[start:stop]
+            t0 = time.perf_counter()
+            session.apply_batch(ops)
+            seconds = time.perf_counter() - t0
+            total += seconds
+            n_batches += 1
+            latencies[start:stop] = 1e3 * seconds / len(ops)
+            if stop in marks:
+                result_ids = tuple(session.result())
+                q = session.result_points()
+                points = session.db.points()
+                mrr = (evaluator.evaluate(points, q, k)
+                       if q.shape[0] and points.shape[0] else 0.0)
+                snapshots.append(ReplaySnapshot(
+                    op_index=stop, db_size=len(session.db),
+                    result_size=len(result_ids), result_ids=result_ids,
+                    mrr=float(mrr)))
+        return ReplayResult(
+            scenario=trace.scenario, algorithm=spec.display_name,
+            trace_hash=trace.content_hash,
+            n_operations=workload.n_operations, n_batches=n_batches,
+            update_seconds=total, init_seconds=init_seconds,
+            snapshots=snapshots,
+            counters=dict(session.stats()), op_latencies_ms=latencies)
+    finally:
+        # Sessions may own external resources (WAL handles, a parallel
+        # worker pool + shared segments); replay must not leak them.
+        closer = getattr(session, "close", None)
+        if callable(closer):
+            closer()
 
 
 def run_scenario(name_or_scenario: str | Scenario,

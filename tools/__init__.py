@@ -1,0 +1,2 @@
+"""Repository tooling: the reprolint static analyzer and the markdown
+link checker. Nothing here is part of the installable package."""

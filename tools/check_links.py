@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (stdlib only).
+
+Walks every tracked ``*.md`` file and verifies that each relative link
+or image target resolves to a file or directory in the repository.
+External schemes (``http://``, ``https://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped — this is a dead-*file*
+checker, not a network crawler, so it is fast and deterministic enough
+to gate CI on.
+
+Checked link forms::
+
+    [text](relative/path.md)        inline links
+    [text](path.md#anchor)         the path part only
+    ![alt](assets/diagram.svg)     images
+    [text]: relative/path.md       reference-style definitions
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link, ``file:line: target``).
+
+Usage::
+
+    python tools/check_links.py [ROOT]
+
+``ROOT`` defaults to the repository root (the parent of this file's
+directory). Paths under ``.git`` and hidden directories are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) and ![alt](target) — lazily match the target up to the
+# first unescaped ')'; titles ('foo "bar"') are split off afterwards.
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference-style definitions at line start: [label]: target
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+# Fenced code blocks — links inside them are examples, not navigation.
+_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://", "#")
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") and part not in (".",)
+               for part in path.relative_to(root).parts[:-1]):
+            continue
+        yield path
+
+
+def iter_targets(text: str):
+    """Yield (line_number, raw_target) pairs outside fenced code."""
+    stripped = _FENCE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+    for pattern in (_INLINE, _REFDEF):
+        for match in pattern.finditer(stripped):
+            line = stripped.count("\n", 0, match.start()) + 1
+            yield line, match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for line, raw in iter_targets(text):
+        target = raw.split("#", 1)[0].strip("<>")
+        if not target or raw.startswith(_SKIP_PREFIXES):
+            continue
+        if "://" in target:  # any other scheme
+            continue
+        if target.startswith("/"):
+            resolved = root / target.lstrip("/")
+        else:
+            resolved = path.parent / target
+        try:
+            resolved = resolved.resolve()
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            errors.append(f"{path.relative_to(root)}:{line}: {raw} "
+                          "escapes the repository")
+            continue
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}:{line}: {raw}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    root = root.resolve()
+    broken: list[str] = []
+    n_files = 0
+    for path in iter_markdown(root):
+        n_files += 1
+        broken.extend(check_file(path, root))
+    for line in broken:
+        print(line, file=sys.stderr)
+    if broken:
+        print(f"FAIL: {len(broken)} broken intra-repo link(s) across "
+              f"{n_files} markdown file(s)", file=sys.stderr)
+        return 1
+    print(f"OK: all intra-repo links resolve ({n_files} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
