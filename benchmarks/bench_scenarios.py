@@ -198,6 +198,9 @@ def main(argv=None) -> int:
                   f"({ops_s:9.0f} op/s)  p50 {lat['p50']:7.3f} ms  "
                   f"p99 {lat['p99']:7.3f} ms  mean mrr {res.mean_mrr:.4f}"
                   f"{speedup_note}")
+        if scenario.service:
+            entry["supervised"] = _supervised_leg(
+                trace, scenario, evaluator, r_eff, args, options)
 
     if args.write_hashes:
         write_json_atomic(args.write_hashes, hashes, sort_keys=True)
@@ -218,6 +221,46 @@ def main(argv=None) -> int:
             return 1
     print("OK: every scenario compiled to a stable trace hash")
     return 0
+
+
+def _supervised_leg(trace, scenario, evaluator, r_eff, args,
+                    options) -> dict:
+    """Replay through the session supervisor; record SLO fields.
+
+    Runs only for scenarios carrying service hints (the overload /
+    chaos builtins). The recorded p99 admission latency is what the CI
+    chaos-smoke job gates; the final state digest lets any consumer
+    cross-check the supervised run against an unsupervised one.
+    """
+    from repro.service.driver import ServiceOptions
+    from repro.service.policy import SupervisorConfig
+
+    hints = dict(scenario.service)
+    read_every = int(hints.pop("read_every", 0))
+    tenants = int(hints.pop("tenants", 4))
+    service = ServiceOptions(config=SupervisorConfig(**hints),
+                             read_every=read_every, tenants=tenants)
+    res = replay_trace(trace, "fd-rms", r=r_eff, k=args.k,
+                       seed=args.seed, evaluator=evaluator,
+                       options=options, service=service)
+    srep = res.service
+    adm = srep.get("admission_latency_ms", {})
+    out = {
+        "admission_latency_ms": adm,
+        "waves": srep.get("waves", 0),
+        "resumed_pumps": srep.get("resumed_pumps", 0),
+        "stale_serves": srep.get("stale_serves", 0),
+        "fresh_serves": srep.get("fresh_serves", 0),
+        "backpressure_events": srep.get("backpressure_events", 0),
+        "max_queue_depth": srep.get("max_queue_depth", 0),
+        "final_state_digest": srep.get("final_state_digest"),
+        "result_digest": srep.get("result_digest"),
+    }
+    print(f"{'supervised':>12}: admission p50 {adm.get('p50', 0.0):7.3f} "
+          f"ms  p99 {adm.get('p99', 0.0):7.3f} ms  "
+          f"waves {out['waves']}  stale {out['stale_serves']}  "
+          f"fresh {out['fresh_serves']}")
+    return out
 
 
 def _check_gate(report: dict, args) -> bool:

@@ -34,10 +34,12 @@ _EXPORTS = {
     "RMSResult": "repro.api.result",
     "describe": "repro.api.solve",
     "solve": "repro.api.solve",
+    "BatchValidationError": "repro.api.session",
     "FDRMSSession": "repro.api.session",
     "RecomputeSession": "repro.api.session",
     "Session": "repro.api.session",
     "open_session": "repro.api.session",
+    "validate_batch": "repro.api.session",
 }
 
 __all__ = sorted(_EXPORTS)

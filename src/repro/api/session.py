@@ -47,6 +47,111 @@ from repro.data.database import DELETE, INSERT, Database, Operation
 from repro.skyline.dynamic import DynamicSkyline
 
 
+class BatchValidationError(ValueError):
+    """A malformed batch was rejected before any state change.
+
+    Raised by :func:`validate_batch` (and therefore by every
+    ``Session.apply_batch``) with the index of the offending operation.
+    The contract is atomic rejection: when this is raised, no operation
+    of the batch has been applied, logged to a WAL, or counted — the
+    engine's state digest is exactly what it was before the call.
+    """
+
+    def __init__(self, index: int, reason: str) -> None:
+        super().__init__(f"batch operation #{index}: {reason}")
+        self.index = index
+        self.reason = reason
+
+
+# Mapping-input spellings of the two operation kinds.
+_KIND_ALIASES = {INSERT: INSERT, "insert": INSERT,
+                 DELETE: DELETE, "delete": DELETE}
+
+
+def _coerce_op(op: Any, index: int) -> Operation:
+    if isinstance(op, Operation):
+        return op
+    if isinstance(op, Mapping):
+        kind = _KIND_ALIASES.get(op.get("kind"))
+        if kind is None:
+            raise BatchValidationError(
+                index, f"unknown operation kind {op.get('kind')!r}")
+        if kind == INSERT:
+            if "point" not in op:
+                raise BatchValidationError(
+                    index, "insert operation is missing 'point'")
+            try:
+                point = np.asarray(op["point"], dtype=float)
+            except (TypeError, ValueError) as exc:
+                raise BatchValidationError(
+                    index, f"insert point is not numeric: {exc}") from None
+            return Operation(INSERT, point, None)
+        tuple_id = op.get("id", op.get("tuple_id"))
+        if tuple_id is None:
+            raise BatchValidationError(
+                index, "delete operation is missing 'id'")
+        try:
+            tuple_id = int(tuple_id)
+        except (TypeError, ValueError):
+            raise BatchValidationError(
+                index, f"delete id is not an integer: {tuple_id!r}"
+            ) from None
+        return Operation(DELETE, None, tuple_id)
+    raise BatchValidationError(
+        index, f"expected an Operation or a mapping, "
+               f"got {type(op).__name__}")
+
+
+def validate_batch(ops: Iterable[Operation | Mapping[str, Any]], *,
+                   d: int | None = None) -> list[Operation]:
+    """Validate one ``apply_batch`` wave; returns coerced operations.
+
+    The whole wave is checked **before** anything is applied, so a
+    malformed operation raises a typed :class:`BatchValidationError`
+    instead of corrupting engine state mid-batch. Checks per op:
+
+    * kind is insert/delete (mappings are coerced to ``Operation``);
+    * insert points are 1-D, finite (no NaN/inf), and match the
+      database dimensionality ``d`` when given;
+    * delete ids are non-negative integers, not duplicated within the
+      wave (the second delete of the same id would fault mid-batch),
+      and not ids the same wave already deletes after re-inserting —
+      i.e. each id is deleted at most once per wave.
+    """
+    out: list[Operation] = []
+    seen_deletes: set[int] = set()
+    for index, raw in enumerate(ops):
+        op = _coerce_op(raw, index)
+        if op.kind == INSERT:
+            point = np.asarray(op.point, dtype=float)
+            if point.ndim != 1 or point.size == 0:
+                raise BatchValidationError(
+                    index, f"insert point must be a non-empty 1-D "
+                           f"vector, got shape {point.shape}")
+            if d is not None and point.size != d:
+                raise BatchValidationError(
+                    index, f"insert point has dimension {point.size}, "
+                           f"database has d={d}")
+            if not np.isfinite(point).all():
+                raise BatchValidationError(
+                    index, "insert point has non-finite coordinates")
+        else:
+            if op.tuple_id is None:
+                raise BatchValidationError(
+                    index, "delete operation is missing its tuple id")
+            tuple_id = int(op.tuple_id)
+            if tuple_id < 0:
+                raise BatchValidationError(
+                    index, f"delete id must be >= 0, got {tuple_id}")
+            if tuple_id in seen_deletes:
+                raise BatchValidationError(
+                    index, f"duplicate delete of id {tuple_id} within "
+                           f"one wave")
+            seen_deletes.add(tuple_id)
+        out.append(op)
+    return out
+
+
 class Session(abc.ABC):
     """Abstract streaming interface over a dynamic database.
 
@@ -87,8 +192,13 @@ class Session(abc.ABC):
         pipeline that amortizes work across the whole slice. Each entry
         of the returned list is the inserted tuple's id for an
         insertion, ``None`` for a deletion.
+
+        The wave is validated atomically first: a malformed operation
+        raises :class:`BatchValidationError` before *any* operation is
+        applied, so engine state (and its digest) is untouched.
         """
-        return [self.apply(op) for op in ops]
+        return [self.apply(op)
+                for op in validate_batch(ops, d=self.db.d)]
 
     def delete_many(self, tuple_ids: Iterable[int]) -> None:
         """Delete a batch of tuples.
@@ -279,8 +389,12 @@ class FDRMSSession(Session):
         deletions are bulk-removed with tombstoned tuple-index repairs;
         the maintained result is identical to applying the operations
         one by one.
+
+        Validation precedes the write-ahead log append: a rejected wave
+        must leave no trace anywhere — not in the engine, not in the
+        WAL a recovery would replay.
         """
-        ops = list(ops)
+        ops = validate_batch(ops, d=self._db.d)
         self._log_ops(ops)
         start = time.perf_counter()
         out = self.engine.apply_batch(ops)
@@ -399,8 +513,11 @@ class RecomputeSession(Session):
         so the result matches per-op maintenance. The solver itself
         stays lazy, as for single operations: it reruns at the next
         read if the pool changed.
+
+        As for every session, the wave is validated atomically up
+        front (:class:`BatchValidationError` leaves state untouched).
         """
-        ops = list(ops)
+        ops = validate_batch(ops, d=self._db.d)
         if not ops:
             return []
         out: list[int | None] = []

@@ -12,6 +12,14 @@ Commands
 ``replay``    compile a scenario (or all of them) into a deterministic
               operation trace and replay it with one or more algorithms,
               reporting per-op latency percentiles and regret over time.
+              ``--supervised`` routes batches through the service-layer
+              :class:`~repro.service.SessionSupervisor`; ``--chaos``
+              adds seeded runtime fault injection (final state digests
+              stay byte-identical to a fault-free run).
+``serve-sim`` simulate a multi-tenant service over a scenario trace:
+              supervised admission, deadline-bounded per-tenant reads
+              (stale-marked under overload), optional chaos; prints an
+              SLO summary.
 
 All commands generate their data via :mod:`repro.data` (named datasets:
 BB, AQ, CT, Movie, Indep, AntiCor) so no files are required; ``--n``
@@ -24,6 +32,7 @@ with a one-line error listing the valid choices.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -156,8 +165,63 @@ def cmd_scenarios(args) -> int:
     return 0
 
 
+def _service_options(scenario, args):
+    """Build ServiceOptions from scenario hints + CLI chaos flags."""
+    from repro.service.chaos import parse_chaos
+    from repro.service.driver import ServiceOptions
+    from repro.service.policy import SupervisorConfig
+    hints = dict(scenario.service)
+    for item in getattr(args, "service_hints", None) or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise CLIError(f"bad --service-hint {item!r}: "
+                           "expected KEY=VALUE")
+        try:
+            hints[key] = json.loads(value)
+        except json.JSONDecodeError:
+            raise CLIError(f"bad --service-hint value {value!r} "
+                           f"for {key!r}") from None
+    read_every = int(hints.pop("read_every", 0))
+    tenants = int(hints.pop("tenants", 4))
+    if getattr(args, "tenants", None) is not None:
+        tenants = int(args.tenants)
+    try:
+        config = SupervisorConfig(**hints)
+    except (TypeError, ValueError) as exc:
+        raise CLIError(f"bad service hints for scenario "
+                       f"{scenario.name!r}: {exc}") from None
+    chaos = None
+    if getattr(args, "chaos", None):
+        try:
+            chaos = parse_chaos(args.chaos, seed=args.chaos_seed)
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+    return ServiceOptions(config=config, chaos=chaos,
+                          read_every=read_every, tenants=tenants)
+
+
+def _print_service_summary(report: dict) -> None:
+    adm = report.get("admission_latency_ms", {})
+    line = (f"service: waves={report.get('waves', 0)} "
+            f"admission p50={adm.get('p50', 0.0):.3f}ms "
+            f"p99={adm.get('p99', 0.0):.3f}ms "
+            f"stale={report.get('stale_serves', 0)} "
+            f"fresh={report.get('fresh_serves', 0)} "
+            f"retries={report.get('retries', 0)} "
+            f"breaker_trips={report.get('breaker', {}).get('trips', 0)}")
+    print(line)
+    if "chaos" in report:
+        injected = ", ".join(f"{key}={value}" for key, value
+                             in sorted(report["chaos"].items()) if value)
+        print(f"chaos [{','.join(report.get('chaos_active', []))}]: "
+              f"{injected or 'no faults drawn'}")
+    if "final_state_digest" in report:
+        print(f"final state digest: {report['final_state_digest']}")
+    if "result_digest" in report:
+        print(f"result digest: {report['result_digest']}")
+
+
 def cmd_replay(args) -> int:
-    import json
     from pathlib import Path
 
     from repro.api.registry import CapabilityError
@@ -231,31 +295,75 @@ def cmd_replay(args) -> int:
         r_eff = floor_r(args.r, trace.d)
         if r_eff != args.r:
             print(f"(r raised to {r_eff} = d for this scenario)")
+        service = None
+        if args.supervised or args.chaos:
+            service = _service_options(scenario, args)
         print(f"{'algorithm':>12} {'p50 ms':>9} {'p99 ms':>9} "
               f"{'mean mrr':>9} {'max mrr':>9} {'final |Q|':>9}")
         for spec in specs:
             res = replay_trace(trace, spec.name, r=r_eff, k=args.k,
                                seed=args.seed, evaluator=evaluator,
-                               options=options)
+                               options=options, service=service)
             if args.check_determinism:
                 res2 = replay_trace(trace, spec.name, r=r_eff, k=args.k,
                                     seed=args.seed, evaluator=evaluator,
                                     options=options)
                 if res2.determinism_digest() != res.determinism_digest():
-                    raise CLIError(
-                        f"replay of {scenario.name!r} with "
-                        f"{spec.display_name} is not deterministic")
+                    # With --supervised, res2 is a *plain* replay: this
+                    # doubles as the supervised-vs-inline parity check.
+                    mode = ("supervised replay diverged from the plain "
+                            "replay" if service is not None
+                            else "replay is not deterministic")
+                    raise CLIError(f"{scenario.name!r} with "
+                                   f"{spec.display_name}: {mode}")
             lat = res.latency_percentiles()
             final_q = res.snapshots[-1].result_size if res.snapshots else 0
             print(f"{res.algorithm:>12} {lat['p50']:>9.3f} "
                   f"{lat['p99']:>9.3f} {res.mean_mrr:>9.4f} "
                   f"{res.max_mrr:>9.4f} {final_q:>9}")
+            if res.service:
+                _print_service_summary(res.service)
             payload.append(res.to_dict())
     if args.check_determinism:
         print("determinism OK: stable trace hashes and replay digests")
     if args.json_out:
         Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"metrics written to {args.json_out}")
+    return 0
+
+
+def cmd_serve_sim(args) -> int:
+    from pathlib import Path
+
+    from repro.scenarios import (
+        UnknownArrivalError,
+        UnknownScenarioError,
+        get_scenario,
+    )
+    from repro.scenarios.replay import floor_r
+    from repro.service.driver import simulate_service
+    try:
+        scenario = get_scenario(args.scenario)
+        trace = scenario.compile(seed=args.seed, n=args.n)
+    except (UnknownScenarioError, UnknownArrivalError) as exc:
+        raise CLIError(str(exc)) from None
+    service = _service_options(scenario, args)
+    r_eff = floor_r(args.r, trace.d)
+    options = {"eps": args.eps, "m_max": args.m_max}
+    if args.workers is not None:
+        options["parallel"] = args.workers
+    summary = simulate_service(trace, args.algorithm, r=r_eff, k=args.k,
+                               seed=args.seed, options=options,
+                               service=service)
+    print(f"serve-sim {summary['scenario']} ({summary['algorithm']}): "
+          f"{summary['n_operations']} ops over {summary['ticks']} ticks, "
+          f"{summary['tenants']} tenants")
+    print(f"stale tenant serves: {summary['stale_tenant_serves']} "
+          f"(result |Q| = {summary['result_size']})")
+    _print_service_summary(summary["service"])
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"summary written to {args.json_out}")
     return 0
 
 
@@ -394,11 +502,58 @@ def build_parser() -> argparse.ArgumentParser:
                            "worker-count invariant); default: inline "
                            "engine")
     p_rp.add_argument("--check-determinism", action="store_true",
-                      help="compile and replay twice; fail on any drift")
+                      help="compile and replay twice; fail on any drift "
+                           "(with --supervised the second replay is "
+                           "plain, asserting supervised parity)")
     p_rp.add_argument("--expect-hashes", default=None,
                       help="JSON file of expected trace hashes "
                            "(fails on drift)")
-    p_rp.set_defaults(func=cmd_replay)
+    p_rp.add_argument("--supervised", action="store_true",
+                      help="route batches through the service-layer "
+                           "supervisor (admission queue, waves, "
+                           "deadlines; scenario service hints apply)")
+    p_rp.add_argument("--chaos", default=None,
+                      help="runtime fault injection spec, e.g. 'all' or "
+                           "'latency:rate=0.5,pool-kill:at=8,transient'"
+                           " (implies --supervised)")
+    p_rp.add_argument("--chaos-seed", type=int, default=0,
+                      dest="chaos_seed")
+    p_rp.add_argument("--service-hint", action="append", default=None,
+                      dest="service_hints", metavar="KEY=VALUE",
+                      help="override a scenario service hint (e.g. "
+                           "--service-hint read_deadline_s=0); "
+                           "repeatable")
+    p_rp.set_defaults(func=cmd_replay, tenants=None)
+
+    p_sim = sub.add_parser(
+        "serve-sim",
+        help="simulate a multi-tenant service over a scenario trace")
+    p_sim.add_argument("scenario",
+                       help="scenario name (see `repro scenarios`)")
+    p_sim.add_argument("--algorithm", default="FD-RMS")
+    p_sim.add_argument("--n", type=int, default=None,
+                       help="dataset size (default: the scenario's)")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--k", type=int, default=1)
+    p_sim.add_argument("--r", type=int, default=10)
+    p_sim.add_argument("--eps", type=float, default=0.1)
+    p_sim.add_argument("--m-max", type=int, default=128, dest="m_max")
+    p_sim.add_argument("--tenants", type=int, default=None,
+                       help="simulated read tenants per tick "
+                            "(default: the scenario's service hint)")
+    p_sim.add_argument("--workers", type=int, default=None,
+                       help="FD-RMS execution backend worker count")
+    p_sim.add_argument("--chaos", default=None,
+                       help="runtime fault injection spec (see replay)")
+    p_sim.add_argument("--chaos-seed", type=int, default=0,
+                       dest="chaos_seed")
+    p_sim.add_argument("--service-hint", action="append", default=None,
+                       dest="service_hints", metavar="KEY=VALUE",
+                       help="override a scenario service hint; "
+                            "repeatable")
+    p_sim.add_argument("--json", default=None, dest="json_out",
+                       help="write the SLO summary as JSON to this path")
+    p_sim.set_defaults(func=cmd_serve_sim)
 
     p_snap = sub.add_parser(
         "snapshot", help="save, restore, or verify engine checkpoints")

@@ -146,6 +146,16 @@ class FDRMS:
         return self._db
 
     @property
+    def backend(self):
+        """The execution backend (None for the inline engine).
+
+        Exposed for the service layer: the supervisor's circuit
+        breaker watches ``backend.degraded`` and drives
+        ``backend.restore()`` re-pool probes.
+        """
+        return self._backend
+
+    @property
     def parallel_workers(self) -> int:
         """Worker count of the execution backend (0 = inline engine).
 

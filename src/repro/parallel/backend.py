@@ -133,6 +133,8 @@ class SharedMemoryBackend(ExecutionBackend):
         self._transient: list[ShmRef] = []
         self._executor: ProcessPoolExecutor | None = None
         self.degraded = False
+        #: Successful :meth:`restore` probes (for service reports).
+        self.restores = 0
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -196,6 +198,32 @@ class SharedMemoryBackend(ExecutionBackend):
             for ref in self._transient:
                 self._arena.release(ref)
             self._transient.clear()
+
+    def restore(self) -> bool:
+        """Attempt to re-establish the worker pool after a degrade.
+
+        Starts a fresh executor and round-trips a probe task through
+        it; only a successful probe clears :attr:`degraded` (a failed
+        probe shuts the new pool down again and leaves the backend
+        inline). Safe with respect to the shared-memory arena: the only
+        long-lived published array is immutable and version-stamped, so
+        a re-established pool can never observe a stale segment.
+
+        Called by the service layer's circuit breaker on half-open
+        probes; harmless to call when not degraded (returns True).
+        """
+        if not self.degraded:
+            return True
+        self._shutdown_executor()
+        try:
+            executor = self._ensure_executor()
+            executor.submit(os.getpid).result()
+        except Exception:
+            self._shutdown_executor()
+            return False
+        self.degraded = False
+        self.restores += 1
+        return True
 
     def _shutdown_executor(self) -> None:
         if self._executor is not None:

@@ -33,6 +33,7 @@ from typing import Any, Iterator, TextIO
 import numpy as np
 
 from repro.data.database import DELETE, INSERT, Operation
+from repro.persist.atomic import fsync_directory
 
 __all__ = ["WALError", "WriteAheadLog", "read_wal", "wal_position"]
 
@@ -169,6 +170,12 @@ class WriteAheadLog:
         self._segment_ops = int(segment_ops)
         self._fsync = fsync
         self._handle: TextIO | None = None
+        # True while a segment file created by this appender may not be
+        # durable as a *directory entry* yet. fsyncing the file data
+        # alone is not enough: after a crash the entry itself can be
+        # missing, which loses the whole segment no matter how hard its
+        # bytes were synced.
+        self._dir_dirty = False
         if fresh:
             for path in _segments(self._dir):
                 path.unlink()
@@ -215,7 +222,14 @@ class WriteAheadLog:
                                 separators=(",", ":")) + "\n")
         self._seq += 1
         self._seg_count = 0
+        self._dir_dirty = True
         return handle
+
+    def _sync_directory(self) -> None:
+        """Make the directory entries of new segments durable."""
+        if self._dir_dirty and self._fsync != "never":
+            fsync_directory(self._dir)
+            self._dir_dirty = False
 
     def append(self, ops: Any) -> int:
         """Append operations; returns the new head position."""
@@ -231,6 +245,7 @@ class WriteAheadLog:
             self._handle.flush()
             if self._fsync == "always":
                 os.fsync(self._handle.fileno())
+                self._sync_directory()
         return self._position
 
     def _rotate(self) -> None:
@@ -240,19 +255,36 @@ class WriteAheadLog:
             os.fsync(self._handle.fileno())
         self._handle.close()
         self._handle = None
+        # A rotated-out segment is finished: under "batch" (and
+        # "always") it must survive a crash even if nothing is ever
+        # appended again, so its directory entry is synced here and not
+        # deferred to close().
+        self._sync_directory()
 
     def sync(self) -> None:
-        """Force everything appended so far to disk."""
+        """Force everything appended so far to disk.
+
+        Under ``fsync="batch"`` this is the durability point the batch
+        policy promises: file data *and* the directory entries of any
+        segments created since the last sync — even when the segment
+        rotation threshold was never reached.
+        """
         if self._handle is not None:
             self._handle.flush()
             if self._fsync != "never":
                 os.fsync(self._handle.fileno())
+        self._sync_directory()
 
     def close(self) -> None:
         if self._handle is not None:
             self.sync()
             self._handle.close()
             self._handle = None
+        else:
+            # No open segment (fresh log, or the last append landed
+            # exactly on a rotation): close() must still guarantee any
+            # rotation since the last sync is directory-durable.
+            self._sync_directory()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

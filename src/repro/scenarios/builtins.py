@@ -1,21 +1,31 @@
 """The built-in scenario catalogue and its arrival patterns.
 
-Seven workload shapes ship with the library, spanning the paper's own
+Nine workload shapes ship with the library, spanning the paper's own
 protocol and the dynamic regimes the ROADMAP asks for:
 
-==================  ====================================================
-``paper``           §IV-A: 50% initial, 50% inserted, then 50% deleted
-``sliding-window``  fixed-size window, every arrival evicts the oldest
-``insert-burst``    insert-only growth arriving in variable bursts
-``delete-heavy``    decaying database: deletions dominate insertions
-``clustered-drift`` inserts drawn from clusters whose centers drift,
-                    FIFO eviction keeps the database moving through space
-``skyline-churn``   adversarial: near-corner dominators appear and
-                    vanish again, churning the skyline's apex on
-                    nearly every operation
-``mixed-batch``     50/50 churn applied as a mix of single operations
-                    and batches (exercises ``apply_batch`` mid-stream)
-==================  ====================================================
+=======================  ===============================================
+``paper``                §IV-A: 50% initial, 50% inserted, then 50%
+                         deleted
+``sliding-window``       fixed-size window, every arrival evicts the
+                         oldest
+``insert-burst``         insert-only growth arriving in variable bursts
+``delete-heavy``         decaying database: deletions dominate
+                         insertions
+``clustered-drift``      inserts drawn from clusters whose centers
+                         drift, FIFO eviction keeps the database moving
+                         through space
+``skyline-churn``        adversarial: near-corner dominators appear and
+                         vanish again, churning the skyline's apex on
+                         nearly every operation
+``mixed-batch``          50/50 churn applied as a mix of single
+                         operations and batches (exercises
+                         ``apply_batch`` mid-stream)
+``overload-flashcrowd``  singleton trickle punctuated by giant bursts —
+                         the supervised runtime's overload/shedding
+                         workload
+``chaos-churn``          delete-leaning churn in steady mid-size
+                         batches — the runtime fault-injection workload
+=======================  ===============================================
 
 Each is a :class:`~repro.scenarios.spec.Scenario` instance binding an
 arrival pattern to a dataset and parameters; compile any of them with
@@ -214,6 +224,64 @@ def mixed_batch_arrival(points, *, rng, n_snapshots, insert_fraction=0.5,
     return workload, tuple(plan)
 
 
+@arrival("flash-crowd")
+def flash_crowd_arrival(points, *, rng, n_snapshots, insert_fraction=0.6,
+                        ops_per_tuple=1.5, initial_fraction=0.4,
+                        trickle=32, burst_fraction=0.15):
+    """Steady trickle of single ops punctuated by giant arrival bursts.
+
+    The operation stream itself is plain skewed churn; the batch plan
+    is the point: long runs of singleton arrivals, then one burst
+    carrying ``burst_fraction`` of the whole stream at once. Replayed
+    through the supervised runtime this is the overload shape — a
+    burst lands faster than any pump budget can drain it, so deadline
+    reads right after it *must* shed to stale views instead of
+    blocking (the SLO the chaos-smoke CI leg asserts).
+    """
+    workload, _ = skewed_arrival(points, rng=rng, n_snapshots=n_snapshots,
+                                 insert_fraction=insert_fraction,
+                                 ops_per_tuple=ops_per_tuple,
+                                 initial_fraction=initial_fraction)
+    total = workload.n_operations
+    burst = max(2, int(round(total * burst_fraction)))
+    plan: list[int] = []
+    remaining = total
+    while remaining > 0:
+        take = min(int(trickle), remaining)
+        plan.extend([1] * take)
+        remaining -= take
+        if remaining > 0:
+            size = min(burst, remaining)
+            plan.append(size)
+            remaining -= size
+    return workload, tuple(plan)
+
+
+@arrival("churn-batches")
+def churn_batches_arrival(points, *, rng, n_snapshots,
+                          insert_fraction=0.45, ops_per_tuple=1.2,
+                          initial_fraction=0.5, batch_min=16,
+                          batch_max=48):
+    """Delete-leaning churn in steady mid-size batches.
+
+    Designed as the chaos-injection workload: every wave mixes inserts
+    and deletes (so transient faults, pool kills, and retries hit both
+    engine pipelines), and batch sizes stay in the range where the
+    supervisor's cost model actually splits and coalesces waves.
+    """
+    workload, _ = skewed_arrival(points, rng=rng, n_snapshots=n_snapshots,
+                                 insert_fraction=insert_fraction,
+                                 ops_per_tuple=ops_per_tuple,
+                                 initial_fraction=initial_fraction)
+    plan: list[int] = []
+    remaining = workload.n_operations
+    while remaining > 0:
+        size = int(rng.integers(batch_min, batch_max + 1))
+        plan.append(min(size, remaining))
+        remaining -= plan[-1]
+    return workload, tuple(plan)
+
+
 # ----------------------------------------------------------------------
 # Built-in scenarios
 # ----------------------------------------------------------------------
@@ -268,5 +336,29 @@ BUILTIN_SCENARIOS = tuple(register_scenario(s) for s in (
                 "and batches up to 64 ops (exercises apply_batch)",
         dataset="Indep", n=2000, arrival="mixed-batch",
         params={"single_prob": 0.5, "max_batch": 64},
+    ),
+    Scenario(
+        name="overload-flashcrowd",
+        summary="flash-crowd overload: singleton trickle punctuated by "
+                "bursts of 15% of the stream; supervised replay must "
+                "shed reads to stale views, never block",
+        dataset="Indep", n=2000, arrival="flash-crowd",
+        params={"insert_fraction": 0.6, "ops_per_tuple": 1.5,
+                "initial_fraction": 0.4, "trickle": 32,
+                "burst_fraction": 0.15},
+        service={"max_wave": 64, "wave_budget_s": 0.002,
+                 "pump_budget_s": 0.004, "read_deadline_s": 0.002,
+                 "queue_limit": 2048, "read_every": 1, "tenants": 4},
+    ),
+    Scenario(
+        name="chaos-churn",
+        summary="delete-leaning churn in steady 16-48 op batches; the "
+                "fault-injection workload (digest parity under chaos)",
+        dataset="AntiCor", n=2000, arrival="churn-batches",
+        params={"insert_fraction": 0.45, "ops_per_tuple": 1.2,
+                "initial_fraction": 0.5, "batch_min": 16,
+                "batch_max": 48},
+        service={"max_wave": 32, "checkpoint_every_ops": 256,
+                 "read_every": 4, "tenants": 2},
     ),
 ))

@@ -69,6 +69,12 @@ class ReplayResult:
     counters: dict[str, Any] = field(default_factory=dict)
     op_latencies_ms: np.ndarray = field(
         default_factory=lambda: np.empty(0))
+    #: Service-layer report of a supervised replay (admission latency,
+    #: waves, retries, shed reads, chaos tallies, final state digest).
+    #: Deliberately OUTSIDE :meth:`determinism_digest`: supervision and
+    #: chaos change *when* work happens, never *what* is computed, and
+    #: their counters must not perturb the pinned scenario digests.
+    service: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ops_per_second(self) -> float | None:
@@ -147,6 +153,7 @@ class ReplayResult:
             "counters": {k: _jsonable(v)
                          for k, v in sorted(self.counters.items())},
             "determinism_digest": self.determinism_digest(),
+            **({"service": self.service} if self.service else {}),
         }
 
 
@@ -191,12 +198,24 @@ def replay_trace(trace: Trace, algorithm: str = "fd-rms", *, r: int,
                  k: int = 1, seed: int | None = 0,
                  evaluator: RegretEvaluator | None = None,
                  eval_samples: int = 2000,
-                 options: Mapping[str, Any] | None = None) -> ReplayResult:
+                 options: Mapping[str, Any] | None = None,
+                 service: Any = None) -> ReplayResult:
     """Replay ``trace`` with ``algorithm`` and collect metrics.
 
     ``options`` is a shared option bag (e.g. ``{"eps": ..., "m_max":
     ...}``); keys the algorithm does not understand are dropped, so one
     bag can drive FD-RMS and every baseline side by side.
+
+    ``service`` (a :class:`repro.service.driver.ServiceOptions`) routes
+    every batch through a supervised
+    :class:`~repro.service.SessionSupervisor` — with optional chaos
+    injection — instead of calling ``apply_batch`` directly. The queue
+    is drained before every snapshot mark, so the recorded result ids,
+    sizes, and regret values are byte-identical to an unsupervised
+    replay of the same trace; the service-layer report (admission
+    percentiles, waves, retries, shed reads, chaos tallies, final
+    state digest) lands in :attr:`ReplayResult.service`, outside the
+    determinism digest.
     """
     spec = get_algorithm(algorithm)
     workload = trace.workload
@@ -214,11 +233,23 @@ def replay_trace(trace: Trace, algorithm: str = "fd-rms", *, r: int,
     snapshots: list[ReplaySnapshot] = []
     total = 0.0
     n_batches = 0
+    driver = None
+    if service is not None:
+        from repro.service.driver import SupervisedDriver
+        driver = SupervisedDriver(session, service)
     try:
         for start, stop in batch_slices(trace):
             ops = workload.operations[start:stop]
             t0 = time.perf_counter()
-            session.apply_batch(ops)
+            if driver is not None:
+                driver.feed(ops)
+                if stop in marks:
+                    # Snapshots must never depend on wave boundaries:
+                    # drain so the recorded results match an
+                    # unsupervised replay exactly.
+                    driver.barrier()
+            else:
+                session.apply_batch(ops)
             seconds = time.perf_counter() - t0
             total += seconds
             n_batches += 1
@@ -233,13 +264,18 @@ def replay_trace(trace: Trace, algorithm: str = "fd-rms", *, r: int,
                     op_index=stop, db_size=len(session.db),
                     result_size=len(result_ids), result_ids=result_ids,
                     mrr=float(mrr)))
+        service_report: dict[str, Any] = {}
+        if driver is not None:
+            driver.barrier()
+            service_report = driver.service_report()
         return ReplayResult(
             scenario=trace.scenario, algorithm=spec.display_name,
             trace_hash=trace.content_hash,
             n_operations=workload.n_operations, n_batches=n_batches,
             update_seconds=total, init_seconds=init_seconds,
             snapshots=snapshots,
-            counters=dict(session.stats()), op_latencies_ms=latencies)
+            counters=dict(session.stats()), op_latencies_ms=latencies,
+            service=service_report)
     finally:
         # Sessions may own external resources (WAL handles, a parallel
         # worker pool + shared segments); replay must not leak them.

@@ -80,6 +80,12 @@ class Scenario:
     n_snapshots : int
         Snapshot policy: how many evenly spaced recording marks the
         compiled workload carries.
+    service : mapping
+        Supervisor hints for supervised replays (``repro replay
+        --supervised``, ``repro serve-sim``): keys are
+        :class:`~repro.service.policy.SupervisorConfig` fields plus the
+        driver's ``read_every``/``tenants``. Purely a runtime default —
+        never part of the compiled trace or its content hash.
     """
 
     name: str
@@ -89,10 +95,13 @@ class Scenario:
     arrival: str = "paper"
     params: Mapping[str, Any] = field(default_factory=dict)
     n_snapshots: int = 10
+    service: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params",
                            MappingProxyType(dict(self.params)))
+        object.__setattr__(self, "service",
+                           MappingProxyType(dict(self.service)))
 
     def scaled(self, n: int) -> "Scenario":
         """A copy of this scenario with dataset size ``n``."""

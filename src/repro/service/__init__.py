@@ -1,0 +1,74 @@
+"""Supervised session runtime: the service layer over the Session API.
+
+The engine (PR 1-5), the persistence layer (PR 7), and the parallel
+backend (PR 8) are crash-safe and deterministic *per call*. This
+package adds the robustness a long-lived service needs *between* calls:
+
+* :class:`~repro.service.supervisor.SessionSupervisor` — bounded
+  admission queue that coalesces incoming operations into
+  ``apply_batch`` waves (exact-parity semantics make coalescing
+  correctness-free), cost-aware time-boxed wave execution with leftover
+  resume, deterministic retry/backoff for transient faults, a circuit
+  breaker that degrades to the bit-exact inline path and periodically
+  probes for re-pooling, stale-result load shedding for reads, and a
+  checkpoint watchdog that keeps recovery time bounded.
+* :mod:`~repro.service.policy` — the typed failure policy:
+  :class:`RetryPolicy` (capped exponential backoff, deterministic — no
+  wall-clock-seeded jitter), :class:`CircuitBreaker`, and the
+  :class:`CostModel` behind cost-ordered scheduling (the
+  ``sort_by_cost`` / timeout / incremental pattern).
+* :mod:`~repro.service.chaos` — seeded, deterministic runtime fault
+  injectors (latency spikes, worker-pool kills, malformed batch ops,
+  checkpoint-write failures, transient transport faults) that plug into
+  the replay driver; under every injector the supervised run's final
+  state digest is byte-identical to a fault-free run.
+* :mod:`~repro.service.driver` — the supervised replay/simulation loop
+  behind ``repro replay --supervised [--chaos ...]`` and
+  ``repro serve-sim``.
+
+The digest-safety contract (docs/ROBUSTNESS.md): supervision and chaos
+may change *when* work happens — latency, wave boundaries, retry
+counts, staleness of shed reads — but never *what* the engine computes.
+Write order is FIFO (tuple-id assignment makes write order semantic);
+only side-effect-free read requests are reordered by estimated cost.
+"""
+
+from repro.service.chaos import ChaosConfig, ChaosInjector, parse_chaos
+from repro.service.clock import Clock, MonotonicClock, VirtualClock
+from repro.service.driver import (
+    ServiceOptions,
+    SupervisedDriver,
+    simulate_service,
+)
+from repro.service.policy import (
+    BreakerOpenError,
+    CircuitBreaker,
+    CostModel,
+    RetryExhaustedError,
+    RetryPolicy,
+    SupervisorConfig,
+    TransientServiceError,
+)
+from repro.service.supervisor import ReadView, ServiceReport, SessionSupervisor
+
+__all__ = [
+    "BreakerOpenError",
+    "ChaosConfig",
+    "ChaosInjector",
+    "CircuitBreaker",
+    "Clock",
+    "CostModel",
+    "MonotonicClock",
+    "ReadView",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "ServiceOptions",
+    "ServiceReport",
+    "SessionSupervisor",
+    "SupervisedDriver",
+    "SupervisorConfig",
+    "TransientServiceError",
+    "VirtualClock",
+    "parse_chaos",
+    "simulate_service",
+]

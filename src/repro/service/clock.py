@@ -1,0 +1,67 @@
+"""Injectable clocks: monotonic wall time for services, virtual for tests.
+
+Every time-dependent decision in the service layer — deadlines, wave
+time-boxes, backoff delays, breaker reset intervals — reads the clock
+through this interface, never ``time.time`` (reprolint RPL005: wall
+clock dates/times never reach digests or schedules). Two
+implementations:
+
+* :class:`MonotonicClock` — ``time.perf_counter`` + ``time.sleep``;
+  what a real deployment uses.
+* :class:`VirtualClock` — time advances only when someone sleeps (or
+  calls :meth:`VirtualClock.advance`), so chaos tests replay their
+  latency spikes, retry schedules, and breaker transitions exactly,
+  run after run, with zero real waiting.
+
+The supervisor's digest-safety contract does not depend on which clock
+is used: timing only moves wave boundaries and staleness, never the
+operation stream (see docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Monotonic seconds plus a sleep primitive."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or virtually advance) for ``seconds``."""
+        ...
+
+
+class MonotonicClock:
+    """Real time: ``time.perf_counter`` / ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock:
+    """Deterministic simulated time for tests and chaos replays."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._t = float(start)
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._t
+
+    def sleep(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self.sleeps.append(seconds)
+        self._t += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        self._t += max(0.0, float(seconds))

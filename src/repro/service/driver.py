@@ -1,0 +1,179 @@
+"""The supervised replay / service-simulation loop.
+
+Glue between the scenario layer and the service layer:
+
+* :class:`ServiceOptions` — one bag for everything a supervised run
+  needs (supervisor config, optional chaos config, clock, checkpoint
+  directory, read-traffic shape), so ``replay_trace``'s signature stays
+  small.
+* :class:`SupervisedDriver` — binds a :class:`ChaosInjector` to a
+  :class:`SessionSupervisor` over one session and exposes the loop
+  primitives: ``feed`` (submit + pump, with poison requests injected
+  and *required* to be rejected), ``barrier`` (drain before snapshot
+  marks — which is why supervised snapshots are byte-identical to
+  unsupervised ones), reads, and the merged service report.
+* :func:`simulate_service` — the ``repro serve-sim`` loop: replays a
+  scenario trace as arrival ticks with per-tenant read traffic, and
+  returns an SLO-oriented summary (admission percentiles, fresh/stale
+  serves, chaos tallies, final state digest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.api.session import BatchValidationError, Session
+from repro.service.chaos import ChaosConfig, ChaosInjector
+from repro.service.clock import Clock, MonotonicClock
+from repro.service.policy import SupervisorConfig
+from repro.service.supervisor import (
+    ReadRequest,
+    ReadView,
+    SessionSupervisor,
+)
+
+__all__ = ["ServiceOptions", "SupervisedDriver", "simulate_service"]
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Everything one supervised run needs, in one bag."""
+
+    config: SupervisorConfig = field(default_factory=SupervisorConfig)
+    chaos: ChaosConfig | None = None
+    clock: Clock | None = None
+    checkpoint_dir: Any = None
+    #: Issue one deadline-bounded read every N feeds (0 = no read
+    #: traffic during replay; snapshot marks still read via barrier).
+    read_every: int = 0
+    #: Simulated read tenants per tick (``simulate_service`` only).
+    tenants: int = 4
+
+
+class SupervisedDriver:
+    """One supervised run: supervisor + chaos bound to one session."""
+
+    def __init__(self, session: Session,
+                 options: ServiceOptions | None = None) -> None:
+        self.options = options or ServiceOptions()
+        clock = self.options.clock or MonotonicClock()
+        self.injector: ChaosInjector | None = None
+        transport = None
+        checkpoint_hook = None
+        if self.options.chaos is not None:
+            self.injector = ChaosInjector(self.options.chaos, clock)
+            transport = self.injector.transport(session)
+            checkpoint_hook = self.injector.on_checkpoint
+        self.supervisor = SessionSupervisor(
+            session, self.options.config, clock=clock,
+            transport=transport,
+            checkpoint_dir=self.options.checkpoint_dir,
+            checkpoint_hook=checkpoint_hook)
+        self._feeds = 0
+
+    def feed(self, ops: Sequence[Any]) -> ReadView | None:
+        """Admit one arrival batch and pump; maybe serve a read.
+
+        When chaos is active, poison requests ride along with real
+        traffic and *must* be rejected by the validation boundary — a
+        poison batch slipping through would corrupt the digest-parity
+        guarantee, so acceptance is a hard error here, not a counter.
+        """
+        if self.injector is not None:
+            poison = self.injector.poison_request()
+            if poison is not None:
+                try:
+                    self.supervisor.submit(poison)
+                except BatchValidationError:
+                    pass
+                else:
+                    raise AssertionError(
+                        "chaos poison request was accepted by the "
+                        "apply_batch validation boundary")
+        self.supervisor.submit(ops)
+        self.supervisor.pump()
+        self._feeds += 1
+        every = self.options.read_every
+        if every > 0 and self._feeds % every == 0:
+            return self.supervisor.read(tag=f"feed{self._feeds}")
+        return None
+
+    def barrier(self) -> None:
+        """Drain the queue — run before every snapshot mark, so the
+        recorded result ids never depend on wave boundaries."""
+        self.supervisor.drain()
+
+    def serve_tenants(self, count: int) -> list[ReadView]:
+        """One tick of per-tenant read traffic (cost-ordered)."""
+        requests = [ReadRequest(tag=f"tenant{i}") for i in range(count)]
+        return self.supervisor.serve_reads(requests)
+
+    def service_report(self) -> dict[str, Any]:
+        """Supervisor counters + chaos tallies + final state digest."""
+        out = self.supervisor.counters()
+        if self.injector is not None:
+            out["chaos"] = dict(self.injector.counters)
+            out["chaos_active"] = list(self.options.chaos.active)
+        digest = self.supervisor.state_digest()
+        if digest is not None:
+            out["final_state_digest"] = digest
+        out["result_digest"] = self.supervisor.result_digest()
+        return out
+
+
+def simulate_service(trace: Any, algorithm: str = "fd-rms", *, r: int,
+                     k: int = 1, seed: int | None = 0,
+                     options: Mapping[str, Any] | None = None,
+                     service: ServiceOptions | None = None
+                     ) -> dict[str, Any]:
+    """Run one scenario trace as a multi-tenant service simulation.
+
+    Each batch-plan slice is one arrival tick: its operations are
+    admitted through the supervisor, then every simulated tenant issues
+    a deadline-bounded read (served cost-ordered, stale past the
+    deadline). Returns a JSON-ready SLO summary; the final state digest
+    is taken after a full drain, so it is comparable against a plain
+    (unsupervised, fault-free) replay of the same trace.
+    """
+    # Imported here: the scenario layer imports this module's siblings,
+    # and the service package must stay importable without it.
+    from repro.api.registry import get_algorithm
+    from repro.api.session import open_session
+    from repro.scenarios.replay import batch_slices
+
+    spec = get_algorithm(algorithm)
+    routed = {key: value
+              for key, value in sorted(dict(options or {}).items())
+              if spec.accepts_var_kwargs or key in spec.option_names}
+    service = service or ServiceOptions()
+    workload = trace.workload
+    session = open_session(workload.initial, r, k=k, algo=algorithm,
+                           seed=seed, **routed)
+    ticks = 0
+    stale_tags: list[str] = []
+    try:
+        driver = SupervisedDriver(session, service)
+        for start, stop in batch_slices(trace):
+            driver.feed(workload.operations[start:stop])
+            for view in driver.serve_tenants(service.tenants):
+                if view.stale:
+                    stale_tags.append(view.tag)
+            ticks += 1
+        driver.barrier()
+        report = driver.service_report()
+        return {
+            "scenario": trace.scenario,
+            "algorithm": spec.display_name,
+            "trace_hash": trace.content_hash,
+            "n_operations": workload.n_operations,
+            "ticks": ticks,
+            "tenants": service.tenants,
+            "stale_tenant_serves": len(stale_tags),
+            "result_size": len(session.result()),
+            "service": report,
+        }
+    finally:
+        closer = getattr(session, "close", None)
+        if callable(closer):
+            closer()

@@ -301,6 +301,40 @@ def test_crash_mid_stream_wave_recovers_and_stays_serial(
     reference.close()
 
 
+def test_restore_reestablishes_pool_digest_exact(
+        monkeypatch, small_sharding):
+    """Degrade -> fix -> ``restore()`` -> parallel again, bit-for-bit.
+
+    The full round trip the service layer's breaker probe relies on:
+    a crashing kernel degrades the backend inline, reinstating the
+    real kernel and calling ``restore()`` brings a live pool back, and
+    the post-restore parallel waves leave the engine digest-identical
+    to a serial run of the same history.
+    """
+    real = KERNELS["score_rows"]
+    _install_crashing_kernel(monkeypatch, "score_rows")
+    rng = np.random.default_rng(8)
+    pts = rng.random((150, 4))
+    first = _mixed_ops(np.random.default_rng(9))
+    survivor = _build_engine(pts, 2, ops=first)
+    backend = survivor._backend
+    assert backend.degraded
+    monkeypatch.setitem(KERNELS, "score_rows", real)  # "deploy the fix"
+    assert backend.restore() is True
+    assert not backend.degraded
+    assert backend.restores == 1
+    assert backend.restore() is True  # idempotent on a healthy pool
+    assert backend.restores == 1
+    more = _mixed_ops(np.random.default_rng(10), n_insert=20,
+                      delete_ids=range(40, 60, 2))
+    survivor.apply_batch(more)
+    assert not backend.degraded  # the re-pooled executor really ran
+    reference = _build_engine(pts, 1, ops=first + more)
+    assert survivor.state_digest() == reference.state_digest()
+    survivor.close()
+    reference.close()
+
+
 # ----------------------------------------------------------------------
 # Compiled scalar tails (feature-detected; CI runs the NumPy branch)
 # ----------------------------------------------------------------------

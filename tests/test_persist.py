@@ -13,9 +13,13 @@ The contract under test (README "Persistence & crash recovery"):
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 import repro.persist.atomic as atomic_mod
+import repro.persist.wal as wal_mod
 from repro.api import open_session
 from repro.core.fdrms import FDRMS
 from repro.data.database import Database
@@ -148,6 +152,112 @@ class TestWAL:
                            fresh=True) as wal:
             assert wal.position == 0
         assert read_wal(tmp_path / "wal") == ([], 0)
+
+
+# ----------------------------------------------------------------------
+# Process-kill simulation: only fsynced bytes survive
+# ----------------------------------------------------------------------
+
+class TestKillSim:
+    """SIGKILL simulation for the ``fsync="batch"`` durability promise.
+
+    The simulator tracks exactly what a crash preserves: file bytes up
+    to the length at the last ``os.fsync`` of that file, and directory
+    entries present at the last directory fsync. "Crashing" deletes
+    every segment whose entry was never made durable and truncates the
+    rest to their durable length — the on-disk state a kernel is
+    allowed to leave after a power cut with no fsyncs beyond the ones
+    the WAL actually issued.
+    """
+
+    @pytest.fixture
+    def killsim(self, monkeypatch):
+        durable_len: dict[str, int] = {}
+        durable_entries: set[str] = set()
+        real_fsync = os.fsync
+
+        def tracked_fsync(fd: int) -> None:
+            real_fsync(fd)
+            path = os.path.realpath(f"/proc/self/fd/{fd}")
+            durable_len[path] = os.fstat(fd).st_size
+
+        def tracked_dir_fsync(directory) -> None:
+            for path in Path(directory).iterdir():
+                durable_entries.add(str(path))
+
+        monkeypatch.setattr(os, "fsync", tracked_fsync)
+        monkeypatch.setattr(wal_mod, "fsync_directory", tracked_dir_fsync)
+
+        def crash(directory) -> None:
+            for path in sorted(Path(directory).glob("wal-*.jsonl")):
+                if str(path) not in durable_entries:
+                    path.unlink()
+                else:
+                    with path.open("rb+") as handle:
+                        handle.truncate(durable_len.get(str(path), 0))
+
+        return crash
+
+    def test_batch_close_makes_every_op_durable(self, tmp_path, workload,
+                                                killsim):
+        """append + close under "batch", then SIGKILL: nothing is lost.
+
+        segment_ops=8 forces mid-stream rotations, so the test covers
+        both durability paths — rotation (data fsync + directory-entry
+        sync of finished segments) and close (the final open segment).
+        """
+        wal_dir = tmp_path / "wal"
+        wal = WriteAheadLog(wal_dir, segment_ops=8, fsync="batch")
+        wal.append(workload.operations[:25])
+        wal.append(workload.operations[25:40])
+        wal.close()
+        killsim(wal_dir)
+        ops, head = read_wal(wal_dir)
+        assert head == 40
+        for got, want in zip(ops, workload.operations[:40]):
+            assert got.kind == want.kind
+            assert got.tuple_id == want.tuple_id
+
+    def test_midrun_kill_loses_at_most_the_open_segment(self, tmp_path,
+                                                        workload, killsim):
+        """SIGKILL with no close(): rotated segments are already safe.
+
+        20 ops at segment_ops=8 leave segments 0 and 1 rotated (16 ops,
+        fully durable) and segment 2 open with 4 unsynced ops — the
+        crash may only eat that open tail, and the survivor log must
+        still read back clean (no torn chain, no typed error).
+        """
+        wal_dir = tmp_path / "wal"
+        wal = WriteAheadLog(wal_dir, segment_ops=8, fsync="batch")
+        wal.append(workload.operations[:20])
+        killsim(wal_dir)
+        ops, head = read_wal(wal_dir)
+        assert head == 16  # the open segment's entry was never durable
+        for got, want in zip(ops, workload.operations[:16]):
+            assert got.kind == want.kind
+            assert got.tuple_id == want.tuple_id
+
+    def test_restore_rolls_forward_over_the_kill(self, tmp_path, workload,
+                                                 killsim):
+        """End to end: checkpoint + WAL tail + SIGKILL + restore.
+
+        The restored engine must be digest-identical to a live engine
+        that applied exactly the durable prefix.
+        """
+        wal_dir = tmp_path / "wal"
+        live = _engine(workload.initial)
+        wal = WriteAheadLog(wal_dir, segment_ops=8, fsync="batch")
+        wal.append(workload.operations[:HALF])
+        live.apply_batch(workload.operations[:HALF])
+        save_checkpoint(live, tmp_path / "ckpt", wal_position=wal.position)
+        wal.append(workload.operations[HALF:])
+        live.apply_batch(workload.operations[HALF:])
+        wal.close()
+        killsim(wal_dir)
+        engine, info = restore_engine(tmp_path / "ckpt", wal=wal_dir)
+        assert info["mode"] == "restored"
+        assert info["replayed_ops"] == OPS - HALF
+        assert engine.state_digest() == live.state_digest()
 
 
 # ----------------------------------------------------------------------
