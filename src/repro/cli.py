@@ -20,6 +20,15 @@ Commands
               supervised admission, deadline-bounded per-tenant reads
               (stale-marked under overload), optional chaos; prints an
               SLO summary.
+``serve``     run the real multi-tenant network service: an asyncio
+              HTTP + WebSocket front-end where each tenant maps to one
+              :class:`~repro.service.SessionSupervisor` (admission
+              coalescing, quotas, LRU eviction with
+              checkpoint-on-evict). Wire protocol: docs/SERVICE.md.
+``serve-load`` drive a running ``repro serve`` (or a self-hosted one)
+              with concurrent per-tenant scenario traffic and check
+              per-tenant result-digest parity against an inline replay
+              plus the p99 admission SLO — the CI ``serve-smoke`` gate.
 
 All commands generate their data via :mod:`repro.data` (named datasets:
 BB, AQ, CT, Movie, Indep, AntiCor) so no files are required; ``--n``
@@ -210,6 +219,10 @@ def _print_service_summary(report: dict) -> None:
             f"retries={report.get('retries', 0)} "
             f"breaker_trips={report.get('breaker', {}).get('trips', 0)}")
     print(line)
+    for tag, tally in (report.get("per_tenant") or {}).items():
+        print(f"  {tag}: reads={tally['reads']} "
+              f"fresh={tally['fresh']} stale={tally['stale']} "
+              f"max_lag_ops={tally['max_lag_ops']}")
     if "chaos" in report:
         injected = ", ".join(f"{key}={value}" for key, value
                              in sorted(report["chaos"].items()) if value)
@@ -365,6 +378,127 @@ def cmd_serve_sim(args) -> int:
         Path(args.json_out).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"summary written to {args.json_out}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server import ReproServer, TenantQuota
+    quota = TenantQuota(max_ops_per_request=args.max_ops_per_request,
+                        max_pending_ops=args.max_pending_ops,
+                        max_tuples=args.max_tuples)
+    server = ReproServer(host=args.host, port=args.port,
+                         max_tenants=args.max_tenants, quota=quota,
+                         checkpoint_root=args.checkpoint_root)
+
+    async def _run() -> None:
+        host, port = await server.start()
+        print(f"repro serve listening on http://{host}:{port} "
+              f"(max_tenants={args.max_tenants}, "
+              f"checkpoint_root={args.checkpoint_root}); Ctrl-C stops",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: shut down")
+    return 0
+
+
+def _print_load_summary(summary: dict) -> None:
+    print(f"serve-load {summary['scenario']}: {summary['tenants']} "
+          f"tenants, n={summary['n']}, seed={summary['seed']}, "
+          f"wall {summary['wall_seconds']:.2f}s")
+    print(f"{'tenant':>10} {'wire':>5} {'ops':>6} {'reqs':>6} "
+          f"{'stale':>6} {'fresh':>6} {'maxlag':>7} {'p99 ms':>8} "
+          f"{'parity':>7}")
+    for row in summary["per_tenant"]:
+        adm = row.get("admission_ms", {}) or {}
+        parity = row.get("parity_ok")
+        parity_s = "-" if parity is None else ("ok" if parity else "FAIL")
+        print(f"{row['tenant']:>10} {row['transport']:>5} "
+              f"{row['ops']:>6} {row['requests']:>6} "
+              f"{row['stale_reads']:>6} {row['fresh_reads']:>6} "
+              f"{row['max_lag_ops']:>7} "
+              f"{float(adm.get('p99', 0.0)):>8.3f} {parity_s:>7}")
+    registry = summary.get("server", {}).get("registry", {})
+    counters = registry.get("counters", {})
+    print(f"registry: opened={counters.get('opened', 0)} "
+          f"evicted={counters.get('evicted', 0)} "
+          f"quota_rejections={counters.get('quota_rejections', 0)}")
+
+
+def cmd_serve_load(args) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.scenarios import UnknownScenarioError
+    from repro.server import ReproServer
+    from repro.server.loadgen import run_load, wait_ready
+
+    host, port = "127.0.0.1", 0
+    if args.connect:
+        host, sep, port_raw = args.connect.rpartition(":")
+        try:
+            port = int(port_raw)
+        except ValueError:
+            port = -1
+        if not sep or not host or port <= 0:
+            raise CLIError(f"bad --connect {args.connect!r}: "
+                           "expected HOST:PORT")
+
+    async def _run() -> dict:
+        server = None
+        if args.connect:
+            await wait_ready(host, port, timeout_s=args.connect_timeout)
+            bound = (host, port)
+        else:
+            server = ReproServer(host="127.0.0.1", port=0,
+                                 max_tenants=max(4, args.tenants + 1))
+            bound = await server.start()
+        try:
+            return await run_load(
+                bound[0], bound[1], args.scenario, tenants=args.tenants,
+                n=args.n, seed=args.seed, r=args.r, k=args.k,
+                eps=args.eps, m_max=args.m_max,
+                read_every=args.read_every, deadline_ms=args.deadline_ms,
+                chaos_tenant=args.chaos_tenant,
+                chaos_spec=args.chaos or "all",
+                chaos_seed=args.chaos_seed,
+                check_parity=not args.no_parity)
+        finally:
+            if server is not None:
+                await server.close()
+
+    try:
+        summary = asyncio.run(_run())
+    except UnknownScenarioError as exc:
+        raise CLIError(str(exc)) from None
+    except TimeoutError as exc:
+        raise CLIError(str(exc)) from None
+    _print_load_summary(summary)
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(summary, indent=2)
+                                       + "\n")
+        print(f"summary written to {args.json_out}")
+    failed = False
+    if summary["parity_checked"] and not summary["parity_ok"]:
+        print("FAIL: served result digests diverged from the inline "
+              "replay", file=sys.stderr)
+        failed = True
+    if args.slo_p99_ms is not None and \
+            summary["admission_p99_ms"] > args.slo_p99_ms:
+        print(f"FAIL: admission p99 {summary['admission_p99_ms']:.3f}ms "
+              f"exceeds the {args.slo_p99_ms}ms SLO", file=sys.stderr)
+        failed = True
+    if not failed and summary["parity_checked"]:
+        print("parity OK: every tenant's served digest matches its "
+              "inline replay")
+    return 1 if failed else 0
 
 
 def cmd_snapshot_save(args) -> int:
@@ -554,6 +688,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--json", default=None, dest="json_out",
                        help="write the SLO summary as JSON to this path")
     p_sim.set_defaults(func=cmd_serve_sim)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP+WebSocket service "
+             "(wire protocol: docs/SERVICE.md)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 = ephemeral, printed at boot)")
+    p_srv.add_argument("--max-tenants", type=int, default=8,
+                       dest="max_tenants",
+                       help="LRU cap on concurrently open sessions")
+    p_srv.add_argument("--checkpoint-root", default=None,
+                       dest="checkpoint_root",
+                       help="directory for per-tenant checkpoints "
+                            "(enables checkpoint-on-evict and resume)")
+    p_srv.add_argument("--max-ops-per-request", type=int, default=4096,
+                       dest="max_ops_per_request")
+    p_srv.add_argument("--max-pending-ops", type=int, default=65536,
+                       dest="max_pending_ops")
+    p_srv.add_argument("--max-tuples", type=int, default=1_000_000,
+                       dest="max_tuples")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_sl_load = sub.add_parser(
+        "serve-load",
+        help="drive concurrent tenant traffic against repro serve and "
+             "check digest parity vs an inline replay")
+    p_sl_load.add_argument("scenario",
+                           help="scenario name (see `repro scenarios`)")
+    p_sl_load.add_argument("--connect", default=None, metavar="HOST:PORT",
+                           help="target a running server (default: boot "
+                                "an in-process one on an ephemeral port)")
+    p_sl_load.add_argument("--connect-timeout", type=float, default=20.0,
+                           dest="connect_timeout",
+                           help="seconds to wait for /healthz readiness")
+    p_sl_load.add_argument("--tenants", type=int, default=2)
+    p_sl_load.add_argument("--n", type=int, default=None,
+                           help="dataset size (default: the scenario's)")
+    p_sl_load.add_argument("--seed", type=int, default=0,
+                           help="base seed; tenant i compiles its trace "
+                                "with seed+i")
+    p_sl_load.add_argument("--k", type=int, default=1)
+    p_sl_load.add_argument("--r", type=int, default=10)
+    p_sl_load.add_argument("--eps", type=float, default=0.1)
+    p_sl_load.add_argument("--m-max", type=int, default=128,
+                           dest="m_max")
+    p_sl_load.add_argument("--read-every", type=int, default=4,
+                           dest="read_every",
+                           help="issue a deadline-bounded read every N "
+                                "write requests (0 = none)")
+    p_sl_load.add_argument("--deadline-ms", type=float, default=2.0,
+                           dest="deadline_ms",
+                           help="read deadline; later reads may be "
+                                "served stale")
+    p_sl_load.add_argument("--chaos-tenant", type=int, default=None,
+                           dest="chaos_tenant",
+                           help="open this tenant index with server-side "
+                                "chaos injection (isolation check)")
+    p_sl_load.add_argument("--chaos", default=None,
+                           help="chaos spec for --chaos-tenant "
+                                "(default 'all')")
+    p_sl_load.add_argument("--chaos-seed", type=int, default=1,
+                           dest="chaos_seed")
+    p_sl_load.add_argument("--no-parity", action="store_true",
+                           dest="no_parity",
+                           help="skip the inline-replay digest "
+                                "comparison")
+    p_sl_load.add_argument("--slo-p99-ms", type=float, default=None,
+                           dest="slo_p99_ms",
+                           help="fail (exit 1) when any tenant's p99 "
+                                "admission latency exceeds this")
+    p_sl_load.add_argument("--json", default=None, dest="json_out",
+                           help="write the load summary as JSON here")
+    p_sl_load.set_defaults(func=cmd_serve_load)
 
     p_snap = sub.add_parser(
         "snapshot", help="save, restore, or verify engine checkpoints")

@@ -1,6 +1,6 @@
 """The built-in scenario catalogue and its arrival patterns.
 
-Nine workload shapes ship with the library, spanning the paper's own
+Ten workload shapes ship with the library, spanning the paper's own
 protocol and the dynamic regimes the ROADMAP asks for:
 
 =======================  ===============================================
@@ -25,6 +25,9 @@ protocol and the dynamic regimes the ROADMAP asks for:
                          workload
 ``chaos-churn``          delete-leaning churn in steady mid-size
                          batches — the runtime fault-injection workload
+``overload-multitenant`` singleton-heavy churn sized for the network
+                         service's admission coalescing — the
+                         ``repro serve`` / ``serve-load`` workload
 =======================  ===============================================
 
 Each is a :class:`~repro.scenarios.spec.Scenario` instance binding an
@@ -360,5 +363,18 @@ BUILTIN_SCENARIOS = tuple(register_scenario(s) for s in (
                 "batch_max": 48},
         service={"max_wave": 32, "checkpoint_every_ops": 256,
                  "read_every": 4, "tenants": 2},
+    ),
+    Scenario(
+        name="overload-multitenant",
+        summary="singleton-heavy churn for the network service: mostly "
+                "single-op requests the admission layer must coalesce "
+                "into waves, with small batches mixed in",
+        dataset="AQ", n=2000, arrival="mixed-batch",
+        params={"insert_fraction": 0.55, "ops_per_tuple": 1.0,
+                "initial_fraction": 0.5, "single_prob": 0.8,
+                "max_batch": 16},
+        service={"max_wave": 32, "wave_budget_s": 0.002,
+                 "pump_budget_s": 0.004, "read_deadline_s": 0.002,
+                 "read_every": 2, "tenants": 2},
     ),
 ))

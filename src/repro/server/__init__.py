@@ -1,0 +1,36 @@
+"""Multi-tenant network service over the supervised session runtime.
+
+The network edge of the ROADMAP's "millions of users" direction: a
+stdlib-asyncio HTTP + WebSocket front-end (``repro serve``) where every
+tenant maps to one :class:`~repro.service.SessionSupervisor` and the
+admission layer coalesces incoming operations into ``apply_batch``
+waves. Layers:
+
+* :mod:`~repro.server.wire` — minimal HTTP/1.1 + RFC 6455 WebSocket
+  framing over asyncio streams (zero heavy deps), plus the matching
+  clients;
+* :mod:`~repro.server.protocol` — the JSON wire schema: typed error
+  envelopes and field validation helpers;
+* :mod:`~repro.server.tenants` — tenant registry with per-tenant
+  quotas, LRU session eviction (checkpoint-on-evict / resume), and
+  optional per-tenant chaos injection;
+* :mod:`~repro.server.app` — :class:`ReproServer`: routing, per-tenant
+  locking, background coalescing pumps, stale-read degradation;
+* :mod:`~repro.server.loadgen` — the asyncio load generator behind
+  ``repro serve-load`` and the CI ``serve-smoke`` digest-parity gate.
+
+docs/SERVICE.md is the wire-protocol reference and operations runbook.
+"""
+
+from repro.server.app import ReproServer
+from repro.server.protocol import ERROR_STATUS, ServiceError
+from repro.server.tenants import Tenant, TenantQuota, TenantRegistry
+
+__all__ = [
+    "ERROR_STATUS",
+    "ReproServer",
+    "ServiceError",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+]

@@ -1,0 +1,116 @@
+"""The JSON wire schema of the multi-tenant service: errors + payloads.
+
+Every response body on the wire is JSON. Failures use one typed error
+envelope::
+
+    {"error": {"code": "<symbolic code>", "message": "<one line>",
+               "detail": {...}}}
+
+``code`` is the machine-readable contract (docs/SERVICE.md tabulates
+every code with its HTTP status); ``message`` is human-oriented and may
+change; ``detail`` carries structured context (offending index, quota
+numbers, ...) and may be absent.
+
+:class:`ServiceError` is the one exception type request handlers raise:
+the transport layer (HTTP or WebSocket) maps it to the envelope and the
+right status code, so handler code never deals with status codes
+directly. Anything *else* escaping a handler is a bug and surfaces as
+``internal`` / 500 — with the exception type but not the traceback on
+the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["ERROR_STATUS", "ServiceError", "error_envelope",
+           "get_field", "require_field"]
+
+#: Symbolic error code -> HTTP status. The WebSocket transport carries
+#: the code only (there is no status line on a message), so codes —
+#: not statuses — are the portable contract.
+ERROR_STATUS: dict[str, int] = {
+    "bad_request": 400,          # malformed JSON, wrong types, bad query
+    "validation_failed": 400,    # batch rejected by validate_batch
+    "not_found": 404,            # unknown route
+    "unknown_tenant": 404,       # tenant id not registered
+    "method_not_allowed": 405,   # route exists, verb does not
+    "tenant_exists": 409,        # open of an already-open tenant
+    "unsupported": 409,          # e.g. checkpoint on a non-durable algo
+    "payload_too_large": 413,    # request body over the wire limit
+    "quota_exceeded": 429,       # per-tenant admission quota hit
+    "internal": 500,             # handler bug; detail carries the type
+    "shutting_down": 503,        # server is draining
+}
+
+
+class ServiceError(Exception):
+    """A typed, wire-mappable request failure.
+
+    Parameters
+    ----------
+    code : str
+        One of :data:`ERROR_STATUS`. Unknown codes map to 500 rather
+        than raising — an error path must never error.
+    message : str
+        One human-readable line.
+    detail : mapping, optional
+        JSON-ready structured context.
+    """
+
+    def __init__(self, code: str, message: str,
+                 detail: Mapping[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = dict(detail) if detail is not None else None
+
+    @property
+    def http_status(self) -> int:
+        return ERROR_STATUS.get(self.code, 500)
+
+    def envelope(self) -> dict[str, Any]:
+        return error_envelope(self.code, self.message, self.detail)
+
+
+def error_envelope(code: str, message: str,
+                   detail: Mapping[str, Any] | None = None
+                   ) -> dict[str, Any]:
+    """The one error body shape both transports emit."""
+    error: dict[str, Any] = {"code": code, "message": message}
+    if detail:
+        error["detail"] = dict(detail)
+    return {"error": error}
+
+
+def require_field(payload: Mapping[str, Any], key: str,
+                  kind: type | tuple[type, ...] | None = None) -> Any:
+    """Fetch a required JSON field, raising ``bad_request`` when absent
+    or of the wrong JSON type."""
+    if key not in payload:
+        raise ServiceError("bad_request", f"missing required field {key!r}")
+    return get_field(payload, key, kind)
+
+
+def get_field(payload: Mapping[str, Any], key: str,
+              kind: type | tuple[type, ...] | None = None,
+              default: Any = None) -> Any:
+    """Fetch an optional JSON field with a JSON-type check.
+
+    ``bool`` is rejected where an int is expected (it is an int
+    subclass in Python but not in JSON semantics).
+    """
+    value = payload.get(key, default)
+    if value is default and key not in payload:
+        return default
+    if kind is not None:
+        bad_bool = (isinstance(value, bool)
+                    and kind in (int, float, (int, float)))
+        if bad_bool or not isinstance(value, kind):
+            kind_name = (kind.__name__ if isinstance(kind, type)
+                         else "/".join(k.__name__ for k in kind))
+            raise ServiceError(
+                "bad_request",
+                f"field {key!r} must be of type {kind_name}, "
+                f"got {type(value).__name__}")
+    return value

@@ -49,7 +49,12 @@ from repro.service.policy import (
     SupervisorConfig,
     TransientServiceError,
 )
-from repro.service.supervisor import ReadView, ServiceReport, SessionSupervisor
+from repro.service.supervisor import (
+    ReadView,
+    ServiceReport,
+    SessionSupervisor,
+    result_digest,
+)
 
 __all__ = [
     "BreakerOpenError",
@@ -70,5 +75,6 @@ __all__ = [
     "TransientServiceError",
     "VirtualClock",
     "parse_chaos",
+    "result_digest",
     "simulate_service",
 ]

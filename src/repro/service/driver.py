@@ -71,6 +71,10 @@ class SupervisedDriver:
             checkpoint_dir=self.options.checkpoint_dir,
             checkpoint_hook=checkpoint_hook)
         self._feeds = 0
+        # Per-read-tag serve tallies (tenant ids for serve_tenants,
+        # "driver" for the replay loop's own reads). Like every service
+        # counter these stay outside determinism digests.
+        self._tenant_tallies: dict[str, dict[str, int]] = {}
 
     def feed(self, ops: Sequence[Any]) -> ReadView | None:
         """Admit one arrival batch and pump; maybe serve a read.
@@ -96,7 +100,9 @@ class SupervisedDriver:
         self._feeds += 1
         every = self.options.read_every
         if every > 0 and self._feeds % every == 0:
-            return self.supervisor.read(tag=f"feed{self._feeds}")
+            view = self.supervisor.read(tag=f"feed{self._feeds}")
+            self._record_view("driver", view)
+            return view
         return None
 
     def barrier(self) -> None:
@@ -107,11 +113,30 @@ class SupervisedDriver:
     def serve_tenants(self, count: int) -> list[ReadView]:
         """One tick of per-tenant read traffic (cost-ordered)."""
         requests = [ReadRequest(tag=f"tenant{i}") for i in range(count)]
-        return self.supervisor.serve_reads(requests)
+        views = self.supervisor.serve_reads(requests)
+        for view in views:
+            self._record_view(view.tag, view)
+        return views
+
+    def _record_view(self, key: str, view: ReadView) -> None:
+        tally = self._tenant_tallies.setdefault(
+            key, {"reads": 0, "fresh": 0, "stale": 0, "max_lag_ops": 0})
+        tally["reads"] += 1
+        tally["stale" if view.stale else "fresh"] += 1
+        tally["max_lag_ops"] = max(tally["max_lag_ops"], view.lag_ops)
 
     def service_report(self) -> dict[str, Any]:
-        """Supervisor counters + chaos tallies + final state digest."""
+        """Supervisor counters + chaos tallies + final state digest.
+
+        ``per_tenant`` keys the serve tallies by tenant id (read tag),
+        so a multi-tenant simulation's report shows who got served
+        stale, not just how often. Everything here stays outside
+        ``determinism_digest()``.
+        """
         out = self.supervisor.counters()
+        if self._tenant_tallies:
+            out["per_tenant"] = {key: dict(value) for key, value
+                                 in sorted(self._tenant_tallies.items())}
         if self.injector is not None:
             out["chaos"] = dict(self.injector.counters)
             out["chaos_active"] = list(self.options.chaos.active)

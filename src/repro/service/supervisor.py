@@ -64,10 +64,37 @@ from repro.service.policy import (
     is_transient,
 )
 
-__all__ = ["ReadRequest", "ReadView", "ServiceReport", "SessionSupervisor"]
+__all__ = ["ReadRequest", "ReadView", "ServiceReport", "SessionSupervisor",
+           "result_digest"]
 
 #: Cost-model key for result materialization (reads).
 _READ_KIND = "read"
+
+
+def result_digest(session: Session) -> str:
+    """Wave-boundary-invariant digest of a session's observable state.
+
+    Hashes the alive database content (ids in ascending order plus
+    their point rows — exact input bytes, untouched by execution
+    strategy) and the current result id sequence. Unlike the engine's
+    ``state_digest`` it excludes derived float caches
+    (``member_scores``/``tau``), which can differ in the last ulp
+    between batch-GEMM and singleton scoring paths when wave boundaries
+    move — so this digest is the one chaos/overload legs (and the
+    server's digest-parity checks) with time-dependent wave splits are
+    compared on.
+
+    Module-level so the network server and its load generator can
+    compute the *same* digest on both the served and the inline
+    reference side without holding a supervisor.
+    """
+    h = hashlib.sha256()
+    ids, points = session.db.snapshot()
+    h.update(np.ascontiguousarray(ids, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(points, dtype=np.float64).tobytes())
+    result = np.asarray(list(session.result()), dtype=np.int64)
+    h.update(result.tobytes())
+    return f"sha256:{h.hexdigest()}"
 
 
 @dataclass(frozen=True)
@@ -210,24 +237,8 @@ class SessionSupervisor:
         return digest() if callable(digest) else None
 
     def result_digest(self) -> str:
-        """Wave-boundary-invariant digest of the observable state.
-
-        Hashes the alive database content (ids in ascending order plus
-        their point rows — exact input bytes, untouched by execution
-        strategy) and the current result id sequence. Unlike the
-        engine's ``state_digest`` it excludes derived float caches
-        (``member_scores``/``tau``), which can differ in the last ulp
-        between batch-GEMM and singleton scoring paths when wave
-        boundaries move — so this digest is the one chaos/overload legs
-        with time-dependent wave splits are compared on.
-        """
-        h = hashlib.sha256()
-        ids, points = self._session.db.snapshot()
-        h.update(np.ascontiguousarray(ids, dtype=np.int64).tobytes())
-        h.update(np.ascontiguousarray(points, dtype=np.float64).tobytes())
-        result = np.asarray(list(self._session.result()), dtype=np.int64)
-        h.update(result.tobytes())
-        return f"sha256:{h.hexdigest()}"
+        """The wrapped session's :func:`result_digest`."""
+        return result_digest(self._session)
 
     def counters(self) -> dict[str, Any]:
         """Service counters + breaker state, JSON-ready.

@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
-"""Intra-repo markdown link checker (stdlib only).
+"""Intra-repo markdown link + anchor checker (stdlib only).
 
 Walks every tracked ``*.md`` file and verifies that each relative link
-or image target resolves to a file or directory in the repository.
-External schemes (``http://``, ``https://``, ``mailto:``) and pure
-in-page anchors (``#section``) are skipped — this is a dead-*file*
-checker, not a network crawler, so it is fast and deterministic enough
-to gate CI on.
+or image target resolves to a file or directory in the repository, and
+that every ``#fragment`` — in-page or cross-file — names a real heading
+anchor in the target markdown file. External schemes (``http://``,
+``https://``, ``mailto:``) are skipped — this is a dead-link checker,
+not a network crawler, so it is fast and deterministic enough to gate
+CI on.
 
 Checked link forms::
 
     [text](relative/path.md)        inline links
-    [text](path.md#anchor)         the path part only
-    ![alt](assets/diagram.svg)     images
-    [text]: relative/path.md       reference-style definitions
+    [text](path.md#anchor)          path *and* anchor
+    [text](#anchor)                 in-page anchors
+    ![alt](assets/diagram.svg)      images
+    [text]: relative/path.md        reference-style definitions
+
+Anchors are derived from ATX headings outside fenced code blocks using
+the GitHub slug rules (lowercase; drop everything but alphanumerics,
+spaces, hyphens and underscores; spaces become hyphens; duplicate slugs
+get ``-1``, ``-2``, … suffixes), plus any explicit ``<a name="...">``
+or ``id="..."`` HTML anchors.
 
 Exit status: 0 when every link resolves, 1 otherwise (one line per
 broken link, ``file:line: target``).
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import re
 import sys
+import urllib.parse
 from pathlib import Path
 
 # [text](target) and ![alt](target) — lazily match the target up to the
@@ -39,8 +48,44 @@ _INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
 # Fenced code blocks — links inside them are examples, not navigation.
 _FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+# ATX headings (outside fences) and explicit HTML anchors.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+_HTML_ANCHOR = re.compile(r"<a\s+(?:name|id)=[\"']([^\"']+)[\"']", re.I)
+# Inline markup stripped from heading text before slugging.
+_MD_MARKUP = re.compile(r"[`*_]|\[([^\]]*)\]\([^)]*\)")
 
-_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://", "#")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_fences(text: str) -> str:
+    return _FENCE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for one heading (sans dedupe suffix)."""
+    text = _MD_MARKUP.sub(lambda m: m.group(1) or "", heading)
+    text = text.strip().lower()
+    text = "".join(ch for ch in text
+                   if ch.isalnum() or ch in (" ", "-", "_"))
+    return text.replace(" ", "-")
+
+
+def collect_anchors(text: str) -> set[str]:
+    """Every fragment that resolves in this document."""
+    stripped = _strip_fences(text)
+    anchors: set[str] = set()
+    for match in _HEADING.finditer(stripped):
+        slug = github_slug(match.group(1))
+        if slug not in anchors:
+            anchors.add(slug)
+        else:  # duplicate headings get -1, -2, … suffixes
+            n = 1
+            while f"{slug}-{n}" in anchors:
+                n += 1
+            anchors.add(f"{slug}-{n}")
+    anchors.update(match.group(1)
+                   for match in _HTML_ANCHOR.finditer(stripped))
+    return anchors
 
 
 def iter_markdown(root: Path):
@@ -53,53 +98,78 @@ def iter_markdown(root: Path):
 
 def iter_targets(text: str):
     """Yield (line_number, raw_target) pairs outside fenced code."""
-    stripped = _FENCE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+    stripped = _strip_fences(text)
     for pattern in (_INLINE, _REFDEF):
         for match in pattern.finditer(stripped):
             line = stripped.count("\n", 0, match.start()) + 1
             yield line, match.group(1)
 
 
-def check_file(path: Path, root: Path) -> list[str]:
+class AnchorCache:
+    """Lazily computed per-file anchor sets."""
+
+    def __init__(self) -> None:
+        self._cache: dict[Path, set[str]] = {}
+
+    def anchors(self, path: Path) -> set[str]:
+        if path not in self._cache:
+            text = path.read_text(encoding="utf-8")
+            self._cache[path] = collect_anchors(text)
+        return self._cache[path]
+
+
+def check_file(path: Path, root: Path, cache: AnchorCache) -> list[str]:
     errors = []
     text = path.read_text(encoding="utf-8")
     for line, raw in iter_targets(text):
-        target = raw.split("#", 1)[0].strip("<>")
-        if not target or raw.startswith(_SKIP_PREFIXES):
+        if raw.startswith(_SKIP_PREFIXES):
             continue
+        target, _, fragment = raw.partition("#")
+        target = target.strip("<>")
+        fragment = urllib.parse.unquote(fragment)
         if "://" in target:  # any other scheme
             continue
-        if target.startswith("/"):
-            resolved = root / target.lstrip("/")
+        if target:
+            if target.startswith("/"):
+                resolved = root / target.lstrip("/")
+            else:
+                resolved = path.parent / target
+            try:
+                resolved = resolved.resolve()
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                errors.append(f"{path.relative_to(root)}:{line}: {raw} "
+                              "escapes the repository")
+                continue
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}:{line}: {raw}")
+                continue
         else:
-            resolved = path.parent / target
-        try:
-            resolved = resolved.resolve()
-            resolved.relative_to(root.resolve())
-        except ValueError:
-            errors.append(f"{path.relative_to(root)}:{line}: {raw} "
-                          "escapes the repository")
-            continue
-        if not resolved.exists():
-            errors.append(f"{path.relative_to(root)}:{line}: {raw}")
+            resolved = path  # pure in-page anchor
+        if fragment and resolved.suffix == ".md" and resolved.is_file():
+            if fragment not in cache.anchors(resolved):
+                errors.append(f"{path.relative_to(root)}:{line}: {raw} "
+                              f"(no such anchor)")
     return errors
 
 
 def main(argv: list[str]) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
     root = root.resolve()
+    cache = AnchorCache()
     broken: list[str] = []
     n_files = 0
     for path in iter_markdown(root):
         n_files += 1
-        broken.extend(check_file(path, root))
+        broken.extend(check_file(path, root, cache))
     for line in broken:
         print(line, file=sys.stderr)
     if broken:
         print(f"FAIL: {len(broken)} broken intra-repo link(s) across "
               f"{n_files} markdown file(s)", file=sys.stderr)
         return 1
-    print(f"OK: all intra-repo links resolve ({n_files} markdown files)")
+    print(f"OK: all intra-repo links and anchors resolve "
+          f"({n_files} markdown files)")
     return 0
 
 
