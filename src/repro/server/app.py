@@ -45,6 +45,7 @@ from repro.server.wire import (
     websocket_accept,
     write_response,
     ws_read_message,
+    ws_write_close,
     ws_write_message,
 )
 from repro.service.supervisor import result_digest
@@ -242,8 +243,16 @@ class ReproServer:
         await writer.drain()
         self.counters["ws_connections"] += 1
         while True:
-            message = await ws_read_message(reader, writer,
-                                            max_len=self.max_body_bytes)
+            try:
+                message = await ws_read_message(
+                    reader, writer, max_len=self.max_body_bytes)
+            except HttpError as exc:
+                # Oversized frame/message: end the stream with a proper
+                # close frame (1009 Message Too Big) instead of dropping
+                # the TCP connection and logging an unhandled error.
+                self.counters["request_errors"] += 1
+                await ws_write_close(writer, code=1009, reason=str(exc))
+                return
             if message is None:
                 return
             self.counters["ws_messages"] += 1
@@ -303,6 +312,23 @@ class ReproServer:
                            {"verb": verb})
 
     # -- shared verb handlers ------------------------------------------
+    @staticmethod
+    def _require_live(tenant: Any) -> None:
+        """Re-check a tenant after acquiring its lock.
+
+        Registry lookups happen before ``await tenant.lock``; a
+        concurrent evict (DELETE or LRU eviction by another open) may
+        close the session while this handler waits for the lock. Acting
+        on the closed session would drop admitted ops or surface as a
+        500 — answer ``unknown_tenant`` instead, exactly as if the
+        request had arrived after the evict.
+        """
+        if tenant.closed:
+            raise ServiceError(
+                "unknown_tenant",
+                f"tenant {tenant.tenant_id!r} was evicted",
+                {"tenant": tenant.tenant_id})
+
     async def _tenant_verb(self, verb: str, tenant_id: str,
                            payload: dict[str, Any]) -> dict[str, Any]:
         if verb == "open":
@@ -347,6 +373,7 @@ class ReproServer:
                 f"mode must be 'coalesce' or 'drain', got {mode!r}")
         tenant = self.registry.get(tenant_id)
         async with tenant.lock:
+            self._require_live(tenant)
             admitted = self.registry.admit(tenant, ops)
             if mode == "drain":
                 tenant.supervisor.drain()
@@ -370,7 +397,7 @@ class ReproServer:
         pumps so concurrent submits coalesce into the next wave."""
         while not self._closing:
             async with tenant.lock:
-                if tenant.supervisor.pending_ops == 0:
+                if tenant.closed or tenant.supervisor.pending_ops == 0:
                     return
                 tenant.supervisor.pump()
             # The yield point: requests admitted while the wave above
@@ -381,6 +408,7 @@ class ReproServer:
                       deadline_ms: float | None) -> dict[str, Any]:
         tenant = self.registry.get(tenant_id)
         async with tenant.lock:
+            self._require_live(tenant)
             if fresh:
                 tenant.supervisor.drain()
                 view = tenant.supervisor.read(
@@ -403,17 +431,20 @@ class ReproServer:
     async def _tenant_stats(self, tenant_id: str) -> dict[str, Any]:
         tenant = self.registry.get(tenant_id)
         async with tenant.lock:
+            self._require_live(tenant)
             return tenant.stats()
 
     async def _checkpoint(self, tenant_id: str) -> dict[str, Any]:
         tenant = self.registry.get(tenant_id)
         async with tenant.lock:
+            self._require_live(tenant)
             return self.registry.checkpoint(tenant_id)
 
     async def _evict(self, tenant_id: str, *,
                      checkpoint: bool) -> dict[str, Any]:
         tenant = self.registry.get(tenant_id)
         async with tenant.lock:
+            self._require_live(tenant)
             return self.registry.evict(tenant_id, checkpoint=checkpoint)
 
     def _server_stats(self) -> dict[str, Any]:

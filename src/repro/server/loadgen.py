@@ -144,6 +144,7 @@ async def _drive_tenant(host: str, port: int, tenant_id: str, trace: Any,
     workload = trace.workload
     tally = {"requests": 0, "ops": 0, "stale_reads": 0, "fresh_reads": 0,
              "max_lag_ops": 0, "coalesced_pending_max": 0}
+    opened = False
     try:
         open_payload: dict[str, Any] = {
             "points": [[float(x) for x in row]
@@ -154,7 +155,17 @@ async def _drive_tenant(host: str, port: int, tenant_id: str, trace: Any,
             open_payload["chaos"] = dict(chaos)
         if config is not None:
             open_payload["config"] = dict(config)
-        await conn.call("open", tenant_id, open_payload)
+        try:
+            await conn.call("open", tenant_id, open_payload)
+        except HttpError as exc:
+            # A standing server may still hold this tenant from an
+            # earlier (crashed) run: evict the leftover and retry once.
+            if "tenant_exists" not in str(exc):
+                raise
+            await conn.call("close", tenant_id, {"checkpoint": False},
+                            query="?checkpoint=0")
+            await conn.call("open", tenant_id, open_payload)
+        opened = True
         slices = 0
         for start, stop in batch_slices(trace):
             ops = _wire_ops(list(workload.operations[start:stop]))
@@ -181,7 +192,7 @@ async def _drive_tenant(host: str, port: int, tenant_id: str, trace: Any,
                                 query="?fresh=1")
         stats = await conn.call("stats", tenant_id)
         service = stats.get("service", {})
-        return {
+        row = {
             "tenant": tenant_id,
             "transport": transport,
             **tally,
@@ -191,7 +202,20 @@ async def _drive_tenant(host: str, port: int, tenant_id: str, trace: Any,
             "waves": service.get("waves"),
             "backpressure_events": service.get("backpressure_events"),
         }
+        if "chaos" in stats:
+            # Carried in the row because the tenant is evicted below —
+            # the registry entry is gone by the time callers look.
+            row["chaos"] = stats["chaos"]
+        return row
     finally:
+        # Leave the server as we found it: a standing server must
+        # accept a second serve-load run without tenant_exists errors.
+        if opened:
+            try:
+                await conn.call("close", tenant_id, {"checkpoint": False},
+                                query="?checkpoint=0")
+            except (HttpError, OSError, asyncio.IncompleteReadError):
+                pass
         await conn.close()
 
 

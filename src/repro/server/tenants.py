@@ -79,6 +79,10 @@ class Tenant:
         #: Coalescing pump bookkeeping, owned by the asyncio app layer.
         self.lock: Any = None
         self.pump_task: Any = None
+        #: Set by evict/close_all. Handlers that awaited ``lock`` while
+        #: an evict ran must re-check this before touching the
+        #: supervisor — the session behind it is gone.
+        self.closed = False
         #: Filled by the registry at open time (e.g. which tenants the
         #: open evicted); echoed in the open response.
         self.opened_info: dict[str, Any] = {}
@@ -190,7 +194,16 @@ class TenantRegistry:
     def _checkpoint_dir(self, tenant_id: str) -> Path | None:
         if self.checkpoint_root is None:
             return None
-        return self.checkpoint_root / tenant_id
+        directory = self.checkpoint_root / tenant_id
+        # Defense in depth behind id validation: checkpoint/evict writes
+        # must never land outside the configured root, no matter what
+        # id slipped through ('.', '..', or a future validation bug).
+        root = self.checkpoint_root.resolve()
+        if root not in directory.resolve().parents:
+            raise ServiceError(
+                "bad_request",
+                f"tenant id {tenant_id!r} escapes the checkpoint root")
+        return directory
 
     def open(self, tenant_id: str, payload: Mapping[str, Any]) -> Tenant:
         """Open (or resume) one tenant from its ``open`` payload.
@@ -199,11 +212,13 @@ class TenantRegistry:
         is full — the returned tenant is always registered and MRU.
         """
         if not tenant_id or len(tenant_id) > 64 or \
-                not set(tenant_id) <= _ID_CHARS:
+                not set(tenant_id) <= _ID_CHARS or \
+                tenant_id in (".", ".."):
             raise ServiceError(
                 "bad_request",
                 f"tenant id {tenant_id!r} must be 1-64 characters from "
-                f"[A-Za-z0-9._-]")
+                f"[A-Za-z0-9._-], excluding the path components "
+                f"'.' and '..'")
         if tenant_id in self._tenants:
             raise ServiceError(
                 "tenant_exists", f"tenant {tenant_id!r} is already open",
@@ -318,6 +333,7 @@ class TenantRegistry:
                 info["state_digest"] = manifest["state_digest"]
                 self.counters["evict_checkpoints"] += 1
         _close(tenant.session)
+        tenant.closed = True
         del self._tenants[tenant_id]
         self.counters["evicted"] += 1
         return info
@@ -332,6 +348,7 @@ class TenantRegistry:
             except Exception:
                 pass
             _close(tenant.session)
+            tenant.closed = True
             self.counters["closed"] += 1
 
     # -- admission -----------------------------------------------------

@@ -32,7 +32,8 @@ __all__ = [
     "HttpClient", "HttpError", "HttpRequest", "HttpResponse",
     "WS_OP_CLOSE", "WS_OP_PING", "WS_OP_PONG", "WS_OP_TEXT",
     "WebSocketClient", "read_request", "websocket_accept",
-    "write_response", "ws_read_message", "ws_write_message",
+    "write_response", "ws_read_message", "ws_write_close",
+    "ws_write_message",
 ]
 
 _MAX_HEADER_BYTES = 32 * 1024
@@ -262,6 +263,21 @@ async def ws_read_message(reader: asyncio.StreamReader,
             raise HttpError(413, "fragmented WebSocket message too large")
         if fin:
             return b"".join(parts).decode("utf-8")
+
+
+async def ws_write_close(writer: asyncio.StreamWriter, *,
+                         code: int = 1000, reason: str = "") -> None:
+    """Send one close frame; never raises (the peer may be gone).
+
+    Control-frame payloads are capped at 125 bytes (RFC 6455 §5.5), so
+    the reason is truncated to fit beside the 2-byte status code.
+    """
+    payload = struct.pack(">H", code) + reason.encode("utf-8")[:123]
+    try:
+        writer.write(_ws_encode_frame(WS_OP_CLOSE, payload))
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError, RuntimeError):
+        pass
 
 
 async def ws_write_message(writer: asyncio.StreamWriter, text: str, *,

@@ -289,6 +289,36 @@ class TestWebSocketTransport:
 
         asyncio.run(run())
 
+    def test_oversized_frame_gets_a_1009_close_frame(self):
+        import struct
+
+        from repro.server.wire import WS_OP_CLOSE, _ws_read_frame
+
+        async def run() -> tuple[int, int]:
+            server = await _booted(max_body_bytes=1024)
+            ws = WebSocketClient(server.host, server.port)
+            try:
+                await ws.connect()
+                assert ws._reader is not None and ws._writer is not None
+                # 4 KiB of JSON against a 1 KiB limit: the server must
+                # answer with a proper close frame (1009 Message Too
+                # Big), not drop the TCP connection mid-stream.
+                big = '{"verb": "' + "x" * 4096 + '"}'
+                from repro.server.wire import ws_write_message
+                await ws_write_message(ws._writer, big,
+                                       mask=ws._next_mask())
+                opcode, _, payload = await _ws_read_frame(
+                    ws._reader, max_len=1 << 16)
+                (code,) = struct.unpack(">H", payload[:2])
+                return opcode, code
+            finally:
+                await ws.close()
+                await server.close()
+
+        opcode, code = asyncio.run(run())
+        assert opcode == WS_OP_CLOSE
+        assert code == 1009
+
 
 # ----------------------------------------------------------------------
 # Tenant registry: quotas, LRU eviction, checkpoint/resume
@@ -369,6 +399,67 @@ class TestTenantRegistry:
                     "POST", "/v1/tenants/c/checkpoint", {})
                 assert resp.status == 409
                 assert resp.json()["error"]["code"] == "unsupported"
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(run())
+
+    def test_traversal_tenant_ids_are_rejected(self, tmp_path):
+        # '.' and '..' pass the character-set check but would resolve
+        # the checkpoint dir outside the configured root — a remote
+        # client must never be able to place writes there.
+        registry = TenantRegistry(max_tenants=2, checkpoint_root=tmp_path)
+        for bad in (".", "..", "", "x" * 65, "bad!id"):
+            with pytest.raises(ServiceError) as info:
+                registry.open(bad, _open_payload(_points(20, n=20)))
+            assert info.value.code == "bad_request", bad
+
+        async def run() -> None:
+            server = await _booted(checkpoint_root=tmp_path)
+            client = HttpClient(server.host, server.port)
+            try:
+                resp = await client.request(
+                    "POST", "/v1/tenants/../open",
+                    _open_payload(_points(21, n=20)))
+                assert resp.status == 400
+                assert resp.json()["error"]["code"] == "bad_request"
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(run())
+        # Nothing escaped the (still empty) checkpoint root.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_checkpoint_dir_is_fenced_inside_the_root(self, tmp_path):
+        # Defense in depth: even if an unsafe id slipped past
+        # validation, _checkpoint_dir must refuse to resolve it.
+        registry = TenantRegistry(max_tenants=2, checkpoint_root=tmp_path)
+        assert registry._checkpoint_dir("ok") == tmp_path / "ok"
+        with pytest.raises(ServiceError):
+            registry._checkpoint_dir("..")
+
+    def test_evict_while_waiting_on_the_lock_answers_unknown_tenant(
+            self):
+        async def run() -> None:
+            server = await _booted()
+            client = HttpClient(server.host, server.port)
+            try:
+                await client.request("POST", "/v1/tenants/r/open",
+                                     _open_payload(_points(22, n=30)))
+                tenant = server.registry.peek("r")
+                # Hold the tenant lock (as a running wave would), queue
+                # a write behind it, then evict before releasing: the
+                # write must answer 404, not silently drop its ops.
+                async with tenant.lock:
+                    write = asyncio.ensure_future(server._write(
+                        "r", _insert_ops(23, 4), {}))
+                    await asyncio.sleep(0)
+                    server.registry.evict("r", checkpoint=False)
+                with pytest.raises(ServiceError) as info:
+                    await write
+                assert info.value.code == "unknown_tenant"
             finally:
                 await client.close()
                 await server.close()
@@ -469,25 +560,47 @@ class TestMultiTenantIsolation:
                     tenants=2, n=160, seed=3, r=6, m_max=32,
                     read_every=2, deadline_ms=1.0,
                     chaos_tenant=0, chaos_spec="all", chaos_seed=1)
-                chaotic = server.registry.peek("tenant0")
-                assert chaotic.injector is not None
-                injected = sum(chaotic.injector.counters.values())
-                clean = server.registry.peek("tenant1")
-                assert clean.injector is None
-                return {"summary": summary, "injected": injected}
-
+                return {"summary": summary,
+                        "tenants_left": len(server.registry)}
             finally:
                 await server.close()
 
         out = asyncio.run(run())
         summary = out["summary"]
+        rows = {row["tenant"]: row for row in summary["per_tenant"]}
         # Chaos actually fired on tenant0's transport...
-        assert out["injected"] > 0
+        assert sum(rows["tenant0"]["chaos"].values()) > 0
+        assert "chaos" not in rows["tenant1"]
         # ...yet BOTH tenants' digests match their inline references —
         # the isolation (and digest-safety) claim in one assertion.
         assert summary["parity_ok"] is True
         for row in summary["per_tenant"]:
             assert row["served_digest"] == row["inline_digest"], row
+        # The driver evicted its tenants, leaving the server reusable.
+        assert out["tenants_left"] == 0
+
+    def test_serve_load_is_repeatable_against_a_standing_server(self):
+        async def run() -> tuple[dict[str, Any], dict[str, Any]]:
+            server = await _booted()
+            try:
+                first = await run_load(
+                    server.host, server.port, "mixed-batch",
+                    tenants=2, n=80, seed=0, r=6, m_max=32,
+                    read_every=0, deadline_ms=1.0, check_parity=False)
+                second = await run_load(
+                    server.host, server.port, "mixed-batch",
+                    tenants=2, n=80, seed=0, r=6, m_max=32,
+                    read_every=0, deadline_ms=1.0, check_parity=False)
+                return first, second
+            finally:
+                await server.close()
+
+        first, second = asyncio.run(run())
+        # Before the driver evicted its tenants on completion, the
+        # second run died with tenant_exists on every open.
+        assert {row["tenant"] for row in second["per_tenant"]} == \
+            {row["tenant"] for row in first["per_tenant"]}
+        assert all(row["served_digest"] for row in second["per_tenant"])
 
 
 # ----------------------------------------------------------------------
